@@ -1,0 +1,73 @@
+// Experiment E5 (Theorem 4.7): the explicit grid covering. On the
+// sqrt(V) x sqrt(V) grid, centers spaced V^{1/3} apart give |Z| ~ V^{1/3}
+// and covering radius ~ 2 V^{1/3}, hence error ~ V^{1/3}(M + 1/eps ...) —
+// better than the generic Theorem 4.3 tuning. Compares the explicit grid
+// covering against MM75 and greedy coverings at the generic radius.
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/bounded_weight.h"
+#include "graph/covering.h"
+#include "graph/generators.h"
+
+namespace dpsp {
+namespace {
+
+void Run() {
+  const double m = 1.0;
+  PrivacyParams params{1.0, 1e-6, 1.0};
+
+  Table table("E5: Theorem 4.7 grid covering (M=1, eps=1, delta=1e-6)",
+              {"side", "V", "covering", "k", "Z", "mean|err|", "max|err|",
+               "bound(.05)"});
+  Rng rng(kBenchSeed);
+  for (int side : {16, 25, 36}) {
+    int v = side * side;
+    Graph g = OrDie(MakeGridGraph(side, side));
+    EdgeWeights w = MakeUniformWeights(g, 0.0, m, &rng);
+    DistanceMatrix exact = OrDie(AllPairsDijkstra(g, w));
+
+    int stride = std::max(2, static_cast<int>(std::round(std::cbrt(v))));
+    Covering grid_cover = OrDie(GridCovering(g, side, side, stride));
+
+    BoundedWeightOptions options;
+    options.params = params;
+    options.max_weight = m;
+
+    auto report_for = [&](const char* name, const Covering& covering) {
+      auto oracle = OrDie(BoundedWeightOracle::BuildWithCovering(
+          g, w, covering, options, &rng));
+      OracleErrorReport report =
+          OrDie(EvaluateOracleAllPairs(g, exact, *oracle));
+      table.Row()
+          .Add(side)
+          .Add(v)
+          .Add(name)
+          .Add(covering.k)
+          .Add(covering.size())
+          .Add(report.mean_abs_error, 4)
+          .Add(report.max_abs_error, 4)
+          .Add(oracle->ErrorBound(0.05), 4);
+    };
+
+    report_for("grid(Thm4.7)", grid_cover);
+    report_for("mm75(Lem4.4)",
+               OrDie(MM75ResidueCovering(g, grid_cover.k)));
+    report_for("greedy", OrDie(GreedyCovering(g, grid_cover.k)));
+  }
+  table.Print();
+  std::puts(
+      "\nShape check: the structured grid covering attains a smaller (or "
+      "equal) Z at the\nsame radius, and error scales ~V^{1/3} across the "
+      "three grid sizes.");
+}
+
+}  // namespace
+}  // namespace dpsp
+
+int main() {
+  dpsp::Run();
+  return 0;
+}

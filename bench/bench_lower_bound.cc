@@ -1,0 +1,48 @@
+// Experiment E8 (Theorem 5.1 / Lemmas 5.2-5.4): the reconstruction attack
+// against Algorithm 3 on the Figure-2 gadget. Sweeps epsilon and reports
+// the attacker's mean Hamming distance and the released path's error,
+// against the theoretical floor alpha = n(1-(1+e^eps)d)/(1+e^{2eps}) and
+// the randomized-response optimum n/(1+e^eps) (Lemma 5.3).
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/reconstruction.h"
+
+namespace dpsp {
+namespace {
+
+void Run() {
+  Table table("E8: Theorem 5.1 reconstruction lower bound (Fig. 2 gadget)",
+              {"n", "eps", "trials", "mean d_H(x,y)", "mean path error",
+               "alpha (Thm 5.1)", "RR optimum n/(1+e^eps)"});
+  Rng rng(kBenchSeed);
+  for (int n : {50, 200}) {
+    for (double eps : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+      PrivacyParams params{eps, 0.0, 1.0};
+      AttackReport report = OrDie(RunReconstructionExperiment(
+          AttackKind::kShortestPath, n, params, 30, &rng));
+      table.Row()
+          .Add(n)
+          .Add(eps, 3)
+          .Add(report.trials)
+          .Add(report.mean_hamming, 4)
+          .Add(report.mean_object_error, 4)
+          .Add(report.alpha, 4)
+          .Add(report.randomized_response_expectation, 4);
+    }
+  }
+  table.Print();
+  std::puts(
+      "\nShape check: mean path error >= alpha at every eps (the released "
+      "path must\nbe Omega(V) worse than optimal when eps is small), and "
+      "the attacker's Hamming\ndistance tracks the randomized-response "
+      "optimum — Algorithm 3 is near the\nreconstruction frontier.");
+}
+
+}  // namespace
+}  // namespace dpsp
+
+int main() {
+  dpsp::Run();
+  return 0;
+}

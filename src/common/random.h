@@ -1,0 +1,65 @@
+// Deterministic random number generation for the library.
+//
+// All stochastic components (Laplace mechanisms, graph generators, attack
+// harnesses) draw from an explicitly seeded Rng so that every test and bench
+// run is reproducible. The Laplace sampler uses the inverse-CDF transform.
+//
+// NOTE ON SECURITY: mt19937_64 is *not* cryptographically secure, and
+// inverse-CDF sampling of doubles is vulnerable to floating-point attacks in
+// adversarial deployments (Mironov 2012). This repository reproduces the
+// paper's statistical behaviour; a hardened deployment would substitute a
+// CSPRNG and the snapping mechanism behind the same Rng interface.
+
+#ifndef DPSP_COMMON_RANDOM_H_
+#define DPSP_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dpsp {
+
+/// Seeded pseudo-random generator with the distributions the library needs.
+class Rng {
+ public:
+  /// Creates a generator from a 64-bit seed. Equal seeds give equal streams.
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in the open interval (0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in the closed range [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// Laplace(0, scale): density (1/2b) exp(-|x|/b). Requires scale > 0.
+  double Laplace(double scale);
+
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double Exponential(double rate);
+
+  /// Standard normal via std::normal_distribution.
+  double Gaussian(double stddev);
+
+  /// A fresh seed derived from this generator's stream, for spawning
+  /// independent child generators.
+  uint64_t NextSeed();
+
+  /// Random permutation of {0, ..., n-1}.
+  std::vector<int> Permutation(int n);
+
+  /// Access to the raw engine for std:: distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dpsp
+
+#endif  // DPSP_COMMON_RANDOM_H_

@@ -1,0 +1,83 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace dpsp {
+
+void OnlineStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double OnlineStats::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double Quantile(std::vector<double> values, double q) {
+  DPSP_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double pos = q * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double MaxAbs(const std::vector<double>& values) {
+  double out = 0.0;
+  for (double v : values) out = std::max(out, std::fabs(v));
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), counts_(static_cast<size_t>(bins), 0) {
+  DPSP_CHECK_MSG(bins > 0, "Histogram needs at least one bin");
+  DPSP_CHECK_MSG(hi > lo, "Histogram range must be non-empty");
+}
+
+void Histogram::Add(double x) {
+  double t = (x - lo_) / (hi_ - lo_);
+  int bin = static_cast<int>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp(bin, 0, static_cast<int>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::SmoothedMass(int bin) const {
+  double numer = static_cast<double>(counts_[static_cast<size_t>(bin)]) + 1.0;
+  double denom =
+      static_cast<double>(total_) + static_cast<double>(counts_.size());
+  return numer / denom;
+}
+
+}  // namespace dpsp

@@ -1,0 +1,72 @@
+// Small statistics toolkit used by the experiment harnesses and tests:
+// online moments, order statistics, and error-aggregation helpers.
+
+#ifndef DPSP_COMMON_STATISTICS_H_
+#define DPSP_COMMON_STATISTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dpsp {
+
+/// Streaming mean / variance / extremes (Welford's algorithm).
+class OnlineStats {
+ public:
+  /// Incorporates one observation.
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 if fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact sample quantile with linear interpolation; q in [0, 1].
+/// Copies and sorts the data — intended for harness-sized samples.
+double Quantile(std::vector<double> values, double q);
+
+/// Mean of a sample; 0 for an empty sample.
+double Mean(const std::vector<double>& values);
+
+/// Maximum absolute value of a sample; 0 for an empty sample.
+double MaxAbs(const std::vector<double>& values);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets. Out-of-range
+/// observations are clamped into the first/last bucket. Used by the
+/// empirical privacy verifier.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void Add(double x);
+
+  int bins() const { return static_cast<int>(counts_.size()); }
+  int64_t count(int bin) const { return counts_[bin]; }
+  int64_t total() const { return total_; }
+
+  /// Probability mass of a bin with add-one (Laplace) smoothing, so that
+  /// log-ratios between two histograms stay finite.
+  double SmoothedMass(int bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+}  // namespace dpsp
+
+#endif  // DPSP_COMMON_STATISTICS_H_

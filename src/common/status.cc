@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace dpsp {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const char* msg) {
+  std::fprintf(stderr, "DPSP_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               msg);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dpsp

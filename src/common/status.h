@@ -1,0 +1,166 @@
+// Lightweight Status / Result<T> error-handling primitives.
+//
+// The library does not use exceptions; fallible operations return a Status
+// (for void results) or a Result<T>. This mirrors the idiom used by Arrow
+// and RocksDB. Programming errors (violated preconditions inside the
+// library) abort via DPSP_CHECK.
+
+#ifndef DPSP_COMMON_STATUS_H_
+#define DPSP_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dpsp {
+
+/// Canonical error categories. A small subset of the usual gRPC set — only
+/// the ones the library actually produces.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+};
+
+/// Human-readable name of a status code ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// The result of an operation that can fail. Cheap to copy when OK.
+class Status {
+ public:
+  /// Default-constructed status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result aborts, so callers must check ok() first (or use
+/// DPSP_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error Status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const char* msg);
+}  // namespace internal
+
+/// Abort with a diagnostic if `expr` is false. For internal invariants only;
+/// user-facing validation returns Status instead.
+#define DPSP_CHECK(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::dpsp::internal::CheckFailed(__FILE__, __LINE__, #expr, "");     \
+    }                                                                   \
+  } while (0)
+
+#define DPSP_CHECK_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::dpsp::internal::CheckFailed(__FILE__, __LINE__, #expr, (msg));  \
+    }                                                                   \
+  } while (0)
+
+/// Propagate a non-OK Status to the caller.
+#define DPSP_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::dpsp::Status dpsp_status_ = (expr);     \
+    if (!dpsp_status_.ok()) return dpsp_status_; \
+  } while (0)
+
+#define DPSP_CONCAT_IMPL(a, b) a##b
+#define DPSP_CONCAT(a, b) DPSP_CONCAT_IMPL(a, b)
+
+/// Evaluate a Result<T> expression; on error return its Status, otherwise
+/// bind the value to `lhs`.
+#define DPSP_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  DPSP_ASSIGN_OR_RETURN_IMPL(DPSP_CONCAT(dpsp_result_, __LINE__), lhs, rexpr)
+
+#define DPSP_ASSIGN_OR_RETURN_IMPL(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+}  // namespace dpsp
+
+#endif  // DPSP_COMMON_STATUS_H_

@@ -1,0 +1,86 @@
+#include "common/table.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/status.h"
+
+namespace dpsp {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  DPSP_CHECK_MSG(!columns_.empty(), "Table needs at least one column");
+}
+
+Table& Table::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Add(const std::string& cell) {
+  DPSP_CHECK_MSG(!rows_.empty(), "call Row() before Add()");
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::Add(const char* cell) { return Add(std::string(cell)); }
+
+Table& Table::Add(double value, int precision) {
+  return Add(StrFormat("%.*g", precision, value));
+}
+
+Table& Table::Add(int64_t value) {
+  return Add(StrFormat("%lld", static_cast<long long>(value)));
+}
+
+Table& Table::Add(int value) { return Add(static_cast<int64_t>(value)); }
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::string out;
+  out += "== " + title_ + " ==\n";
+  out += render_row(columns_);
+  std::string sep = "|";
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace dpsp

@@ -1,0 +1,47 @@
+// ASCII table printer. Every bench harness renders its experiment results
+// through this so the output is uniform and diffable against EXPERIMENTS.md.
+
+#ifndef DPSP_COMMON_TABLE_H_
+#define DPSP_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace dpsp {
+
+/// Accumulates rows of string/numeric cells and renders an aligned ASCII
+/// table with a title and column headers.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Starts a new row. Subsequent Add* calls append cells to it.
+  Table& Row();
+
+  Table& Add(const std::string& cell);
+  Table& Add(const char* cell);
+  /// Formats with %.*g (default 5 significant digits).
+  Table& Add(double value, int precision = 5);
+  Table& Add(int64_t value);
+  Table& Add(int value);
+
+  /// Renders the table (title, header, separator, rows).
+  std::string ToString() const;
+
+  /// Renders to stdout.
+  void Print() const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...);
+
+}  // namespace dpsp
+
+#endif  // DPSP_COMMON_TABLE_H_

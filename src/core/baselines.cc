@@ -1,0 +1,189 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/table.h"
+#include "dp/composition.h"
+#include "dp/laplace_mechanism.h"
+#include "graph/shortest_path.h"
+
+namespace dpsp {
+
+namespace {
+
+class ExactOracle final : public DistanceOracle {
+ public:
+  explicit ExactOracle(DistanceMatrix matrix) : matrix_(std::move(matrix)) {}
+
+  Result<double> Distance(VertexId u, VertexId v) const override {
+    if (u < 0 || u >= matrix_.size() || v < 0 || v >= matrix_.size()) {
+      return Status::InvalidArgument("vertex out of range");
+    }
+    return matrix_.at(u, v);
+  }
+
+  std::string Name() const override { return "exact"; }
+
+ private:
+  DistanceMatrix matrix_;
+};
+
+// Dense symmetric noisy-distance table (also used by the approx variant).
+class PerPairLaplaceOracle final : public DistanceOracle {
+ public:
+  PerPairLaplaceOracle(DistanceMatrix noisy, std::string name)
+      : noisy_(std::move(noisy)), name_(std::move(name)) {}
+
+  Result<double> Distance(VertexId u, VertexId v) const override {
+    if (u < 0 || u >= noisy_.size() || v < 0 || v >= noisy_.size()) {
+      return Status::InvalidArgument("vertex out of range");
+    }
+    return noisy_.at(u, v);
+  }
+
+  std::string Name() const override { return name_; }
+
+ private:
+  DistanceMatrix noisy_;
+  std::string name_;
+};
+
+class SyntheticGraphOracle final : public DistanceOracle {
+ public:
+  explicit SyntheticGraphOracle(DistanceMatrix distances)
+      : distances_(std::move(distances)) {}
+
+  Result<double> Distance(VertexId u, VertexId v) const override {
+    if (u < 0 || u >= distances_.size() || v < 0 || v >= distances_.size()) {
+      return Status::InvalidArgument("vertex out of range");
+    }
+    return distances_.at(u, v);
+  }
+
+  std::string Name() const override { return "synthetic-graph"; }
+
+ private:
+  DistanceMatrix distances_;
+};
+
+}  // namespace
+
+Result<double> PrivateSinglePairDistance(const Graph& graph,
+                                         const EdgeWeights& w, VertexId u,
+                                         VertexId v,
+                                         const PrivacyParams& params,
+                                         Rng* rng) {
+  DPSP_RETURN_IF_ERROR(params.Validate());
+  if (!graph.HasVertex(u) || !graph.HasVertex(v)) {
+    return Status::InvalidArgument("vertex out of range");
+  }
+  DPSP_ASSIGN_OR_RETURN(ShortestPathTree tree, Dijkstra(graph, w, u));
+  double truth = tree.distance[static_cast<size_t>(v)];
+  if (truth == kInfiniteDistance) {
+    return Status::NotFound("vertices are disconnected");
+  }
+  // A single distance has sensitivity 1 per unit l1 change in the weights.
+  return LaplaceMechanismScalar(truth, 1.0, params, rng);
+}
+
+Result<std::unique_ptr<DistanceOracle>> MakeExactOracle(const Graph& graph,
+                                                        const EdgeWeights& w) {
+  DPSP_ASSIGN_OR_RETURN(DistanceMatrix matrix, AllPairsDijkstra(graph, w));
+  return std::unique_ptr<DistanceOracle>(new ExactOracle(std::move(matrix)));
+}
+
+Result<double> PerPairLaplaceNoiseScale(int num_pairs,
+                                        const PrivacyParams& params) {
+  DPSP_RETURN_IF_ERROR(params.Validate());
+  if (num_pairs < 1) {
+    return Status::InvalidArgument("need at least one pair");
+  }
+  DPSP_ASSIGN_OR_RETURN(
+      double per_query_eps,
+      PerQueryEpsilonBest(num_pairs, params.epsilon, params.delta));
+  return params.neighbor_l1_bound / per_query_eps;
+}
+
+Result<std::unique_ptr<DistanceOracle>> MakePerPairLaplaceOracle(
+    const Graph& graph, const EdgeWeights& w, const PrivacyParams& params,
+    Rng* rng) {
+  DPSP_RETURN_IF_ERROR(params.Validate());
+  DPSP_ASSIGN_OR_RETURN(DistanceMatrix exact, AllPairsDijkstra(graph, w));
+  int n = graph.num_vertices();
+  int num_pairs = std::max(1, n * (n - 1) / 2);
+  DPSP_ASSIGN_OR_RETURN(double scale,
+                        PerPairLaplaceNoiseScale(num_pairs, params));
+
+  DistanceMatrix noisy(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      double truth = exact.at(u, v);
+      double released = truth == kInfiniteDistance
+                            ? kInfiniteDistance
+                            : truth + rng->Laplace(scale);
+      noisy.set(u, v, released);
+      noisy.set(v, u, released);
+    }
+  }
+  std::string name =
+      params.pure() ? "per-pair-laplace(pure)" : "per-pair-laplace(approx)";
+  return std::unique_ptr<DistanceOracle>(
+      new PerPairLaplaceOracle(std::move(noisy), std::move(name)));
+}
+
+Result<std::unique_ptr<DistanceOracle>> MakeSyntheticGraphOracle(
+    const Graph& graph, const EdgeWeights& w, const PrivacyParams& params,
+    Rng* rng) {
+  DPSP_RETURN_IF_ERROR(params.Validate());
+  DPSP_RETURN_IF_ERROR(graph.ValidateNonNegativeWeights(w));
+  // Releasing the entire weight vector is a sensitivity-1 query (identity).
+  DPSP_ASSIGN_OR_RETURN(EdgeWeights noisy,
+                        LaplaceMechanism(w, 1.0, params, rng));
+  // Clamping at zero is post-processing and keeps Dijkstra applicable.
+  for (double& x : noisy) x = std::max(0.0, x);
+  DPSP_ASSIGN_OR_RETURN(DistanceMatrix distances,
+                        AllPairsDijkstra(graph, noisy));
+  return std::unique_ptr<DistanceOracle>(
+      new SyntheticGraphOracle(std::move(distances)));
+}
+
+Result<std::vector<double>> PrivateSingleSourceDistances(
+    const Graph& graph, const EdgeWeights& w, VertexId source,
+    const PrivacyParams& params, Rng* rng) {
+  DPSP_RETURN_IF_ERROR(params.Validate());
+  if (!graph.HasVertex(source)) {
+    return Status::InvalidArgument("source vertex out of range");
+  }
+  DPSP_ASSIGN_OR_RETURN(ShortestPathTree tree, Dijkstra(graph, w, source));
+  int queries = std::max(1, graph.num_vertices() - 1);
+  DPSP_ASSIGN_OR_RETURN(
+      double per_query_eps,
+      PerQueryEpsilonBest(queries, params.epsilon, params.delta));
+  double scale = params.neighbor_l1_bound / per_query_eps;
+  std::vector<double> out(tree.distance.size(), kInfiniteDistance);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (v == source) {
+      out[static_cast<size_t>(v)] = 0.0;
+      continue;
+    }
+    if (tree.Reachable(v)) {
+      out[static_cast<size_t>(v)] =
+          tree.distance[static_cast<size_t>(v)] + rng->Laplace(scale);
+    }
+  }
+  return out;
+}
+
+double Drv10ErrorFormula(double w1_norm, int num_vertices, double epsilon,
+                         double delta) {
+  DPSP_CHECK_MSG(w1_norm >= 0.0 && num_vertices >= 2 && epsilon > 0.0 &&
+                     delta > 0.0 && delta < 1.0,
+                 "invalid DRV10 formula arguments");
+  double log_v = std::log(static_cast<double>(num_vertices));
+  double log_d = std::log(1.0 / delta);
+  return std::sqrt(w1_norm) * log_v * std::pow(log_d, 1.5) / epsilon;
+}
+
+}  // namespace dpsp

@@ -1,0 +1,161 @@
+#include "core/bounded_weight.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/table.h"
+#include "dp/composition.h"
+#include "dp/gaussian_mechanism.h"
+#include "dp/laplace_mechanism.h"
+#include "graph/all_pairs.h"
+
+namespace dpsp {
+
+int AutoCoveringRadius(int num_vertices, double max_weight,
+                       const PrivacyParams& params) {
+  DPSP_CHECK_MSG(num_vertices >= 1 && max_weight > 0.0,
+                 "invalid AutoCoveringRadius arguments");
+  double v = static_cast<double>(num_vertices);
+  double me = max_weight * params.epsilon / params.neighbor_l1_bound;
+  double k_real;
+  if (params.pure()) {
+    // Theorem 4.3 (pure): k = floor(V^{2/3} / (M eps)^{1/3}).
+    k_real = std::pow(v, 2.0 / 3.0) / std::cbrt(me);
+  } else {
+    // Theorem 4.3 (approx): k = floor(sqrt(V / (M eps))).
+    k_real = std::sqrt(v / me);
+  }
+  int k = static_cast<int>(std::floor(k_real));
+  return std::clamp(k, 0, num_vertices - 1);
+}
+
+Result<std::unique_ptr<BoundedWeightOracle>> BoundedWeightOracle::Build(
+    const Graph& graph, const EdgeWeights& w,
+    const BoundedWeightOptions& options, Rng* rng) {
+  DPSP_RETURN_IF_ERROR(options.params.Validate());
+  int k = options.k > 0 ? options.k
+                        : AutoCoveringRadius(graph.num_vertices(),
+                                             options.max_weight,
+                                             options.params);
+  k = std::clamp(k, 0, std::max(0, graph.num_vertices() - 1));
+  Result<Covering> covering = Status::Internal("unset");
+  if (options.strategy == BoundedWeightOptions::CoveringStrategy::kGreedy) {
+    covering = GreedyCovering(graph, k);
+  } else {
+    covering = MM75ResidueCovering(graph, k);
+  }
+  if (!covering.ok()) return covering.status();
+  return BuildWithCovering(graph, w, std::move(covering).value(), options,
+                           rng);
+}
+
+Result<std::unique_ptr<BoundedWeightOracle>>
+BoundedWeightOracle::BuildWithCovering(const Graph& graph,
+                                       const EdgeWeights& w, Covering covering,
+                                       const BoundedWeightOptions& options,
+                                       Rng* rng) {
+  DPSP_RETURN_IF_ERROR(options.params.Validate());
+  DPSP_RETURN_IF_ERROR(graph.ValidateNonNegativeWeights(w));
+  if (!(options.max_weight > 0.0)) {
+    return Status::InvalidArgument("max_weight must be positive");
+  }
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (w[i] > options.max_weight + 1e-12) {
+      return Status::InvalidArgument(
+          StrFormat("edge %zu weight %g exceeds max_weight %g", i, w[i],
+                    options.max_weight));
+    }
+  }
+  DPSP_RETURN_IF_ERROR(ValidateCovering(graph, covering));
+
+  auto oracle = std::unique_ptr<BoundedWeightOracle>(new BoundedWeightOracle());
+  oracle->covering_ = std::move(covering);
+  oracle->pure_ = options.params.pure();
+  oracle->max_weight_ = options.max_weight;
+
+  const std::vector<VertexId>& centers = oracle->covering_.centers;
+  int z = static_cast<int>(centers.size());
+  int num_queries = std::max(1, z * (z - 1) / 2);
+
+  // Noise scale: each pairwise distance has sensitivity 1; compose the
+  // num_queries releases within the (eps, delta) budget.
+  double scale;
+  bool gaussian =
+      options.noise == BoundedWeightOptions::NoiseKind::kGaussian;
+  if (gaussian) {
+    if (options.params.pure()) {
+      return Status::InvalidArgument(
+          "Gaussian noise requires delta > 0 (set NoiseKind::kLaplace)");
+    }
+    DPSP_ASSIGN_OR_RETURN(
+        scale, GaussianSigma(DistanceVectorL2Sensitivity(num_queries),
+                             options.params));
+  } else if (oracle->pure_) {
+    // Basic composition (Theorem 4.6): Lap(num_queries / eps).
+    scale = static_cast<double>(num_queries) *
+            options.params.neighbor_l1_bound / options.params.epsilon;
+  } else {
+    // Advanced composition (Theorem 4.5): Lap(1 / eps') with eps' solved
+    // from the Lemma 3.4 formula.
+    DPSP_ASSIGN_OR_RETURN(
+        double eps0, PerQueryEpsilonBest(num_queries, options.params.epsilon,
+                                         options.params.delta));
+    scale = options.params.neighbor_l1_bound / eps0;
+  }
+  oracle->gaussian_ = gaussian;
+  oracle->noise_scale_ = scale;
+
+  // Exact distances among the centers (private intermediate), then noise.
+  DPSP_ASSIGN_OR_RETURN(std::vector<std::vector<double>> exact,
+                        MultiSourceDistances(graph, w, centers));
+  oracle->noisy_.assign(static_cast<size_t>(z),
+                        std::vector<double>(static_cast<size_t>(z), 0.0));
+  for (int i = 0; i < z; ++i) {
+    for (int j = i + 1; j < z; ++j) {
+      double truth =
+          exact[static_cast<size_t>(i)][static_cast<size_t>(centers[
+              static_cast<size_t>(j)])];
+      double noise =
+          gaussian ? rng->Gaussian(scale) : rng->Laplace(scale);
+      double released = truth + noise;
+      oracle->noisy_[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+          released;
+      oracle->noisy_[static_cast<size_t>(j)][static_cast<size_t>(i)] =
+          released;
+    }
+  }
+  return oracle;
+}
+
+Result<double> BoundedWeightOracle::Distance(VertexId u, VertexId v) const {
+  int n = static_cast<int>(covering_.assignment.size());
+  if (u < 0 || u >= n || v < 0 || v >= n) {
+    return Status::InvalidArgument("vertex out of range");
+  }
+  int zu = covering_.assignment[static_cast<size_t>(u)];
+  int zv = covering_.assignment[static_cast<size_t>(v)];
+  if (zu == zv) return 0.0;
+  return noisy_[static_cast<size_t>(zu)][static_cast<size_t>(zv)];
+}
+
+std::string BoundedWeightOracle::Name() const {
+  if (gaussian_) return "bounded-weight(gaussian)";
+  return pure_ ? "bounded-weight(pure)" : "bounded-weight(approx)";
+}
+
+double BoundedWeightOracle::ErrorBound(double gamma) const {
+  DPSP_CHECK_MSG(gamma > 0.0 && gamma < 1.0, "gamma must be in (0,1)");
+  double z = static_cast<double>(covering_.size());
+  double bias = 2.0 * static_cast<double>(covering_.k) * max_weight_;
+  double tail;
+  if (gaussian_) {
+    // Gaussian tail: sigma * sqrt(2 ln(q/gamma)) covers all q values.
+    tail = noise_scale_ *
+           std::sqrt(2.0 * std::log(std::max(2.0, z * z) / gamma));
+  } else {
+    tail = noise_scale_ * std::log(std::max(2.0, z * z) / gamma);
+  }
+  return bias + tail;
+}
+
+}  // namespace dpsp

@@ -1,0 +1,59 @@
+#include "core/distance_oracle.h"
+
+#include <cmath>
+
+#include "common/statistics.h"
+#include "graph/shortest_path.h"
+
+namespace dpsp {
+
+namespace {
+
+Result<OracleErrorReport> Evaluate(
+    const Graph& graph, const DistanceMatrix& exact,
+    const DistanceOracle& oracle,
+    const std::vector<std::pair<VertexId, VertexId>>& pairs) {
+  std::vector<double> errors;
+  errors.reserve(pairs.size());
+  for (const auto& [u, v] : pairs) {
+    if (!graph.HasVertex(u) || !graph.HasVertex(v)) {
+      return Status::InvalidArgument("evaluation pair out of range");
+    }
+    double truth = exact.at(u, v);
+    if (truth == kInfiniteDistance) continue;  // unreachable: skip
+    DPSP_ASSIGN_OR_RETURN(double estimate, oracle.Distance(u, v));
+    errors.push_back(std::fabs(estimate - truth));
+  }
+  OracleErrorReport report;
+  report.num_pairs = static_cast<int>(errors.size());
+  if (!errors.empty()) {
+    report.max_abs_error = MaxAbs(errors);
+    report.mean_abs_error = Mean(errors);
+    report.p50_abs_error = Quantile(errors, 0.5);
+    report.p95_abs_error = Quantile(errors, 0.95);
+  }
+  return report;
+}
+
+}  // namespace
+
+Result<OracleErrorReport> EvaluateOracleAllPairs(const Graph& graph,
+                                                 const DistanceMatrix& exact,
+                                                 const DistanceOracle& oracle) {
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    for (VertexId v = u + 1; v < graph.num_vertices(); ++v) {
+      pairs.emplace_back(u, v);
+    }
+  }
+  return Evaluate(graph, exact, oracle, pairs);
+}
+
+Result<OracleErrorReport> EvaluateOraclePairs(
+    const Graph& graph, const DistanceMatrix& exact,
+    const DistanceOracle& oracle,
+    const std::vector<std::pair<VertexId, VertexId>>& pairs) {
+  return Evaluate(graph, exact, oracle, pairs);
+}
+
+}  // namespace dpsp

@@ -1,0 +1,56 @@
+// The common interface all distance-release mechanisms implement, plus the
+// error-evaluation harness the experiments share. Every mechanism in this
+// library (exact, baselines, tree recursion, path hierarchy, bounded-weight
+// covering) is a DistanceOracle, so benches can sweep them uniformly.
+
+#ifndef DPSP_CORE_DISTANCE_ORACLE_H_
+#define DPSP_CORE_DISTANCE_ORACLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/all_pairs.h"
+#include "graph/graph.h"
+
+namespace dpsp {
+
+/// A released all-pairs distance estimator. Queries are post-processing of
+/// an already-released private object, so calling Distance() any number of
+/// times consumes no additional privacy budget.
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  /// Estimated distance between u and v.
+  virtual Result<double> Distance(VertexId u, VertexId v) const = 0;
+
+  /// Mechanism name for reports.
+  virtual std::string Name() const = 0;
+};
+
+/// Aggregate error of an oracle against exact distances.
+struct OracleErrorReport {
+  double max_abs_error = 0.0;
+  double mean_abs_error = 0.0;
+  double p50_abs_error = 0.0;
+  double p95_abs_error = 0.0;
+  int num_pairs = 0;
+};
+
+/// Compares the oracle against the exact distance matrix over all ordered
+/// pairs u < v (skipping unreachable pairs).
+Result<OracleErrorReport> EvaluateOracleAllPairs(const Graph& graph,
+                                                 const DistanceMatrix& exact,
+                                                 const DistanceOracle& oracle);
+
+/// Compares the oracle against exact distances over an explicit pair list.
+Result<OracleErrorReport> EvaluateOraclePairs(
+    const Graph& graph, const DistanceMatrix& exact,
+    const DistanceOracle& oracle,
+    const std::vector<std::pair<VertexId, VertexId>>& pairs);
+
+}  // namespace dpsp
+
+#endif  // DPSP_CORE_DISTANCE_ORACLE_H_

@@ -1,0 +1,140 @@
+#include "core/hld_oracle.h"
+
+#include <algorithm>
+
+#include "dp/laplace_mechanism.h"
+
+namespace dpsp {
+
+Result<std::unique_ptr<HldTreeOracle>> HldTreeOracle::Build(
+    const Graph& graph, const EdgeWeights& w, const PrivacyParams& params,
+    Rng* rng, VertexId root) {
+  DPSP_RETURN_IF_ERROR(params.Validate());
+  DPSP_RETURN_IF_ERROR(graph.ValidateNonNegativeWeights(w));
+  if (root == -1) root = 0;
+  DPSP_ASSIGN_OR_RETURN(RootedTree tree, RootedTree::FromGraph(graph, root));
+
+  auto oracle = std::unique_ptr<HldTreeOracle>(new HldTreeOracle());
+  int n = tree.num_vertices();
+  oracle->chain_of_.assign(static_cast<size_t>(n), -1);
+  oracle->pos_in_chain_.assign(static_cast<size_t>(n), 0);
+
+  // Heavy child of each vertex: the child with the largest subtree.
+  std::vector<VertexId> heavy(static_cast<size_t>(n), -1);
+  for (VertexId v = 0; v < n; ++v) {
+    int best = 0;
+    for (VertexId c : tree.children(v)) {
+      if (tree.subtree_size(c) > best) {
+        best = tree.subtree_size(c);
+        heavy[static_cast<size_t>(v)] = c;
+      }
+    }
+  }
+
+  // Assign chains in BFS order (parents first).
+  std::vector<std::vector<VertexId>> members;  // chain -> vertices by pos
+  for (VertexId v : tree.bfs_order()) {
+    VertexId p = tree.parent(v);
+    if (p == -1 || heavy[static_cast<size_t>(p)] != v) {
+      oracle->chain_of_[static_cast<size_t>(v)] =
+          static_cast<int>(members.size());
+      oracle->pos_in_chain_[static_cast<size_t>(v)] = 0;
+      oracle->chain_head_.push_back(v);
+      members.emplace_back(1, v);
+    } else {
+      int c = oracle->chain_of_[static_cast<size_t>(p)];
+      oracle->chain_of_[static_cast<size_t>(v)] = c;
+      oracle->pos_in_chain_[static_cast<size_t>(v)] =
+          oracle->pos_in_chain_[static_cast<size_t>(p)] + 1;
+      members[static_cast<size_t>(c)].push_back(v);
+    }
+  }
+
+  // Joint sensitivity: an edge is either heavy (one block per level of its
+  // chain's structure) or light (one released scalar), so the release's
+  // sensitivity is max over chains of #levels, at least 1.
+  int max_levels = 1;
+  for (const auto& chain : members) {
+    max_levels = std::max(
+        max_levels, NoisyDyadicRangeSums::LevelsForSize(
+                        static_cast<int>(chain.size()) - 1));
+  }
+  DPSP_ASSIGN_OR_RETURN(
+      double scale,
+      LaplaceScale(static_cast<double>(max_levels), params));
+  oracle->noise_scale_ = scale;
+
+  // Released structures: per-chain dyadic sums over the heavy edges, plus
+  // one noisy scalar per light (chain-head parent) edge.
+  oracle->light_noisy_.assign(members.size(), 0.0);
+  for (size_t c = 0; c < members.size(); ++c) {
+    const std::vector<VertexId>& chain = members[c];
+    std::vector<double> values;
+    values.reserve(chain.size() - 1);
+    for (size_t p = 1; p < chain.size(); ++p) {
+      values.push_back(
+          w[static_cast<size_t>(tree.parent_edge(chain[p]))]);
+    }
+    oracle->chains_.emplace_back(values, scale, rng);
+    VertexId head = chain[0];
+    if (tree.parent(head) != -1) {
+      oracle->light_noisy_[c] =
+          w[static_cast<size_t>(tree.parent_edge(head))] +
+          rng->Laplace(scale);
+    }
+  }
+
+  oracle->tree_ = std::make_unique<RootedTree>(std::move(tree));
+  oracle->lca_ = std::make_unique<LcaIndex>(*oracle->tree_);
+  return oracle;
+}
+
+Result<double> HldTreeOracle::DistanceToAncestor(VertexId v,
+                                                 VertexId z) const {
+  double sum = 0.0;
+  while (chain_of_[static_cast<size_t>(v)] !=
+         chain_of_[static_cast<size_t>(z)]) {
+    int c = chain_of_[static_cast<size_t>(v)];
+    DPSP_ASSIGN_OR_RETURN(
+        double range,
+        chains_[static_cast<size_t>(c)].RangeSum(
+            0, pos_in_chain_[static_cast<size_t>(v)]));
+    sum += range + light_noisy_[static_cast<size_t>(c)];
+    VertexId head = chain_head_[static_cast<size_t>(c)];
+    v = tree_->parent(head);
+    DPSP_CHECK_MSG(v != -1, "climbed past the root during HLD ascent");
+  }
+  DPSP_ASSIGN_OR_RETURN(
+      double range,
+      chains_[static_cast<size_t>(chain_of_[static_cast<size_t>(v)])]
+          .RangeSum(pos_in_chain_[static_cast<size_t>(z)],
+                    pos_in_chain_[static_cast<size_t>(v)]));
+  return sum + range;
+}
+
+Result<double> HldTreeOracle::Distance(VertexId u, VertexId v) const {
+  if (u < 0 || u >= tree_->num_vertices() || v < 0 ||
+      v >= tree_->num_vertices()) {
+    return Status::InvalidArgument("vertex out of range");
+  }
+  VertexId z = lca_->Lca(u, v);
+  DPSP_ASSIGN_OR_RETURN(double du, DistanceToAncestor(u, z));
+  DPSP_ASSIGN_OR_RETURN(double dv, DistanceToAncestor(v, z));
+  return du + dv;
+}
+
+double HldTreeOracle::ErrorBound(int num_vertices,
+                                 const PrivacyParams& params, double gamma) {
+  DPSP_CHECK_MSG(num_vertices >= 1 && gamma > 0.0 && gamma < 1.0,
+                 "invalid error bound arguments");
+  int levels = std::max(
+      1, NoisyDyadicRangeSums::LevelsForSize(num_vertices - 1));
+  double scale = static_cast<double>(levels) * params.neighbor_l1_bound /
+                 params.epsilon;
+  // Two ascents, each crossing <= levels chains, each chain costing
+  // <= 2 levels blocks plus one light edge.
+  int summands = 2 * levels * (2 * levels + 1);
+  return LaplaceSumBound(scale, summands, gamma);
+}
+
+}  // namespace dpsp

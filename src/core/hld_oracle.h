@@ -1,0 +1,77 @@
+// Heavy-light tree distance oracle — an alternative all-pairs mechanism
+// for trees, composing the paper's two tree results.
+//
+// Decompose the tree into heavy chains (each root-to-leaf walk crosses at
+// most log2 V chains) and release a noisy dyadic range structure
+// (core/range_sums.h, i.e. the Appendix-A hierarchy) over each chain's
+// edge weights. Every edge lies on exactly one chain and in one block per
+// level of that chain's structure, so the joint release has sensitivity
+// max_chain(#levels) <= ceil(log2 V): one Laplace mechanism invocation at
+// scale (max levels)/eps makes it eps-DP.
+//
+// A query d(x, y) splits at the LCA and each half climbs chains: at most
+// 2 log2 V chain-range queries, each summing at most 2 log2 V noisy
+// blocks, so the error is a sum of O(log^2 V) Laplace terms of scale
+// O(log V)/eps — O(log^2 V sqrt(log(1/gamma)))/eps by Lemma 3.1, a log^0.5
+// factor above Theorem 4.2's recursion. The trade: this oracle's released
+// object supports *edge-interval* analytics on chains (subpath sums along
+// any chain prefix) that the Algorithm-1 release does not, and its
+// construction is a single pass. bench_tree_all_pairs (E2b) compares the
+// two empirically.
+
+#ifndef DPSP_CORE_HLD_ORACLE_H_
+#define DPSP_CORE_HLD_ORACLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/distance_oracle.h"
+#include "core/range_sums.h"
+#include "dp/privacy.h"
+#include "graph/tree.h"
+
+namespace dpsp {
+
+/// eps-DP all-pairs tree distance oracle via heavy-light decomposition.
+class HldTreeOracle final : public DistanceOracle {
+ public:
+  /// Builds the oracle; `graph` must be an undirected tree with
+  /// non-negative weights. `root` = -1 picks vertex 0.
+  static Result<std::unique_ptr<HldTreeOracle>> Build(
+      const Graph& graph, const EdgeWeights& w, const PrivacyParams& params,
+      Rng* rng, VertexId root = -1);
+
+  Result<double> Distance(VertexId u, VertexId v) const override;
+  std::string Name() const override { return "tree-hld"; }
+
+  int num_chains() const { return static_cast<int>(chains_.size()); }
+  double noise_scale() const { return noise_scale_; }
+
+  /// High-probability per-pair error bound with the constants proved in
+  /// the header comment (Lemma 3.1 over at most 4 log^2 V summands).
+  static double ErrorBound(int num_vertices, const PrivacyParams& params,
+                           double gamma);
+
+ private:
+  HldTreeOracle() = default;
+
+  // Noisy distance from `v` up to its ancestor `z` (sum of chain ranges).
+  Result<double> DistanceToAncestor(VertexId v, VertexId z) const;
+
+  std::unique_ptr<RootedTree> tree_;
+  std::unique_ptr<LcaIndex> lca_;
+  double noise_scale_ = 0.0;
+  // Heavy-chain bookkeeping.
+  std::vector<int> chain_of_;      // vertex -> chain index
+  std::vector<int> pos_in_chain_;  // vertex -> position along its chain
+  std::vector<VertexId> chain_head_;  // chain -> shallowest vertex
+  std::vector<NoisyDyadicRangeSums> chains_;  // chain -> released structure
+  // chain -> noisy weight of the light edge above its head (0 at the root
+  // chain).
+  std::vector<double> light_noisy_;
+};
+
+}  // namespace dpsp
+
+#endif  // DPSP_CORE_HLD_ORACLE_H_

@@ -1,0 +1,143 @@
+#include "core/path_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/laplace_mechanism.h"
+
+namespace dpsp {
+
+namespace {
+
+Status ValidatePathShape(const Graph& graph) {
+  if (graph.directed()) {
+    return Status::InvalidArgument("path oracle requires undirected graph");
+  }
+  if (graph.num_edges() != graph.num_vertices() - 1) {
+    return Status::InvalidArgument("not a path graph: E != V - 1");
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const EdgeEndpoints& ep = graph.edge(e);
+    if (std::min(ep.u, ep.v) != e || std::max(ep.u, ep.v) != e + 1) {
+      return Status::InvalidArgument(
+          "not in canonical path layout (edge i must join i and i+1)");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PathGraphOracle>> PathGraphOracle::Build(
+    const Graph& graph, const EdgeWeights& w, const PrivacyParams& params,
+    Rng* rng, int branching) {
+  DPSP_RETURN_IF_ERROR(params.Validate());
+  DPSP_RETURN_IF_ERROR(ValidatePathShape(graph));
+  DPSP_RETURN_IF_ERROR(graph.ValidateNonNegativeWeights(w));
+  if (branching < 2) {
+    return Status::InvalidArgument("branching factor must be >= 2");
+  }
+
+  auto oracle = std::unique_ptr<PathGraphOracle>(new PathGraphOracle());
+  oracle->branching_ = branching;
+  oracle->num_vertices_ = graph.num_vertices();
+  oracle->num_edges_ = graph.num_edges();
+  int m = oracle->num_edges_;
+
+  if (m == 0) {
+    oracle->noise_scale_ = 0.0;
+    return oracle;
+  }
+
+  // Levels 0 .. L where branching^L >= m.
+  oracle->widths_.push_back(1);
+  while (oracle->widths_.back() < m) {
+    oracle->widths_.push_back(oracle->widths_.back() * branching);
+  }
+  int num_levels = static_cast<int>(oracle->widths_.size());
+
+  // Every edge lies in exactly one block per level, so the joint release
+  // has sensitivity num_levels.
+  DPSP_ASSIGN_OR_RETURN(
+      double scale,
+      LaplaceScale(static_cast<double>(num_levels), params));
+  oracle->noise_scale_ = scale;
+
+  // Exact prefix sums (private intermediate).
+  std::vector<double> prefix(static_cast<size_t>(m + 1), 0.0);
+  for (int i = 0; i < m; ++i) {
+    prefix[static_cast<size_t>(i + 1)] =
+        prefix[static_cast<size_t>(i)] + w[static_cast<size_t>(i)];
+  }
+
+  oracle->levels_.resize(static_cast<size_t>(num_levels));
+  for (int l = 0; l < num_levels; ++l) {
+    int64_t width = oracle->widths_[static_cast<size_t>(l)];
+    int64_t count = (m + width - 1) / width;
+    auto& row = oracle->levels_[static_cast<size_t>(l)];
+    row.resize(static_cast<size_t>(count));
+    for (int64_t j = 0; j < count; ++j) {
+      int64_t lo = j * width;
+      int64_t hi = std::min<int64_t>(m, lo + width);
+      double exact = prefix[static_cast<size_t>(hi)] -
+                     prefix[static_cast<size_t>(lo)];
+      row[static_cast<size_t>(j)] = exact + rng->Laplace(scale);
+    }
+  }
+  return oracle;
+}
+
+double PathGraphOracle::QueryRange(int lo, int hi, int* segments) const {
+  // Greedy aligned decomposition: repeatedly take the largest level block
+  // that starts at `lo` and fits in [lo, hi). At most 2(branching-1) blocks
+  // per level are consumed, i.e. <= 2(b-1) log_b V noisy values per query.
+  double sum = 0.0;
+  while (lo < hi) {
+    int level = 0;
+    while (level + 1 < static_cast<int>(levels_.size()) &&
+           lo % widths_[static_cast<size_t>(level + 1)] == 0 &&
+           lo + widths_[static_cast<size_t>(level + 1)] <=
+               static_cast<int64_t>(hi)) {
+      ++level;
+    }
+    int64_t width = widths_[static_cast<size_t>(level)];
+    sum += levels_[static_cast<size_t>(level)]
+                  [static_cast<size_t>(lo / width)];
+    if (segments != nullptr) ++(*segments);
+    lo += static_cast<int>(width);
+  }
+  return sum;
+}
+
+Result<double> PathGraphOracle::Distance(VertexId u, VertexId v) const {
+  if (u < 0 || u >= num_vertices_ || v < 0 || v >= num_vertices_) {
+    return Status::InvalidArgument("vertex out of range");
+  }
+  int lo = std::min(u, v);
+  int hi = std::max(u, v);
+  return QueryRange(lo, hi, nullptr);
+}
+
+Result<int> PathGraphOracle::QuerySegmentCount(VertexId u, VertexId v) const {
+  if (u < 0 || u >= num_vertices_ || v < 0 || v >= num_vertices_) {
+    return Status::InvalidArgument("vertex out of range");
+  }
+  int segments = 0;
+  QueryRange(std::min(u, v), std::max(u, v), &segments);
+  return segments;
+}
+
+double PathGraphErrorBound(int num_vertices, const PrivacyParams& params,
+                           double gamma) {
+  DPSP_CHECK_MSG(num_vertices >= 1 && gamma > 0.0 && gamma < 1.0,
+                 "invalid error bound arguments");
+  int m = num_vertices - 1;
+  if (m == 0) return 0.0;
+  int num_levels = 1;
+  while ((1 << (num_levels - 1)) < m) ++num_levels;
+  double scale = static_cast<double>(num_levels) * params.neighbor_l1_bound /
+                 params.epsilon;
+  return LaplaceSumBound(scale, 2 * num_levels, gamma);
+}
+
+}  // namespace dpsp

@@ -1,0 +1,81 @@
+// Private all-pairs distances on the path graph (Appendix A / Theorem A.1),
+// a restatement of the DNPR10 binary counting mechanism.
+//
+// The hub hierarchy is instantiated with branching factor 2 (the paper's
+// k = log V levels with one-out-of-every-V^{i/k} hubs; with V^{1/k} = 2 the
+// level-i hubs are the multiples of 2^i). The noisy value stored for a
+// consecutive level-i hub pair (j 2^i, (j+1) 2^i) is exactly the dyadic
+// segment sum of edge weights over [j 2^i, (j+1) 2^i), so the release is
+// the classic segment-tree of noisy partial sums:
+//   * every edge lies in exactly one segment per level -> the full release
+//     has sensitivity (#levels), handled by one Laplace mechanism with
+//     scale (#levels)/eps;
+//   * any query interval [x, y) decomposes into at most 2 #levels aligned
+//     segments, so each distance estimate sums <= 2 log2 V noisy values,
+//     giving error O(log^1.5 V log(1/gamma))/eps by Lemma 3.1.
+
+#ifndef DPSP_CORE_PATH_GRAPH_H_
+#define DPSP_CORE_PATH_GRAPH_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/distance_oracle.h"
+#include "dp/privacy.h"
+
+namespace dpsp {
+
+/// eps-DP all-pairs distance oracle for the path graph 0-1-...-(V-1).
+class PathGraphOracle final : public DistanceOracle {
+ public:
+  /// Builds the hierarchy. `graph` must be MakePathGraph(V)-shaped: edge i
+  /// joins vertices i and i+1 (validated). Weights non-negative.
+  ///
+  /// `branching` is the paper's V^{1/k} hub spacing ratio: level-i hubs sit
+  /// at multiples of branching^i. branching = 2 (default) gives the
+  /// k = log2 V instantiation used for Theorem A.1's final bound; larger
+  /// values trade fewer levels (lower release sensitivity) for more
+  /// segments per query — the Appendix-A tuning knob, exercised by
+  /// bench_path_graph's ablation rows.
+  static Result<std::unique_ptr<PathGraphOracle>> Build(
+      const Graph& graph, const EdgeWeights& w, const PrivacyParams& params,
+      Rng* rng, int branching = 2);
+
+  /// Estimated distance |path sum| between u and v; symmetric in (u, v).
+  Result<double> Distance(VertexId u, VertexId v) const override;
+  std::string Name() const override { return "path-hierarchy"; }
+
+  /// Number of hub levels (= sensitivity of the release).
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  double noise_scale() const { return noise_scale_; }
+
+  /// Number of noisy values a query for [u, v) sums (for tests).
+  Result<int> QuerySegmentCount(VertexId u, VertexId v) const;
+
+  int branching() const { return branching_; }
+
+ private:
+  PathGraphOracle() = default;
+
+  // levels_[l][j]: noisy sum of edges [j b^l, min((j+1) b^l, m)).
+  std::vector<std::vector<double>> levels_;
+  // widths_[l] = branching^l.
+  std::vector<int64_t> widths_;
+  int branching_ = 2;
+  int num_edges_ = 0;
+  int num_vertices_ = 0;
+  double noise_scale_ = 0.0;
+
+  // Sums noisy segments covering edge interval [lo, hi); counts segments.
+  double QueryRange(int lo, int hi, int* segments) const;
+};
+
+/// High-probability per-pair error bound of Theorem A.1 with the proved
+/// constants (Lemma 3.1 over at most 2 #levels summands).
+double PathGraphErrorBound(int num_vertices, const PrivacyParams& params,
+                           double gamma);
+
+}  // namespace dpsp
+
+#endif  // DPSP_CORE_PATH_GRAPH_H_

@@ -1,0 +1,50 @@
+#include "core/private_matching.h"
+
+#include <cmath>
+
+#include "dp/laplace_mechanism.h"
+
+namespace dpsp {
+
+Result<PrivateMatchingResult> PrivateMatching(const Graph& graph,
+                                              const EdgeWeights& w,
+                                              const PrivacyParams& params,
+                                              Rng* rng) {
+  DPSP_RETURN_IF_ERROR(params.Validate());
+  DPSP_RETURN_IF_ERROR(graph.ValidateWeights(w));
+  DPSP_ASSIGN_OR_RETURN(double scale, LaplaceScale(1.0, params));
+  DPSP_ASSIGN_OR_RETURN(EdgeWeights noisy,
+                        LaplaceMechanism(w, 1.0, params, rng));
+  DPSP_ASSIGN_OR_RETURN(Matching matching,
+                        MinWeightPerfectMatching(graph, noisy));
+  return PrivateMatchingResult{std::move(matching), std::move(noisy), scale};
+}
+
+double PrivateMatchingErrorBound(int num_vertices, int num_edges,
+                                 const PrivacyParams& params, double gamma) {
+  DPSP_CHECK_MSG(num_vertices >= 2 && num_edges >= 1 && gamma > 0.0 &&
+                     gamma < 1.0,
+                 "invalid error bound arguments");
+  double scale = params.neighbor_l1_bound / params.epsilon;
+  return static_cast<double>(num_vertices) * scale *
+         std::log(static_cast<double>(num_edges) / gamma);
+}
+
+Result<double> PrivateMatchingCost(const Graph& graph, const EdgeWeights& w,
+                                   const PrivacyParams& params, Rng* rng) {
+  DPSP_RETURN_IF_ERROR(params.Validate());
+  DPSP_ASSIGN_OR_RETURN(Matching matching, MinWeightPerfectMatching(graph, w));
+  DPSP_ASSIGN_OR_RETURN(double scale, LaplaceScale(1.0, params));
+  return matching.Weight(w) + rng->Laplace(scale);
+}
+
+double MatchingLowerBound(int num_vertices, double epsilon, double delta) {
+  DPSP_CHECK_MSG(num_vertices >= 4 && epsilon >= 0.0 && delta >= 0.0,
+                 "invalid lower bound arguments");
+  double numer = 1.0 - (1.0 + std::exp(epsilon)) * delta;
+  if (numer < 0.0) numer = 0.0;
+  return (static_cast<double>(num_vertices) / 4.0) * numer /
+         (1.0 + std::exp(2.0 * epsilon));
+}
+
+}  // namespace dpsp

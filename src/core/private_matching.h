@@ -1,0 +1,52 @@
+// Private low-weight perfect matchings (Appendix B.2, Theorem B.6).
+//
+// Add Lap(1/eps) noise to every edge weight and release the exact minimum-
+// weight perfect matching of the noisy graph (post-processing, hence
+// eps-DP). Conditioned on all |noise| <= (1/eps) log(E/gamma), the released
+// matching weighs at most (V/eps) log(E/gamma) more than the optimum.
+// Weights may be negative.
+
+#ifndef DPSP_CORE_PRIVATE_MATCHING_H_
+#define DPSP_CORE_PRIVATE_MATCHING_H_
+
+#include "common/random.h"
+#include "dp/privacy.h"
+#include "graph/graph.h"
+#include "graph/matching.h"
+
+namespace dpsp {
+
+/// The released matching plus the noisy weights it was computed from.
+struct PrivateMatchingResult {
+  Matching matching;
+  EdgeWeights noisy_weights;
+  double noise_scale = 0.0;
+};
+
+/// Theorem B.6 mechanism. Graph must contain a perfect matching findable by
+/// the solvers in graph/matching.h (see DESIGN.md §1.3).
+Result<PrivateMatchingResult> PrivateMatching(const Graph& graph,
+                                              const EdgeWeights& w,
+                                              const PrivacyParams& params,
+                                              Rng* rng);
+
+/// The Theorem B.6 high-probability error bound
+/// (V/eps) log(E/gamma) * rho.
+double PrivateMatchingErrorBound(int num_vertices, int num_edges,
+                                 const PrivacyParams& params, double gamma);
+
+/// The Theorem B.4 lower bound on expected matching error for any
+/// (eps, delta)-DP algorithm on the hourglass gadget:
+/// (V/4) (1 - (1+e^eps) delta) / (1 + e^{2 eps}).
+double MatchingLowerBound(int num_vertices, double epsilon, double delta);
+
+/// The minimum perfect-matching *cost*: like the MST cost, a sensitivity-1
+/// scalar in this model (a unit l1 weight change moves every matching's
+/// weight by at most 1), releasable with a single Laplace draw — no
+/// Omega(V) barrier, unlike the matching itself (Theorem B.4).
+Result<double> PrivateMatchingCost(const Graph& graph, const EdgeWeights& w,
+                                   const PrivacyParams& params, Rng* rng);
+
+}  // namespace dpsp
+
+#endif  // DPSP_CORE_PRIVATE_MATCHING_H_

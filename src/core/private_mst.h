@@ -1,0 +1,56 @@
+// Private almost-minimum spanning trees (Appendix B.1, Theorem B.3).
+//
+// Add Lap(1/eps) noise to every edge weight (one Laplace mechanism
+// invocation, sensitivity 1) and release the exact MST of the noisy graph;
+// the tree structure is post-processing, hence eps-DP. Conditioned on all
+// |noise| <= (1/eps) log(E/gamma), the released tree weighs at most
+// 2(V-1)/eps * log(E/gamma) more than the true MST. Edge weights may be
+// negative (per the appendix).
+
+#ifndef DPSP_CORE_PRIVATE_MST_H_
+#define DPSP_CORE_PRIVATE_MST_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "dp/privacy.h"
+#include "graph/graph.h"
+
+namespace dpsp {
+
+/// The released tree plus the noisy weights it was computed from.
+struct PrivateMstResult {
+  std::vector<EdgeId> tree_edges;
+  /// The noisy weight function (itself eps-DP and publishable).
+  EdgeWeights noisy_weights;
+  double noise_scale = 0.0;
+};
+
+/// Theorem B.3 mechanism. Requires a connected undirected graph; weights
+/// may be negative.
+Result<PrivateMstResult> PrivateMst(const Graph& graph, const EdgeWeights& w,
+                                    const PrivacyParams& params, Rng* rng);
+
+/// The Theorem B.3 high-probability error bound
+/// 2 (V-1)/eps * log(E/gamma) * rho.
+double PrivateMstErrorBound(int num_vertices, int num_edges,
+                            const PrivacyParams& params, double gamma);
+
+/// The Theorem B.1 lower bound on expected MST error for any (eps, delta)-
+/// DP algorithm on the Figure-3 gadget:
+/// (V-1) * (1 - (1+e^eps) delta) / (1 + e^{2 eps}).
+double MstLowerBound(int num_vertices, double epsilon, double delta);
+
+/// The MST *cost* (the query studied by [NRS07] under a different privacy
+/// model, discussed in §1.3). In the private edge-weight model the cost
+/// c(w) = min_T sum_{e in T} w(e) is a sensitivity-1 scalar: a unit l1
+/// change in w moves every tree's weight by at most 1, hence the min by at
+/// most 1. One Laplace draw suffices — error O(1/eps), with no Omega(V)
+/// barrier, in contrast to releasing the tree itself (Theorem B.1). The
+/// contrast is exercised in bench_mst.
+Result<double> PrivateMstCost(const Graph& graph, const EdgeWeights& w,
+                              const PrivacyParams& params, Rng* rng);
+
+}  // namespace dpsp
+
+#endif  // DPSP_CORE_PRIVATE_MST_H_

@@ -1,0 +1,72 @@
+#include "core/range_sums.h"
+
+#include <algorithm>
+
+#include "common/table.h"
+
+namespace dpsp {
+
+int NoisyDyadicRangeSums::LevelsForSize(int size) {
+  DPSP_CHECK_MSG(size >= 0, "size must be non-negative");
+  if (size == 0) return 0;
+  int levels = 1;
+  while ((1 << (levels - 1)) < size) ++levels;
+  return levels;
+}
+
+NoisyDyadicRangeSums::NoisyDyadicRangeSums(const std::vector<double>& values,
+                                           double noise_scale, Rng* rng)
+    : size_(static_cast<int>(values.size())) {
+  if (size_ == 0) return;
+  DPSP_CHECK_MSG(noise_scale > 0.0, "noise scale must be positive");
+
+  std::vector<double> prefix(values.size() + 1, 0.0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    prefix[i + 1] = prefix[i] + values[i];
+  }
+
+  int num_levels = LevelsForSize(size_);
+  levels_.resize(static_cast<size_t>(num_levels));
+  for (int l = 0; l < num_levels; ++l) {
+    int width = 1 << l;
+    int count = (size_ + width - 1) / width;
+    auto& row = levels_[static_cast<size_t>(l)];
+    row.resize(static_cast<size_t>(count));
+    for (int j = 0; j < count; ++j) {
+      int lo = j * width;
+      int hi = std::min(size_, lo + width);
+      row[static_cast<size_t>(j)] =
+          prefix[static_cast<size_t>(hi)] - prefix[static_cast<size_t>(lo)] +
+          rng->Laplace(noise_scale);
+    }
+  }
+}
+
+int NoisyDyadicRangeSums::num_blocks() const {
+  int total = 0;
+  for (const auto& row : levels_) total += static_cast<int>(row.size());
+  return total;
+}
+
+Result<double> NoisyDyadicRangeSums::RangeSum(int lo, int hi,
+                                              int* segments) const {
+  if (lo < 0 || hi > size_ || lo > hi) {
+    return Status::InvalidArgument(
+        StrFormat("range [%d, %d) out of bounds [0, %d)", lo, hi, size_));
+  }
+  double sum = 0.0;
+  while (lo < hi) {
+    int level = 0;
+    while (level + 1 < static_cast<int>(levels_.size()) &&
+           lo % (1 << (level + 1)) == 0 && lo + (1 << (level + 1)) <= hi) {
+      ++level;
+    }
+    sum += levels_[static_cast<size_t>(level)][static_cast<size_t>(
+        lo >> level)];
+    if (segments != nullptr) ++(*segments);
+    lo += 1 << level;
+  }
+  return sum;
+}
+
+}  // namespace dpsp

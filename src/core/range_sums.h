@@ -1,0 +1,53 @@
+// Noisy dyadic range sums: the releasable data structure underlying the
+// Appendix-A path hierarchy, factored out so other mechanisms (the
+// heavy-light tree oracle) can compose it.
+//
+// Given a value vector x[0..m), the structure stores, for every dyadic
+// block [j 2^l, min(m, (j+1) 2^l)), the block sum plus one Laplace draw of
+// a caller-chosen scale. Each index lies in exactly one block per level,
+// so releasing the whole structure is a single Laplace-mechanism
+// invocation with l1 sensitivity (#levels) * (per-index sensitivity of x).
+// Any range sum over [lo, hi) is answered from at most 2 #levels noisy
+// blocks.
+
+#ifndef DPSP_CORE_RANGE_SUMS_H_
+#define DPSP_CORE_RANGE_SUMS_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace dpsp {
+
+/// Noisy dyadic block sums over a fixed value vector.
+class NoisyDyadicRangeSums {
+ public:
+  /// Builds the structure, adding Lap(noise_scale) to every block sum.
+  /// An empty value vector is allowed (all queries return 0).
+  NoisyDyadicRangeSums(const std::vector<double>& values, double noise_scale,
+                       Rng* rng);
+
+  /// Number of levels (0 for an empty vector). The release's sensitivity
+  /// multiplier.
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+
+  /// Number of stored (noisy) block sums.
+  int num_blocks() const;
+
+  /// Noisy sum over indices [lo, hi). Requires 0 <= lo <= hi <= size.
+  /// `segments`, if non-null, receives the number of blocks summed.
+  Result<double> RangeSum(int lo, int hi, int* segments = nullptr) const;
+
+  /// How many dyadic levels a vector of `size` values needs.
+  static int LevelsForSize(int size);
+
+ private:
+  int size_ = 0;
+  // levels_[l][j]: noisy sum of [j 2^l, min(size, (j+1) 2^l)).
+  std::vector<std::vector<double>> levels_;
+};
+
+}  // namespace dpsp
+
+#endif  // DPSP_CORE_RANGE_SUMS_H_

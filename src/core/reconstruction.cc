@@ -1,0 +1,203 @@
+#include "core/reconstruction.h"
+
+#include <cmath>
+
+#include "common/table.h"
+#include "core/private_matching.h"
+#include "core/private_mst.h"
+#include "core/private_shortest_path.h"
+#include "dp/randomized_response.h"
+
+namespace dpsp {
+
+double ReconstructionLowerBound(int n, double epsilon, double delta) {
+  DPSP_CHECK_MSG(n >= 1 && epsilon >= 0.0 && delta >= 0.0,
+                 "invalid lower bound arguments");
+  double numer = 1.0 - (1.0 + std::exp(epsilon)) * delta;
+  if (numer < 0.0) numer = 0.0;
+  return static_cast<double>(n) * numer / (1.0 + std::exp(2.0 * epsilon));
+}
+
+Result<std::vector<int>> DecodePathBits(
+    const BitGadgetGraph& gadget, const std::vector<EdgeId>& path_edges) {
+  if (static_cast<int>(path_edges.size()) != gadget.n) {
+    return Status::InvalidArgument(
+        StrFormat("path has %zu edges, expected %d", path_edges.size(),
+                  gadget.n));
+  }
+  std::vector<int> bits(static_cast<size_t>(gadget.n), 1);
+  std::vector<bool> position_seen(static_cast<size_t>(gadget.n), false);
+  for (EdgeId e : path_edges) {
+    if (e < 0 || e >= gadget.graph.num_edges()) {
+      return Status::InvalidArgument("path edge id out of range");
+    }
+    int position = e / 2;
+    int bit = e % 2;
+    if (position_seen[static_cast<size_t>(position)]) {
+      return Status::InvalidArgument("path uses a gadget position twice");
+    }
+    position_seen[static_cast<size_t>(position)] = true;
+    bits[static_cast<size_t>(position)] = bit;
+  }
+  return bits;
+}
+
+Result<std::vector<int>> DecodeTreeBits(const BitGadgetGraph& gadget,
+                                        const std::vector<EdgeId>& tree_edges) {
+  if (static_cast<int>(tree_edges.size()) != gadget.n) {
+    return Status::InvalidArgument(
+        StrFormat("tree has %zu edges, expected %d", tree_edges.size(),
+                  gadget.n));
+  }
+  std::vector<int> bits(static_cast<size_t>(gadget.n), 1);
+  std::vector<bool> position_seen(static_cast<size_t>(gadget.n), false);
+  for (EdgeId e : tree_edges) {
+    if (e < 0 || e >= gadget.graph.num_edges()) {
+      return Status::InvalidArgument("tree edge id out of range");
+    }
+    int position = e / 2;
+    int bit = e % 2;
+    if (position_seen[static_cast<size_t>(position)]) {
+      return Status::InvalidArgument("tree uses both parallel edges");
+    }
+    position_seen[static_cast<size_t>(position)] = true;
+    bits[static_cast<size_t>(position)] = bit;
+  }
+  return bits;
+}
+
+Result<std::vector<int>> DecodeMatchingBits(
+    const HourglassGadgetGraph& gadget, const std::vector<EdgeId>& matching) {
+  if (static_cast<int>(matching.size()) != 2 * gadget.n) {
+    return Status::InvalidArgument(
+        StrFormat("matching has %zu edges, expected %d", matching.size(),
+                  2 * gadget.n));
+  }
+  // y_c = 0 iff edge (0,1,c)-(1,0,c) — i.e. EdgeFor(c, 1, 0) — is matched.
+  std::vector<int> bits(static_cast<size_t>(gadget.n), 1);
+  for (EdgeId e : matching) {
+    if (e < 0 || e >= gadget.graph.num_edges()) {
+      return Status::InvalidArgument("matching edge id out of range");
+    }
+    int c = e / 4;
+    int b_left = (e % 4) / 2;
+    int b_right = e % 2;
+    if (b_left == 1 && b_right == 0) bits[static_cast<size_t>(c)] = 0;
+  }
+  return bits;
+}
+
+namespace {
+
+Result<AttackOutcome> FinishOutcome(const std::vector<int>& x,
+                                    const std::vector<int>& y,
+                                    double object_error) {
+  DPSP_ASSIGN_OR_RETURN(int hamming, HammingDistance(x, y));
+  AttackOutcome outcome;
+  outcome.hamming_distance = hamming;
+  outcome.object_error = object_error;
+  return outcome;
+}
+
+}  // namespace
+
+Result<AttackOutcome> AttackShortestPath(const BitGadgetGraph& gadget,
+                                         const std::vector<int>& x,
+                                         const PrivacyParams& params,
+                                         double gamma, Rng* rng) {
+  EdgeWeights wx = gadget.EncodeBits(x);
+  PrivateShortestPathOptions options;
+  options.params = params;
+  options.gamma = gamma;
+  DPSP_ASSIGN_OR_RETURN(
+      PrivateShortestPaths release,
+      PrivateShortestPaths::Release(gadget.graph, wx, options, rng));
+  DPSP_ASSIGN_OR_RETURN(std::vector<EdgeId> path,
+                        release.Path(0, gadget.n));
+  DPSP_ASSIGN_OR_RETURN(std::vector<int> y, DecodePathBits(gadget, path));
+  // Shortest path under w_x has weight 0, so the released path's weight is
+  // exactly its approximation error.
+  return FinishOutcome(x, y, TotalWeight(wx, path));
+}
+
+Result<AttackOutcome> AttackMst(const BitGadgetGraph& gadget,
+                                const std::vector<int>& x,
+                                const PrivacyParams& params, Rng* rng) {
+  EdgeWeights wx = gadget.EncodeBits(x);
+  DPSP_ASSIGN_OR_RETURN(PrivateMstResult result,
+                        PrivateMst(gadget.graph, wx, params, rng));
+  DPSP_ASSIGN_OR_RETURN(std::vector<int> y,
+                        DecodeTreeBits(gadget, result.tree_edges));
+  return FinishOutcome(x, y, TotalWeight(wx, result.tree_edges));
+}
+
+Result<AttackOutcome> AttackMatching(const HourglassGadgetGraph& gadget,
+                                     const std::vector<int>& x,
+                                     const PrivacyParams& params, Rng* rng) {
+  EdgeWeights wx = gadget.EncodeBits(x);
+  DPSP_ASSIGN_OR_RETURN(PrivateMatchingResult result,
+                        PrivateMatching(gadget.graph, wx, params, rng));
+  DPSP_ASSIGN_OR_RETURN(std::vector<int> y,
+                        DecodeMatchingBits(gadget, result.matching.edges));
+  return FinishOutcome(x, y, TotalWeight(wx, result.matching.edges));
+}
+
+Result<AttackReport> RunReconstructionExperiment(AttackKind kind, int n,
+                                                 const PrivacyParams& params,
+                                                 int trials, Rng* rng) {
+  if (n < 1) return Status::InvalidArgument("n must be >= 1");
+  if (trials < 1) return Status::InvalidArgument("trials must be >= 1");
+  DPSP_RETURN_IF_ERROR(params.Validate());
+
+  AttackReport report;
+  report.n = n;
+  report.trials = trials;
+  report.alpha = ReconstructionLowerBound(n, params.epsilon, params.delta);
+  report.randomized_response_expectation =
+      static_cast<double>(n) *
+      RandomizedResponseFlipProbability(params.epsilon);
+
+  Result<BitGadgetGraph> bit_gadget = Status::Internal("unused");
+  Result<HourglassGadgetGraph> hourglass = Status::Internal("unused");
+  switch (kind) {
+    case AttackKind::kShortestPath:
+      bit_gadget = MakeShortestPathGadget(n);
+      if (!bit_gadget.ok()) return bit_gadget.status();
+      break;
+    case AttackKind::kMst:
+      bit_gadget = MakeMstGadget(n);
+      if (!bit_gadget.ok()) return bit_gadget.status();
+      break;
+    case AttackKind::kMatching:
+      hourglass = MakeMatchingGadget(n);
+      if (!hourglass.ok()) return hourglass.status();
+      break;
+  }
+
+  double total_hamming = 0.0;
+  double total_error = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<int> x(static_cast<size_t>(n));
+    for (int& b : x) b = rng->Bernoulli(0.5) ? 1 : 0;
+    Result<AttackOutcome> outcome = Status::Internal("unset");
+    switch (kind) {
+      case AttackKind::kShortestPath:
+        outcome = AttackShortestPath(*bit_gadget, x, params, 0.05, rng);
+        break;
+      case AttackKind::kMst:
+        outcome = AttackMst(*bit_gadget, x, params, rng);
+        break;
+      case AttackKind::kMatching:
+        outcome = AttackMatching(*hourglass, x, params, rng);
+        break;
+    }
+    if (!outcome.ok()) return outcome.status();
+    total_hamming += outcome->hamming_distance;
+    total_error += outcome->object_error;
+  }
+  report.mean_hamming = total_hamming / trials;
+  report.mean_object_error = total_error / trials;
+  return report;
+}
+
+}  // namespace dpsp

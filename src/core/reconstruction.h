@@ -1,0 +1,97 @@
+// Reconstruction-attack lower bounds (Section 5.1, Appendix B).
+//
+// Lemma 5.2 / B.2 / B.5 reduce database reconstruction to private
+// path / spanning-tree / matching release on gadget graphs: encode a bit
+// string x as a 0/1 weight function w_x, run the private algorithm, decode
+// the released combinatorial object back into a bit string y. Because the
+// decoder is post-processing of a DP release, Lemma 5.4 lower-bounds the
+// expected Hamming distance; since the optimum object has weight 0 and each
+// decoded disagreement contributes 1 to the released object's weight,
+// E[object error] >= E[d_H(x,y)] >= alpha, where
+//   alpha = n (1 - (1+e^eps) delta) / (1 + e^{2 eps})       (Theorem 5.1).
+//
+// The harness here runs the actual attack against this library's own
+// mechanisms (Algorithm 3, PrivateMst, PrivateMatching) and reports the
+// measured Hamming distance / object error, alongside alpha and the
+// randomized-response comparator (Lemma 5.3).
+
+#ifndef DPSP_CORE_RECONSTRUCTION_H_
+#define DPSP_CORE_RECONSTRUCTION_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "dp/privacy.h"
+#include "graph/generators.h"
+
+namespace dpsp {
+
+/// alpha(n, eps, delta) from Theorem 5.1 (and B.1; B.4 divides by 4
+/// differently — see MatchingLowerBound).
+double ReconstructionLowerBound(int n, double epsilon, double delta);
+
+/// Decodes a released s-t path on the Figure-2 gadget: y_i = 0 iff the
+/// path uses e_i^(0). Fails if the edge list is not a valid 0 -> n path
+/// using exactly one edge per position.
+Result<std::vector<int>> DecodePathBits(const BitGadgetGraph& gadget,
+                                        const std::vector<EdgeId>& path_edges);
+
+/// Decodes a released spanning tree on the Figure-3-left gadget:
+/// y_i = 0 iff the tree uses e_i^(0).
+Result<std::vector<int>> DecodeTreeBits(const BitGadgetGraph& gadget,
+                                        const std::vector<EdgeId>& tree_edges);
+
+/// Decodes a released perfect matching on the hourglass gadget:
+/// y_c = 0 iff vertex (0,1,c) is matched to (1,0,c).
+Result<std::vector<int>> DecodeMatchingBits(
+    const HourglassGadgetGraph& gadget, const std::vector<EdgeId>& matching);
+
+/// One attack outcome on a single input.
+struct AttackOutcome {
+  /// d_H(x, y): recovered-bit disagreements.
+  int hamming_distance = 0;
+  /// Weight of the released object under w_x (equals its approximation
+  /// error, since the optimum has weight 0); >= hamming_distance.
+  double object_error = 0.0;
+};
+
+/// Attacks Algorithm 3 (private shortest paths) on the Figure-2 gadget with
+/// input bits x. `gamma` is Algorithm 3's failure parameter.
+Result<AttackOutcome> AttackShortestPath(const BitGadgetGraph& gadget,
+                                         const std::vector<int>& x,
+                                         const PrivacyParams& params,
+                                         double gamma, Rng* rng);
+
+/// Attacks PrivateMst on the Figure-3-left gadget.
+Result<AttackOutcome> AttackMst(const BitGadgetGraph& gadget,
+                                const std::vector<int>& x,
+                                const PrivacyParams& params, Rng* rng);
+
+/// Attacks PrivateMatching on the hourglass gadget.
+Result<AttackOutcome> AttackMatching(const HourglassGadgetGraph& gadget,
+                                     const std::vector<int>& x,
+                                     const PrivacyParams& params, Rng* rng);
+
+/// Aggregates an attack over `trials` uniform random inputs.
+struct AttackReport {
+  int n = 0;
+  int trials = 0;
+  double mean_hamming = 0.0;
+  double mean_object_error = 0.0;
+  /// Theorem 5.1 / B.1 alpha for these parameters.
+  double alpha = 0.0;
+  /// Expected Hamming distance of randomized response at the same eps
+  /// (Lemma 5.3 optimum): n / (1 + e^eps).
+  double randomized_response_expectation = 0.0;
+};
+
+enum class AttackKind { kShortestPath, kMst, kMatching };
+
+/// Runs the chosen attack `trials` times on fresh uniform inputs.
+Result<AttackReport> RunReconstructionExperiment(AttackKind kind, int n,
+                                                 const PrivacyParams& params,
+                                                 int trials, Rng* rng);
+
+}  // namespace dpsp
+
+#endif  // DPSP_CORE_RECONSTRUCTION_H_

@@ -1,0 +1,148 @@
+#include "core/tree_distance.h"
+
+#include <cmath>
+
+#include "dp/laplace_mechanism.h"
+#include "graph/tree_partition.h"
+
+namespace dpsp {
+
+namespace {
+
+// ceil(log2 n) for n >= 1.
+int CeilLog2(int n) {
+  int log = 0;
+  int pow = 1;
+  while (pow < n) {
+    pow *= 2;
+    ++log;
+  }
+  return log;
+}
+
+// Recursive worker for Algorithm 1. `base` is the (noisy) estimate of the
+// distance from the global root to view.root; exact root distances within
+// the original tree are in `root_dist` (private intermediates — only the
+// noised combinations below are ever released).
+struct Recursion {
+  const RootedTree& tree;
+  const EdgeWeights& w;
+  const std::vector<double>& root_dist;
+  double scale;
+  Rng* rng;
+  std::vector<double>& estimates;
+  int noisy_count = 0;
+
+  void Run(const SubtreeView& view, double base) {
+    estimates[static_cast<size_t>(view.root)] = base;
+    if (view.size() == 1) return;
+
+    TreeSplit split = SplitSubtree(tree, view).value();
+
+    // Released value 1: distance view.root -> v* (exact value is the
+    // difference of root distances because v* descends from view.root).
+    double d_vstar = base;
+    if (split.v_star != view.root) {
+      double exact = root_dist[static_cast<size_t>(split.v_star)] -
+                     root_dist[static_cast<size_t>(view.root)];
+      d_vstar = base + exact + rng->Laplace(scale);
+      ++noisy_count;
+    }
+
+    // Released values 2..t+1: the edges (v*, v_i).
+    std::vector<double> child_estimates(split.child_roots.size());
+    for (size_t i = 0; i < split.child_roots.size(); ++i) {
+      VertexId child = split.child_roots[i];
+      EdgeId e = tree.parent_edge(child);
+      DPSP_CHECK_MSG(e >= 0 && tree.parent(child) == split.v_star,
+                     "split child is not a tree child of v*");
+      child_estimates[i] =
+          d_vstar + w[static_cast<size_t>(e)] + rng->Laplace(scale);
+      ++noisy_count;
+    }
+
+    // Recurse: T_0 keeps the current base; each T_i starts from its own
+    // noisy estimate.
+    Run(split.rest, base);
+    for (size_t i = 0; i < split.child_subtrees.size(); ++i) {
+      Run(split.child_subtrees[i], child_estimates[i]);
+    }
+  }
+};
+
+}  // namespace
+
+Result<TreeSingleSourceRelease> ReleaseTreeSingleSourceDistances(
+    const Graph& graph, const EdgeWeights& w, VertexId root,
+    const PrivacyParams& params, Rng* rng) {
+  DPSP_RETURN_IF_ERROR(params.Validate());
+  DPSP_RETURN_IF_ERROR(graph.ValidateNonNegativeWeights(w));
+  DPSP_ASSIGN_OR_RETURN(RootedTree tree, RootedTree::FromGraph(graph, root));
+
+  int n = graph.num_vertices();
+  // Recursion-depth bound = sensitivity of the full released vector: the
+  // subtree sizes shrink to <= ceil(n/2) per level, so the depth is at most
+  // ceil(log2 n) + 1; each level's released values have joint sensitivity 1.
+  int sensitivity = CeilLog2(n) + 1;
+  DPSP_ASSIGN_OR_RETURN(
+      double scale,
+      LaplaceScale(static_cast<double>(sensitivity), params));
+
+  TreeSingleSourceRelease release;
+  release.root = root;
+  release.noise_scale = scale;
+  release.sensitivity = sensitivity;
+  release.estimates.assign(static_cast<size_t>(n), 0.0);
+
+  std::vector<double> root_dist = tree.RootDistances(w);
+  Recursion recursion{tree,  w,  root_dist, scale,
+                      rng,   release.estimates};
+  recursion.Run(FullTreeView(tree), 0.0);
+  release.num_noisy_values = recursion.noisy_count;
+  return release;
+}
+
+double TreeSingleSourceErrorBound(int num_vertices,
+                                  const PrivacyParams& params, double gamma) {
+  DPSP_CHECK_MSG(num_vertices >= 1 && gamma > 0.0 && gamma < 1.0,
+                 "invalid error bound arguments");
+  int sensitivity = CeilLog2(num_vertices) + 1;
+  double scale = static_cast<double>(sensitivity) * params.neighbor_l1_bound /
+                 params.epsilon;
+  int summands = 2 * CeilLog2(num_vertices) + 2;
+  return LaplaceSumBound(scale, summands, gamma);
+}
+
+double TreeAllPairsErrorBound(int num_vertices, const PrivacyParams& params,
+                              double gamma) {
+  return 4.0 * TreeSingleSourceErrorBound(num_vertices, params, gamma);
+}
+
+TreeAllPairsOracle::TreeAllPairsOracle(RootedTree tree,
+                                       TreeSingleSourceRelease release)
+    : tree_(std::move(tree)), lca_(tree_), release_(std::move(release)) {}
+
+Result<std::unique_ptr<TreeAllPairsOracle>> TreeAllPairsOracle::Build(
+    const Graph& graph, const EdgeWeights& w, const PrivacyParams& params,
+    Rng* rng, VertexId root) {
+  if (root == -1) root = 0;
+  DPSP_ASSIGN_OR_RETURN(
+      TreeSingleSourceRelease release,
+      ReleaseTreeSingleSourceDistances(graph, w, root, params, rng));
+  DPSP_ASSIGN_OR_RETURN(RootedTree tree, RootedTree::FromGraph(graph, root));
+  return std::unique_ptr<TreeAllPairsOracle>(
+      new TreeAllPairsOracle(std::move(tree), std::move(release)));
+}
+
+Result<double> TreeAllPairsOracle::Distance(VertexId u, VertexId v) const {
+  if (u < 0 || u >= tree_.num_vertices() || v < 0 ||
+      v >= tree_.num_vertices()) {
+    return Status::InvalidArgument("vertex out of range");
+  }
+  VertexId z = lca_.Lca(u, v);
+  const std::vector<double>& est = release_.estimates;
+  return est[static_cast<size_t>(u)] + est[static_cast<size_t>(v)] -
+         2.0 * est[static_cast<size_t>(z)];
+}
+
+}  // namespace dpsp

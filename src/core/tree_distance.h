@@ -1,0 +1,86 @@
+// Private distances on trees (Section 4.1).
+//
+// Theorem 4.1 / Algorithm 1 — single-source distances on a rooted tree:
+// recursively split the tree at the balanced separator v* (Figure 1),
+// release the noisy distance root->v* and the noisy weights of the edges
+// (v*, child), and recurse into the parts. Each edge participates in at
+// most one released value per recursion depth and the depth is at most
+// ceil(log2 V) + 1, so the whole released vector has sensitivity
+// <= ceil(log2 V) + 1 and a single Laplace mechanism invocation with scale
+// (ceil(log2 V)+1)/eps makes the algorithm eps-DP. Every root-to-vertex
+// distance is a sum of at most 2 log2 V released values, giving per-vertex
+// error O(log^1.5 V log(1/gamma))/eps (Lemma 3.1).
+//
+// Theorem 4.2 — all-pairs distances: root anywhere, release single-source
+// estimates d~(v0, .), and answer d(x, y) by the tree identity
+//     d(x,y) = d(v0,x) + d(v0,y) - 2 d(v0, lca(x,y)).
+
+#ifndef DPSP_CORE_TREE_DISTANCE_H_
+#define DPSP_CORE_TREE_DISTANCE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/distance_oracle.h"
+#include "dp/privacy.h"
+#include "graph/tree.h"
+
+namespace dpsp {
+
+/// The released single-source estimates plus release metadata.
+struct TreeSingleSourceRelease {
+  VertexId root = 0;
+  /// estimate[v] ~ dw(root, v); estimate[root] == 0 exactly.
+  std::vector<double> estimates;
+  /// Laplace scale used for each released value.
+  double noise_scale = 0.0;
+  /// Number of Laplace draws (<= 2V).
+  int num_noisy_values = 0;
+  /// The recursion-depth bound used as the sensitivity (ceil(log2 V) + 1).
+  int sensitivity = 0;
+};
+
+/// Theorem 4.1: eps-DP single-source distance estimates on a tree.
+/// `graph` must be an undirected tree; weights non-negative.
+Result<TreeSingleSourceRelease> ReleaseTreeSingleSourceDistances(
+    const Graph& graph, const EdgeWeights& w, VertexId root,
+    const PrivacyParams& params, Rng* rng);
+
+/// High-probability per-vertex error bound of Theorem 4.1 with explicit
+/// constants as proved (Lemma 3.1 over at most 2 log2 V summands of scale
+/// (ceil(log2 V)+1) rho / eps):
+///   4 * scale * sqrt(2 log2 V * ln(2/gamma)).
+double TreeSingleSourceErrorBound(int num_vertices,
+                                  const PrivacyParams& params, double gamma);
+
+/// Theorem 4.2: eps-DP all-pairs tree distance oracle (LCA combination of
+/// a single-source release).
+class TreeAllPairsOracle final : public DistanceOracle {
+ public:
+  /// Builds the oracle. `root` = -1 picks vertex 0.
+  static Result<std::unique_ptr<TreeAllPairsOracle>> Build(
+      const Graph& graph, const EdgeWeights& w, const PrivacyParams& params,
+      Rng* rng, VertexId root = -1);
+
+  Result<double> Distance(VertexId u, VertexId v) const override;
+  std::string Name() const override { return "tree-recursive"; }
+
+  const TreeSingleSourceRelease& release() const { return release_; }
+
+ private:
+  TreeAllPairsOracle(RootedTree tree, TreeSingleSourceRelease release);
+
+  RootedTree tree_;
+  LcaIndex lca_;
+  TreeSingleSourceRelease release_;
+};
+
+/// High-probability per-pair error bound of Theorem 4.2: four times the
+/// single-source bound (three estimates combine, one doubled).
+double TreeAllPairsErrorBound(int num_vertices, const PrivacyParams& params,
+                              double gamma);
+
+}  // namespace dpsp
+
+#endif  // DPSP_CORE_TREE_DISTANCE_H_

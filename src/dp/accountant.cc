@@ -1,0 +1,88 @@
+#include "dp/accountant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/table.h"
+#include "dp/composition.h"
+
+namespace dpsp {
+
+Status PrivacyAccountant::Record(std::string label, double epsilon,
+                                 double delta) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive and finite");
+  }
+  if (delta < 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in [0, 1)");
+  }
+  entries_.push_back({std::move(label), epsilon, delta});
+  return Status::Ok();
+}
+
+Status PrivacyAccountant::Record(std::string label,
+                                 const PrivacyParams& params) {
+  DPSP_RETURN_IF_ERROR(params.Validate());
+  return Record(std::move(label), params.epsilon, params.delta);
+}
+
+PrivacyParams PrivacyAccountant::BasicTotal() const {
+  PrivacyParams total;
+  total.epsilon = 0.0;
+  total.delta = 0.0;
+  for (const AccountantEntry& entry : entries_) {
+    total.epsilon += entry.epsilon;
+    total.delta += entry.delta;
+  }
+  total.delta = std::min(total.delta, 1.0 - 1e-12);
+  return total;
+}
+
+Result<PrivacyParams> PrivacyAccountant::AdvancedTotal(
+    double delta_prime) const {
+  if (entries_.empty()) {
+    return Status::FailedPrecondition("no releases recorded");
+  }
+  if (!(delta_prime > 0.0 && delta_prime < 1.0)) {
+    return Status::InvalidArgument("delta' must be in (0, 1)");
+  }
+  double eps_max = 0.0;
+  double delta_sum = 0.0;
+  for (const AccountantEntry& entry : entries_) {
+    eps_max = std::max(eps_max, entry.epsilon);
+    delta_sum += entry.delta;
+  }
+  int k = num_releases();
+  PrivacyParams total;
+  total.epsilon = AdvancedCompositionEpsilon(k, eps_max, delta_prime);
+  total.delta = std::min(delta_sum + delta_prime, 1.0 - 1e-12);
+  return total;
+}
+
+PrivacyParams PrivacyAccountant::BestTotal(double delta_prime) const {
+  PrivacyParams basic = BasicTotal();
+  Result<PrivacyParams> advanced = AdvancedTotal(delta_prime);
+  if (!advanced.ok()) return basic;
+  return advanced->epsilon < basic.epsilon ? *advanced : basic;
+}
+
+bool PrivacyAccountant::WithinBudget(const PrivacyParams& budget,
+                                     double delta_prime) const {
+  PrivacyParams total = BestTotal(delta_prime);
+  return total.epsilon <= budget.epsilon + 1e-12 &&
+         total.delta <= budget.delta + 1e-12;
+}
+
+std::string PrivacyAccountant::ToString() const {
+  std::string out = "PrivacyAccountant(\n";
+  for (const AccountantEntry& entry : entries_) {
+    out += StrFormat("  %s: eps=%g delta=%g\n", entry.label.c_str(),
+                     entry.epsilon, entry.delta);
+  }
+  PrivacyParams basic = BasicTotal();
+  out += StrFormat("  basic total: eps=%g delta=%g\n)", basic.epsilon,
+                   basic.delta);
+  return out;
+}
+
+}  // namespace dpsp

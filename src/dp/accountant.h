@@ -1,0 +1,67 @@
+// Privacy budget accounting across multiple releases.
+//
+// A deployment rarely runs one mechanism once: the navigation example
+// releases a weight map every refresh interval. The accountant tracks the
+// (eps_i, delta_i) of each registered release and reports the tightest
+// total guarantee this library can certify: the better of basic
+// composition (Lemma 3.3) and — for homogeneous pure-DP releases —
+// advanced composition (Lemma 3.4) at a caller-chosen slack delta'.
+
+#ifndef DPSP_DP_ACCOUNTANT_H_
+#define DPSP_DP_ACCOUNTANT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dp/privacy.h"
+
+namespace dpsp {
+
+/// One registered release.
+struct AccountantEntry {
+  std::string label;
+  double epsilon = 0.0;
+  double delta = 0.0;
+};
+
+/// Tracks spent budget; queries never consume anything.
+class PrivacyAccountant {
+ public:
+  /// Registers a release. Fails on non-positive epsilon or delta outside
+  /// [0, 1).
+  Status Record(std::string label, double epsilon, double delta);
+
+  /// Convenience overload for PrivacyParams.
+  Status Record(std::string label, const PrivacyParams& params);
+
+  int num_releases() const { return static_cast<int>(entries_.size()); }
+  const std::vector<AccountantEntry>& entries() const { return entries_; }
+
+  /// Total guarantee under basic composition: (sum eps_i, sum delta_i).
+  PrivacyParams BasicTotal() const;
+
+  /// Total guarantee under advanced composition with slack delta_prime,
+  /// treating every release as (eps_max, delta_max)-DP where eps_max /
+  /// delta_max are the largest registered values (Lemma 3.4 requires a
+  /// uniform per-mechanism guarantee). Fails if nothing was recorded or
+  /// delta_prime is outside (0, 1).
+  Result<PrivacyParams> AdvancedTotal(double delta_prime) const;
+
+  /// The smaller-epsilon of BasicTotal and AdvancedTotal(delta_prime);
+  /// falls back to basic when advanced is inapplicable.
+  PrivacyParams BestTotal(double delta_prime) const;
+
+  /// True iff BestTotal(delta_prime) fits within `budget`.
+  bool WithinBudget(const PrivacyParams& budget, double delta_prime) const;
+
+  /// Human-readable ledger.
+  std::string ToString() const;
+
+ private:
+  std::vector<AccountantEntry> entries_;
+};
+
+}  // namespace dpsp
+
+#endif  // DPSP_DP_ACCOUNTANT_H_

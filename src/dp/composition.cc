@@ -1,0 +1,71 @@
+#include "dp/composition.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpsp {
+
+double BasicCompositionEpsilon(int k, double eps0) {
+  DPSP_CHECK_MSG(k >= 0 && eps0 >= 0.0, "invalid composition arguments");
+  return static_cast<double>(k) * eps0;
+}
+
+double AdvancedCompositionEpsilon(int k, double eps0, double delta_prime) {
+  DPSP_CHECK_MSG(k >= 1, "k must be >= 1");
+  DPSP_CHECK_MSG(eps0 > 0.0, "eps0 must be positive");
+  DPSP_CHECK_MSG(delta_prime > 0.0 && delta_prime < 1.0,
+                 "delta' must be in (0,1)");
+  double kd = static_cast<double>(k);
+  return std::sqrt(2.0 * kd * std::log(1.0 / delta_prime)) * eps0 +
+         kd * eps0 * std::expm1(eps0);
+}
+
+Result<double> PerQueryEpsilonAdvanced(int k, double eps_total,
+                                       double delta_prime) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (!(eps_total > 0.0)) {
+    return Status::InvalidArgument("eps_total must be positive");
+  }
+  if (!(delta_prime > 0.0 && delta_prime < 1.0)) {
+    return Status::InvalidArgument("delta' must be in (0,1)");
+  }
+  // AdvancedCompositionEpsilon is strictly increasing in eps0 with value 0
+  // at eps0 -> 0+, so bisect. Upper bracket: eps_total itself always
+  // overshoots (sqrt(2k ln(1/d')) >= 1 for any k >= 1, d' < e^{-1/2}; for
+  // larger d' grow the bracket geometrically).
+  double lo = 0.0;
+  double hi = eps_total;
+  while (AdvancedCompositionEpsilon(k, hi, delta_prime) < eps_total) {
+    hi *= 2.0;
+    if (hi > 1e9) return Status::Internal("bisection bracket failure");
+  }
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (AdvancedCompositionEpsilon(k, mid, delta_prime) <= eps_total) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo <= 0.0) return Status::Internal("bisection collapsed to zero");
+  return lo;
+}
+
+Result<double> PerQueryEpsilonBasic(int k, double eps_total) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (!(eps_total > 0.0)) {
+    return Status::InvalidArgument("eps_total must be positive");
+  }
+  return eps_total / static_cast<double>(k);
+}
+
+Result<double> PerQueryEpsilonBest(int k, double eps_total,
+                                   double delta_total) {
+  DPSP_ASSIGN_OR_RETURN(double basic, PerQueryEpsilonBasic(k, eps_total));
+  if (delta_total <= 0.0) return basic;
+  DPSP_ASSIGN_OR_RETURN(double advanced,
+                        PerQueryEpsilonAdvanced(k, eps_total, delta_total));
+  return std::max(basic, advanced);
+}
+
+}  // namespace dpsp

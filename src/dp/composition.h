@@ -1,0 +1,46 @@
+// Composition theorems (Lemmas 3.3 and 3.4) and their numeric inversion.
+//
+// Basic composition: k mechanisms, each (eps0, delta0)-DP, compose to
+// (k eps0, k delta0)-DP.
+//
+// Advanced composition [DRV10, DR13]: k mechanisms, each (eps0, delta0)-DP,
+// compose to (eps', k delta0 + delta')-DP with
+//     eps' = sqrt(2 k ln(1/delta')) eps0 + k eps0 (e^{eps0} - 1).
+//
+// Mechanisms in this library spend a *total* (eps, delta) budget, so they
+// need the inverse map: the largest per-query eps0 whose k-fold composition
+// stays within the budget. The forward formula is strictly increasing in
+// eps0, so bisection inverts it exactly (to ~1e-12 relative precision).
+
+#ifndef DPSP_DP_COMPOSITION_H_
+#define DPSP_DP_COMPOSITION_H_
+
+#include "common/status.h"
+
+namespace dpsp {
+
+/// Total epsilon under basic composition (Lemma 3.3).
+double BasicCompositionEpsilon(int k, double eps0);
+
+/// Total epsilon under advanced composition (Lemma 3.4) with slack delta'.
+/// Requires k >= 1, eps0 > 0, delta_prime in (0, 1).
+double AdvancedCompositionEpsilon(int k, double eps0, double delta_prime);
+
+/// Largest per-query eps0 such that k pure-DP queries compose (advanced,
+/// slack delta_prime) to total epsilon at most eps_total. Fails on invalid
+/// arguments.
+Result<double> PerQueryEpsilonAdvanced(int k, double eps_total,
+                                       double delta_prime);
+
+/// Per-query epsilon under basic composition: eps_total / k.
+Result<double> PerQueryEpsilonBasic(int k, double eps_total);
+
+/// Chooses the better (larger) per-query epsilon between basic composition
+/// and advanced composition with slack delta_total: for small k basic wins,
+/// for large k advanced wins. delta_total == 0 forces basic.
+Result<double> PerQueryEpsilonBest(int k, double eps_total,
+                                   double delta_total);
+
+}  // namespace dpsp
+
+#endif  // DPSP_DP_COMPOSITION_H_

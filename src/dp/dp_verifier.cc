@@ -1,0 +1,43 @@
+#include "dp/dp_verifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/statistics.h"
+
+namespace dpsp {
+
+Result<double> EstimatePrivacyLoss(const ScalarMechanism& on_w,
+                                   const ScalarMechanism& on_w_prime,
+                                   const DpVerifierOptions& options,
+                                   Rng* rng) {
+  if (options.num_samples < 100) {
+    return Status::InvalidArgument("need at least 100 samples");
+  }
+  if (options.num_bins < 2) {
+    return Status::InvalidArgument("need at least 2 bins");
+  }
+  if (!(options.range_hi > options.range_lo)) {
+    return Status::InvalidArgument("empty histogram range");
+  }
+
+  Histogram hist_w(options.range_lo, options.range_hi, options.num_bins);
+  Histogram hist_wp(options.range_lo, options.range_hi, options.num_bins);
+  for (int i = 0; i < options.num_samples; ++i) {
+    hist_w.Add(on_w(rng));
+    hist_wp.Add(on_w_prime(rng));
+  }
+
+  double eps_hat = 0.0;
+  for (int bin = 0; bin < options.num_bins; ++bin) {
+    if (hist_w.count(bin) + hist_wp.count(bin) < options.min_bin_total) {
+      continue;
+    }
+    double p = hist_w.SmoothedMass(bin);
+    double q = hist_wp.SmoothedMass(bin);
+    eps_hat = std::max(eps_hat, std::fabs(std::log(p / q)));
+  }
+  return eps_hat;
+}
+
+}  // namespace dpsp

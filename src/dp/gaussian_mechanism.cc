@@ -1,0 +1,40 @@
+#include "dp/gaussian_mechanism.h"
+
+#include <cmath>
+
+namespace dpsp {
+
+Result<double> GaussianSigma(double l2_sensitivity,
+                             const PrivacyParams& params) {
+  DPSP_RETURN_IF_ERROR(params.Validate());
+  if (!(l2_sensitivity > 0.0) || !std::isfinite(l2_sensitivity)) {
+    return Status::InvalidArgument("l2 sensitivity must be positive");
+  }
+  if (params.epsilon >= 1.0) {
+    return Status::InvalidArgument(
+        "classic Gaussian mechanism requires eps < 1");
+  }
+  if (params.delta <= 0.0) {
+    return Status::InvalidArgument("Gaussian mechanism requires delta > 0");
+  }
+  return std::sqrt(2.0 * std::log(1.25 / params.delta)) * l2_sensitivity *
+         params.neighbor_l1_bound / params.epsilon;
+}
+
+Result<std::vector<double>> GaussianMechanism(
+    const std::vector<double>& values, double l2_sensitivity,
+    const PrivacyParams& params, Rng* rng) {
+  DPSP_ASSIGN_OR_RETURN(double sigma, GaussianSigma(l2_sensitivity, params));
+  std::vector<double> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = values[i] + rng->Gaussian(sigma);
+  }
+  return out;
+}
+
+double DistanceVectorL2Sensitivity(int num_queries) {
+  DPSP_CHECK_MSG(num_queries >= 0, "query count must be non-negative");
+  return std::sqrt(static_cast<double>(num_queries));
+}
+
+}  // namespace dpsp

@@ -1,0 +1,45 @@
+// The (classic) Gaussian mechanism: an alternative (eps, delta)-DP
+// calibration for vector releases.
+//
+// Not used by the paper, which calibrates Laplace noise through advanced
+// composition (Lemma 3.4). Both routes add per-coordinate noise
+// ~ sqrt(q)/eps when releasing q sensitivity-1 values; the constants
+// differ, and the Gaussian's lighter tails often win on max-error over
+// many queries. BoundedWeightOracle exposes both so bench_bounded_weight's
+// ablation can compare them (DESIGN.md E4).
+//
+// Calibration (Dwork & Roth, Thm A.1): for eps in (0, 1),
+//   sigma = sqrt(2 ln(1.25/delta)) * l2_sensitivity / eps.
+
+#ifndef DPSP_DP_GAUSSIAN_MECHANISM_H_
+#define DPSP_DP_GAUSSIAN_MECHANISM_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dp/privacy.h"
+
+namespace dpsp {
+
+/// The noise stddev the Gaussian mechanism uses for the given l2
+/// sensitivity (per unit of l1 weight change; multiplied by
+/// params.neighbor_l1_bound). Requires 0 < eps < 1 and delta > 0.
+Result<double> GaussianSigma(double l2_sensitivity,
+                             const PrivacyParams& params);
+
+/// Adds i.i.d. N(0, sigma^2) noise to each coordinate, with sigma from
+/// GaussianSigma. (eps, delta)-DP for a query whose l2 sensitivity against
+/// neighboring weights is `l2_sensitivity * neighbor_l1_bound`.
+Result<std::vector<double>> GaussianMechanism(const std::vector<double>& values,
+                                              double l2_sensitivity,
+                                              const PrivacyParams& params,
+                                              Rng* rng);
+
+/// l2 sensitivity of releasing q distances, each of which changes by at
+/// most 1 per unit l1 weight change: sqrt(q).
+double DistanceVectorL2Sensitivity(int num_queries);
+
+}  // namespace dpsp
+
+#endif  // DPSP_DP_GAUSSIAN_MECHANISM_H_

@@ -1,0 +1,46 @@
+#include "dp/laplace_mechanism.h"
+
+#include <cmath>
+
+namespace dpsp {
+
+Result<double> LaplaceScale(double sensitivity, const PrivacyParams& params) {
+  DPSP_RETURN_IF_ERROR(params.Validate());
+  if (!(sensitivity > 0.0) || !std::isfinite(sensitivity)) {
+    return Status::InvalidArgument("sensitivity must be positive and finite");
+  }
+  return sensitivity * params.neighbor_l1_bound / params.epsilon;
+}
+
+Result<std::vector<double>> LaplaceMechanism(const std::vector<double>& values,
+                                             double sensitivity,
+                                             const PrivacyParams& params,
+                                             Rng* rng) {
+  DPSP_ASSIGN_OR_RETURN(double scale, LaplaceScale(sensitivity, params));
+  std::vector<double> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = values[i] + rng->Laplace(scale);
+  }
+  return out;
+}
+
+Result<double> LaplaceMechanismScalar(double value, double sensitivity,
+                                      const PrivacyParams& params, Rng* rng) {
+  DPSP_ASSIGN_OR_RETURN(double scale, LaplaceScale(sensitivity, params));
+  return value + rng->Laplace(scale);
+}
+
+double LaplaceTailBound(double scale, double gamma) {
+  DPSP_CHECK_MSG(scale > 0.0 && gamma > 0.0 && gamma < 1.0,
+                 "invalid tail bound arguments");
+  return scale * std::log(1.0 / gamma);
+}
+
+double LaplaceSumBound(double scale, int t, double gamma) {
+  DPSP_CHECK_MSG(scale > 0.0 && t >= 0 && gamma > 0.0 && gamma < 1.0,
+                 "invalid sum bound arguments");
+  return 4.0 * scale * std::sqrt(static_cast<double>(t) *
+                                 std::log(2.0 / gamma));
+}
+
+}  // namespace dpsp

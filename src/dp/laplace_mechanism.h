@@ -1,0 +1,48 @@
+// The Laplace mechanism (Lemma 3.2): release f(w) + Lap(sensitivity/eps)^k.
+//
+// In the private edge-weight model a query's sensitivity is measured
+// against the l1 neighboring relation, so the effective noise scale is
+// sensitivity * neighbor_l1_bound / epsilon.
+
+#ifndef DPSP_DP_LAPLACE_MECHANISM_H_
+#define DPSP_DP_LAPLACE_MECHANISM_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dp/privacy.h"
+
+namespace dpsp {
+
+/// Adds i.i.d. Laplace(sensitivity * rho / epsilon) noise to each coordinate
+/// of `values`, where rho = params.neighbor_l1_bound. `sensitivity` is the
+/// l1 sensitivity of the whole vector-valued query per unit of l1 change in
+/// the weights. Uses only params.epsilon (pure DP); callers that spend an
+/// approximate-DP budget derive their per-query epsilon via composition.h
+/// first.
+Result<std::vector<double>> LaplaceMechanism(const std::vector<double>& values,
+                                             double sensitivity,
+                                             const PrivacyParams& params,
+                                             Rng* rng);
+
+/// Single-value convenience overload.
+Result<double> LaplaceMechanismScalar(double value, double sensitivity,
+                                      const PrivacyParams& params, Rng* rng);
+
+/// The noise scale the mechanism would use; exposed so analyses and tests
+/// can reason about it.
+Result<double> LaplaceScale(double sensitivity, const PrivacyParams& params);
+
+/// Tail bound helper: with probability 1 - gamma a Lap(b) sample has
+/// magnitude at most b * ln(1/gamma) (Definition 3.1).
+double LaplaceTailBound(double scale, double gamma);
+
+/// Concentration helper (Lemma 3.1, [CSS10]): the sum of t independent
+/// Lap(b) samples has magnitude at most 4 b sqrt(t ln(2/gamma)) with
+/// probability 1 - gamma.
+double LaplaceSumBound(double scale, int t, double gamma);
+
+}  // namespace dpsp
+
+#endif  // DPSP_DP_LAPLACE_MECHANISM_H_

@@ -1,0 +1,43 @@
+#include "dp/privacy.h"
+
+#include <cmath>
+
+#include "common/table.h"
+
+namespace dpsp {
+
+Status PrivacyParams::Validate() const {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive and finite");
+  }
+  if (delta < 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in [0, 1)");
+  }
+  if (!(neighbor_l1_bound > 0.0) || !std::isfinite(neighbor_l1_bound)) {
+    return Status::InvalidArgument("neighbor_l1_bound must be positive");
+  }
+  return Status::Ok();
+}
+
+std::string PrivacyParams::ToString() const {
+  return StrFormat("PrivacyParams(eps=%g, delta=%g, rho=%g)", epsilon, delta,
+                   neighbor_l1_bound);
+}
+
+Result<double> L1Distance(const EdgeWeights& a, const EdgeWeights& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("weight vectors differ in length");
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum;
+}
+
+Result<bool> AreNeighbors(const EdgeWeights& a, const EdgeWeights& b,
+                          const PrivacyParams& params) {
+  DPSP_RETURN_IF_ERROR(params.Validate());
+  DPSP_ASSIGN_OR_RETURN(double dist, L1Distance(a, b));
+  return dist <= params.neighbor_l1_bound + 1e-12;
+}
+
+}  // namespace dpsp

@@ -1,0 +1,49 @@
+// The private edge-weight model (Section 2).
+//
+// The database is the weight function w : E -> R+; the topology is public.
+// Two weight functions are neighbors when ||w - w'||_1 <= neighbor bound
+// (1.0 in the paper; the "Scaling" paragraph of §1.2 notes an individual
+// may instead influence weights by rho, and every error bound scales by
+// rho — PrivacyParams carries that knob).
+
+#ifndef DPSP_DP_PRIVACY_H_
+#define DPSP_DP_PRIVACY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace dpsp {
+
+/// An (epsilon, delta) differential-privacy budget plus the neighboring
+/// relation's l1 radius.
+struct PrivacyParams {
+  /// epsilon > 0.
+  double epsilon = 1.0;
+  /// delta in [0, 1); 0 means pure DP.
+  double delta = 0.0;
+  /// Neighboring weight functions differ by at most this much in l1 norm
+  /// (the paper's rho; 1.0 by default). All mechanisms calibrate their
+  /// noise to `sensitivity * neighbor_l1_bound`.
+  double neighbor_l1_bound = 1.0;
+
+  bool pure() const { return delta == 0.0; }
+
+  /// OK iff epsilon > 0, delta in [0,1), neighbor bound > 0.
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+/// ||a - b||_1; the vectors must have equal length.
+Result<double> L1Distance(const EdgeWeights& a, const EdgeWeights& b);
+
+/// True iff a and b are neighboring under the given params
+/// (l1 distance <= neighbor_l1_bound).
+Result<bool> AreNeighbors(const EdgeWeights& a, const EdgeWeights& b,
+                          const PrivacyParams& params);
+
+}  // namespace dpsp
+
+#endif  // DPSP_DP_PRIVACY_H_

@@ -1,0 +1,38 @@
+#include "dp/randomized_response.h"
+
+#include <cmath>
+
+namespace dpsp {
+
+double RandomizedResponseFlipProbability(double epsilon) {
+  DPSP_CHECK_MSG(epsilon >= 0.0, "epsilon must be non-negative");
+  return 1.0 / (1.0 + std::exp(epsilon));
+}
+
+Result<std::vector<int>> RandomizedResponse(const std::vector<int>& bits,
+                                            double epsilon, Rng* rng) {
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be non-negative");
+  }
+  double flip = RandomizedResponseFlipProbability(epsilon);
+  std::vector<int> out(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] != 0 && bits[i] != 1) {
+      return Status::InvalidArgument("bits must be 0/1");
+    }
+    out[i] = rng->Bernoulli(flip) ? 1 - bits[i] : bits[i];
+  }
+  return out;
+}
+
+Result<int> HammingDistance(const std::vector<int>& a,
+                            const std::vector<int>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("bit vectors differ in length");
+  }
+  int distance = 0;
+  for (size_t i = 0; i < a.size(); ++i) distance += (a[i] != b[i]) ? 1 : 0;
+  return distance;
+}
+
+}  // namespace dpsp

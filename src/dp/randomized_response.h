@@ -1,0 +1,32 @@
+// Warner randomized response [War65], the mechanism whose reconstruction
+// resistance Lemma 5.3 shows is optimal: flip each bit with probability
+// 1/(1+e^eps). Used as the comparator in the lower-bound experiments
+// (bench_lower_bound): no differentially private path release can
+// reconstruct inputs better than randomized response allows.
+
+#ifndef DPSP_DP_RANDOMIZED_RESPONSE_H_
+#define DPSP_DP_RANDOMIZED_RESPONSE_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace dpsp {
+
+/// Releases each bit unchanged with probability e^eps/(1+e^eps) and flipped
+/// otherwise; eps-DP per bit with respect to changing that bit.
+Result<std::vector<int>> RandomizedResponse(const std::vector<int>& bits,
+                                            double epsilon, Rng* rng);
+
+/// Expected per-bit disagreement probability, 1/(1+e^eps) — the Lemma 5.3
+/// bound at delta = 0.
+double RandomizedResponseFlipProbability(double epsilon);
+
+/// Hamming distance between equal-length bit vectors.
+Result<int> HammingDistance(const std::vector<int>& a,
+                            const std::vector<int>& b);
+
+}  // namespace dpsp
+
+#endif  // DPSP_DP_RANDOMIZED_RESPONSE_H_

@@ -1,0 +1,73 @@
+#include "graph/all_pairs.h"
+
+#include <algorithm>
+
+#include "graph/shortest_path.h"
+
+namespace dpsp {
+
+DistanceMatrix::DistanceMatrix(int n)
+    : n_(n),
+      data_(static_cast<size_t>(n) * static_cast<size_t>(n),
+            kInfiniteDistance) {
+  for (VertexId v = 0; v < n; ++v) set(v, v, 0.0);
+}
+
+Result<DistanceMatrix> AllPairsDijkstra(const Graph& graph,
+                                        const EdgeWeights& w) {
+  DPSP_RETURN_IF_ERROR(graph.ValidateNonNegativeWeights(w));
+  DistanceMatrix matrix(graph.num_vertices());
+  for (VertexId s = 0; s < graph.num_vertices(); ++s) {
+    DPSP_ASSIGN_OR_RETURN(ShortestPathTree tree, Dijkstra(graph, w, s));
+    for (VertexId t = 0; t < graph.num_vertices(); ++t) {
+      matrix.set(s, t, tree.distance[static_cast<size_t>(t)]);
+    }
+  }
+  return matrix;
+}
+
+Result<DistanceMatrix> FloydWarshall(const Graph& graph,
+                                     const EdgeWeights& w) {
+  DPSP_RETURN_IF_ERROR(graph.ValidateWeights(w));
+  int n = graph.num_vertices();
+  DistanceMatrix matrix(n);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const EdgeEndpoints& ep = graph.edge(e);
+    double we = w[static_cast<size_t>(e)];
+    matrix.set(ep.u, ep.v, std::min(matrix.at(ep.u, ep.v), we));
+    if (!graph.directed()) {
+      matrix.set(ep.v, ep.u, std::min(matrix.at(ep.v, ep.u), we));
+    }
+  }
+  for (VertexId k = 0; k < n; ++k) {
+    for (VertexId i = 0; i < n; ++i) {
+      double dik = matrix.at(i, k);
+      if (dik == kInfiniteDistance) continue;
+      for (VertexId j = 0; j < n; ++j) {
+        double dkj = matrix.at(k, j);
+        if (dkj == kInfiniteDistance) continue;
+        if (dik + dkj < matrix.at(i, j)) matrix.set(i, j, dik + dkj);
+      }
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (matrix.at(v, v) < 0.0) {
+      return Status::FailedPrecondition("graph contains a negative cycle");
+    }
+  }
+  return matrix;
+}
+
+Result<std::vector<std::vector<double>>> MultiSourceDistances(
+    const Graph& graph, const EdgeWeights& w,
+    const std::vector<VertexId>& sources) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(sources.size());
+  for (VertexId s : sources) {
+    DPSP_ASSIGN_OR_RETURN(ShortestPathTree tree, Dijkstra(graph, w, s));
+    rows.push_back(std::move(tree.distance));
+  }
+  return rows;
+}
+
+}  // namespace dpsp

@@ -1,0 +1,91 @@
+#include "graph/connectivity.h"
+
+#include <queue>
+
+namespace dpsp {
+
+std::vector<std::vector<VertexId>> ConnectedComponents::Members() const {
+  std::vector<std::vector<VertexId>> members(
+      static_cast<size_t>(num_components));
+  for (VertexId v = 0; v < static_cast<VertexId>(component.size()); ++v) {
+    members[static_cast<size_t>(component[static_cast<size_t>(v)])].push_back(
+        v);
+  }
+  return members;
+}
+
+namespace {
+
+// BFS over the undirected view: for directed graphs we need reverse
+// adjacency too, so build a symmetric neighbor list once.
+std::vector<std::vector<VertexId>> UndirectedNeighbors(const Graph& graph) {
+  std::vector<std::vector<VertexId>> nbrs(
+      static_cast<size_t>(graph.num_vertices()));
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const EdgeEndpoints& ep = graph.edge(e);
+    nbrs[static_cast<size_t>(ep.u)].push_back(ep.v);
+    nbrs[static_cast<size_t>(ep.v)].push_back(ep.u);
+  }
+  return nbrs;
+}
+
+}  // namespace
+
+ConnectedComponents FindConnectedComponents(const Graph& graph) {
+  ConnectedComponents out;
+  out.component.assign(static_cast<size_t>(graph.num_vertices()), -1);
+  std::vector<std::vector<VertexId>> nbrs = UndirectedNeighbors(graph);
+
+  for (VertexId start = 0; start < graph.num_vertices(); ++start) {
+    if (out.component[static_cast<size_t>(start)] != -1) continue;
+    int id = out.num_components++;
+    std::queue<VertexId> queue;
+    queue.push(start);
+    out.component[static_cast<size_t>(start)] = id;
+    while (!queue.empty()) {
+      VertexId u = queue.front();
+      queue.pop();
+      for (VertexId v : nbrs[static_cast<size_t>(u)]) {
+        if (out.component[static_cast<size_t>(v)] == -1) {
+          out.component[static_cast<size_t>(v)] = id;
+          queue.push(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool IsConnected(const Graph& graph) {
+  if (graph.num_vertices() <= 1) return true;
+  return FindConnectedComponents(graph).num_components == 1;
+}
+
+Result<std::vector<int>> TwoColor(const Graph& graph) {
+  std::vector<int> color(static_cast<size_t>(graph.num_vertices()), -1);
+  std::vector<std::vector<VertexId>> nbrs = UndirectedNeighbors(graph);
+  for (VertexId start = 0; start < graph.num_vertices(); ++start) {
+    if (color[static_cast<size_t>(start)] != -1) continue;
+    color[static_cast<size_t>(start)] = 0;
+    std::queue<VertexId> queue;
+    queue.push(start);
+    while (!queue.empty()) {
+      VertexId u = queue.front();
+      queue.pop();
+      for (VertexId v : nbrs[static_cast<size_t>(u)]) {
+        if (color[static_cast<size_t>(v)] == -1) {
+          color[static_cast<size_t>(v)] = 1 - color[static_cast<size_t>(u)];
+          queue.push(v);
+        } else if (color[static_cast<size_t>(v)] ==
+                   color[static_cast<size_t>(u)]) {
+          return Status::FailedPrecondition("graph contains an odd cycle");
+        }
+      }
+    }
+  }
+  return color;
+}
+
+bool IsBipartite(const Graph& graph) { return TwoColor(graph).ok(); }
+
+}  // namespace dpsp

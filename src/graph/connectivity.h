@@ -1,0 +1,39 @@
+// Connectivity and bipartiteness queries over the public topology.
+
+#ifndef DPSP_GRAPH_CONNECTIVITY_H_
+#define DPSP_GRAPH_CONNECTIVITY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace dpsp {
+
+/// Connected components of the underlying undirected topology.
+struct ConnectedComponents {
+  /// component[v] in [0, num_components).
+  std::vector<int> component;
+  int num_components = 0;
+
+  /// Vertex lists per component, in increasing vertex order.
+  std::vector<std::vector<VertexId>> Members() const;
+};
+
+/// Computes connected components (edge direction is ignored).
+ConnectedComponents FindConnectedComponents(const Graph& graph);
+
+/// True iff the (undirected view of the) graph is connected. Empty graphs
+/// and single vertices count as connected.
+bool IsConnected(const Graph& graph);
+
+/// Attempts a 2-coloring of the undirected topology. Returns the color
+/// vector (0/1 per vertex) or FailedPrecondition if an odd cycle exists.
+Result<std::vector<int>> TwoColor(const Graph& graph);
+
+/// True iff the graph is bipartite.
+bool IsBipartite(const Graph& graph);
+
+}  // namespace dpsp
+
+#endif  // DPSP_GRAPH_CONNECTIVITY_H_

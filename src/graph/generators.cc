@@ -1,0 +1,375 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "common/table.h"
+#include "graph/connectivity.h"
+
+namespace dpsp {
+
+namespace {
+
+Status RequireAtLeast(int n, int minimum, const char* what) {
+  if (n < minimum) {
+    return Status::InvalidArgument(
+        StrFormat("%s requires >= %d vertices, got %d", what, minimum, n));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Graph> MakePathGraph(int n) {
+  DPSP_RETURN_IF_ERROR(RequireAtLeast(n, 1, "path graph"));
+  std::vector<EdgeEndpoints> edges;
+  edges.reserve(static_cast<size_t>(n - 1));
+  for (int i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return Graph::Create(n, std::move(edges));
+}
+
+Result<Graph> MakeCycleGraph(int n) {
+  DPSP_RETURN_IF_ERROR(RequireAtLeast(n, 3, "cycle graph"));
+  std::vector<EdgeEndpoints> edges;
+  edges.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) edges.push_back({i, (i + 1) % n});
+  return Graph::Create(n, std::move(edges));
+}
+
+Result<Graph> MakeGridGraph(int rows, int cols) {
+  if (rows < 1 || cols < 1) {
+    return Status::InvalidArgument("grid requires rows, cols >= 1");
+  }
+  std::vector<EdgeEndpoints> edges;
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  }
+  return Graph::Create(rows * cols, std::move(edges));
+}
+
+Result<Graph> MakeCompleteGraph(int n) {
+  DPSP_RETURN_IF_ERROR(RequireAtLeast(n, 1, "complete graph"));
+  std::vector<EdgeEndpoints> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) edges.push_back({i, j});
+  }
+  return Graph::Create(n, std::move(edges));
+}
+
+Result<Graph> MakeStarGraph(int n) {
+  DPSP_RETURN_IF_ERROR(RequireAtLeast(n, 1, "star graph"));
+  std::vector<EdgeEndpoints> edges;
+  for (int i = 1; i < n; ++i) edges.push_back({0, i});
+  return Graph::Create(n, std::move(edges));
+}
+
+Result<Graph> MakeCompleteBipartiteGraph(int left, int right) {
+  if (left < 1 || right < 1) {
+    return Status::InvalidArgument("bipartite sides must be >= 1");
+  }
+  std::vector<EdgeEndpoints> edges;
+  for (int i = 0; i < left; ++i) {
+    for (int j = 0; j < right; ++j) edges.push_back({i, left + j});
+  }
+  return Graph::Create(left + right, std::move(edges));
+}
+
+Result<Graph> MakeBalancedTree(int n, int branching) {
+  DPSP_RETURN_IF_ERROR(RequireAtLeast(n, 1, "balanced tree"));
+  if (branching < 1) {
+    return Status::InvalidArgument("branching factor must be >= 1");
+  }
+  std::vector<EdgeEndpoints> edges;
+  for (int i = 1; i < n; ++i) edges.push_back({(i - 1) / branching, i});
+  return Graph::Create(n, std::move(edges));
+}
+
+Result<Graph> MakeRandomTree(int n, Rng* rng) {
+  DPSP_RETURN_IF_ERROR(RequireAtLeast(n, 1, "random tree"));
+  if (n <= 2) {
+    std::vector<EdgeEndpoints> edges;
+    if (n == 2) edges.push_back({0, 1});
+    return Graph::Create(n, std::move(edges));
+  }
+  // Pruefer decode: uniform over labelled trees.
+  std::vector<int> seq(static_cast<size_t>(n - 2));
+  for (int& s : seq) s = static_cast<int>(rng->UniformInt(0, n - 1));
+  std::vector<int> degree(static_cast<size_t>(n), 1);
+  for (int s : seq) ++degree[static_cast<size_t>(s)];
+  std::set<int> leaves;
+  for (int v = 0; v < n; ++v) {
+    if (degree[static_cast<size_t>(v)] == 1) leaves.insert(v);
+  }
+  std::vector<EdgeEndpoints> edges;
+  for (int s : seq) {
+    int leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    edges.push_back({leaf, s});
+    if (--degree[static_cast<size_t>(s)] == 1) leaves.insert(s);
+  }
+  int a = *leaves.begin();
+  int b = *std::next(leaves.begin());
+  edges.push_back({a, b});
+  return Graph::Create(n, std::move(edges));
+}
+
+Result<Graph> MakeRandomRecursiveTree(int n, Rng* rng) {
+  DPSP_RETURN_IF_ERROR(RequireAtLeast(n, 1, "random recursive tree"));
+  std::vector<EdgeEndpoints> edges;
+  for (int i = 1; i < n; ++i) {
+    edges.push_back({static_cast<int>(rng->UniformInt(0, i - 1)), i});
+  }
+  return Graph::Create(n, std::move(edges));
+}
+
+Result<Graph> MakeCaterpillarTree(int spine, int legs) {
+  if (spine < 1 || legs < 0) {
+    return Status::InvalidArgument("caterpillar requires spine>=1, legs>=0");
+  }
+  int n = spine * (1 + legs);
+  std::vector<EdgeEndpoints> edges;
+  for (int i = 0; i + 1 < spine; ++i) edges.push_back({i, i + 1});
+  int next = spine;
+  for (int i = 0; i < spine; ++i) {
+    for (int l = 0; l < legs; ++l) edges.push_back({i, next++});
+  }
+  return Graph::Create(n, std::move(edges));
+}
+
+Result<Graph> MakeConnectedErdosRenyi(int n, double p, Rng* rng) {
+  DPSP_RETURN_IF_ERROR(RequireAtLeast(n, 1, "Erdos-Renyi graph"));
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("edge probability must be in [0,1]");
+  }
+  // Uniform random spanning tree over K_n (Pruefer), plus extra edges.
+  DPSP_ASSIGN_OR_RETURN(Graph tree, MakeRandomTree(n, rng));
+  std::set<std::pair<int, int>> present;
+  std::vector<EdgeEndpoints> edges;
+  for (EdgeId e = 0; e < tree.num_edges(); ++e) {
+    EdgeEndpoints ep = tree.edge(e);
+    int a = std::min(ep.u, ep.v);
+    int b = std::max(ep.u, ep.v);
+    present.insert({a, b});
+    edges.push_back({a, b});
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (present.count({i, j})) continue;
+      if (rng->Bernoulli(p)) edges.push_back({i, j});
+    }
+  }
+  return Graph::Create(n, std::move(edges));
+}
+
+Result<GeometricGraph> MakeRandomGeometricGraph(int n, double radius,
+                                                Rng* rng) {
+  DPSP_RETURN_IF_ERROR(RequireAtLeast(n, 1, "geometric graph"));
+  if (radius <= 0.0) {
+    return Status::InvalidArgument("radius must be positive");
+  }
+  std::vector<std::pair<double, double>> coords(static_cast<size_t>(n));
+  for (auto& c : coords) c = {rng->Uniform(), rng->Uniform()};
+  auto dist2 = [&](int a, int b) {
+    double dx = coords[static_cast<size_t>(a)].first -
+                coords[static_cast<size_t>(b)].first;
+    double dy = coords[static_cast<size_t>(a)].second -
+                coords[static_cast<size_t>(b)].second;
+    return dx * dx + dy * dy;
+  };
+  std::vector<EdgeEndpoints> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (dist2(i, j) <= radius * radius) edges.push_back({i, j});
+    }
+  }
+  DPSP_ASSIGN_OR_RETURN(Graph graph, Graph::Create(n, edges));
+  // Stitch components by closest cross-component vertex pairs.
+  ConnectedComponents cc = FindConnectedComponents(graph);
+  while (cc.num_components > 1) {
+    double best = std::numeric_limits<double>::infinity();
+    int bi = -1, bj = -1;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (cc.component[static_cast<size_t>(i)] ==
+            cc.component[static_cast<size_t>(j)]) {
+          continue;
+        }
+        double d = dist2(i, j);
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    edges.push_back({bi, bj});
+    DPSP_ASSIGN_OR_RETURN(graph, Graph::Create(n, edges));
+    cc = FindConnectedComponents(graph);
+  }
+  return GeometricGraph{std::move(graph), std::move(coords)};
+}
+
+Result<RoadNetwork> MakeSyntheticRoadNetwork(int rows, int cols,
+                                             double diagonal_prob, Rng* rng) {
+  if (rows < 2 || cols < 2) {
+    return Status::InvalidArgument("road network requires rows, cols >= 2");
+  }
+  if (diagonal_prob < 0.0 || diagonal_prob > 1.0) {
+    return Status::InvalidArgument("diagonal_prob must be in [0,1]");
+  }
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  int n = rows * cols;
+  std::vector<std::pair<double, double>> coords(static_cast<size_t>(n));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      // Slightly jittered street intersections.
+      coords[static_cast<size_t>(id(r, c))] = {
+          static_cast<double>(c) + rng->Uniform(-0.2, 0.2),
+          static_cast<double>(r) + rng->Uniform(-0.2, 0.2)};
+    }
+  }
+  std::vector<EdgeEndpoints> edges;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c)});
+      if (r + 1 < rows && c + 1 < cols && rng->Bernoulli(diagonal_prob)) {
+        edges.push_back({id(r, c), id(r + 1, c + 1)});
+      }
+    }
+  }
+  RoadNetwork network{Graph::Create(n, edges).value(), std::move(coords), {}};
+  network.base_weights.resize(edges.size());
+  for (EdgeId e = 0; e < network.graph.num_edges(); ++e) {
+    const EdgeEndpoints& ep = network.graph.edge(e);
+    double dx = network.coords[static_cast<size_t>(ep.u)].first -
+                network.coords[static_cast<size_t>(ep.v)].first;
+    double dy = network.coords[static_cast<size_t>(ep.u)].second -
+                network.coords[static_cast<size_t>(ep.v)].second;
+    network.base_weights[static_cast<size_t>(e)] = std::sqrt(dx * dx + dy * dy);
+  }
+  return network;
+}
+
+EdgeWeights MakeCongestionWeights(const RoadNetwork& network, int num_hotspots,
+                                  double peak_factor, Rng* rng) {
+  DPSP_CHECK_MSG(num_hotspots >= 0, "num_hotspots must be non-negative");
+  DPSP_CHECK_MSG(peak_factor >= 0.0, "peak_factor must be non-negative");
+  std::vector<std::pair<double, double>> hotspots(
+      static_cast<size_t>(num_hotspots));
+  double max_x = 0.0, max_y = 0.0;
+  for (const auto& c : network.coords) {
+    max_x = std::max(max_x, c.first);
+    max_y = std::max(max_y, c.second);
+  }
+  for (auto& h : hotspots) {
+    h = {rng->Uniform(0.0, max_x), rng->Uniform(0.0, max_y)};
+  }
+  double sigma = std::max(max_x, max_y) / 6.0 + 1e-9;
+
+  EdgeWeights weights = network.base_weights;
+  for (EdgeId e = 0; e < network.graph.num_edges(); ++e) {
+    const EdgeEndpoints& ep = network.graph.edge(e);
+    double mx = (network.coords[static_cast<size_t>(ep.u)].first +
+                 network.coords[static_cast<size_t>(ep.v)].first) /
+                2.0;
+    double my = (network.coords[static_cast<size_t>(ep.u)].second +
+                 network.coords[static_cast<size_t>(ep.v)].second) /
+                2.0;
+    double congestion = 0.0;
+    for (const auto& h : hotspots) {
+      double dx = mx - h.first;
+      double dy = my - h.second;
+      congestion +=
+          peak_factor * std::exp(-(dx * dx + dy * dy) / (2.0 * sigma * sigma));
+    }
+    double jitter = rng->Uniform(1.0, 1.1);
+    weights[static_cast<size_t>(e)] *= (1.0 + congestion) * jitter;
+  }
+  return weights;
+}
+
+EdgeWeights MakeConstantWeights(const Graph& graph, double value) {
+  return EdgeWeights(static_cast<size_t>(graph.num_edges()), value);
+}
+
+EdgeWeights MakeUniformWeights(const Graph& graph, double lo, double hi,
+                               Rng* rng) {
+  EdgeWeights weights(static_cast<size_t>(graph.num_edges()));
+  for (double& w : weights) w = rng->Uniform(lo, hi);
+  return weights;
+}
+
+EdgeWeights BitGadgetGraph::EncodeBits(const std::vector<int>& bits) const {
+  DPSP_CHECK_MSG(static_cast<int>(bits.size()) == n,
+                 "bit string length mismatch");
+  EdgeWeights weights(static_cast<size_t>(graph.num_edges()), 0.0);
+  for (int i = 0; i < n; ++i) {
+    int xi = bits[static_cast<size_t>(i)];
+    DPSP_CHECK_MSG(xi == 0 || xi == 1, "bits must be 0/1");
+    weights[static_cast<size_t>(EdgeFor(i, 1 - xi))] = 1.0;
+  }
+  return weights;
+}
+
+Result<BitGadgetGraph> MakeShortestPathGadget(int n) {
+  DPSP_RETURN_IF_ERROR(RequireAtLeast(n, 1, "shortest-path gadget"));
+  std::vector<EdgeEndpoints> edges;
+  edges.reserve(static_cast<size_t>(2 * n));
+  for (int i = 0; i < n; ++i) {
+    edges.push_back({i, i + 1});  // e_i^(0)
+    edges.push_back({i, i + 1});  // e_i^(1)
+  }
+  DPSP_ASSIGN_OR_RETURN(Graph graph, Graph::Create(n + 1, std::move(edges)));
+  return BitGadgetGraph{std::move(graph), n};
+}
+
+Result<BitGadgetGraph> MakeMstGadget(int n) {
+  DPSP_RETURN_IF_ERROR(RequireAtLeast(n, 1, "MST gadget"));
+  std::vector<EdgeEndpoints> edges;
+  edges.reserve(static_cast<size_t>(2 * n));
+  for (int i = 0; i < n; ++i) {
+    edges.push_back({0, i + 1});  // e_i^(0)
+    edges.push_back({0, i + 1});  // e_i^(1)
+  }
+  DPSP_ASSIGN_OR_RETURN(Graph graph, Graph::Create(n + 1, std::move(edges)));
+  return BitGadgetGraph{std::move(graph), n};
+}
+
+EdgeWeights HourglassGadgetGraph::EncodeBits(
+    const std::vector<int>& bits) const {
+  DPSP_CHECK_MSG(static_cast<int>(bits.size()) == n,
+                 "bit string length mismatch");
+  EdgeWeights weights(static_cast<size_t>(graph.num_edges()), 0.0);
+  for (int c = 0; c < n; ++c) {
+    int xc = bits[static_cast<size_t>(c)];
+    DPSP_CHECK_MSG(xc == 0 || xc == 1, "bits must be 0/1");
+    weights[static_cast<size_t>(EdgeFor(c, 1, 1 - xc))] = 1.0;
+  }
+  return weights;
+}
+
+Result<HourglassGadgetGraph> MakeMatchingGadget(int n) {
+  DPSP_RETURN_IF_ERROR(RequireAtLeast(n, 1, "matching gadget"));
+  std::vector<EdgeEndpoints> edges;
+  edges.reserve(static_cast<size_t>(4 * n));
+  for (int c = 0; c < n; ++c) {
+    for (int b_left = 0; b_left < 2; ++b_left) {
+      for (int b_right = 0; b_right < 2; ++b_right) {
+        // (0, b_left, c) -- (1, b_right, c)
+        edges.push_back({4 * c + b_left, 4 * c + 2 + b_right});
+      }
+    }
+  }
+  DPSP_ASSIGN_OR_RETURN(Graph graph, Graph::Create(4 * n, std::move(edges)));
+  return HourglassGadgetGraph{std::move(graph), n};
+}
+
+}  // namespace dpsp

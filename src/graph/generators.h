@@ -1,0 +1,162 @@
+// Graph and weight generators for tests, examples and experiment harnesses.
+//
+// Includes: elementary families (paths, cycles, grids, stars, complete and
+// complete-bipartite graphs), tree families (balanced, uniform random via
+// Pruefer, random recursive, caterpillars), random graphs (connected
+// Erdos-Renyi, random geometric), a synthetic road-network generator with
+// congestion-correlated weights (the paper's motivating workload, see
+// DESIGN.md §1.3), and the three lower-bound gadget graphs:
+//   Figure 2     — parallel-edge path gadget (shortest-path lower bound),
+//   Figure 3 (L) — parallel-edge star gadget (MST lower bound),
+//   Figure 3 (R) — hourglass gadget union (matching lower bound).
+
+#ifndef DPSP_GRAPH_GENERATORS_H_
+#define DPSP_GRAPH_GENERATORS_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace dpsp {
+
+// ---------------------------------------------------------------------------
+// Elementary topologies.
+// ---------------------------------------------------------------------------
+
+/// Path 0 - 1 - ... - n-1. Requires n >= 1.
+Result<Graph> MakePathGraph(int n);
+
+/// Cycle on n >= 3 vertices.
+Result<Graph> MakeCycleGraph(int n);
+
+/// rows x cols grid, row-major vertex ids, 4-neighbor edges.
+Result<Graph> MakeGridGraph(int rows, int cols);
+
+/// Complete graph K_n.
+Result<Graph> MakeCompleteGraph(int n);
+
+/// Star with center 0 and n-1 leaves.
+Result<Graph> MakeStarGraph(int n);
+
+/// Complete bipartite K_{left,right}; left vertices are 0..left-1.
+Result<Graph> MakeCompleteBipartiteGraph(int left, int right);
+
+// ---------------------------------------------------------------------------
+// Tree families.
+// ---------------------------------------------------------------------------
+
+/// Balanced `branching`-ary tree with n vertices (vertex i's parent is
+/// (i-1)/branching). Requires n >= 1, branching >= 1.
+Result<Graph> MakeBalancedTree(int n, int branching);
+
+/// Uniformly random labelled tree on n >= 1 vertices (Pruefer decode).
+Result<Graph> MakeRandomTree(int n, Rng* rng);
+
+/// Random recursive tree: vertex i attaches to a uniform vertex < i.
+Result<Graph> MakeRandomRecursiveTree(int n, Rng* rng);
+
+/// Caterpillar: spine path of `spine` vertices, each with `legs` leaves.
+Result<Graph> MakeCaterpillarTree(int spine, int legs);
+
+// ---------------------------------------------------------------------------
+// Random graphs.
+// ---------------------------------------------------------------------------
+
+/// Connected Erdos-Renyi-style graph: a uniform random spanning tree plus
+/// each remaining pair independently with probability p. Simple graph.
+Result<Graph> MakeConnectedErdosRenyi(int n, double p, Rng* rng);
+
+/// Random geometric graph in the unit square with the given connection
+/// radius; components are stitched together by their closest vertex pairs
+/// so the result is connected. Returns the graph and the coordinates.
+struct GeometricGraph {
+  Graph graph;
+  std::vector<std::pair<double, double>> coords;
+};
+Result<GeometricGraph> MakeRandomGeometricGraph(int n, double radius,
+                                                Rng* rng);
+
+// ---------------------------------------------------------------------------
+// Synthetic road networks (substitute for real road/traffic data).
+// ---------------------------------------------------------------------------
+
+/// Grid street network with a fraction of diagonal shortcut streets;
+/// distances are euclidean street lengths.
+struct RoadNetwork {
+  Graph graph;
+  std::vector<std::pair<double, double>> coords;
+  /// Free-flow travel time per edge (euclidean length).
+  EdgeWeights base_weights;
+};
+Result<RoadNetwork> MakeSyntheticRoadNetwork(int rows, int cols,
+                                             double diagonal_prob, Rng* rng);
+
+/// Traffic-time weights for a road network: base length scaled up around
+/// `num_hotspots` random congestion centers (gaussian falloff), plus small
+/// multiplicative jitter. Always >= base_weights.
+EdgeWeights MakeCongestionWeights(const RoadNetwork& network, int num_hotspots,
+                                  double peak_factor, Rng* rng);
+
+// ---------------------------------------------------------------------------
+// Weight generators.
+// ---------------------------------------------------------------------------
+
+/// All edges weight `value`.
+EdgeWeights MakeConstantWeights(const Graph& graph, double value);
+
+/// i.i.d. Uniform[lo, hi) weights.
+EdgeWeights MakeUniformWeights(const Graph& graph, double lo, double hi,
+                               Rng* rng);
+
+// ---------------------------------------------------------------------------
+// Lower-bound gadgets.
+// ---------------------------------------------------------------------------
+
+/// A gadget graph whose weight assignments encode bit strings x in {0,1}^n.
+/// `EdgeFor(i, b)` is the edge whose weight is set to 0 when the i-th bit
+/// equals b (and 1 otherwise).
+struct BitGadgetGraph {
+  Graph graph;
+  int n = 0;
+
+  /// The edge carrying value b for bit i (i in [0, n)).
+  EdgeId EdgeFor(int i, int b) const { return 2 * i + b; }
+
+  /// w_x from the reduction: w(e_i^{x_i}) = 0, w(e_i^{1-x_i}) = 1.
+  EdgeWeights EncodeBits(const std::vector<int>& bits) const;
+};
+
+/// Figure 2: vertices 0..n, two parallel edges between i and i+1.
+/// Shortest-path lower bound gadget (s = 0, t = n).
+Result<BitGadgetGraph> MakeShortestPathGadget(int n);
+
+/// Figure 3 (left): center 0, two parallel edges to each of 1..n.
+/// MST lower bound gadget.
+Result<BitGadgetGraph> MakeMstGadget(int n);
+
+/// Figure 3 (right): n disjoint hourglass gadgets; gadget c has vertices
+/// (b1, b2) with id 4c + 2 b1 + b2 and the four edges (0,b)-(1,b').
+/// Matching lower bound gadget.
+struct HourglassGadgetGraph {
+  Graph graph;
+  int n = 0;
+
+  /// Vertex (b1, b2, c) of the paper's construction.
+  VertexId VertexFor(int b1, int b2, int c) const {
+    return 4 * c + 2 * b1 + b2;
+  }
+  /// Edge from (0, b_left, c) to (1, b_right, c).
+  EdgeId EdgeFor(int c, int b_left, int b_right) const {
+    return 4 * c + 2 * b_left + b_right;
+  }
+  /// w_x: edge (0,1,c)-(1, 1-x_c, c) has weight 1, all others weight 0.
+  EdgeWeights EncodeBits(const std::vector<int>& bits) const;
+};
+Result<HourglassGadgetGraph> MakeMatchingGadget(int n);
+
+}  // namespace dpsp
+
+#endif  // DPSP_GRAPH_GENERATORS_H_

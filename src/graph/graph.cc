@@ -1,0 +1,80 @@
+#include "graph/graph.h"
+
+#include "common/table.h"
+
+namespace dpsp {
+
+Graph::Graph(int num_vertices, std::vector<EdgeEndpoints> edges, bool directed)
+    : num_vertices_(num_vertices),
+      directed_(directed),
+      edges_(std::move(edges)),
+      adjacency_(static_cast<size_t>(num_vertices)) {
+  for (EdgeId e = 0; e < static_cast<EdgeId>(edges_.size()); ++e) {
+    const EdgeEndpoints& ep = edges_[static_cast<size_t>(e)];
+    adjacency_[static_cast<size_t>(ep.u)].push_back({e, ep.v});
+    if (!directed_) {
+      adjacency_[static_cast<size_t>(ep.v)].push_back({e, ep.u});
+    }
+  }
+}
+
+Result<Graph> Graph::Create(int num_vertices, std::vector<EdgeEndpoints> edges,
+                            bool directed) {
+  if (num_vertices < 0) {
+    return Status::InvalidArgument("num_vertices must be non-negative");
+  }
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const EdgeEndpoints& ep = edges[i];
+    if (ep.u < 0 || ep.u >= num_vertices || ep.v < 0 || ep.v >= num_vertices) {
+      return Status::InvalidArgument(
+          StrFormat("edge %zu endpoints (%d, %d) out of range [0, %d)", i,
+                    ep.u, ep.v, num_vertices));
+    }
+    if (ep.u == ep.v) {
+      return Status::InvalidArgument(
+          StrFormat("edge %zu is a self-loop at vertex %d", i, ep.u));
+    }
+  }
+  return Graph(num_vertices, std::move(edges), directed);
+}
+
+VertexId Graph::OtherEndpoint(EdgeId e, VertexId from) const {
+  const EdgeEndpoints& ep = edge(e);
+  DPSP_CHECK_MSG(ep.u == from || ep.v == from,
+                 "OtherEndpoint: vertex not incident to edge");
+  return ep.u == from ? ep.v : ep.u;
+}
+
+Status Graph::ValidateWeights(const EdgeWeights& w) const {
+  if (static_cast<int>(w.size()) != num_edges()) {
+    return Status::InvalidArgument(
+        StrFormat("weight vector has %zu entries, graph has %d edges",
+                  w.size(), num_edges()));
+  }
+  return Status::Ok();
+}
+
+Status Graph::ValidateNonNegativeWeights(const EdgeWeights& w) const {
+  DPSP_RETURN_IF_ERROR(ValidateWeights(w));
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (w[i] < 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("weight of edge %zu is negative (%g)", i, w[i]));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Graph::ToString() const {
+  return StrFormat("Graph(V=%d, E=%d, %s)", num_vertices(), num_edges(),
+                   directed_ ? "directed" : "undirected");
+}
+
+double TotalWeight(const EdgeWeights& weights,
+                   const std::vector<EdgeId>& edges) {
+  double sum = 0.0;
+  for (EdgeId e : edges) sum += weights[static_cast<size_t>(e)];
+  return sum;
+}
+
+}  // namespace dpsp

@@ -1,0 +1,101 @@
+// Graph topology and edge weights, modelling the paper's privacy split:
+// the topology (V, E) is public data; the weight function w : E -> R+ is the
+// private database. The two are therefore separate types: an immutable
+// `Graph` and a plain `EdgeWeights` vector indexed by edge id.
+//
+// The graph is a multigraph (parallel edges allowed) because the lower-bound
+// constructions of Section 5.1 and Appendix B use parallel edge pairs.
+// Self-loops are rejected: no algorithm in the paper uses them and they only
+// complicate path semantics.
+
+#ifndef DPSP_GRAPH_GRAPH_H_
+#define DPSP_GRAPH_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpsp {
+
+/// Vertex id: 0 .. num_vertices()-1.
+using VertexId = int;
+/// Edge id: 0 .. num_edges()-1, in insertion order.
+using EdgeId = int;
+
+/// An undirected or directed edge between two endpoints. For undirected
+/// graphs the (u, v) order is storage order only.
+struct EdgeEndpoints {
+  VertexId u = 0;
+  VertexId v = 0;
+};
+
+/// One adjacency entry: the incident edge and the neighbor it leads to.
+struct AdjacencyEntry {
+  EdgeId edge = 0;
+  VertexId to = 0;
+};
+
+/// The private database: one non-negative weight per edge id. (MST and
+/// matching in Appendix B also permit negative weights; algorithms that
+/// require non-negativity validate it themselves.)
+using EdgeWeights = std::vector<double>;
+
+/// Immutable (multi)graph topology.
+class Graph {
+ public:
+  /// Validates endpoints and builds adjacency. Fails on out-of-range
+  /// endpoints or self-loops. `directed` edges go u -> v only.
+  static Result<Graph> Create(int num_vertices,
+                              std::vector<EdgeEndpoints> edges,
+                              bool directed = false);
+
+  int num_vertices() const { return num_vertices_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  bool directed() const { return directed_; }
+
+  /// Endpoints of edge `e`.
+  const EdgeEndpoints& edge(EdgeId e) const {
+    return edges_[static_cast<size_t>(e)];
+  }
+
+  /// Out-adjacency of `u` (full adjacency for undirected graphs).
+  const std::vector<AdjacencyEntry>& Neighbors(VertexId u) const {
+    return adjacency_[static_cast<size_t>(u)];
+  }
+
+  /// Given an edge and one endpoint, the opposite endpoint.
+  VertexId OtherEndpoint(EdgeId e, VertexId from) const;
+
+  /// Out-degree of `u` (degree for undirected graphs), counting parallels.
+  int Degree(VertexId u) const {
+    return static_cast<int>(adjacency_[static_cast<size_t>(u)].size());
+  }
+
+  /// True iff `u` is a valid vertex id.
+  bool HasVertex(VertexId u) const { return u >= 0 && u < num_vertices_; }
+
+  /// OK iff `w` has exactly one entry per edge.
+  Status ValidateWeights(const EdgeWeights& w) const;
+
+  /// OK iff `w` matches the edge count and every entry is non-negative.
+  Status ValidateNonNegativeWeights(const EdgeWeights& w) const;
+
+  /// Short human-readable description ("Graph(V=5, E=7, undirected)").
+  std::string ToString() const;
+
+ private:
+  Graph(int num_vertices, std::vector<EdgeEndpoints> edges, bool directed);
+
+  int num_vertices_;
+  bool directed_;
+  std::vector<EdgeEndpoints> edges_;
+  std::vector<std::vector<AdjacencyEntry>> adjacency_;
+};
+
+/// Total weight of a set of edges.
+double TotalWeight(const EdgeWeights& weights, const std::vector<EdgeId>& edges);
+
+}  // namespace dpsp
+
+#endif  // DPSP_GRAPH_GRAPH_H_

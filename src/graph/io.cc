@@ -1,0 +1,177 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace dpsp {
+
+namespace {
+
+// Reads the next non-comment, non-empty line into `line`; false at EOF.
+bool NextLine(std::istringstream* in, std::string* line) {
+  while (std::getline(*in, *line)) {
+    size_t hash = line->find('#');
+    if (hash != std::string::npos) line->erase(hash);
+    // Trim.
+    size_t begin = line->find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    size_t end = line->find_last_not_of(" \t\r");
+    *line = line->substr(begin, end - begin + 1);
+    return true;
+  }
+  return false;
+}
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(
+      StrFormat("malformed serialization: %s", what));
+}
+
+}  // namespace
+
+std::string SerializeGraph(const Graph& graph) {
+  std::string out;
+  out += "dpsp-graph 1\n";
+  out += StrFormat("directed %d\n", graph.directed() ? 1 : 0);
+  out += StrFormat("vertices %d\n", graph.num_vertices());
+  out += StrFormat("edges %d\n", graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const EdgeEndpoints& ep = graph.edge(e);
+    out += StrFormat("%d %d\n", ep.u, ep.v);
+  }
+  return out;
+}
+
+Result<Graph> DeserializeGraph(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+
+  if (!NextLine(&in, &line)) return Malformed("empty input");
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    if (magic != "dpsp-graph" || version != 1) {
+      return Malformed("expected 'dpsp-graph 1' header");
+    }
+  }
+
+  auto read_int_field = [&](const char* key, int* value) -> Status {
+    if (!NextLine(&in, &line)) return Malformed("truncated header");
+    std::istringstream fields(line);
+    std::string name;
+    fields >> name >> *value;
+    if (fields.fail() || name != key) {
+      return Malformed(StrFormat("expected '%s <int>'", key).c_str());
+    }
+    return Status::Ok();
+  };
+
+  int directed = 0, vertices = 0, edges = 0;
+  DPSP_RETURN_IF_ERROR(read_int_field("directed", &directed));
+  DPSP_RETURN_IF_ERROR(read_int_field("vertices", &vertices));
+  DPSP_RETURN_IF_ERROR(read_int_field("edges", &edges));
+  if (directed != 0 && directed != 1) return Malformed("directed not 0/1");
+  if (vertices < 0 || edges < 0) return Malformed("negative counts");
+
+  std::vector<EdgeEndpoints> endpoints;
+  endpoints.reserve(static_cast<size_t>(edges));
+  for (int i = 0; i < edges; ++i) {
+    if (!NextLine(&in, &line)) return Malformed("truncated edge list");
+    std::istringstream fields(line);
+    EdgeEndpoints ep;
+    fields >> ep.u >> ep.v;
+    if (fields.fail()) return Malformed("edge line must be '<u> <v>'");
+    endpoints.push_back(ep);
+  }
+  if (NextLine(&in, &line)) return Malformed("trailing content");
+  return Graph::Create(vertices, std::move(endpoints), directed == 1);
+}
+
+std::string SerializeWeights(const EdgeWeights& weights) {
+  std::string out;
+  out += "dpsp-weights 1\n";
+  out += StrFormat("count %zu\n", weights.size());
+  for (double w : weights) out += StrFormat("%.17g\n", w);
+  return out;
+}
+
+Result<EdgeWeights> DeserializeWeights(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!NextLine(&in, &line)) return Malformed("empty input");
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    if (magic != "dpsp-weights" || version != 1) {
+      return Malformed("expected 'dpsp-weights 1' header");
+    }
+  }
+  if (!NextLine(&in, &line)) return Malformed("missing count");
+  size_t count = 0;
+  {
+    std::istringstream fields(line);
+    std::string name;
+    fields >> name >> count;
+    if (fields.fail() || name != "count") {
+      return Malformed("expected 'count <n>'");
+    }
+  }
+  EdgeWeights weights;
+  weights.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!NextLine(&in, &line)) return Malformed("truncated weights");
+    std::istringstream fields(line);
+    double w = 0.0;
+    fields >> w;
+    if (fields.fail()) return Malformed("weight line must be a number");
+    weights.push_back(w);
+  }
+  if (NextLine(&in, &line)) return Malformed("trailing content");
+  return weights;
+}
+
+Result<std::string> ToDot(const Graph& graph, const EdgeWeights& weights,
+                          const DotOptions& options) {
+  if (!weights.empty() &&
+      static_cast<int>(weights.size()) != graph.num_edges()) {
+    return Status::InvalidArgument("weights size mismatch");
+  }
+  std::vector<bool> highlighted(static_cast<size_t>(graph.num_edges()),
+                                false);
+  for (EdgeId e : options.highlight) {
+    if (e < 0 || e >= graph.num_edges()) {
+      return Status::InvalidArgument("highlight edge id out of range");
+    }
+    highlighted[static_cast<size_t>(e)] = true;
+  }
+
+  std::string out;
+  const char* kind = graph.directed() ? "digraph" : "graph";
+  const char* arrow = graph.directed() ? " -> " : " -- ";
+  out += StrFormat("%s %s {\n", kind, options.name.c_str());
+  out += "  node [shape=circle, fontsize=10];\n";
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const EdgeEndpoints& ep = graph.edge(e);
+    std::string attrs;
+    if (options.show_weights && !weights.empty()) {
+      attrs += StrFormat("label=\"%.3g\"", weights[static_cast<size_t>(e)]);
+    }
+    if (highlighted[static_cast<size_t>(e)]) {
+      if (!attrs.empty()) attrs += ", ";
+      attrs += "color=red, penwidth=2.0";
+    }
+    out += StrFormat("  %d%s%d", ep.u, arrow, ep.v);
+    if (!attrs.empty()) out += " [" + attrs + "]";
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dpsp

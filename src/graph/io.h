@@ -1,0 +1,63 @@
+// Text serialization and visualization for graphs and weight functions.
+//
+// Format (line-oriented, whitespace separated, '#' comments):
+//   dpsp-graph 1            header: format name + version
+//   directed 0|1
+//   vertices <V>
+//   edges <E>
+//   <u> <v>                 E lines, one per edge, in edge-id order
+//
+// Weights are stored separately (they are the private data; a deployment
+// will usually persist topology publicly and weights under access
+// control):
+//   dpsp-weights 1
+//   count <E>
+//   <w_0> ... newline separated
+//
+// Also provides Graphviz DOT export with optional weight labels and path /
+// tree / matching edge highlighting — used by the examples to visualize
+// released objects.
+
+#ifndef DPSP_GRAPH_IO_H_
+#define DPSP_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace dpsp {
+
+/// Serializes the topology.
+std::string SerializeGraph(const Graph& graph);
+
+/// Parses a topology serialized by SerializeGraph. Fails on malformed
+/// input with a line-precise message.
+Result<Graph> DeserializeGraph(const std::string& text);
+
+/// Serializes a weight vector.
+std::string SerializeWeights(const EdgeWeights& weights);
+
+/// Parses a weight vector serialized by SerializeWeights.
+Result<EdgeWeights> DeserializeWeights(const std::string& text);
+
+/// Options for DOT export.
+struct DotOptions {
+  /// Label edges with their weights (%.3g).
+  bool show_weights = true;
+  /// Edge ids to render bold/red (a released path, tree or matching).
+  std::vector<EdgeId> highlight;
+  /// Graph name in the DOT header.
+  std::string name = "dpsp";
+};
+
+/// Renders the graph in Graphviz DOT format. Weights may be empty (no
+/// labels) or must have one entry per edge.
+Result<std::string> ToDot(const Graph& graph, const EdgeWeights& weights,
+                          const DotOptions& options);
+
+}  // namespace dpsp
+
+#endif  // DPSP_GRAPH_IO_H_

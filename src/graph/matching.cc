@@ -1,0 +1,273 @@
+#include "graph/matching.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/table.h"
+#include "graph/connectivity.h"
+
+namespace dpsp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Minimum-weight edge between each pair of subset vertices (parallel edges
+// collapse to the cheapest). Returns cost and edge-id matrices indexed by
+// subset position.
+struct PairCosts {
+  std::vector<std::vector<double>> cost;
+  std::vector<std::vector<EdgeId>> edge;
+};
+
+PairCosts BuildPairCosts(const Graph& graph, const EdgeWeights& w,
+                         const std::vector<VertexId>& subset) {
+  int m = static_cast<int>(subset.size());
+  PairCosts pc;
+  pc.cost.assign(static_cast<size_t>(m),
+                 std::vector<double>(static_cast<size_t>(m), kInf));
+  pc.edge.assign(static_cast<size_t>(m),
+                 std::vector<EdgeId>(static_cast<size_t>(m), -1));
+  std::unordered_map<VertexId, int> pos;
+  for (int i = 0; i < m; ++i) pos[subset[static_cast<size_t>(i)]] = i;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const EdgeEndpoints& ep = graph.edge(e);
+    auto iu = pos.find(ep.u);
+    auto iv = pos.find(ep.v);
+    if (iu == pos.end() || iv == pos.end()) continue;
+    double we = w[static_cast<size_t>(e)];
+    int a = iu->second;
+    int b = iv->second;
+    if (we < pc.cost[static_cast<size_t>(a)][static_cast<size_t>(b)]) {
+      pc.cost[static_cast<size_t>(a)][static_cast<size_t>(b)] = we;
+      pc.cost[static_cast<size_t>(b)][static_cast<size_t>(a)] = we;
+      pc.edge[static_cast<size_t>(a)][static_cast<size_t>(b)] = e;
+      pc.edge[static_cast<size_t>(b)][static_cast<size_t>(a)] = e;
+    }
+  }
+  return pc;
+}
+
+}  // namespace
+
+Result<Matching> MinWeightPerfectMatchingDp(
+    const Graph& graph, const EdgeWeights& w,
+    const std::vector<VertexId>& subset) {
+  int m = static_cast<int>(subset.size());
+  if (m % 2 != 0) {
+    return Status::FailedPrecondition(
+        "odd vertex set has no perfect matching");
+  }
+  if (m > kMaxDpVertices) {
+    return Status::InvalidArgument(
+        StrFormat("DP matcher limited to %d vertices, got %d",
+                  kMaxDpVertices, m));
+  }
+  if (m == 0) return Matching{};
+
+  PairCosts pc = BuildPairCosts(graph, w, subset);
+
+  size_t full = size_t{1} << m;
+  std::vector<double> dp(full, kInf);
+  std::vector<int> choice_i(full, -1);
+  std::vector<int> choice_j(full, -1);
+  dp[0] = 0.0;
+  for (size_t mask = 1; mask < full; ++mask) {
+    // Lowest set bit must be matched with someone in the mask.
+    int i = 0;
+    while (!(mask & (size_t{1} << i))) ++i;
+    size_t without_i = mask & ~(size_t{1} << i);
+    for (int j = i + 1; j < m; ++j) {
+      if (!(mask & (size_t{1} << j))) continue;
+      double cij = pc.cost[static_cast<size_t>(i)][static_cast<size_t>(j)];
+      if (cij == kInf) continue;
+      size_t rest = without_i & ~(size_t{1} << j);
+      if (dp[rest] == kInf) continue;
+      double cand = dp[rest] + cij;
+      if (cand < dp[mask]) {
+        dp[mask] = cand;
+        choice_i[mask] = i;
+        choice_j[mask] = j;
+      }
+    }
+  }
+  if (dp[full - 1] == kInf) {
+    return Status::FailedPrecondition("no perfect matching exists");
+  }
+
+  Matching matching;
+  size_t mask = full - 1;
+  while (mask != 0) {
+    int i = choice_i[mask];
+    int j = choice_j[mask];
+    DPSP_CHECK(i >= 0 && j >= 0);
+    matching.edges.push_back(
+        pc.edge[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+    mask &= ~(size_t{1} << i);
+    mask &= ~(size_t{1} << j);
+  }
+  return matching;
+}
+
+Result<Matching> MinWeightPerfectMatchingHungarian(
+    const Graph& graph, const EdgeWeights& w,
+    const std::vector<VertexId>& left, const std::vector<VertexId>& right) {
+  int n = static_cast<int>(left.size());
+  if (n != static_cast<int>(right.size())) {
+    return Status::FailedPrecondition(
+        "bipartite sides differ in size; no perfect matching");
+  }
+  if (n == 0) return Matching{};
+
+  // Cost matrix between the sides (min over parallel edges).
+  std::unordered_map<VertexId, int> lpos, rpos;
+  for (int i = 0; i < n; ++i) lpos[left[static_cast<size_t>(i)]] = i;
+  for (int j = 0; j < n; ++j) rpos[right[static_cast<size_t>(j)]] = j;
+  std::vector<std::vector<double>> cost(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n), kInf));
+  std::vector<std::vector<EdgeId>> edge_of(
+      static_cast<size_t>(n), std::vector<EdgeId>(static_cast<size_t>(n), -1));
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const EdgeEndpoints& ep = graph.edge(e);
+    auto il = lpos.find(ep.u);
+    auto jr = rpos.find(ep.v);
+    if (il == lpos.end() || jr == rpos.end()) {
+      il = lpos.find(ep.v);
+      jr = rpos.find(ep.u);
+    }
+    if (il == lpos.end() || jr == rpos.end()) continue;
+    double we = w[static_cast<size_t>(e)];
+    if (we < cost[static_cast<size_t>(il->second)]
+                 [static_cast<size_t>(jr->second)]) {
+      cost[static_cast<size_t>(il->second)][static_cast<size_t>(jr->second)] =
+          we;
+      edge_of[static_cast<size_t>(il->second)]
+             [static_cast<size_t>(jr->second)] = e;
+    }
+  }
+
+  // Hungarian algorithm with potentials (supports arbitrary real costs;
+  // infinite entries encode non-edges). 1-indexed internal arrays.
+  std::vector<double> u(static_cast<size_t>(n + 1), 0.0);
+  std::vector<double> v(static_cast<size_t>(n + 1), 0.0);
+  std::vector<int> p(static_cast<size_t>(n + 1), 0);    // p[j]: row matched to col j
+  std::vector<int> way(static_cast<size_t>(n + 1), 0);
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<size_t>(n + 1), kInf);
+    std::vector<bool> used(static_cast<size_t>(n + 1), false);
+    do {
+      used[static_cast<size_t>(j0)] = true;
+      int i0 = p[static_cast<size_t>(j0)];
+      double delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= n; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        double cur = cost[static_cast<size_t>(i0 - 1)][static_cast<size_t>(
+                         j - 1)] -
+                     u[static_cast<size_t>(i0)] - v[static_cast<size_t>(j)];
+        if (cur < minv[static_cast<size_t>(j)]) {
+          minv[static_cast<size_t>(j)] = cur;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (minv[static_cast<size_t>(j)] < delta) {
+          delta = minv[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      if (j1 == -1 || delta == kInf) {
+        return Status::FailedPrecondition("no perfect matching exists");
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(p[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<size_t>(j0)] != 0);
+    do {
+      int j1 = way[static_cast<size_t>(j0)];
+      p[static_cast<size_t>(j0)] = p[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  Matching matching;
+  for (int j = 1; j <= n; ++j) {
+    int i = p[static_cast<size_t>(j)];
+    EdgeId e = edge_of[static_cast<size_t>(i - 1)][static_cast<size_t>(j - 1)];
+    if (e < 0) {
+      return Status::FailedPrecondition("no perfect matching exists");
+    }
+    matching.edges.push_back(e);
+  }
+  return matching;
+}
+
+Result<Matching> MinWeightPerfectMatching(const Graph& graph,
+                                          const EdgeWeights& w) {
+  if (graph.directed()) {
+    return Status::InvalidArgument("matching requires an undirected graph");
+  }
+  DPSP_RETURN_IF_ERROR(graph.ValidateWeights(w));
+  if (graph.num_vertices() % 2 != 0) {
+    return Status::FailedPrecondition(
+        "odd vertex count has no perfect matching");
+  }
+
+  ConnectedComponents components = FindConnectedComponents(graph);
+  Matching matching;
+  for (const std::vector<VertexId>& members : components.Members()) {
+    if (members.size() % 2 != 0) {
+      return Status::FailedPrecondition(
+          "a connected component has odd size; no perfect matching");
+    }
+    Result<Matching> part = Status::Internal("unset");
+    if (static_cast<int>(members.size()) <= kMaxDpVertices) {
+      part = MinWeightPerfectMatchingDp(graph, w, members);
+    } else {
+      Result<std::vector<int>> colors = TwoColor(graph);
+      if (!colors.ok()) {
+        return Status::Unimplemented(
+            "general matching on large non-bipartite components requires a "
+            "Blossom solver (see DESIGN.md)");
+      }
+      std::vector<VertexId> left, right;
+      for (VertexId v : members) {
+        if ((*colors)[static_cast<size_t>(v)] == 0) {
+          left.push_back(v);
+        } else {
+          right.push_back(v);
+        }
+      }
+      part = MinWeightPerfectMatchingHungarian(graph, w, left, right);
+    }
+    if (!part.ok()) return part.status();
+    for (EdgeId e : part->edges) matching.edges.push_back(e);
+  }
+  return matching;
+}
+
+bool IsPerfectMatching(const Graph& graph, const Matching& matching) {
+  if (static_cast<int>(matching.edges.size()) * 2 != graph.num_vertices()) {
+    return false;
+  }
+  std::vector<bool> used(static_cast<size_t>(graph.num_vertices()), false);
+  for (EdgeId e : matching.edges) {
+    if (e < 0 || e >= graph.num_edges()) return false;
+    const EdgeEndpoints& ep = graph.edge(e);
+    if (used[static_cast<size_t>(ep.u)] || used[static_cast<size_t>(ep.v)]) {
+      return false;
+    }
+    used[static_cast<size_t>(ep.u)] = true;
+    used[static_cast<size_t>(ep.v)] = true;
+  }
+  return true;
+}
+
+}  // namespace dpsp

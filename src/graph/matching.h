@@ -1,0 +1,61 @@
+// Minimum-weight perfect matching, the exact subroutine behind the private
+// matching mechanism of Appendix B.2. Negative weights are permitted (the
+// Laplace mechanism can push weights negative).
+//
+// Solver strategy (see DESIGN.md §1.3): the input is decomposed into
+// connected components; each component is solved by
+//   * exact bitmask dynamic programming when it has <= kMaxDpVertices
+//     vertices (covers the paper's hourglass-gadget graphs, whose
+//     components have 4 vertices), else
+//   * the Hungarian algorithm when the component is bipartite with equal
+//     sides (covers complete bipartite workloads), else
+//   * Unimplemented (a general Blossom solver is out of scope; no paper
+//     experiment needs it).
+
+#ifndef DPSP_GRAPH_MATCHING_H_
+#define DPSP_GRAPH_MATCHING_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace dpsp {
+
+/// Components larger than this fall through to Hungarian (bipartite) or
+/// Unimplemented.
+inline constexpr int kMaxDpVertices = 20;
+
+/// A perfect matching: one edge id per matched pair (V/2 edges total).
+struct Matching {
+  std::vector<EdgeId> edges;
+
+  /// Sum of the matched edges' weights.
+  double Weight(const EdgeWeights& w) const { return TotalWeight(w, edges); }
+};
+
+/// Minimum-weight perfect matching of the whole graph. Fails with
+/// FailedPrecondition if no perfect matching exists, Unimplemented for
+/// large non-bipartite components.
+Result<Matching> MinWeightPerfectMatching(const Graph& graph,
+                                          const EdgeWeights& w);
+
+/// Exact exponential solver on an explicit vertex subset (all of whose
+/// matched partners must also lie in the subset). Exposed for testing.
+/// Requires subset size even and <= kMaxDpVertices.
+Result<Matching> MinWeightPerfectMatchingDp(const Graph& graph,
+                                            const EdgeWeights& w,
+                                            const std::vector<VertexId>& subset);
+
+/// Hungarian algorithm on a bipartite component given by its two sides.
+/// Requires |left| == |right|. Exposed for testing.
+Result<Matching> MinWeightPerfectMatchingHungarian(
+    const Graph& graph, const EdgeWeights& w,
+    const std::vector<VertexId>& left, const std::vector<VertexId>& right);
+
+/// True iff `matching` covers every vertex exactly once with valid edges.
+bool IsPerfectMatching(const Graph& graph, const Matching& matching);
+
+}  // namespace dpsp
+
+#endif  // DPSP_GRAPH_MATCHING_H_

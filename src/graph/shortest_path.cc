@@ -1,0 +1,197 @@
+#include "graph/shortest_path.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/table.h"
+
+namespace dpsp {
+
+namespace {
+
+ShortestPathTree MakeEmptyTree(const Graph& graph, VertexId source) {
+  ShortestPathTree tree;
+  tree.source = source;
+  tree.distance.assign(static_cast<size_t>(graph.num_vertices()),
+                       kInfiniteDistance);
+  tree.parent_edge.assign(static_cast<size_t>(graph.num_vertices()), -1);
+  tree.parent_vertex.assign(static_cast<size_t>(graph.num_vertices()), -1);
+  tree.distance[static_cast<size_t>(source)] = 0.0;
+  return tree;
+}
+
+Status ValidateSource(const Graph& graph, VertexId source) {
+  if (!graph.HasVertex(source)) {
+    return Status::InvalidArgument(
+        StrFormat("source vertex %d out of range [0, %d)", source,
+                  graph.num_vertices()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ShortestPathTree> Dijkstra(const Graph& graph, const EdgeWeights& w,
+                                  VertexId source) {
+  DPSP_RETURN_IF_ERROR(ValidateSource(graph, source));
+  DPSP_RETURN_IF_ERROR(graph.ValidateNonNegativeWeights(w));
+
+  ShortestPathTree tree = MakeEmptyTree(graph, source);
+  using HeapEntry = std::pair<double, VertexId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    auto [dist, u] = heap.top();
+    heap.pop();
+    if (dist > tree.distance[static_cast<size_t>(u)]) continue;  // stale
+    for (const AdjacencyEntry& adj : graph.Neighbors(u)) {
+      double candidate = dist + w[static_cast<size_t>(adj.edge)];
+      if (candidate < tree.distance[static_cast<size_t>(adj.to)]) {
+        tree.distance[static_cast<size_t>(adj.to)] = candidate;
+        tree.parent_edge[static_cast<size_t>(adj.to)] = adj.edge;
+        tree.parent_vertex[static_cast<size_t>(adj.to)] = u;
+        heap.emplace(candidate, adj.to);
+      }
+    }
+  }
+  return tree;
+}
+
+Result<ShortestPathTree> BellmanFord(const Graph& graph, const EdgeWeights& w,
+                                     VertexId source) {
+  DPSP_RETURN_IF_ERROR(ValidateSource(graph, source));
+  DPSP_RETURN_IF_ERROR(graph.ValidateWeights(w));
+
+  ShortestPathTree tree = MakeEmptyTree(graph, source);
+  int n = graph.num_vertices();
+
+  auto relax_all = [&]() {
+    bool changed = false;
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      const EdgeEndpoints& ep = graph.edge(e);
+      double we = w[static_cast<size_t>(e)];
+      auto relax = [&](VertexId from, VertexId to) {
+        double base = tree.distance[static_cast<size_t>(from)];
+        if (base == kInfiniteDistance) return;
+        double candidate = base + we;
+        if (candidate < tree.distance[static_cast<size_t>(to)]) {
+          tree.distance[static_cast<size_t>(to)] = candidate;
+          tree.parent_edge[static_cast<size_t>(to)] = e;
+          tree.parent_vertex[static_cast<size_t>(to)] = from;
+          changed = true;
+        }
+      };
+      relax(ep.u, ep.v);
+      if (!graph.directed()) relax(ep.v, ep.u);
+    }
+    return changed;
+  };
+
+  bool changed = true;
+  for (int round = 0; round < n - 1 && changed; ++round) changed = relax_all();
+  if (changed && relax_all()) {
+    return Status::FailedPrecondition(
+        "negative cycle reachable from the source");
+  }
+  return tree;
+}
+
+Result<std::vector<int>> HopDistances(const Graph& graph, VertexId source) {
+  DPSP_RETURN_IF_ERROR(ValidateSource(graph, source));
+  std::vector<int> hops(static_cast<size_t>(graph.num_vertices()),
+                        kUnreachableHops);
+  hops[static_cast<size_t>(source)] = 0;
+  std::queue<VertexId> queue;
+  queue.push(source);
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop();
+    for (const AdjacencyEntry& adj : graph.Neighbors(u)) {
+      if (hops[static_cast<size_t>(adj.to)] == kUnreachableHops) {
+        hops[static_cast<size_t>(adj.to)] = hops[static_cast<size_t>(u)] + 1;
+        queue.push(adj.to);
+      }
+    }
+  }
+  return hops;
+}
+
+Result<std::vector<EdgeId>> ExtractPathEdges(const Graph& graph,
+                                             const ShortestPathTree& tree,
+                                             VertexId target) {
+  if (!graph.HasVertex(target)) {
+    return Status::InvalidArgument("target vertex out of range");
+  }
+  if (!tree.Reachable(target)) {
+    return Status::NotFound(
+        StrFormat("vertex %d unreachable from source %d", target,
+                  tree.source));
+  }
+  std::vector<EdgeId> edges;
+  VertexId v = target;
+  while (v != tree.source) {
+    EdgeId e = tree.parent_edge[static_cast<size_t>(v)];
+    DPSP_CHECK_MSG(e >= 0, "broken parent chain in shortest-path tree");
+    edges.push_back(e);
+    v = tree.parent_vertex[static_cast<size_t>(v)];
+  }
+  std::reverse(edges.begin(), edges.end());
+  return edges;
+}
+
+Result<std::vector<VertexId>> ExtractPathVertices(const Graph& graph,
+                                                  const ShortestPathTree& tree,
+                                                  VertexId target) {
+  DPSP_ASSIGN_OR_RETURN(std::vector<EdgeId> edges,
+                        ExtractPathEdges(graph, tree, target));
+  std::vector<VertexId> vertices;
+  vertices.push_back(tree.source);
+  VertexId at = tree.source;
+  for (EdgeId e : edges) {
+    at = graph.OtherEndpoint(e, at);
+    vertices.push_back(at);
+  }
+  (void)target;
+  return vertices;
+}
+
+Status ValidatePath(const Graph& graph, const std::vector<EdgeId>& edges,
+                    VertexId from, VertexId to) {
+  if (!graph.HasVertex(from) || !graph.HasVertex(to)) {
+    return Status::InvalidArgument("path endpoints out of range");
+  }
+  VertexId at = from;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    EdgeId e = edges[i];
+    if (e < 0 || e >= graph.num_edges()) {
+      return Status::InvalidArgument(StrFormat("edge id %d out of range", e));
+    }
+    const EdgeEndpoints& ep = graph.edge(e);
+    if (graph.directed()) {
+      if (ep.u != at) {
+        return Status::InvalidArgument(
+            StrFormat("edge %zu does not continue the walk at vertex %d", i,
+                      at));
+      }
+      at = ep.v;
+    } else {
+      if (ep.u == at) {
+        at = ep.v;
+      } else if (ep.v == at) {
+        at = ep.u;
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("edge %zu does not continue the walk at vertex %d", i,
+                      at));
+      }
+    }
+  }
+  if (at != to) {
+    return Status::InvalidArgument(
+        StrFormat("walk ends at vertex %d, expected %d", at, to));
+  }
+  return Status::Ok();
+}
+
+}  // namespace dpsp

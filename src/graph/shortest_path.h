@@ -1,0 +1,71 @@
+// Single-source shortest paths: Dijkstra for non-negative weights,
+// Bellman-Ford for arbitrary weights, BFS for hop (unweighted) distance.
+// These are the exact (non-private) primitives that the paper's mechanisms
+// post-process.
+
+#ifndef DPSP_GRAPH_SHORTEST_PATH_H_
+#define DPSP_GRAPH_SHORTEST_PATH_H_
+
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace dpsp {
+
+/// Distance value used for unreachable vertices.
+inline constexpr double kInfiniteDistance =
+    std::numeric_limits<double>::infinity();
+
+/// Hop count used for unreachable vertices.
+inline constexpr int kUnreachableHops = -1;
+
+/// Shortest-path tree from a single source: per-vertex distance and the
+/// parent edge/vertex on one optimal path (-1 at the source and at
+/// unreachable vertices).
+struct ShortestPathTree {
+  VertexId source = 0;
+  std::vector<double> distance;
+  std::vector<EdgeId> parent_edge;
+  std::vector<VertexId> parent_vertex;
+
+  bool Reachable(VertexId v) const {
+    return distance[static_cast<size_t>(v)] < kInfiniteDistance;
+  }
+};
+
+/// Dijkstra with a binary heap; O((V + E) log V). Requires non-negative
+/// weights (validated) and a valid source.
+Result<ShortestPathTree> Dijkstra(const Graph& graph, const EdgeWeights& w,
+                                  VertexId source);
+
+/// Bellman-Ford; O(V * E). Handles negative weights. Fails with
+/// FailedPrecondition on a negative cycle reachable from the source.
+Result<ShortestPathTree> BellmanFord(const Graph& graph, const EdgeWeights& w,
+                                     VertexId source);
+
+/// Hop distances (number of edges on a fewest-edge path) from `source` via
+/// BFS; kUnreachableHops where unreachable.
+Result<std::vector<int>> HopDistances(const Graph& graph, VertexId source);
+
+/// Edge ids of the tree path from the SPT source to `target`, in order from
+/// source to target. Fails if `target` is unreachable.
+Result<std::vector<EdgeId>> ExtractPathEdges(const Graph& graph,
+                                             const ShortestPathTree& tree,
+                                             VertexId target);
+
+/// Vertex sequence of the tree path from the SPT source to `target`
+/// (inclusive of both endpoints). Fails if unreachable.
+Result<std::vector<VertexId>> ExtractPathVertices(const Graph& graph,
+                                                  const ShortestPathTree& tree,
+                                                  VertexId target);
+
+/// Checks that `edges` forms a contiguous walk from `from` to `to` in the
+/// graph. Used to validate released paths.
+Status ValidatePath(const Graph& graph, const std::vector<EdgeId>& edges,
+                    VertexId from, VertexId to);
+
+}  // namespace dpsp
+
+#endif  // DPSP_GRAPH_SHORTEST_PATH_H_

@@ -1,0 +1,130 @@
+#include "graph/spanning_tree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "graph/union_find.h"
+
+namespace dpsp {
+
+namespace {
+
+Status ValidateMstInput(const Graph& graph, const EdgeWeights& w) {
+  if (graph.directed()) {
+    return Status::InvalidArgument("spanning trees require undirected graphs");
+  }
+  DPSP_RETURN_IF_ERROR(graph.ValidateWeights(w));
+  if (graph.num_vertices() == 0) {
+    return Status::InvalidArgument("graph is empty");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<EdgeId>> KruskalMst(const Graph& graph,
+                                       const EdgeWeights& w) {
+  DPSP_RETURN_IF_ERROR(ValidateMstInput(graph, w));
+  std::vector<EdgeId> order(static_cast<size_t>(graph.num_edges()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    double wa = w[static_cast<size_t>(a)];
+    double wb = w[static_cast<size_t>(b)];
+    if (wa != wb) return wa < wb;
+    return a < b;  // deterministic tie-break
+  });
+
+  UnionFind dsu(graph.num_vertices());
+  std::vector<EdgeId> tree;
+  tree.reserve(static_cast<size_t>(graph.num_vertices()) - 1);
+  for (EdgeId e : order) {
+    const EdgeEndpoints& ep = graph.edge(e);
+    if (dsu.Union(ep.u, ep.v)) tree.push_back(e);
+  }
+  if (static_cast<int>(tree.size()) != graph.num_vertices() - 1) {
+    return Status::FailedPrecondition("graph is not connected");
+  }
+  return tree;
+}
+
+Result<std::vector<EdgeId>> PrimMst(const Graph& graph, const EdgeWeights& w) {
+  DPSP_RETURN_IF_ERROR(ValidateMstInput(graph, w));
+  int n = graph.num_vertices();
+  std::vector<bool> in_tree(static_cast<size_t>(n), false);
+  std::vector<EdgeId> tree;
+  using HeapEntry = std::pair<double, EdgeId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+
+  auto add_vertex = [&](VertexId u) {
+    in_tree[static_cast<size_t>(u)] = true;
+    for (const AdjacencyEntry& adj : graph.Neighbors(u)) {
+      if (!in_tree[static_cast<size_t>(adj.to)]) {
+        heap.emplace(w[static_cast<size_t>(adj.edge)], adj.edge);
+      }
+    }
+  };
+  add_vertex(0);
+  while (!heap.empty() && static_cast<int>(tree.size()) < n - 1) {
+    auto [we, e] = heap.top();
+    heap.pop();
+    const EdgeEndpoints& ep = graph.edge(e);
+    VertexId fresh;
+    if (!in_tree[static_cast<size_t>(ep.u)]) {
+      fresh = ep.u;
+    } else if (!in_tree[static_cast<size_t>(ep.v)]) {
+      fresh = ep.v;
+    } else {
+      continue;  // both endpoints already inside
+    }
+    tree.push_back(e);
+    add_vertex(fresh);
+  }
+  if (static_cast<int>(tree.size()) != n - 1) {
+    return Status::FailedPrecondition("graph is not connected");
+  }
+  return tree;
+}
+
+Result<std::vector<EdgeId>> BfsSpanningTree(const Graph& graph,
+                                            VertexId root) {
+  if (graph.directed()) {
+    return Status::InvalidArgument("spanning trees require undirected graphs");
+  }
+  if (!graph.HasVertex(root)) {
+    return Status::InvalidArgument("root vertex out of range");
+  }
+  std::vector<bool> seen(static_cast<size_t>(graph.num_vertices()), false);
+  seen[static_cast<size_t>(root)] = true;
+  std::vector<EdgeId> tree;
+  std::queue<VertexId> queue;
+  queue.push(root);
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop();
+    for (const AdjacencyEntry& adj : graph.Neighbors(u)) {
+      if (!seen[static_cast<size_t>(adj.to)]) {
+        seen[static_cast<size_t>(adj.to)] = true;
+        tree.push_back(adj.edge);
+        queue.push(adj.to);
+      }
+    }
+  }
+  if (static_cast<int>(tree.size()) != graph.num_vertices() - 1) {
+    return Status::FailedPrecondition("graph is not connected");
+  }
+  return tree;
+}
+
+bool IsSpanningTree(const Graph& graph, const std::vector<EdgeId>& edges) {
+  if (static_cast<int>(edges.size()) != graph.num_vertices() - 1) return false;
+  UnionFind dsu(graph.num_vertices());
+  for (EdgeId e : edges) {
+    if (e < 0 || e >= graph.num_edges()) return false;
+    const EdgeEndpoints& ep = graph.edge(e);
+    if (!dsu.Union(ep.u, ep.v)) return false;  // cycle
+  }
+  return dsu.num_sets() == 1;
+}
+
+}  // namespace dpsp

@@ -1,0 +1,34 @@
+// Spanning trees: Kruskal and Prim for minimum-weight spanning trees
+// (negative weights permitted, as Appendix B.1 requires), plus a BFS
+// spanning tree of the unweighted topology (used by the k-covering
+// construction of Lemma 4.4).
+
+#ifndef DPSP_GRAPH_SPANNING_TREE_H_
+#define DPSP_GRAPH_SPANNING_TREE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace dpsp {
+
+/// Minimum spanning tree via Kruskal. Fails on directed or disconnected
+/// graphs. Returns the edge ids of the tree (V-1 edges).
+Result<std::vector<EdgeId>> KruskalMst(const Graph& graph,
+                                       const EdgeWeights& w);
+
+/// Minimum spanning tree via Prim (binary heap). Same contract as Kruskal.
+Result<std::vector<EdgeId>> PrimMst(const Graph& graph, const EdgeWeights& w);
+
+/// BFS spanning tree of the undirected topology rooted at `root`. Fails if
+/// the graph is disconnected or directed.
+Result<std::vector<EdgeId>> BfsSpanningTree(const Graph& graph, VertexId root);
+
+/// True iff `edges` has V-1 entries and connects all vertices (i.e. forms a
+/// spanning tree of the topology).
+bool IsSpanningTree(const Graph& graph, const std::vector<EdgeId>& edges);
+
+}  // namespace dpsp
+
+#endif  // DPSP_GRAPH_SPANNING_TREE_H_

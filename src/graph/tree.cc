@@ -1,0 +1,131 @@
+#include "graph/tree.h"
+
+#include <queue>
+
+#include "graph/connectivity.h"
+
+namespace dpsp {
+
+Result<RootedTree> RootedTree::FromGraph(const Graph& graph, VertexId root) {
+  if (graph.directed()) {
+    return Status::InvalidArgument("RootedTree requires an undirected graph");
+  }
+  if (!graph.HasVertex(root)) {
+    return Status::InvalidArgument("root vertex out of range");
+  }
+  int n = graph.num_vertices();
+  if (graph.num_edges() != n - 1) {
+    return Status::InvalidArgument(
+        "graph is not a tree: edge count != V - 1");
+  }
+
+  RootedTree tree;
+  tree.root_ = root;
+  tree.parent_.assign(static_cast<size_t>(n), -1);
+  tree.parent_edge_.assign(static_cast<size_t>(n), -1);
+  tree.children_.assign(static_cast<size_t>(n), {});
+  tree.depth_.assign(static_cast<size_t>(n), 0);
+  tree.subtree_size_.assign(static_cast<size_t>(n), 1);
+
+  std::vector<bool> seen(static_cast<size_t>(n), false);
+  seen[static_cast<size_t>(root)] = true;
+  std::queue<VertexId> queue;
+  queue.push(root);
+  tree.bfs_order_.reserve(static_cast<size_t>(n));
+  while (!queue.empty()) {
+    VertexId u = queue.front();
+    queue.pop();
+    tree.bfs_order_.push_back(u);
+    for (const AdjacencyEntry& adj : graph.Neighbors(u)) {
+      if (seen[static_cast<size_t>(adj.to)]) continue;
+      seen[static_cast<size_t>(adj.to)] = true;
+      tree.parent_[static_cast<size_t>(adj.to)] = u;
+      tree.parent_edge_[static_cast<size_t>(adj.to)] = adj.edge;
+      tree.children_[static_cast<size_t>(u)].push_back(adj.to);
+      tree.depth_[static_cast<size_t>(adj.to)] =
+          tree.depth_[static_cast<size_t>(u)] + 1;
+      queue.push(adj.to);
+    }
+  }
+  if (static_cast<int>(tree.bfs_order_.size()) != n) {
+    return Status::InvalidArgument("graph is not a tree: not connected");
+  }
+  // Children-before-parents accumulation of subtree sizes.
+  for (auto it = tree.bfs_order_.rbegin(); it != tree.bfs_order_.rend();
+       ++it) {
+    VertexId v = *it;
+    VertexId p = tree.parent_[static_cast<size_t>(v)];
+    if (p != -1) {
+      tree.subtree_size_[static_cast<size_t>(p)] +=
+          tree.subtree_size_[static_cast<size_t>(v)];
+    }
+  }
+  return tree;
+}
+
+std::vector<double> RootedTree::RootDistances(const EdgeWeights& w) const {
+  std::vector<double> dist(parent_.size(), 0.0);
+  for (VertexId v : bfs_order_) {
+    VertexId p = parent(v);
+    if (p != -1) {
+      dist[static_cast<size_t>(v)] =
+          dist[static_cast<size_t>(p)] +
+          w[static_cast<size_t>(parent_edge(v))];
+    }
+  }
+  return dist;
+}
+
+LcaIndex::LcaIndex(const RootedTree& tree) : tree_(&tree) {
+  int n = tree.num_vertices();
+  while ((1 << log_) < n) ++log_;
+  up_.assign(static_cast<size_t>(log_ + 1),
+             std::vector<VertexId>(static_cast<size_t>(n), -1));
+  for (VertexId v = 0; v < n; ++v) up_[0][static_cast<size_t>(v)] = tree.parent(v);
+  for (int k = 1; k <= log_; ++k) {
+    for (VertexId v = 0; v < n; ++v) {
+      VertexId mid = up_[static_cast<size_t>(k - 1)][static_cast<size_t>(v)];
+      up_[static_cast<size_t>(k)][static_cast<size_t>(v)] =
+          mid == -1 ? -1
+                    : up_[static_cast<size_t>(k - 1)][static_cast<size_t>(mid)];
+    }
+  }
+}
+
+VertexId LcaIndex::Ancestor(VertexId v, int steps) const {
+  for (int k = 0; k <= log_ && v != -1; ++k) {
+    if (steps & (1 << k)) v = up_[static_cast<size_t>(k)][static_cast<size_t>(v)];
+  }
+  return v;
+}
+
+VertexId LcaIndex::Lca(VertexId u, VertexId v) const {
+  DPSP_CHECK_MSG(u >= 0 && u < tree_->num_vertices() && v >= 0 &&
+                     v < tree_->num_vertices(),
+                 "LCA query out of range");
+  if (tree_->depth(u) < tree_->depth(v)) std::swap(u, v);
+  u = Ancestor(u, tree_->depth(u) - tree_->depth(v));
+  if (u == v) return u;
+  for (int k = log_; k >= 0; --k) {
+    VertexId au = up_[static_cast<size_t>(k)][static_cast<size_t>(u)];
+    VertexId av = up_[static_cast<size_t>(k)][static_cast<size_t>(v)];
+    if (au != av) {
+      u = au;
+      v = av;
+    }
+  }
+  return tree_->parent(u);
+}
+
+int LcaIndex::HopDistance(VertexId u, VertexId v) const {
+  VertexId z = Lca(u, v);
+  return tree_->depth(u) + tree_->depth(v) - 2 * tree_->depth(z);
+}
+
+bool IsTree(const Graph& graph) {
+  if (graph.directed()) return false;
+  if (graph.num_edges() != graph.num_vertices() - 1) return false;
+  return IsConnected(graph);
+}
+
+}  // namespace dpsp

@@ -1,0 +1,93 @@
+// Rooted-tree utilities: orientation of an undirected tree graph at a root,
+// subtree sizes, depths, and lowest common ancestors via binary lifting.
+// These back the tree-distance algorithms of Section 4.1.
+
+#ifndef DPSP_GRAPH_TREE_H_
+#define DPSP_GRAPH_TREE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace dpsp {
+
+/// A tree graph oriented away from a chosen root. Parent pointers, children
+/// lists, depths, BFS order, and subtree sizes are precomputed.
+class RootedTree {
+ public:
+  /// Orients `graph` at `root`. Fails unless the graph is an undirected
+  /// tree (connected, exactly V-1 edges, no parallel edges forming cycles).
+  static Result<RootedTree> FromGraph(const Graph& graph, VertexId root);
+
+  VertexId root() const { return root_; }
+  int num_vertices() const { return static_cast<int>(parent_.size()); }
+
+  /// Parent of v (-1 at the root).
+  VertexId parent(VertexId v) const { return parent_[static_cast<size_t>(v)]; }
+
+  /// Edge to the parent (-1 at the root).
+  EdgeId parent_edge(VertexId v) const {
+    return parent_edge_[static_cast<size_t>(v)];
+  }
+
+  /// Children of v in adjacency order.
+  const std::vector<VertexId>& children(VertexId v) const {
+    return children_[static_cast<size_t>(v)];
+  }
+
+  /// Hop depth of v (0 at the root).
+  int depth(VertexId v) const { return depth_[static_cast<size_t>(v)]; }
+
+  /// Number of vertices in the subtree rooted at v (>= 1).
+  int subtree_size(VertexId v) const {
+    return subtree_size_[static_cast<size_t>(v)];
+  }
+
+  /// Vertices in BFS order from the root (root first). Reverse iteration
+  /// visits children before parents.
+  const std::vector<VertexId>& bfs_order() const { return bfs_order_; }
+
+  /// Weighted distance from the root to every vertex (sum of parent-edge
+  /// weights along the unique root path).
+  std::vector<double> RootDistances(const EdgeWeights& w) const;
+
+ private:
+  RootedTree() = default;
+
+  VertexId root_ = 0;
+  std::vector<VertexId> parent_;
+  std::vector<EdgeId> parent_edge_;
+  std::vector<std::vector<VertexId>> children_;
+  std::vector<int> depth_;
+  std::vector<int> subtree_size_;
+  std::vector<VertexId> bfs_order_;
+};
+
+/// Lowest-common-ancestor queries in O(log V) after O(V log V) setup
+/// (binary lifting over the parent pointers).
+class LcaIndex {
+ public:
+  explicit LcaIndex(const RootedTree& tree);
+
+  /// The lowest common ancestor of u and v.
+  VertexId Lca(VertexId u, VertexId v) const;
+
+  /// Hop distance between u and v through their LCA.
+  int HopDistance(VertexId u, VertexId v) const;
+
+ private:
+  VertexId Ancestor(VertexId v, int steps) const;
+
+  const RootedTree* tree_;
+  int log_ = 1;
+  // up_[k][v]: the 2^k-th ancestor of v (-1 past the root).
+  std::vector<std::vector<VertexId>> up_;
+};
+
+/// True iff the undirected graph is a tree (connected, V-1 edges).
+bool IsTree(const Graph& graph);
+
+}  // namespace dpsp
+
+#endif  // DPSP_GRAPH_TREE_H_

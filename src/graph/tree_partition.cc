@@ -1,0 +1,138 @@
+#include "graph/tree_partition.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/table.h"
+
+namespace dpsp {
+
+SubtreeView FullTreeView(const RootedTree& tree) {
+  SubtreeView view;
+  view.root = tree.root();
+  view.vertices = tree.bfs_order();
+  return view;
+}
+
+Status ValidateSubtreeView(const RootedTree& tree, const SubtreeView& view) {
+  if (view.vertices.empty()) {
+    return Status::InvalidArgument("subtree view is empty");
+  }
+  std::unordered_map<VertexId, bool> member;
+  member.reserve(view.vertices.size() * 2);
+  for (VertexId v : view.vertices) {
+    if (v < 0 || v >= tree.num_vertices()) {
+      return Status::InvalidArgument("subtree view vertex out of range");
+    }
+    if (member.count(v)) {
+      return Status::InvalidArgument("subtree view contains duplicates");
+    }
+    member[v] = true;
+  }
+  if (!member.count(view.root)) {
+    return Status::InvalidArgument("subtree view root not in vertex set");
+  }
+  for (VertexId v : view.vertices) {
+    if (v == view.root) continue;
+    VertexId p = tree.parent(v);
+    if (p == -1 || !member.count(p)) {
+      return Status::InvalidArgument(StrFormat(
+          "subtree view not parent-closed: vertex %d's parent missing", v));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<TreeSplit> SplitSubtree(const RootedTree& tree,
+                               const SubtreeView& view) {
+  int n = view.size();
+  if (n < 2) {
+    return Status::InvalidArgument("SplitSubtree requires >= 2 vertices");
+  }
+
+  // Membership, children-within-view, and subtree sizes within the view.
+  std::unordered_map<VertexId, int> index;  // vertex -> position in view
+  index.reserve(view.vertices.size() * 2);
+  for (int i = 0; i < n; ++i) index[view.vertices[static_cast<size_t>(i)]] = i;
+
+  std::vector<std::vector<VertexId>> children(static_cast<size_t>(n));
+  for (VertexId v : view.vertices) {
+    if (v == view.root) continue;
+    VertexId p = tree.parent(v);
+    auto it = index.find(p);
+    if (it == index.end()) {
+      return Status::InvalidArgument("subtree view not parent-closed");
+    }
+    children[static_cast<size_t>(it->second)].push_back(v);
+  }
+
+  // Sizes by decreasing original depth (children before parents: a child is
+  // always deeper than its parent in the original tree).
+  std::vector<VertexId> by_depth = view.vertices;
+  std::sort(by_depth.begin(), by_depth.end(), [&](VertexId a, VertexId b) {
+    return tree.depth(a) > tree.depth(b);
+  });
+  std::vector<int> size(static_cast<size_t>(n), 1);
+  for (VertexId v : by_depth) {
+    if (v == view.root) continue;
+    VertexId p = tree.parent(v);
+    size[static_cast<size_t>(index[p])] += size[static_cast<size_t>(index[v])];
+  }
+
+  // Walk down from the root while some child subtree still exceeds n/2.
+  double half = static_cast<double>(n) / 2.0;
+  VertexId v_star = view.root;
+  while (true) {
+    VertexId heavy_child = -1;
+    for (VertexId c : children[static_cast<size_t>(index[v_star])]) {
+      if (static_cast<double>(size[static_cast<size_t>(index[c])]) > half) {
+        heavy_child = c;
+        break;
+      }
+    }
+    if (heavy_child == -1) break;
+    v_star = heavy_child;
+  }
+
+  TreeSplit split;
+  split.v_star = v_star;
+  split.child_roots = children[static_cast<size_t>(index[v_star])];
+
+  // Collect each child subtree by stack traversal within the view.
+  std::vector<bool> in_child(static_cast<size_t>(n), false);
+  for (VertexId c : split.child_roots) {
+    SubtreeView child_view;
+    child_view.root = c;
+    std::vector<VertexId> stack{c};
+    while (!stack.empty()) {
+      VertexId v = stack.back();
+      stack.pop_back();
+      child_view.vertices.push_back(v);
+      in_child[static_cast<size_t>(index[v])] = true;
+      for (VertexId grandchild : children[static_cast<size_t>(index[v])]) {
+        stack.push_back(grandchild);
+      }
+    }
+    split.child_subtrees.push_back(std::move(child_view));
+  }
+
+  split.rest.root = view.root;
+  for (int i = 0; i < n; ++i) {
+    if (!in_child[static_cast<size_t>(i)]) {
+      split.rest.vertices.push_back(view.vertices[static_cast<size_t>(i)]);
+    }
+  }
+
+  // Invariants from the proof of Theorem 4.1: every child subtree has at
+  // most n/2 vertices, and since size(v*) >= floor(n/2)+1 the remainder
+  // T_0 = view \ (T_1 u ... u T_t) has at most ceil(n/2) vertices.
+  for (const SubtreeView& child : split.child_subtrees) {
+    DPSP_CHECK_MSG(static_cast<double>(child.size()) <= half,
+                   "child subtree exceeds half the view");
+  }
+  DPSP_CHECK_MSG(split.rest.size() <= (n + 1) / 2,
+                 "rest subtree exceeds ceil(n/2)");
+  return split;
+}
+
+}  // namespace dpsp

@@ -1,0 +1,62 @@
+// The Figure-1 tree splitter used by Algorithm 1 (Rooted tree distances).
+//
+// Given a rooted tree with n vertices, there is a unique-down-a-chain vertex
+// v* whose subtree contains more than n/2 vertices while the subtree of each
+// of its children contains at most n/2. Splitting at v* partitions the
+// vertex set into the child subtrees T_1..T_t (each of size <= n/2) and the
+// remainder T_0 (of size <= ceil(n/2), containing the root and v*), which
+// bounds the recursion depth of Algorithm 1 by ceil(log2 n) + 1.
+//
+// The splitter here works on an arbitrary *subset* of a RootedTree's
+// vertices (the recursion operates on smaller and smaller subtrees without
+// re-building graphs), described by a parent function restricted to the
+// subset.
+
+#ifndef DPSP_GRAPH_TREE_PARTITION_H_
+#define DPSP_GRAPH_TREE_PARTITION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/tree.h"
+
+namespace dpsp {
+
+/// A subtree of a RootedTree given as an explicit vertex set with its own
+/// root. `vertices` always contains `root`, and every non-root member's
+/// parent (in the original tree) is also a member.
+struct SubtreeView {
+  VertexId root = 0;
+  std::vector<VertexId> vertices;
+
+  int size() const { return static_cast<int>(vertices.size()); }
+};
+
+/// The result of splitting a subtree at its balanced separator v*.
+struct TreeSplit {
+  /// The separator vertex v* (may equal the subtree root).
+  VertexId v_star = 0;
+  /// Children of v* inside the subtree, i.e. the roots of T_1..T_t.
+  std::vector<VertexId> child_roots;
+  /// T_0: remaining vertices (contains root and v*), rooted at the original
+  /// subtree root.
+  SubtreeView rest;
+  /// T_1..T_t, aligned with child_roots.
+  std::vector<SubtreeView> child_subtrees;
+};
+
+/// Finds v* for the given subtree view and produces the partition of
+/// Figure 1. Requires view.size() >= 2.
+Result<TreeSplit> SplitSubtree(const RootedTree& tree, const SubtreeView& view);
+
+/// The whole tree as a subtree view (root = tree root, all vertices).
+SubtreeView FullTreeView(const RootedTree& tree);
+
+/// Validates the SubtreeView invariants (root membership, closure under
+/// parent within the set). For tests and debugging.
+Status ValidateSubtreeView(const RootedTree& tree, const SubtreeView& view);
+
+}  // namespace dpsp
+
+#endif  // DPSP_GRAPH_TREE_PARTITION_H_

@@ -1,0 +1,46 @@
+#include "graph/union_find.h"
+
+#include <numeric>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dpsp {
+
+UnionFind::UnionFind(int n)
+    : parent_(static_cast<size_t>(n)),
+      size_(static_cast<size_t>(n), 1),
+      num_sets_(n) {
+  DPSP_CHECK_MSG(n >= 0, "UnionFind size must be non-negative");
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+int UnionFind::Find(int x) {
+  DPSP_CHECK_MSG(x >= 0 && x < static_cast<int>(parent_.size()),
+                 "UnionFind::Find out of range");
+  int root = x;
+  while (parent_[static_cast<size_t>(root)] != root) {
+    root = parent_[static_cast<size_t>(root)];
+  }
+  while (parent_[static_cast<size_t>(x)] != root) {
+    int next = parent_[static_cast<size_t>(x)];
+    parent_[static_cast<size_t>(x)] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(int a, int b) {
+  int ra = Find(a);
+  int rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[static_cast<size_t>(ra)] < size_[static_cast<size_t>(rb)]) {
+    std::swap(ra, rb);
+  }
+  parent_[static_cast<size_t>(rb)] = ra;
+  size_[static_cast<size_t>(ra)] += size_[static_cast<size_t>(rb)];
+  --num_sets_;
+  return true;
+}
+
+}  // namespace dpsp

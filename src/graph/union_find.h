@@ -1,0 +1,39 @@
+// Disjoint-set union with path compression and union by size.
+
+#ifndef DPSP_GRAPH_UNION_FIND_H_
+#define DPSP_GRAPH_UNION_FIND_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dpsp {
+
+/// Classic DSU over {0, ..., n-1}.
+class UnionFind {
+ public:
+  explicit UnionFind(int n);
+
+  /// Representative of x's set (with path compression).
+  int Find(int x);
+
+  /// Merges the sets of a and b; returns false if already merged.
+  bool Union(int a, int b);
+
+  /// True iff a and b are in the same set.
+  bool Connected(int a, int b) { return Find(a) == Find(b); }
+
+  /// Number of elements in x's set.
+  int SetSize(int x) { return size_[static_cast<size_t>(Find(x))]; }
+
+  /// Current number of disjoint sets.
+  int num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+  int num_sets_;
+};
+
+}  // namespace dpsp
+
+#endif  // DPSP_GRAPH_UNION_FIND_H_

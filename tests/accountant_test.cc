@@ -1,0 +1,90 @@
+#include "dp/accountant.h"
+
+#include <gtest/gtest.h>
+
+#include "dp/composition.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(AccountantTest, EmptyTotalsAreZero) {
+  PrivacyAccountant accountant;
+  EXPECT_EQ(accountant.num_releases(), 0);
+  PrivacyParams total = accountant.BasicTotal();
+  EXPECT_DOUBLE_EQ(total.epsilon, 0.0);
+  EXPECT_DOUBLE_EQ(total.delta, 0.0);
+  EXPECT_FALSE(accountant.AdvancedTotal(1e-6).ok());
+}
+
+TEST(AccountantTest, BasicTotalSums) {
+  PrivacyAccountant accountant;
+  ASSERT_OK(accountant.Record("tree release", 0.5, 0.0));
+  ASSERT_OK(accountant.Record("path release", 0.25, 1e-6));
+  PrivacyParams total = accountant.BasicTotal();
+  EXPECT_DOUBLE_EQ(total.epsilon, 0.75);
+  EXPECT_DOUBLE_EQ(total.delta, 1e-6);
+  EXPECT_EQ(accountant.num_releases(), 2);
+}
+
+TEST(AccountantTest, RejectsInvalidEntries) {
+  PrivacyAccountant accountant;
+  EXPECT_FALSE(accountant.Record("bad", 0.0, 0.0).ok());
+  EXPECT_FALSE(accountant.Record("bad", 1.0, 1.0).ok());
+  EXPECT_FALSE(accountant.Record("bad", -1.0, 0.0).ok());
+  EXPECT_EQ(accountant.num_releases(), 0);
+}
+
+TEST(AccountantTest, AdvancedTotalMatchesLemma34) {
+  PrivacyAccountant accountant;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_OK(accountant.Record("release", 0.05, 0.0));
+  }
+  ASSERT_OK_AND_ASSIGN(PrivacyParams advanced,
+                       accountant.AdvancedTotal(1e-6));
+  EXPECT_NEAR(advanced.epsilon, AdvancedCompositionEpsilon(50, 0.05, 1e-6),
+              1e-12);
+  EXPECT_DOUBLE_EQ(advanced.delta, 1e-6);
+}
+
+TEST(AccountantTest, BestTotalPicksSmallerEpsilon) {
+  // 2 releases: basic wins. 200 releases: advanced wins.
+  PrivacyAccountant small;
+  ASSERT_OK(small.Record("a", 0.1, 0.0));
+  ASSERT_OK(small.Record("b", 0.1, 0.0));
+  EXPECT_DOUBLE_EQ(small.BestTotal(1e-6).epsilon, 0.2);
+
+  PrivacyAccountant large;
+  for (int i = 0; i < 200; ++i) ASSERT_OK(large.Record("r", 0.1, 0.0));
+  EXPECT_LT(large.BestTotal(1e-6).epsilon, 20.0);
+  EXPECT_NEAR(large.BestTotal(1e-6).epsilon,
+              AdvancedCompositionEpsilon(200, 0.1, 1e-6), 1e-12);
+}
+
+TEST(AccountantTest, WithinBudget) {
+  PrivacyAccountant accountant;
+  ASSERT_OK(accountant.Record("a", 0.4, 0.0));
+  ASSERT_OK(accountant.Record("b", 0.4, 0.0));
+  PrivacyParams budget{1.0, 1e-5, 1.0};
+  EXPECT_TRUE(accountant.WithinBudget(budget, 1e-6));
+  ASSERT_OK(accountant.Record("c", 0.4, 0.0));
+  EXPECT_FALSE(accountant.WithinBudget(budget, 1e-6));
+}
+
+TEST(AccountantTest, RecordFromPrivacyParams) {
+  PrivacyAccountant accountant;
+  PrivacyParams params{0.7, 1e-8, 1.0};
+  ASSERT_OK(accountant.Record("mechanism", params));
+  EXPECT_DOUBLE_EQ(accountant.BasicTotal().epsilon, 0.7);
+}
+
+TEST(AccountantTest, ToStringListsEntries) {
+  PrivacyAccountant accountant;
+  ASSERT_OK(accountant.Record("morning refresh", 0.5, 0.0));
+  std::string s = accountant.ToString();
+  EXPECT_NE(s.find("morning refresh"), std::string::npos);
+  EXPECT_NE(s.find("0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpsp

@@ -1,0 +1,88 @@
+#include "graph/all_pairs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(DistanceMatrixTest, DiagonalZeroOffDiagonalInfinite) {
+  DistanceMatrix m(3);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+  EXPECT_EQ(m.at(0, 2), kInfiniteDistance);
+  m.set(0, 2, 4.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 4.5);
+}
+
+TEST(AllPairsDijkstraTest, CycleDistances) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCycleGraph(5));
+  EdgeWeights w(5, 1.0);
+  ASSERT_OK_AND_ASSIGN(DistanceMatrix m, AllPairsDijkstra(g, w));
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 3), 2.0);  // around the other way
+  EXPECT_DOUBLE_EQ(m.at(0, 4), 1.0);
+}
+
+TEST(AllPairsDijkstraTest, DisconnectedPairsAreInfinite) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(4, {{0, 1}, {2, 3}}));
+  ASSERT_OK_AND_ASSIGN(DistanceMatrix m, AllPairsDijkstra(g, {1.0, 1.0}));
+  EXPECT_EQ(m.at(0, 2), kInfiniteDistance);
+  EXPECT_DOUBLE_EQ(m.at(2, 3), 1.0);
+}
+
+TEST(FloydWarshallTest, MatchesDijkstraOnRandomGraphs) {
+  Rng rng(kTestSeed);
+  for (int trial = 0; trial < 5; ++trial) {
+    ASSERT_OK_AND_ASSIGN(Graph g, MakeConnectedErdosRenyi(25, 0.2, &rng));
+    EdgeWeights w = MakeUniformWeights(g, 0.0, 4.0, &rng);
+    ASSERT_OK_AND_ASSIGN(DistanceMatrix a, AllPairsDijkstra(g, w));
+    ASSERT_OK_AND_ASSIGN(DistanceMatrix b, FloydWarshall(g, w));
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_NEAR(a.at(u, v), b.at(u, v), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(FloydWarshallTest, NegativeEdgesOnDag) {
+  ASSERT_OK_AND_ASSIGN(Graph g,
+                       Graph::Create(3, {{0, 1}, {1, 2}, {0, 2}}, true));
+  EdgeWeights w{2.0, -5.0, 0.0};
+  ASSERT_OK_AND_ASSIGN(DistanceMatrix m, FloydWarshall(g, w));
+  EXPECT_DOUBLE_EQ(m.at(0, 2), -3.0);
+}
+
+TEST(FloydWarshallTest, DetectsNegativeCycle) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(2, {{0, 1}, {1, 0}}, true));
+  EXPECT_FALSE(FloydWarshall(g, {1.0, -3.0}).ok());
+}
+
+TEST(FloydWarshallTest, ParallelEdgesTakeMinimum) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(2, {{0, 1}, {0, 1}}));
+  ASSERT_OK_AND_ASSIGN(DistanceMatrix m, FloydWarshall(g, {7.0, 3.0}));
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 3.0);
+}
+
+TEST(MultiSourceDistancesTest, RowsMatchSingleSource) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeGridGraph(4, 4));
+  EdgeWeights w = MakeUniformWeights(g, 0.5, 2.0, &rng);
+  std::vector<VertexId> sources{3, 7, 11};
+  ASSERT_OK_AND_ASSIGN(auto rows, MultiSourceDistances(g, w, sources));
+  ASSERT_EQ(rows.size(), 3u);
+  ASSERT_OK_AND_ASSIGN(DistanceMatrix m, AllPairsDijkstra(g, w));
+  for (size_t i = 0; i < sources.size(); ++i) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_NEAR(rows[i][static_cast<size_t>(v)], m.at(sources[i], v), 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpsp

@@ -1,0 +1,195 @@
+#include "core/bounded_weight.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(AutoCoveringRadiusTest, FormulaRegimes) {
+  PrivacyParams pure{1.0, 0.0, 1.0};
+  PrivacyParams approx{1.0, 1e-6, 1.0};
+  // V = 1000, M = 1: pure k = floor(1000^{2/3}) = 99 (≈100, cube root 1).
+  EXPECT_EQ(AutoCoveringRadius(1000, 1.0, pure), 99);
+  // approx k = floor(sqrt(1000)) = 31.
+  EXPECT_EQ(AutoCoveringRadius(1000, 1.0, approx), 31);
+  // Larger M shrinks k.
+  EXPECT_LT(AutoCoveringRadius(1000, 100.0, approx),
+            AutoCoveringRadius(1000, 1.0, approx));
+  // Clamped to [0, V-1].
+  EXPECT_LE(AutoCoveringRadius(4, 1e-9, pure), 3);
+  EXPECT_GE(AutoCoveringRadius(4, 1e9, approx), 0);
+}
+
+TEST(BoundedWeightOracleTest, RejectsWeightsAboveM) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCycleGraph(6));
+  BoundedWeightOptions options;
+  options.max_weight = 1.0;
+  EdgeWeights w(6, 2.0);
+  EXPECT_FALSE(BoundedWeightOracle::Build(g, w, options, &rng).ok());
+}
+
+TEST(BoundedWeightOracleTest, QueryIsCenterDistance) {
+  // With huge epsilon, Distance(u,v) should be ~ d(z(u), z(v)).
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(20));
+  EdgeWeights w(19, 1.0);
+  BoundedWeightOptions options;
+  options.params = PrivacyParams{1e8, 0.0, 1.0};
+  options.max_weight = 1.0;
+  options.k = 2;
+  ASSERT_OK_AND_ASSIGN(auto oracle,
+                       BoundedWeightOracle::Build(g, w, options, &rng));
+  const Covering& covering = oracle->covering();
+  ASSERT_OK_AND_ASSIGN(DistanceMatrix exact, AllPairsDijkstra(g, w));
+  for (VertexId u = 0; u < 20; u += 3) {
+    for (VertexId v = 0; v < 20; v += 4) {
+      ASSERT_OK_AND_ASSIGN(double est, oracle->Distance(u, v));
+      double center_dist =
+          exact.at(covering.CenterOf(u), covering.CenterOf(v));
+      EXPECT_NEAR(est, center_dist, 1e-2);
+      // Bias bound |d(u,v) - d(z(u), z(v))| <= 2kM.
+      EXPECT_LE(std::fabs(exact.at(u, v) - center_dist),
+                2.0 * covering.k * options.max_weight + 1e-9);
+    }
+  }
+}
+
+TEST(BoundedWeightOracleTest, SameCenterReturnsZero) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCompleteGraph(8));
+  EdgeWeights w(28, 0.5);
+  BoundedWeightOptions options;
+  options.max_weight = 1.0;
+  options.k = 1;
+  options.strategy = BoundedWeightOptions::CoveringStrategy::kGreedy;
+  ASSERT_OK_AND_ASSIGN(auto oracle,
+                       BoundedWeightOracle::Build(g, w, options, &rng));
+  // Greedy covering of K_8 with k=1 is a single center.
+  EXPECT_EQ(oracle->covering().size(), 1);
+  ASSERT_OK_AND_ASSIGN(double d, oracle->Distance(2, 6));
+  EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(BoundedWeightOracleTest, ApproxNoiseScaleBeatsPure) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeGridGraph(10, 10));
+  EdgeWeights w = MakeUniformWeights(g, 0.0, 1.0, &rng);
+  BoundedWeightOptions pure;
+  pure.params = PrivacyParams{1.0, 0.0, 1.0};
+  pure.max_weight = 1.0;
+  pure.k = 3;
+  BoundedWeightOptions approx = pure;
+  approx.params.delta = 1e-6;
+  ASSERT_OK_AND_ASSIGN(auto oracle_pure,
+                       BoundedWeightOracle::Build(g, w, pure, &rng));
+  ASSERT_OK_AND_ASSIGN(auto oracle_approx,
+                       BoundedWeightOracle::Build(g, w, approx, &rng));
+  EXPECT_GT(oracle_pure->noise_scale(),
+            oracle_approx->noise_scale());
+  EXPECT_EQ(oracle_pure->Name(), "bounded-weight(pure)");
+  EXPECT_EQ(oracle_approx->Name(), "bounded-weight(approx)");
+}
+
+TEST(BoundedWeightOracleTest, ErrorWithinErrorBound) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeGridGraph(8, 8));
+  EdgeWeights w = MakeUniformWeights(g, 0.0, 1.0, &rng);
+  BoundedWeightOptions options;
+  options.params = PrivacyParams{1.0, 1e-6, 1.0};
+  options.max_weight = 1.0;
+  ASSERT_OK_AND_ASSIGN(DistanceMatrix exact, AllPairsDijkstra(g, w));
+  double gamma = 0.05;
+  int violations = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    ASSERT_OK_AND_ASSIGN(auto oracle,
+                         BoundedWeightOracle::Build(g, w, options, &rng));
+    ASSERT_OK_AND_ASSIGN(OracleErrorReport report,
+                         EvaluateOracleAllPairs(g, exact, *oracle));
+    if (report.max_abs_error > oracle->ErrorBound(gamma / 64.0)) ++violations;
+  }
+  EXPECT_LE(violations, 1);
+}
+
+TEST(BoundedWeightOracleTest, GridCoveringTheorem47) {
+  Rng rng(kTestSeed);
+  int side = 16;
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeGridGraph(side, side));
+  EdgeWeights w = MakeUniformWeights(g, 0.0, 1.0, &rng);
+  // stride ~ V^{1/3} with V = 256: about 6.3; use 6.
+  ASSERT_OK_AND_ASSIGN(Covering covering, GridCovering(g, side, side, 6));
+  BoundedWeightOptions options;
+  options.params = PrivacyParams{1.0, 1e-6, 1.0};
+  options.max_weight = 1.0;
+  ASSERT_OK_AND_ASSIGN(auto oracle,
+                       BoundedWeightOracle::BuildWithCovering(
+                           g, w, covering, options, &rng));
+  EXPECT_EQ(oracle->covering().size(), 9);  // ceil(16/6)^2
+  ASSERT_OK_AND_ASSIGN(double d, oracle->Distance(0, side * side - 1));
+  // Sanity: the corner-to-corner distance estimate is in a plausible range.
+  ASSERT_OK_AND_ASSIGN(DistanceMatrix exact, AllPairsDijkstra(g, w));
+  EXPECT_LT(std::fabs(d - exact.at(0, side * side - 1)),
+            oracle->ErrorBound(0.001));
+}
+
+TEST(BoundedWeightOracleTest, AutoKProducesWorkingOracle) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeConnectedErdosRenyi(60, 0.05, &rng));
+  EdgeWeights w = MakeUniformWeights(g, 0.0, 2.0, &rng);
+  BoundedWeightOptions options;
+  options.params = PrivacyParams{1.0, 1e-6, 1.0};
+  options.max_weight = 2.0;
+  ASSERT_OK_AND_ASSIGN(auto oracle,
+                       BoundedWeightOracle::Build(g, w, options, &rng));
+  ASSERT_OK_AND_ASSIGN(double d, oracle->Distance(0, 59));
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_GE(oracle->covering().k, 1);
+}
+
+TEST(BoundedWeightOracleTest, GaussianNoiseOptionWorks) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeGridGraph(8, 8));
+  EdgeWeights w = MakeUniformWeights(g, 0.0, 1.0, &rng);
+  BoundedWeightOptions options;
+  options.params = PrivacyParams{0.5, 1e-6, 1.0};
+  options.max_weight = 1.0;
+  options.k = 2;
+  options.noise = BoundedWeightOptions::NoiseKind::kGaussian;
+  ASSERT_OK_AND_ASSIGN(auto oracle,
+                       BoundedWeightOracle::Build(g, w, options, &rng));
+  EXPECT_EQ(oracle->Name(), "bounded-weight(gaussian)");
+  ASSERT_OK_AND_ASSIGN(DistanceMatrix exact, AllPairsDijkstra(g, w));
+  ASSERT_OK_AND_ASSIGN(OracleErrorReport report,
+                       EvaluateOracleAllPairs(g, exact, *oracle));
+  EXPECT_LT(report.max_abs_error, oracle->ErrorBound(0.001));
+}
+
+TEST(BoundedWeightOracleTest, GaussianRequiresApproxDp) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCycleGraph(6));
+  BoundedWeightOptions options;
+  options.params = PrivacyParams{0.5, 0.0, 1.0};
+  options.max_weight = 1.0;
+  options.k = 1;
+  options.noise = BoundedWeightOptions::NoiseKind::kGaussian;
+  EXPECT_FALSE(
+      BoundedWeightOracle::Build(g, EdgeWeights(6, 0.5), options, &rng).ok());
+}
+
+TEST(BoundedWeightOracleTest, DisconnectedGraphRejected) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(4, {{0, 1}, {2, 3}}));
+  BoundedWeightOptions options;
+  options.max_weight = 1.0;
+  EXPECT_FALSE(
+      BoundedWeightOracle::Build(g, {1.0, 1.0}, options, &rng).ok());
+}
+
+}  // namespace
+}  // namespace dpsp

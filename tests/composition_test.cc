@@ -1,0 +1,105 @@
+#include "dp/composition.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(BasicCompositionTest, Linear) {
+  EXPECT_DOUBLE_EQ(BasicCompositionEpsilon(10, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(BasicCompositionEpsilon(0, 0.5), 0.0);
+}
+
+TEST(AdvancedCompositionTest, FormulaValue) {
+  // eps' = sqrt(2k ln(1/d')) e + k e (e^e - 1).
+  double k = 100, e = 0.01, d = 0.05;
+  double expected = std::sqrt(2 * k * std::log(1 / d)) * e +
+                    k * e * (std::exp(e) - 1.0);
+  EXPECT_NEAR(AdvancedCompositionEpsilon(100, 0.01, 0.05), expected, 1e-12);
+}
+
+TEST(AdvancedCompositionTest, MonotoneInEps0) {
+  double prev = 0.0;
+  for (double e = 0.001; e < 0.2; e += 0.002) {
+    double cur = AdvancedCompositionEpsilon(50, e, 0.01);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(PerQueryEpsilonAdvancedTest, InvertsForward) {
+  for (int k : {1, 10, 100, 10000}) {
+    for (double eps : {0.1, 1.0, 3.0}) {
+      ASSERT_OK_AND_ASSIGN(double e0,
+                           PerQueryEpsilonAdvanced(k, eps, 1e-6));
+      EXPECT_NEAR(AdvancedCompositionEpsilon(k, e0, 1e-6), eps, 1e-6);
+    }
+  }
+}
+
+TEST(PerQueryEpsilonAdvancedTest, BeatsBasicForLargeK) {
+  // For k queries, advanced composition gives per-query eps ~ eps/sqrt(k),
+  // much larger than eps/k once k is big.
+  int k = 10000;
+  ASSERT_OK_AND_ASSIGN(double advanced,
+                       PerQueryEpsilonAdvanced(k, 1.0, 1e-6));
+  ASSERT_OK_AND_ASSIGN(double basic, PerQueryEpsilonBasic(k, 1.0));
+  EXPECT_GT(advanced, 10.0 * basic);
+}
+
+TEST(PerQueryEpsilonAdvancedTest, MatchesAsymptoticRate) {
+  // eps0 should scale like eps / sqrt(2 k ln(1/d')) for small eps.
+  int k = 1 << 16;
+  double eps = 0.5, d = 1e-9;
+  ASSERT_OK_AND_ASSIGN(double e0, PerQueryEpsilonAdvanced(k, eps, d));
+  double predicted = eps / std::sqrt(2.0 * k * std::log(1.0 / d));
+  EXPECT_NEAR(e0, predicted, predicted * 0.1);
+}
+
+TEST(PerQueryEpsilonBasicTest, Division) {
+  ASSERT_OK_AND_ASSIGN(double e0, PerQueryEpsilonBasic(4, 2.0));
+  EXPECT_DOUBLE_EQ(e0, 0.5);
+}
+
+TEST(PerQueryEpsilonBestTest, PureFallsBackToBasic) {
+  ASSERT_OK_AND_ASSIGN(double e0, PerQueryEpsilonBest(100, 1.0, 0.0));
+  EXPECT_DOUBLE_EQ(e0, 0.01);
+}
+
+TEST(PerQueryEpsilonBestTest, PicksLarger) {
+  // Small k: basic wins. Large k: advanced wins.
+  ASSERT_OK_AND_ASSIGN(double small_k, PerQueryEpsilonBest(2, 1.0, 1e-6));
+  ASSERT_OK_AND_ASSIGN(double basic2, PerQueryEpsilonBasic(2, 1.0));
+  EXPECT_DOUBLE_EQ(small_k, basic2);
+  ASSERT_OK_AND_ASSIGN(double large_k, PerQueryEpsilonBest(100000, 1.0, 1e-6));
+  ASSERT_OK_AND_ASSIGN(double basic_lk, PerQueryEpsilonBasic(100000, 1.0));
+  EXPECT_GT(large_k, basic_lk);
+}
+
+TEST(PerQueryEpsilonTest, InvalidArguments) {
+  EXPECT_FALSE(PerQueryEpsilonAdvanced(0, 1.0, 0.01).ok());
+  EXPECT_FALSE(PerQueryEpsilonAdvanced(5, -1.0, 0.01).ok());
+  EXPECT_FALSE(PerQueryEpsilonAdvanced(5, 1.0, 0.0).ok());
+  EXPECT_FALSE(PerQueryEpsilonAdvanced(5, 1.0, 1.5).ok());
+  EXPECT_FALSE(PerQueryEpsilonBasic(0, 1.0).ok());
+}
+
+TEST(CompositionSanityTest, ComposedBudgetNeverExceedsTotal) {
+  // Whatever per-query epsilon we get back, recomposing it must not blow
+  // the budget (the guarantee mechanisms rely on).
+  for (int k : {3, 37, 5000}) {
+    for (double eps : {0.2, 1.0}) {
+      for (double d : {1e-3, 1e-8}) {
+        ASSERT_OK_AND_ASSIGN(double e0, PerQueryEpsilonAdvanced(k, eps, d));
+        EXPECT_LE(AdvancedCompositionEpsilon(k, e0, d), eps + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpsp

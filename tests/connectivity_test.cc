@@ -1,0 +1,82 @@
+#include "graph/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(ConnectivityTest, SingleComponent) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(5));
+  ConnectedComponents cc = FindConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 1);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(ConnectivityTest, MultipleComponents) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(5, {{0, 1}, {2, 3}}));
+  ConnectedComponents cc = FindConnectedComponents(g);
+  EXPECT_EQ(cc.num_components, 3);
+  EXPECT_FALSE(IsConnected(g));
+  EXPECT_EQ(cc.component[0], cc.component[1]);
+  EXPECT_EQ(cc.component[2], cc.component[3]);
+  EXPECT_NE(cc.component[0], cc.component[2]);
+  EXPECT_NE(cc.component[0], cc.component[4]);
+}
+
+TEST(ConnectivityTest, MembersPartitionVertices) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(6, {{0, 3}, {1, 4}}));
+  ConnectedComponents cc = FindConnectedComponents(g);
+  auto members = cc.Members();
+  size_t total = 0;
+  for (const auto& m : members) total += m.size();
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(ConnectivityTest, EmptyAndSingletonAreConnected) {
+  ASSERT_OK_AND_ASSIGN(Graph empty, Graph::Create(0, {}));
+  EXPECT_TRUE(IsConnected(empty));
+  ASSERT_OK_AND_ASSIGN(Graph single, Graph::Create(1, {}));
+  EXPECT_TRUE(IsConnected(single));
+}
+
+TEST(ConnectivityTest, DirectedEdgesCountAsUndirectedForComponents) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(2, {{0, 1}}, true));
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(TwoColorTest, EvenCycleBipartite) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCycleGraph(6));
+  ASSERT_OK_AND_ASSIGN(std::vector<int> colors, TwoColor(g));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_NE(colors[static_cast<size_t>(g.edge(e).u)],
+              colors[static_cast<size_t>(g.edge(e).v)]);
+  }
+  EXPECT_TRUE(IsBipartite(g));
+}
+
+TEST(TwoColorTest, OddCycleNotBipartite) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCycleGraph(5));
+  EXPECT_FALSE(TwoColor(g).ok());
+  EXPECT_FALSE(IsBipartite(g));
+}
+
+TEST(TwoColorTest, CompleteBipartiteIsBipartite) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCompleteBipartiteGraph(3, 4));
+  EXPECT_TRUE(IsBipartite(g));
+}
+
+TEST(TwoColorTest, TreesAreBipartite) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeBalancedTree(20, 3));
+  EXPECT_TRUE(IsBipartite(g));
+}
+
+TEST(TwoColorTest, ParallelEdgesDoNotBreakBipartiteness) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(2, {{0, 1}, {0, 1}}));
+  EXPECT_TRUE(IsBipartite(g));
+}
+
+}  // namespace
+}  // namespace dpsp

@@ -1,0 +1,137 @@
+#include "graph/covering.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+// Exhaustive check of the covering property via BFS from every vertex.
+void ExpectIsKCovering(const Graph& graph, const Covering& covering) {
+  ASSERT_OK(ValidateCovering(graph, covering));
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    ASSERT_OK_AND_ASSIGN(std::vector<int> hops, HopDistances(graph, v));
+    int best = graph.num_vertices() + 1;
+    for (VertexId z : covering.centers) {
+      if (hops[static_cast<size_t>(z)] >= 0) {
+        best = std::min(best, hops[static_cast<size_t>(z)]);
+      }
+    }
+    EXPECT_LE(best, covering.k) << "vertex " << v << " uncovered";
+    // The assignment must also be within k (and consistent).
+    EXPECT_LE(covering.assignment_hops[static_cast<size_t>(v)], covering.k);
+    EXPECT_EQ(covering.assignment_hops[static_cast<size_t>(v)],
+              hops[static_cast<size_t>(covering.CenterOf(v))]);
+  }
+}
+
+TEST(MM75CoveringTest, PathGraphSizeBound) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(30));
+  for (int k : {1, 2, 4, 7}) {
+    ASSERT_OK_AND_ASSIGN(Covering covering, MM75ResidueCovering(g, k));
+    ExpectIsKCovering(g, covering);
+    // Lemma 4.4 plus the +1 endpoint insertion.
+    EXPECT_LE(covering.size(), 30 / (k + 1) + 1);
+  }
+}
+
+TEST(MM75CoveringTest, KZeroIsAllVertices) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCycleGraph(7));
+  ASSERT_OK_AND_ASSIGN(Covering covering, MM75ResidueCovering(g, 0));
+  EXPECT_EQ(covering.size(), 7);
+  ExpectIsKCovering(g, covering);
+}
+
+TEST(MM75CoveringTest, RequiresEnoughVertices) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(3));
+  EXPECT_FALSE(MM75ResidueCovering(g, 5).ok());
+}
+
+TEST(MM75CoveringTest, DisconnectedRejected) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(4, {{0, 1}, {2, 3}}));
+  EXPECT_FALSE(MM75ResidueCovering(g, 1).ok());
+}
+
+TEST(GreedyCoveringTest, CoversAndIsReasonable) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeConnectedErdosRenyi(40, 0.1, &rng));
+  for (int k : {1, 2, 3}) {
+    ASSERT_OK_AND_ASSIGN(Covering covering, GreedyCovering(g, k));
+    ExpectIsKCovering(g, covering);
+    EXPECT_GE(covering.size(), 1);
+  }
+}
+
+TEST(GreedyCoveringTest, CompleteGraphNeedsOneCenter) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCompleteGraph(10));
+  ASSERT_OK_AND_ASSIGN(Covering covering, GreedyCovering(g, 1));
+  EXPECT_EQ(covering.size(), 1);
+  ExpectIsKCovering(g, covering);
+}
+
+TEST(GridCoveringTest, Theorem47Pattern) {
+  // 9x9 grid, stride 3: centers at rows/cols {2, 5, 8}; k = 4.
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeGridGraph(9, 9));
+  ASSERT_OK_AND_ASSIGN(Covering covering, GridCovering(g, 9, 9, 3));
+  EXPECT_EQ(covering.size(), 9);
+  EXPECT_EQ(covering.k, 4);
+  ExpectIsKCovering(g, covering);
+}
+
+TEST(GridCoveringTest, StrideOneIsEveryVertex) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeGridGraph(4, 4));
+  ASSERT_OK_AND_ASSIGN(Covering covering, GridCovering(g, 4, 4, 1));
+  EXPECT_EQ(covering.size(), 16);
+  EXPECT_EQ(covering.k, 0);
+}
+
+TEST(GridCoveringTest, NonSquareGrid) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeGridGraph(5, 8));
+  ASSERT_OK_AND_ASSIGN(Covering covering, GridCovering(g, 5, 8, 2));
+  ExpectIsKCovering(g, covering);
+}
+
+TEST(GridCoveringTest, RejectsMismatchedDimensions) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeGridGraph(3, 3));
+  EXPECT_FALSE(GridCovering(g, 2, 3, 1).ok());
+  EXPECT_FALSE(GridCovering(g, 3, 3, 0).ok());
+}
+
+TEST(AssignToCentersTest, FailsWhenTooFar) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(10));
+  EXPECT_FALSE(AssignToCenters(g, {0}, 3).ok());
+  EXPECT_OK(AssignToCenters(g, {0}, 9).status());
+}
+
+TEST(AssignToCentersTest, DeduplicatesCenters) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(4));
+  ASSERT_OK_AND_ASSIGN(Covering covering, AssignToCenters(g, {1, 1, 2}, 2));
+  EXPECT_EQ(covering.size(), 2);
+}
+
+class MM75PropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MM75PropertyTest, ValidOnRandomGraphs) {
+  auto [n, k] = GetParam();
+  if (n < k + 1) GTEST_SKIP();
+  Rng rng(kTestSeed + static_cast<uint64_t>(n * 31 + k));
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeConnectedErdosRenyi(n, 0.08, &rng));
+  ASSERT_OK_AND_ASSIGN(Covering covering, MM75ResidueCovering(g, k));
+  ExpectIsKCovering(g, covering);
+  EXPECT_LE(covering.size(), n / (k + 1) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MM75PropertyTest,
+                         ::testing::Combine(::testing::Values(8, 20, 50, 90),
+                                            ::testing::Values(1, 2, 3, 5, 8)));
+
+}  // namespace
+}  // namespace dpsp

@@ -1,0 +1,84 @@
+#include "core/distance_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/baselines.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+// A fake oracle returning exact + constant bias, for testing the evaluator.
+class BiasedOracle final : public DistanceOracle {
+ public:
+  BiasedOracle(const DistanceMatrix* exact, double bias)
+      : exact_(exact), bias_(bias) {}
+  Result<double> Distance(VertexId u, VertexId v) const override {
+    return exact_->at(u, v) + bias_;
+  }
+  std::string Name() const override { return "biased"; }
+
+ private:
+  const DistanceMatrix* exact_;
+  double bias_;
+};
+
+TEST(EvaluateOracleTest, ExactOracleHasZeroError) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeGridGraph(4, 4));
+  EdgeWeights w = MakeUniformWeights(g, 0.5, 2.0, &rng);
+  ASSERT_OK_AND_ASSIGN(DistanceMatrix exact, AllPairsDijkstra(g, w));
+  ASSERT_OK_AND_ASSIGN(auto oracle, MakeExactOracle(g, w));
+  ASSERT_OK_AND_ASSIGN(OracleErrorReport report,
+                       EvaluateOracleAllPairs(g, exact, *oracle));
+  EXPECT_EQ(report.num_pairs, 16 * 15 / 2);
+  EXPECT_DOUBLE_EQ(report.max_abs_error, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_abs_error, 0.0);
+}
+
+TEST(EvaluateOracleTest, BiasedOracleReportsBias) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(6));
+  EdgeWeights w(5, 1.0);
+  ASSERT_OK_AND_ASSIGN(DistanceMatrix exact, AllPairsDijkstra(g, w));
+  BiasedOracle oracle(&exact, 2.5);
+  ASSERT_OK_AND_ASSIGN(OracleErrorReport report,
+                       EvaluateOracleAllPairs(g, exact, oracle));
+  EXPECT_DOUBLE_EQ(report.max_abs_error, 2.5);
+  EXPECT_DOUBLE_EQ(report.mean_abs_error, 2.5);
+  EXPECT_DOUBLE_EQ(report.p50_abs_error, 2.5);
+}
+
+TEST(EvaluateOracleTest, SkipsUnreachablePairs) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(3, {{0, 1}}));
+  EdgeWeights w{1.0};
+  ASSERT_OK_AND_ASSIGN(DistanceMatrix exact, AllPairsDijkstra(g, w));
+  BiasedOracle oracle(&exact, 0.0);
+  ASSERT_OK_AND_ASSIGN(OracleErrorReport report,
+                       EvaluateOracleAllPairs(g, exact, oracle));
+  EXPECT_EQ(report.num_pairs, 1);  // only (0, 1) reachable
+}
+
+TEST(EvaluateOracleTest, ExplicitPairList) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(5));
+  EdgeWeights w(4, 2.0);
+  ASSERT_OK_AND_ASSIGN(DistanceMatrix exact, AllPairsDijkstra(g, w));
+  BiasedOracle oracle(&exact, 1.0);
+  std::vector<std::pair<VertexId, VertexId>> pairs{{0, 4}, {1, 2}};
+  ASSERT_OK_AND_ASSIGN(OracleErrorReport report,
+                       EvaluateOraclePairs(g, exact, oracle, pairs));
+  EXPECT_EQ(report.num_pairs, 2);
+  EXPECT_DOUBLE_EQ(report.max_abs_error, 1.0);
+}
+
+TEST(EvaluateOracleTest, OutOfRangePairFails) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(3));
+  EdgeWeights w(2, 1.0);
+  ASSERT_OK_AND_ASSIGN(DistanceMatrix exact, AllPairsDijkstra(g, w));
+  BiasedOracle oracle(&exact, 0.0);
+  EXPECT_FALSE(EvaluateOraclePairs(g, exact, oracle, {{0, 99}}).ok());
+}
+
+}  // namespace
+}  // namespace dpsp

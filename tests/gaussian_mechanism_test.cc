@@ -1,0 +1,84 @@
+#include "dp/gaussian_mechanism.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.h"
+#include "dp/dp_verifier.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(GaussianSigmaTest, Formula) {
+  PrivacyParams params{0.5, 1e-6, 1.0};
+  ASSERT_OK_AND_ASSIGN(double sigma, GaussianSigma(2.0, params));
+  double expected = std::sqrt(2.0 * std::log(1.25e6)) * 2.0 / 0.5;
+  EXPECT_NEAR(sigma, expected, 1e-12);
+}
+
+TEST(GaussianSigmaTest, RequiresApproxDpAndSmallEpsilon) {
+  EXPECT_FALSE(GaussianSigma(1.0, PrivacyParams{0.5, 0.0, 1.0}).ok());
+  EXPECT_FALSE(GaussianSigma(1.0, PrivacyParams{2.0, 1e-6, 1.0}).ok());
+  EXPECT_FALSE(GaussianSigma(0.0, PrivacyParams{0.5, 1e-6, 1.0}).ok());
+  EXPECT_TRUE(GaussianSigma(1.0, PrivacyParams{0.99, 1e-6, 1.0}).ok());
+}
+
+TEST(GaussianSigmaTest, ScalesWithNeighborBound) {
+  PrivacyParams narrow{0.5, 1e-6, 0.1};
+  PrivacyParams wide{0.5, 1e-6, 1.0};
+  ASSERT_OK_AND_ASSIGN(double s_narrow, GaussianSigma(1.0, narrow));
+  ASSERT_OK_AND_ASSIGN(double s_wide, GaussianSigma(1.0, wide));
+  EXPECT_NEAR(s_wide / s_narrow, 10.0, 1e-9);
+}
+
+TEST(GaussianMechanismTest, CentersOnTruthWithCorrectVariance) {
+  PrivacyParams params{0.5, 1e-3, 1.0};
+  ASSERT_OK_AND_ASSIGN(double sigma, GaussianSigma(1.0, params));
+  Rng rng(kTestSeed);
+  OnlineStats stats;
+  for (int i = 0; i < 40000; ++i) {
+    ASSERT_OK_AND_ASSIGN(std::vector<double> out,
+                         GaussianMechanism({7.0}, 1.0, params, &rng));
+    stats.Add(out[0]);
+  }
+  EXPECT_NEAR(stats.mean(), 7.0, sigma * 0.02);
+  EXPECT_NEAR(stats.stddev(), sigma, sigma * 0.02);
+}
+
+TEST(GaussianMechanismTest, EmpiricalPrivacyWithinBudget) {
+  // Neighboring scalars 0 and 1 (l2 sensitivity 1).
+  double eps = 0.5;
+  PrivacyParams params{eps, 1e-3, 1.0};
+  ASSERT_OK_AND_ASSIGN(double sigma, GaussianSigma(1.0, params));
+  Rng rng(kTestSeed);
+  DpVerifierOptions options;
+  options.num_samples = 40000;
+  options.range_lo = -4.0 * sigma;
+  options.range_hi = 4.0 * sigma;
+  ScalarMechanism on_w = [&](Rng* r) { return r->Gaussian(sigma); };
+  ScalarMechanism on_wp = [&](Rng* r) { return 1.0 + r->Gaussian(sigma); };
+  ASSERT_OK_AND_ASSIGN(double eps_hat,
+                       EstimatePrivacyLoss(on_w, on_wp, options, &rng));
+  // The Gaussian mechanism's loss exceeds eps only on a delta-mass tail;
+  // on the bulk bins it must stay within eps plus sampling slack.
+  EXPECT_LE(eps_hat, eps + 0.3);
+}
+
+TEST(DistanceVectorL2SensitivityTest, Sqrt) {
+  EXPECT_DOUBLE_EQ(DistanceVectorL2Sensitivity(0), 0.0);
+  EXPECT_DOUBLE_EQ(DistanceVectorL2Sensitivity(1), 1.0);
+  EXPECT_DOUBLE_EQ(DistanceVectorL2Sensitivity(100), 10.0);
+}
+
+TEST(GaussianMechanismTest, EmptyVector) {
+  PrivacyParams params{0.5, 1e-6, 1.0};
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> out,
+                       GaussianMechanism({}, 1.0, params, &rng));
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace dpsp

@@ -1,0 +1,224 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/connectivity.h"
+#include "graph/shortest_path.h"
+#include "graph/tree.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(GeneratorsTest, PathGraphShape) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(5));
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_TRUE(IsTree(g));
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(2), 2);
+}
+
+TEST(GeneratorsTest, CycleGraphShape) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCycleGraph(6));
+  EXPECT_EQ(g.num_edges(), 6);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.Degree(v), 2);
+  EXPECT_FALSE(MakeCycleGraph(2).ok());
+}
+
+TEST(GeneratorsTest, GridGraphShape) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeGridGraph(3, 4));
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 2 * 4);  // rows*(cols-1) + (rows-1)*cols
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(g.Degree(0), 2);   // corner
+  EXPECT_EQ(g.Degree(5), 4);   // interior (row 1, col 1)
+}
+
+TEST(GeneratorsTest, CompleteGraphShape) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCompleteGraph(6));
+  EXPECT_EQ(g.num_edges(), 15);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.Degree(v), 5);
+}
+
+TEST(GeneratorsTest, StarGraphShape) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeStarGraph(7));
+  EXPECT_EQ(g.Degree(0), 6);
+  EXPECT_TRUE(IsTree(g));
+}
+
+TEST(GeneratorsTest, CompleteBipartiteShape) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCompleteBipartiteGraph(3, 5));
+  EXPECT_EQ(g.num_vertices(), 8);
+  EXPECT_EQ(g.num_edges(), 15);
+  EXPECT_TRUE(IsBipartite(g));
+}
+
+TEST(GeneratorsTest, BalancedTreeShape) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeBalancedTree(15, 2));
+  EXPECT_TRUE(IsTree(g));
+  ASSERT_OK_AND_ASSIGN(RootedTree tree, RootedTree::FromGraph(g, 0));
+  EXPECT_EQ(tree.depth(14), 3);  // perfect binary tree of 15 nodes
+}
+
+TEST(GeneratorsTest, RandomTreeIsTree) {
+  Rng rng(kTestSeed);
+  for (int n : {1, 2, 3, 10, 100}) {
+    ASSERT_OK_AND_ASSIGN(Graph g, MakeRandomTree(n, &rng));
+    EXPECT_TRUE(IsTree(g)) << "n=" << n;
+  }
+}
+
+TEST(GeneratorsTest, RandomRecursiveTreeIsTree) {
+  Rng rng(kTestSeed);
+  for (int n : {1, 2, 50}) {
+    ASSERT_OK_AND_ASSIGN(Graph g, MakeRandomRecursiveTree(n, &rng));
+    EXPECT_TRUE(IsTree(g));
+  }
+}
+
+TEST(GeneratorsTest, CaterpillarShape) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCaterpillarTree(4, 3));
+  EXPECT_EQ(g.num_vertices(), 16);
+  EXPECT_TRUE(IsTree(g));
+}
+
+TEST(GeneratorsTest, ErdosRenyiConnectedAndRespectsDensity) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph sparse, MakeConnectedErdosRenyi(50, 0.0, &rng));
+  EXPECT_TRUE(IsConnected(sparse));
+  EXPECT_EQ(sparse.num_edges(), 49);  // just the spanning tree
+  ASSERT_OK_AND_ASSIGN(Graph dense, MakeConnectedErdosRenyi(50, 0.9, &rng));
+  EXPECT_GT(dense.num_edges(), 900);
+}
+
+TEST(GeneratorsTest, GeometricGraphConnectedWithCoords) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(GeometricGraph gg,
+                       MakeRandomGeometricGraph(60, 0.15, &rng));
+  EXPECT_TRUE(IsConnected(gg.graph));
+  EXPECT_EQ(gg.coords.size(), 60u);
+}
+
+TEST(GeneratorsTest, RoadNetworkShape) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(RoadNetwork network,
+                       MakeSyntheticRoadNetwork(6, 8, 0.3, &rng));
+  EXPECT_EQ(network.graph.num_vertices(), 48);
+  EXPECT_TRUE(IsConnected(network.graph));
+  EXPECT_EQ(network.base_weights.size(),
+            static_cast<size_t>(network.graph.num_edges()));
+  for (double w : network.base_weights) EXPECT_GT(w, 0.0);
+}
+
+TEST(GeneratorsTest, CongestionWeightsDominateBase) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(RoadNetwork network,
+                       MakeSyntheticRoadNetwork(5, 5, 0.2, &rng));
+  EdgeWeights traffic = MakeCongestionWeights(network, 3, 2.0, &rng);
+  ASSERT_EQ(traffic.size(), network.base_weights.size());
+  for (size_t i = 0; i < traffic.size(); ++i) {
+    EXPECT_GE(traffic[i], network.base_weights[i]);
+  }
+}
+
+TEST(GeneratorsTest, WeightHelpers) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(4));
+  EdgeWeights constant = MakeConstantWeights(g, 2.5);
+  EXPECT_EQ(constant, (EdgeWeights{2.5, 2.5, 2.5}));
+  Rng rng(kTestSeed);
+  EdgeWeights uniform = MakeUniformWeights(g, 1.0, 2.0, &rng);
+  for (double w : uniform) {
+    EXPECT_GE(w, 1.0);
+    EXPECT_LT(w, 2.0);
+  }
+}
+
+TEST(GadgetTest, ShortestPathGadgetLayout) {
+  ASSERT_OK_AND_ASSIGN(BitGadgetGraph gadget, MakeShortestPathGadget(4));
+  EXPECT_EQ(gadget.graph.num_vertices(), 5);
+  EXPECT_EQ(gadget.graph.num_edges(), 8);
+  // Both edges at position i join i and i+1.
+  for (int i = 0; i < 4; ++i) {
+    for (int b = 0; b < 2; ++b) {
+      const EdgeEndpoints& ep = gadget.graph.edge(gadget.EdgeFor(i, b));
+      EXPECT_EQ(std::min(ep.u, ep.v), i);
+      EXPECT_EQ(std::max(ep.u, ep.v), i + 1);
+    }
+  }
+}
+
+TEST(GadgetTest, EncodeBitsZeroOnSelectedEdges) {
+  ASSERT_OK_AND_ASSIGN(BitGadgetGraph gadget, MakeShortestPathGadget(3));
+  std::vector<int> bits{1, 0, 1};
+  EdgeWeights w = gadget.EncodeBits(bits);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(w[static_cast<size_t>(gadget.EdgeFor(i, bits[i]))], 0.0);
+    EXPECT_DOUBLE_EQ(w[static_cast<size_t>(gadget.EdgeFor(i, 1 - bits[i]))],
+                     1.0);
+  }
+  // Shortest 0 -> n distance is 0 under the encoding.
+  ASSERT_OK_AND_ASSIGN(ShortestPathTree tree, Dijkstra(gadget.graph, w, 0));
+  EXPECT_DOUBLE_EQ(tree.distance[3], 0.0);
+}
+
+TEST(GadgetTest, MstGadgetLayout) {
+  ASSERT_OK_AND_ASSIGN(BitGadgetGraph gadget, MakeMstGadget(5));
+  EXPECT_EQ(gadget.graph.num_vertices(), 6);
+  EXPECT_EQ(gadget.graph.num_edges(), 10);
+  for (int i = 0; i < 5; ++i) {
+    const EdgeEndpoints& ep = gadget.graph.edge(gadget.EdgeFor(i, 0));
+    EXPECT_EQ(std::min(ep.u, ep.v), 0);
+    EXPECT_EQ(std::max(ep.u, ep.v), i + 1);
+  }
+}
+
+TEST(GadgetTest, HourglassGadgetLayout) {
+  ASSERT_OK_AND_ASSIGN(HourglassGadgetGraph gadget, MakeMatchingGadget(3));
+  EXPECT_EQ(gadget.graph.num_vertices(), 12);
+  EXPECT_EQ(gadget.graph.num_edges(), 12);
+  ConnectedComponents cc = FindConnectedComponents(gadget.graph);
+  EXPECT_EQ(cc.num_components, 3);
+  // Edge (c, bl, br) joins VertexFor(0,bl,c) and VertexFor(1,br,c).
+  for (int c = 0; c < 3; ++c) {
+    for (int bl = 0; bl < 2; ++bl) {
+      for (int br = 0; br < 2; ++br) {
+        const EdgeEndpoints& ep =
+            gadget.graph.edge(gadget.EdgeFor(c, bl, br));
+        EXPECT_EQ(std::min(ep.u, ep.v), gadget.VertexFor(0, bl, c));
+        EXPECT_EQ(std::max(ep.u, ep.v), gadget.VertexFor(1, br, c));
+      }
+    }
+  }
+}
+
+TEST(GadgetTest, HourglassEncodePlacesOneUnitPerGadget) {
+  ASSERT_OK_AND_ASSIGN(HourglassGadgetGraph gadget, MakeMatchingGadget(4));
+  std::vector<int> bits{0, 1, 0, 1};
+  EdgeWeights w = gadget.EncodeBits(bits);
+  double total = 0.0;
+  for (double x : w) total += x;
+  EXPECT_DOUBLE_EQ(total, 4.0);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_DOUBLE_EQ(
+        w[static_cast<size_t>(gadget.EdgeFor(c, 1, 1 - bits[c]))], 1.0);
+  }
+}
+
+TEST(GeneratorsTest, InvalidArgumentsRejected) {
+  EXPECT_FALSE(MakePathGraph(0).ok());
+  EXPECT_FALSE(MakeGridGraph(0, 3).ok());
+  EXPECT_FALSE(MakeBalancedTree(5, 0).ok());
+  EXPECT_FALSE(MakeCaterpillarTree(0, 1).ok());
+  Rng rng(kTestSeed);
+  EXPECT_FALSE(MakeConnectedErdosRenyi(5, 1.5, &rng).ok());
+  EXPECT_FALSE(MakeRandomGeometricGraph(5, 0.0, &rng).ok());
+  EXPECT_FALSE(MakeSyntheticRoadNetwork(1, 5, 0.0, &rng).ok());
+  EXPECT_FALSE(MakeShortestPathGadget(0).ok());
+}
+
+}  // namespace
+}  // namespace dpsp

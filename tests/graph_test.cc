@@ -1,0 +1,100 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(GraphTest, CreateTriangle) {
+  ASSERT_OK_AND_ASSIGN(Graph g,
+                       Graph::Create(3, {{0, 1}, {1, 2}, {0, 2}}));
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_FALSE(g.directed());
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_EQ(g.Degree(1), 2);
+}
+
+TEST(GraphTest, RejectsOutOfRangeEndpoints) {
+  EXPECT_FALSE(Graph::Create(2, {{0, 2}}).ok());
+  EXPECT_FALSE(Graph::Create(2, {{-1, 0}}).ok());
+}
+
+TEST(GraphTest, RejectsSelfLoops) {
+  auto r = Graph::Create(3, {{1, 1}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, RejectsNegativeVertexCount) {
+  EXPECT_FALSE(Graph::Create(-1, {}).ok());
+}
+
+TEST(GraphTest, EmptyGraphIsValid) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(0, {}));
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(GraphTest, ParallelEdgesSupported) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(2, {{0, 1}, {0, 1}}));
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_EQ(g.Neighbors(0).size(), 2u);
+  EXPECT_NE(g.Neighbors(0)[0].edge, g.Neighbors(0)[1].edge);
+}
+
+TEST(GraphTest, UndirectedAdjacencyIsSymmetric) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(3, {{0, 1}, {1, 2}}));
+  EXPECT_EQ(g.Neighbors(1).size(), 2u);
+  EXPECT_EQ(g.Neighbors(2).size(), 1u);
+  EXPECT_EQ(g.Neighbors(2)[0].to, 1);
+}
+
+TEST(GraphTest, DirectedAdjacencyIsOneWay) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(3, {{0, 1}, {1, 2}}, true));
+  EXPECT_TRUE(g.directed());
+  EXPECT_EQ(g.Neighbors(0).size(), 1u);
+  EXPECT_EQ(g.Neighbors(1).size(), 1u);
+  EXPECT_TRUE(g.Neighbors(2).empty());
+}
+
+TEST(GraphTest, OtherEndpoint) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(3, {{0, 2}}));
+  EXPECT_EQ(g.OtherEndpoint(0, 0), 2);
+  EXPECT_EQ(g.OtherEndpoint(0, 2), 0);
+}
+
+TEST(GraphTest, HasVertex) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(2, {}));
+  EXPECT_TRUE(g.HasVertex(0));
+  EXPECT_TRUE(g.HasVertex(1));
+  EXPECT_FALSE(g.HasVertex(2));
+  EXPECT_FALSE(g.HasVertex(-1));
+}
+
+TEST(GraphTest, ValidateWeights) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(3, {{0, 1}, {1, 2}}));
+  EXPECT_OK(g.ValidateWeights({1.0, 2.0}));
+  EXPECT_FALSE(g.ValidateWeights({1.0}).ok());
+  EXPECT_OK(g.ValidateNonNegativeWeights({0.0, 5.0}));
+  EXPECT_FALSE(g.ValidateNonNegativeWeights({-0.1, 5.0}).ok());
+  // Negative weights are fine for the unsigned validator's counterpart.
+  EXPECT_OK(g.ValidateWeights({-3.0, 5.0}));
+}
+
+TEST(GraphTest, ToStringMentionsCounts) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(4, {{0, 1}}));
+  EXPECT_EQ(g.ToString(), "Graph(V=4, E=1, undirected)");
+}
+
+TEST(GraphTest, TotalWeight) {
+  EdgeWeights w{1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(TotalWeight(w, {0, 2}), 5.0);
+  EXPECT_DOUBLE_EQ(TotalWeight(w, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace dpsp

@@ -1,0 +1,123 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+void ExpectSameTopology(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.directed(), b.directed());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+  }
+}
+
+TEST(GraphIoTest, RoundTripUndirected) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeConnectedErdosRenyi(25, 0.2, &rng));
+  ASSERT_OK_AND_ASSIGN(Graph parsed, DeserializeGraph(SerializeGraph(g)));
+  ExpectSameTopology(g, parsed);
+}
+
+TEST(GraphIoTest, RoundTripDirectedAndMultigraph) {
+  ASSERT_OK_AND_ASSIGN(Graph g,
+                       Graph::Create(3, {{0, 1}, {0, 1}, {2, 1}}, true));
+  ASSERT_OK_AND_ASSIGN(Graph parsed, DeserializeGraph(SerializeGraph(g)));
+  ExpectSameTopology(g, parsed);
+}
+
+TEST(GraphIoTest, RoundTripEmptyGraph) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(4, {}));
+  ASSERT_OK_AND_ASSIGN(Graph parsed, DeserializeGraph(SerializeGraph(g)));
+  ExpectSameTopology(g, parsed);
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::string text =
+      "# topology\ndpsp-graph 1\n\ndirected 0\nvertices 2 # two\n"
+      "edges 1\n0 1\n";
+  ASSERT_OK_AND_ASSIGN(Graph parsed, DeserializeGraph(text));
+  EXPECT_EQ(parsed.num_vertices(), 2);
+  EXPECT_EQ(parsed.num_edges(), 1);
+}
+
+TEST(GraphIoTest, MalformedInputsRejected) {
+  EXPECT_FALSE(DeserializeGraph("").ok());
+  EXPECT_FALSE(DeserializeGraph("wrong-magic 1\n").ok());
+  EXPECT_FALSE(DeserializeGraph("dpsp-graph 2\n").ok());
+  EXPECT_FALSE(
+      DeserializeGraph("dpsp-graph 1\ndirected 0\nvertices 2\nedges 1\n")
+          .ok());  // truncated edges
+  EXPECT_FALSE(DeserializeGraph(
+                   "dpsp-graph 1\ndirected 0\nvertices 2\nedges 1\n0 5\n")
+                   .ok());  // endpoint out of range
+  EXPECT_FALSE(DeserializeGraph(
+                   "dpsp-graph 1\ndirected 0\nvertices 2\nedges 0\nextra\n")
+                   .ok());  // trailing content
+}
+
+TEST(WeightsIoTest, RoundTripPreservesValuesExactly) {
+  Rng rng(kTestSeed);
+  EdgeWeights w{0.0, 1.5, 3.14159265358979, 1e-12, 1e9};
+  ASSERT_OK_AND_ASSIGN(EdgeWeights parsed,
+                       DeserializeWeights(SerializeWeights(w)));
+  ASSERT_EQ(parsed.size(), w.size());
+  for (size_t i = 0; i < w.size(); ++i) EXPECT_DOUBLE_EQ(parsed[i], w[i]);
+}
+
+TEST(WeightsIoTest, EmptyWeights) {
+  ASSERT_OK_AND_ASSIGN(EdgeWeights parsed,
+                       DeserializeWeights(SerializeWeights({})));
+  EXPECT_TRUE(parsed.empty());
+}
+
+TEST(WeightsIoTest, MalformedRejected) {
+  EXPECT_FALSE(DeserializeWeights("").ok());
+  EXPECT_FALSE(DeserializeWeights("dpsp-weights 1\ncount 2\n1.0\n").ok());
+  EXPECT_FALSE(
+      DeserializeWeights("dpsp-weights 1\ncount 1\nnot-a-number\n").ok());
+}
+
+TEST(DotTest, RendersEdgesAndLabels) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(3));
+  DotOptions options;
+  options.name = "demo";
+  ASSERT_OK_AND_ASSIGN(std::string dot, ToDot(g, {1.5, 2.5}, options));
+  EXPECT_NE(dot.find("graph demo {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"1.5\""), std::string::npos);
+}
+
+TEST(DotTest, HighlightsReleasedEdges) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCycleGraph(4));
+  DotOptions options;
+  options.show_weights = false;
+  options.highlight = {0, 2};
+  ASSERT_OK_AND_ASSIGN(std::string dot, ToDot(g, {}, options));
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST(DotTest, DirectedUsesArrows) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(2, {{0, 1}}, true));
+  ASSERT_OK_AND_ASSIGN(std::string dot, ToDot(g, {}, DotOptions{}));
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("0 -> 1"), std::string::npos);
+}
+
+TEST(DotTest, InvalidInputsRejected) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(3));
+  EXPECT_FALSE(ToDot(g, {1.0}, DotOptions{}).ok());  // wrong weight count
+  DotOptions bad_highlight;
+  bad_highlight.highlight = {99};
+  EXPECT_FALSE(ToDot(g, {}, bad_highlight).ok());
+}
+
+}  // namespace
+}  // namespace dpsp

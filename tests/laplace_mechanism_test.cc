@@ -1,0 +1,104 @@
+#include "dp/laplace_mechanism.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(LaplaceScaleTest, ScaleFormula) {
+  PrivacyParams params{2.0, 0.0, 1.0};
+  ASSERT_OK_AND_ASSIGN(double scale, LaplaceScale(3.0, params));
+  EXPECT_DOUBLE_EQ(scale, 1.5);
+}
+
+TEST(LaplaceScaleTest, NeighborBoundScalesNoise) {
+  // The "Scaling" paragraph: rho = 1/V shrinks every bound by 1/V.
+  PrivacyParams params{1.0, 0.0, 0.01};
+  ASSERT_OK_AND_ASSIGN(double scale, LaplaceScale(5.0, params));
+  EXPECT_DOUBLE_EQ(scale, 0.05);
+}
+
+TEST(LaplaceScaleTest, RejectsBadSensitivity) {
+  PrivacyParams params;
+  EXPECT_FALSE(LaplaceScale(0.0, params).ok());
+  EXPECT_FALSE(LaplaceScale(-1.0, params).ok());
+}
+
+TEST(LaplaceMechanismTest, OutputCentersOnTruth) {
+  PrivacyParams params{1.0, 0.0, 1.0};
+  Rng rng(kTestSeed);
+  std::vector<double> truth{10.0, -5.0, 0.0};
+  OnlineStats s0, s1, s2;
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_OK_AND_ASSIGN(std::vector<double> out,
+                         LaplaceMechanism(truth, 1.0, params, &rng));
+    s0.Add(out[0]);
+    s1.Add(out[1]);
+    s2.Add(out[2]);
+  }
+  EXPECT_NEAR(s0.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s1.mean(), -5.0, 0.05);
+  EXPECT_NEAR(s2.mean(), 0.0, 0.05);
+  // Variance of Lap(1) is 2.
+  EXPECT_NEAR(s0.variance(), 2.0, 0.1);
+}
+
+TEST(LaplaceMechanismTest, ScalarConvenienceMatches) {
+  PrivacyParams params{0.5, 0.0, 1.0};
+  Rng rng(kTestSeed);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    ASSERT_OK_AND_ASSIGN(double out,
+                         LaplaceMechanismScalar(7.0, 2.0, params, &rng));
+    stats.Add(out);
+  }
+  EXPECT_NEAR(stats.mean(), 7.0, 0.15);
+  // Scale = 2/0.5 = 4; variance 32.
+  EXPECT_NEAR(stats.variance(), 32.0, 2.0);
+}
+
+TEST(LaplaceTailBoundTest, MatchesEmpiricalTail) {
+  Rng rng(kTestSeed);
+  double scale = 3.0;
+  double gamma = 0.05;
+  double bound = LaplaceTailBound(scale, gamma);
+  int exceed = 0;
+  int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (std::fabs(rng.Laplace(scale)) > bound) ++exceed;
+  }
+  EXPECT_NEAR(exceed / static_cast<double>(n), gamma, 0.005);
+}
+
+TEST(LaplaceSumBoundTest, HoldsEmpiricallyWithSlack) {
+  // Lemma 3.1: the bound should fail with probability well under gamma.
+  Rng rng(kTestSeed);
+  double scale = 2.0;
+  int t = 16;
+  double gamma = 0.1;
+  double bound = LaplaceSumBound(scale, t, gamma);
+  int exceed = 0;
+  int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < t; ++j) sum += rng.Laplace(scale);
+    if (std::fabs(sum) > bound) ++exceed;
+  }
+  EXPECT_LT(exceed / static_cast<double>(trials), gamma);
+}
+
+TEST(LaplaceMechanismTest, EmptyVectorOk) {
+  PrivacyParams params;
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> out,
+                       LaplaceMechanism({}, 1.0, params, &rng));
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace dpsp

@@ -1,0 +1,173 @@
+#include "graph/matching.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+// Brute force over all perfect matchings by recursion (reference solver).
+double BruteForceMinMatching(const Graph& graph, const EdgeWeights& w) {
+  int n = graph.num_vertices();
+  std::vector<bool> used(static_cast<size_t>(n), false);
+  double best = std::numeric_limits<double>::infinity();
+  std::function<void(int, double)> recurse = [&](int count, double cost) {
+    if (count == n) {
+      best = std::min(best, cost);
+      return;
+    }
+    int first = 0;
+    while (used[static_cast<size_t>(first)]) ++first;
+    used[static_cast<size_t>(first)] = true;
+    for (const AdjacencyEntry& adj : graph.Neighbors(first)) {
+      if (used[static_cast<size_t>(adj.to)]) continue;
+      used[static_cast<size_t>(adj.to)] = true;
+      recurse(count + 2, cost + w[static_cast<size_t>(adj.edge)]);
+      used[static_cast<size_t>(adj.to)] = false;
+    }
+    used[static_cast<size_t>(first)] = false;
+  };
+  recurse(0, 0.0);
+  return best;
+}
+
+TEST(MatchingDpTest, SingleEdge) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(2, {{0, 1}}));
+  ASSERT_OK_AND_ASSIGN(Matching m, MinWeightPerfectMatching(g, {3.0}));
+  EXPECT_TRUE(IsPerfectMatching(g, m));
+  EXPECT_DOUBLE_EQ(m.Weight({3.0}), 3.0);
+}
+
+TEST(MatchingDpTest, SquarePicksCheaperPairing) {
+  // Square 0-1-2-3-0: pairings {01,23} cost 3, {03,12} cost 7.
+  ASSERT_OK_AND_ASSIGN(Graph g,
+                       Graph::Create(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}));
+  EdgeWeights w{1.0, 5.0, 2.0, 2.0};
+  ASSERT_OK_AND_ASSIGN(Matching m, MinWeightPerfectMatching(g, w));
+  EXPECT_TRUE(IsPerfectMatching(g, m));
+  EXPECT_DOUBLE_EQ(m.Weight(w), 3.0);
+}
+
+TEST(MatchingDpTest, NegativeWeights) {
+  ASSERT_OK_AND_ASSIGN(Graph g,
+                       Graph::Create(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}));
+  EdgeWeights w{-4.0, -10.0, -1.0, -1.0};
+  ASSERT_OK_AND_ASSIGN(Matching m, MinWeightPerfectMatching(g, w));
+  // {12, 30} = -11 beats {01, 23} = -5.
+  EXPECT_DOUBLE_EQ(m.Weight(w), -11.0);
+}
+
+TEST(MatchingDpTest, OddComponentFails) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(3));
+  EXPECT_FALSE(MinWeightPerfectMatching(g, {1.0, 1.0}).ok());
+}
+
+TEST(MatchingDpTest, NoPerfectMatchingInStar) {
+  // Star on 4 vertices: center can match only one leaf.
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeStarGraph(4));
+  EXPECT_FALSE(MinWeightPerfectMatching(g, {1.0, 1.0, 1.0}).ok());
+}
+
+TEST(MatchingDpTest, ParallelEdgesPickCheaper) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(2, {{0, 1}, {0, 1}}));
+  ASSERT_OK_AND_ASSIGN(Matching m, MinWeightPerfectMatching(g, {9.0, 4.0}));
+  EXPECT_EQ(m.edges, std::vector<EdgeId>{1});
+}
+
+TEST(MatchingDpTest, MatchesBruteForceOnRandomSmallGraphs) {
+  Rng rng(kTestSeed);
+  for (int trial = 0; trial < 20; ++trial) {
+    ASSERT_OK_AND_ASSIGN(Graph g, MakeConnectedErdosRenyi(8, 0.5, &rng));
+    EdgeWeights w = MakeUniformWeights(g, -1.0, 3.0, &rng);
+    auto result = MinWeightPerfectMatching(g, w);
+    double brute = BruteForceMinMatching(g, w);
+    if (!result.ok()) {
+      EXPECT_TRUE(std::isinf(brute));
+      continue;
+    }
+    EXPECT_TRUE(IsPerfectMatching(g, *result));
+    EXPECT_NEAR(result->Weight(w), brute, 1e-9);
+  }
+}
+
+TEST(MatchingHungarianTest, MatchesDpOnCompleteBipartite) {
+  Rng rng(kTestSeed);
+  for (int trial = 0; trial < 10; ++trial) {
+    ASSERT_OK_AND_ASSIGN(Graph g, MakeCompleteBipartiteGraph(6, 6));
+    EdgeWeights w = MakeUniformWeights(g, -2.0, 2.0, &rng);
+    std::vector<VertexId> left{0, 1, 2, 3, 4, 5};
+    std::vector<VertexId> right{6, 7, 8, 9, 10, 11};
+    ASSERT_OK_AND_ASSIGN(Matching hungarian,
+                         MinWeightPerfectMatchingHungarian(g, w, left, right));
+    std::vector<VertexId> all(12);
+    std::iota(all.begin(), all.end(), 0);
+    ASSERT_OK_AND_ASSIGN(Matching dp, MinWeightPerfectMatchingDp(g, w, all));
+    EXPECT_TRUE(IsPerfectMatching(g, hungarian));
+    EXPECT_NEAR(hungarian.Weight(w), dp.Weight(w), 1e-9);
+  }
+}
+
+TEST(MatchingHungarianTest, UnequalSidesFail) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCompleteBipartiteGraph(2, 3));
+  EdgeWeights w(6, 1.0);
+  EXPECT_FALSE(
+      MinWeightPerfectMatchingHungarian(g, w, {0, 1}, {2, 3, 4}).ok());
+}
+
+TEST(MatchingHungarianTest, SparseInfeasibleDetected) {
+  // Perfect bipartite graph minus enough edges that no perfect matching
+  // exists: both left vertices adjacent only to right vertex 2.
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(4, {{0, 2}, {1, 2}}));
+  EXPECT_FALSE(
+      MinWeightPerfectMatchingHungarian(g, {1.0, 1.0}, {0, 1}, {2, 3}).ok());
+}
+
+TEST(MatchingDriverTest, LargeBipartiteUsesHungarian) {
+  // 15 + 15 complete bipartite: 30 vertices > kMaxDpVertices.
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCompleteBipartiteGraph(15, 15));
+  EdgeWeights w = MakeUniformWeights(g, 0.0, 1.0, &rng);
+  ASSERT_OK_AND_ASSIGN(Matching m, MinWeightPerfectMatching(g, w));
+  EXPECT_TRUE(IsPerfectMatching(g, m));
+}
+
+TEST(MatchingDriverTest, LargeNonBipartiteUnimplemented) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCompleteGraph(24));
+  EdgeWeights w = MakeUniformWeights(g, 0.0, 1.0, &rng);
+  auto result = MinWeightPerfectMatching(g, w);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(MatchingDriverTest, HourglassGadgetComponentsSolvedExactly) {
+  ASSERT_OK_AND_ASSIGN(HourglassGadgetGraph gadget, MakeMatchingGadget(6));
+  std::vector<int> bits{1, 0, 1, 1, 0, 0};
+  EdgeWeights w = gadget.EncodeBits(bits);
+  ASSERT_OK_AND_ASSIGN(Matching m,
+                       MinWeightPerfectMatching(gadget.graph, w));
+  EXPECT_TRUE(IsPerfectMatching(gadget.graph, m));
+  // The optimum avoids all weight-1 edges.
+  EXPECT_DOUBLE_EQ(m.Weight(w), 0.0);
+}
+
+TEST(IsPerfectMatchingTest, RejectsOverlapsAndWrongCounts) {
+  ASSERT_OK_AND_ASSIGN(Graph g,
+                       Graph::Create(4, {{0, 1}, {1, 2}, {2, 3}}));
+  EXPECT_TRUE(IsPerfectMatching(g, Matching{{0, 2}}));
+  EXPECT_FALSE(IsPerfectMatching(g, Matching{{0}}));
+  EXPECT_FALSE(IsPerfectMatching(g, Matching{{0, 1}}));  // share vertex 1
+  EXPECT_FALSE(IsPerfectMatching(g, Matching{{0, 9}}));  // bad id
+}
+
+}  // namespace
+}  // namespace dpsp

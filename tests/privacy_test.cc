@@ -1,0 +1,78 @@
+#include "dp/privacy.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(PrivacyParamsTest, DefaultsValid) {
+  PrivacyParams params;
+  EXPECT_OK(params.Validate());
+  EXPECT_TRUE(params.pure());
+}
+
+TEST(PrivacyParamsTest, RejectsBadEpsilon) {
+  PrivacyParams params;
+  params.epsilon = 0.0;
+  EXPECT_FALSE(params.Validate().ok());
+  params.epsilon = -1.0;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(PrivacyParamsTest, RejectsBadDelta) {
+  PrivacyParams params;
+  params.delta = 1.0;
+  EXPECT_FALSE(params.Validate().ok());
+  params.delta = -0.1;
+  EXPECT_FALSE(params.Validate().ok());
+  params.delta = 1e-6;
+  EXPECT_OK(params.Validate());
+  EXPECT_FALSE(params.pure());
+}
+
+TEST(PrivacyParamsTest, RejectsBadNeighborBound) {
+  PrivacyParams params;
+  params.neighbor_l1_bound = 0.0;
+  EXPECT_FALSE(params.Validate().ok());
+}
+
+TEST(PrivacyParamsTest, ToStringContainsValues) {
+  PrivacyParams params{0.5, 1e-6, 2.0};
+  std::string s = params.ToString();
+  EXPECT_NE(s.find("0.5"), std::string::npos);
+  EXPECT_NE(s.find("1e-06"), std::string::npos);
+}
+
+TEST(L1DistanceTest, Computes) {
+  ASSERT_OK_AND_ASSIGN(double d,
+                       L1Distance({1.0, 2.0, 3.0}, {1.5, 2.0, 1.0}));
+  EXPECT_DOUBLE_EQ(d, 2.5);
+}
+
+TEST(L1DistanceTest, LengthMismatchFails) {
+  EXPECT_FALSE(L1Distance({1.0}, {1.0, 2.0}).ok());
+}
+
+TEST(AreNeighborsTest, RespectsBound) {
+  PrivacyParams params;  // bound 1.0
+  ASSERT_OK_AND_ASSIGN(bool close, AreNeighbors({0.0, 0.0}, {0.5, 0.5},
+                                                params));
+  EXPECT_TRUE(close);
+  ASSERT_OK_AND_ASSIGN(bool far, AreNeighbors({0.0, 0.0}, {0.8, 0.5},
+                                              params));
+  EXPECT_FALSE(far);
+}
+
+TEST(AreNeighborsTest, ScaledBound) {
+  PrivacyParams params;
+  params.neighbor_l1_bound = 0.1;
+  ASSERT_OK_AND_ASSIGN(bool far, AreNeighbors({0.0}, {0.5}, params));
+  EXPECT_FALSE(far);
+  ASSERT_OK_AND_ASSIGN(bool close, AreNeighbors({0.0}, {0.05}, params));
+  EXPECT_TRUE(close);
+}
+
+}  // namespace
+}  // namespace dpsp

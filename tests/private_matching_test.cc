@@ -1,0 +1,109 @@
+#include "core/private_matching.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/statistics.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(PrivateMatchingTest, ReleasesAPerfectMatching) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCompleteBipartiteGraph(8, 8));
+  EdgeWeights w = MakeUniformWeights(g, 0.0, 3.0, &rng);
+  PrivacyParams params{1.0, 0.0, 1.0};
+  ASSERT_OK_AND_ASSIGN(PrivateMatchingResult result,
+                       PrivateMatching(g, w, params, &rng));
+  EXPECT_TRUE(IsPerfectMatching(g, result.matching));
+}
+
+TEST(PrivateMatchingTest, HighEpsilonRecoversOptimal) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCompleteBipartiteGraph(7, 7));
+  EdgeWeights w = MakeUniformWeights(g, 0.0, 10.0, &rng);
+  PrivacyParams params{1e8, 0.0, 1.0};
+  ASSERT_OK_AND_ASSIGN(PrivateMatchingResult result,
+                       PrivateMatching(g, w, params, &rng));
+  ASSERT_OK_AND_ASSIGN(Matching optimal, MinWeightPerfectMatching(g, w));
+  EXPECT_NEAR(result.matching.Weight(w), optimal.Weight(w), 1e-5);
+}
+
+TEST(PrivateMatchingTest, TheoremB6BoundHolds) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCompleteBipartiteGraph(10, 10));
+  EdgeWeights w = MakeUniformWeights(g, 0.0, 2.0, &rng);
+  PrivacyParams params{0.5, 0.0, 1.0};
+  double bound = PrivateMatchingErrorBound(g.num_vertices(), g.num_edges(),
+                                           params, 0.05);
+  ASSERT_OK_AND_ASSIGN(Matching optimal, MinWeightPerfectMatching(g, w));
+  double opt_weight = optimal.Weight(w);
+  int violations = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    ASSERT_OK_AND_ASSIGN(PrivateMatchingResult result,
+                         PrivateMatching(g, w, params, &rng));
+    double error = result.matching.Weight(w) - opt_weight;
+    EXPECT_GE(error, -1e-9);
+    if (error > bound) ++violations;
+  }
+  EXPECT_LE(violations, 2);
+}
+
+TEST(PrivateMatchingTest, HourglassGadgetWithinBounds) {
+  Rng rng(kTestSeed);
+  int n = 50;
+  ASSERT_OK_AND_ASSIGN(HourglassGadgetGraph gadget, MakeMatchingGadget(n));
+  PrivacyParams params{1.0, 0.0, 1.0};
+  OnlineStats error;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<int> x(static_cast<size_t>(n));
+    for (int& b : x) b = rng.Bernoulli(0.5) ? 1 : 0;
+    EdgeWeights wx = gadget.EncodeBits(x);
+    ASSERT_OK_AND_ASSIGN(PrivateMatchingResult result,
+                         PrivateMatching(gadget.graph, wx, params, &rng));
+    error.Add(result.matching.Weight(wx));  // optimum is 0
+  }
+  double alpha = MatchingLowerBound(4 * n, params.epsilon, params.delta);
+  double upper =
+      PrivateMatchingErrorBound(4 * n, 4 * n, params, 0.01);
+  EXPECT_GE(error.mean(), alpha * 0.5);
+  EXPECT_LE(error.mean(), upper);
+}
+
+TEST(PrivateMatchingTest, OddGraphFails) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(5));
+  PrivacyParams params;
+  EXPECT_FALSE(PrivateMatching(g, EdgeWeights(4, 1.0), params, &rng).ok());
+}
+
+TEST(PrivateMatchingCostTest, SensitivityOneAccuracy) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeCompleteBipartiteGraph(12, 12));
+  EdgeWeights w = MakeUniformWeights(g, 0.0, 5.0, &rng);
+  PrivacyParams params{2.0, 0.0, 1.0};
+  ASSERT_OK_AND_ASSIGN(Matching optimal, MinWeightPerfectMatching(g, w));
+  double truth = optimal.Weight(w);
+  OnlineStats err;
+  for (int trial = 0; trial < 200; ++trial) {
+    ASSERT_OK_AND_ASSIGN(double cost,
+                         PrivateMatchingCost(g, w, params, &rng));
+    err.Add(std::fabs(cost - truth));
+  }
+  // Mean |Lap(1/2)| = 0.5 — independent of V.
+  EXPECT_NEAR(err.mean(), 0.5, 0.15);
+}
+
+TEST(MatchingLowerBoundTest, TheoremB4Values) {
+  // V/4 * (1 - (1+e^eps)delta)/(1+e^{2eps}); at eps ~ 0 this is ~ V/8.
+  EXPECT_NEAR(MatchingLowerBound(80, 1e-9, 0.0), 10.0, 0.01);
+  EXPECT_GT(MatchingLowerBound(100, 0.1, 0.0), 0.12 * 100 * 0.9);
+  EXPECT_DOUBLE_EQ(MatchingLowerBound(100, 1.0, 0.9), 0.0);
+}
+
+}  // namespace
+}  // namespace dpsp

@@ -1,0 +1,153 @@
+#include "core/private_shortest_path.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(PrivateShortestPathTest, ReleasedWeightsAreNonNegativeAndOffset) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeGridGraph(5, 5));
+  EdgeWeights w = MakeUniformWeights(g, 0.0, 2.0, &rng);
+  PrivateShortestPathOptions options;
+  options.params = PrivacyParams{1.0, 0.0, 1.0};
+  options.gamma = 0.05;
+  ASSERT_OK_AND_ASSIGN(PrivateShortestPaths release,
+                       PrivateShortestPaths::Release(g, w, options, &rng));
+  EXPECT_EQ(release.released_weights().size(),
+            static_cast<size_t>(g.num_edges()));
+  for (double x : release.released_weights()) EXPECT_GE(x, 0.0);
+  double expected_offset =
+      (1.0 / 1.0) * std::log(g.num_edges() / options.gamma);
+  EXPECT_NEAR(release.offset(), expected_offset, 1e-9);
+}
+
+TEST(PrivateShortestPathTest, PathsAreValidWalks) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeConnectedErdosRenyi(40, 0.1, &rng));
+  EdgeWeights w = MakeUniformWeights(g, 0.0, 3.0, &rng);
+  PrivateShortestPathOptions options;
+  ASSERT_OK_AND_ASSIGN(PrivateShortestPaths release,
+                       PrivateShortestPaths::Release(g, w, options, &rng));
+  for (VertexId v = 1; v < 40; v += 3) {
+    ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> path, release.Path(0, v));
+    EXPECT_OK(ValidatePath(g, path, 0, v));
+  }
+}
+
+TEST(PrivateShortestPathTest, HighEpsilonRecoversTrueShortestPaths) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeGridGraph(6, 6));
+  EdgeWeights w = MakeUniformWeights(g, 1.0, 5.0, &rng);
+  PrivateShortestPathOptions options;
+  options.params = PrivacyParams{1e8, 0.0, 1.0};
+  ASSERT_OK_AND_ASSIGN(PrivateShortestPaths release,
+                       PrivateShortestPaths::Release(g, w, options, &rng));
+  ASSERT_OK_AND_ASSIGN(ShortestPathTree exact, Dijkstra(g, w, 0));
+  for (VertexId v : {5, 17, 35}) {
+    ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> path, release.Path(0, v));
+    EXPECT_NEAR(TotalWeight(w, path),
+                exact.distance[static_cast<size_t>(v)], 1e-6);
+  }
+}
+
+TEST(PrivateShortestPathTest, Theorem55BoundHolds) {
+  // Against the true shortest path (k hops, weight W), the released path's
+  // true weight is at most W + 2k * offset, with probability >= 1 - gamma.
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeConnectedErdosRenyi(60, 0.08, &rng));
+  EdgeWeights w = MakeUniformWeights(g, 0.0, 4.0, &rng);
+  PrivateShortestPathOptions options;
+  options.params = PrivacyParams{0.5, 0.0, 1.0};
+  options.gamma = 0.02;
+  ASSERT_OK_AND_ASSIGN(ShortestPathTree exact, Dijkstra(g, w, 0));
+  int violations = 0, total = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    ASSERT_OK_AND_ASSIGN(PrivateShortestPaths release,
+                         PrivateShortestPaths::Release(g, w, options, &rng));
+    for (VertexId v = 1; v < 60; ++v) {
+      ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> exact_path,
+                           ExtractPathEdges(g, exact, v));
+      int k = static_cast<int>(exact_path.size());
+      ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> released_path,
+                           release.Path(0, v));
+      double err = TotalWeight(w, released_path) -
+                   exact.distance[static_cast<size_t>(v)];
+      EXPECT_GE(err, -1e-9);
+      if (err > release.ErrorBoundForHops(k)) ++violations;
+      ++total;
+    }
+  }
+  // The theorem holds for ALL pairs jointly with prob 1 - gamma; allow a
+  // small slack on the per-release failure count.
+  EXPECT_LT(violations, std::max(5, total / 20));
+}
+
+TEST(PrivateShortestPathTest, HopPenaltyPrefersFewHopPaths) {
+  // Two routes 0 -> 21: direct edge of weight 1.2, or a 20-hop path of
+  // weight ~1.0. At eps = 1 the offset dominates 20 hops, so the private
+  // algorithm should pick the direct edge essentially always.
+  std::vector<EdgeEndpoints> edges;
+  for (int i = 0; i < 20; ++i) edges.push_back({i, i + 1});
+  edges.push_back({0, 20});  // direct shortcut, edge id 20
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(21, edges));
+  EdgeWeights w(21, 0.05);
+  w[20] = 1.2;  // slightly worse than the 20-hop total of 1.0
+  Rng rng(kTestSeed);
+  PrivateShortestPathOptions options;
+  options.params = PrivacyParams{1.0, 0.0, 1.0};
+  int direct = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    ASSERT_OK_AND_ASSIGN(PrivateShortestPaths release,
+                         PrivateShortestPaths::Release(g, w, options, &rng));
+    ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> path, release.Path(0, 20));
+    if (path.size() == 1) ++direct;
+  }
+  EXPECT_GT(direct, 45);
+}
+
+TEST(PrivateShortestPathTest, WorksOnDirectedGraphs) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g,
+                       Graph::Create(3, {{0, 1}, {1, 2}, {2, 0}}, true));
+  EdgeWeights w{1.0, 1.0, 1.0};
+  PrivateShortestPathOptions options;
+  ASSERT_OK_AND_ASSIGN(PrivateShortestPaths release,
+                       PrivateShortestPaths::Release(g, w, options, &rng));
+  ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> path, release.Path(0, 2));
+  EXPECT_EQ(path.size(), 2u);
+}
+
+TEST(PrivateShortestPathTest, InvalidArguments) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(3));
+  PrivateShortestPathOptions options;
+  options.gamma = 0.0;
+  EXPECT_FALSE(
+      PrivateShortestPaths::Release(g, {1.0, 1.0}, options, &rng).ok());
+  options.gamma = 0.1;
+  EXPECT_FALSE(
+      PrivateShortestPaths::Release(g, {-1.0, 1.0}, options, &rng).ok());
+}
+
+TEST(PrivateShortestPathTest, ErrorBoundForHopsFormula) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(5));
+  EdgeWeights w(4, 1.0);
+  PrivateShortestPathOptions options;
+  options.params = PrivacyParams{2.0, 0.0, 1.0};
+  options.gamma = 0.01;
+  ASSERT_OK_AND_ASSIGN(PrivateShortestPaths release,
+                       PrivateShortestPaths::Release(g, w, options, &rng));
+  EXPECT_DOUBLE_EQ(release.ErrorBoundForHops(3), 6.0 * release.offset());
+  EXPECT_DOUBLE_EQ(release.ErrorBoundForHops(0), 0.0);
+}
+
+}  // namespace
+}  // namespace dpsp

@@ -1,0 +1,60 @@
+#include "dp/randomized_response.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(FlipProbabilityTest, Values) {
+  EXPECT_DOUBLE_EQ(RandomizedResponseFlipProbability(0.0), 0.5);
+  EXPECT_NEAR(RandomizedResponseFlipProbability(1.0),
+              1.0 / (1.0 + std::exp(1.0)), 1e-12);
+  EXPECT_LT(RandomizedResponseFlipProbability(5.0), 0.01);
+}
+
+TEST(RandomizedResponseTest, PreservesLength) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(std::vector<int> out,
+                       RandomizedResponse({0, 1, 0, 1}, 1.0, &rng));
+  EXPECT_EQ(out.size(), 4u);
+  for (int b : out) EXPECT_TRUE(b == 0 || b == 1);
+}
+
+TEST(RandomizedResponseTest, EmpiricalFlipRateMatches) {
+  Rng rng(kTestSeed);
+  double eps = 1.0;
+  std::vector<int> x(20000, 1);
+  ASSERT_OK_AND_ASSIGN(std::vector<int> y, RandomizedResponse(x, eps, &rng));
+  ASSERT_OK_AND_ASSIGN(int flips, HammingDistance(x, y));
+  EXPECT_NEAR(flips / 20000.0, RandomizedResponseFlipProbability(eps), 0.01);
+}
+
+TEST(RandomizedResponseTest, HighEpsilonNearlyExact) {
+  Rng rng(kTestSeed);
+  std::vector<int> x(1000, 1);
+  ASSERT_OK_AND_ASSIGN(std::vector<int> y, RandomizedResponse(x, 12.0, &rng));
+  ASSERT_OK_AND_ASSIGN(int flips, HammingDistance(x, y));
+  EXPECT_LE(flips, 1);
+}
+
+TEST(RandomizedResponseTest, RejectsInvalidInput) {
+  Rng rng(kTestSeed);
+  EXPECT_FALSE(RandomizedResponse({2}, 1.0, &rng).ok());
+  EXPECT_FALSE(RandomizedResponse({0}, -1.0, &rng).ok());
+}
+
+TEST(HammingDistanceTest, Basic) {
+  ASSERT_OK_AND_ASSIGN(int d, HammingDistance({0, 1, 1}, {1, 1, 0}));
+  EXPECT_EQ(d, 2);
+  ASSERT_OK_AND_ASSIGN(int zero, HammingDistance({}, {}));
+  EXPECT_EQ(zero, 0);
+  EXPECT_FALSE(HammingDistance({0}, {0, 1}).ok());
+}
+
+}  // namespace
+}  // namespace dpsp

@@ -1,0 +1,145 @@
+#include "core/reconstruction.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(ReconstructionLowerBoundTest, Formula) {
+  // alpha = n (1 - (1+e^eps) delta) / (1 + e^{2eps}).
+  double eps = 1.0, delta = 0.01;
+  double expected = 100.0 * (1.0 - (1.0 + std::exp(1.0)) * 0.01) /
+                    (1.0 + std::exp(2.0));
+  EXPECT_NEAR(ReconstructionLowerBound(100, eps, delta), expected, 1e-12);
+  // Small eps, delta = 0: approaches n/2 ("0.49 (V-1)" in Theorem 5.1).
+  EXPECT_GT(ReconstructionLowerBound(100, 0.01, 0.0), 49.0);
+  EXPECT_LE(ReconstructionLowerBound(100, 0.01, 0.0), 50.0);
+}
+
+TEST(DecodePathBitsTest, DecodesCleanPath) {
+  ASSERT_OK_AND_ASSIGN(BitGadgetGraph gadget, MakeShortestPathGadget(3));
+  // Path using e_0^(1), e_1^(0), e_2^(1): edge ids 1, 2, 5.
+  ASSERT_OK_AND_ASSIGN(std::vector<int> bits,
+                       DecodePathBits(gadget, {1, 2, 5}));
+  EXPECT_EQ(bits, (std::vector<int>{1, 0, 1}));
+}
+
+TEST(DecodePathBitsTest, RejectsMalformedPaths) {
+  ASSERT_OK_AND_ASSIGN(BitGadgetGraph gadget, MakeShortestPathGadget(3));
+  EXPECT_FALSE(DecodePathBits(gadget, {1, 2}).ok());        // too short
+  EXPECT_FALSE(DecodePathBits(gadget, {0, 1, 4}).ok());     // position twice
+  EXPECT_FALSE(DecodePathBits(gadget, {0, 2, 99}).ok());    // bad id
+}
+
+TEST(DecodeTreeBitsTest, DecodesStarTree) {
+  ASSERT_OK_AND_ASSIGN(BitGadgetGraph gadget, MakeMstGadget(4));
+  ASSERT_OK_AND_ASSIGN(std::vector<int> bits,
+                       DecodeTreeBits(gadget, {0, 3, 4, 7}));
+  EXPECT_EQ(bits, (std::vector<int>{0, 1, 0, 1}));
+}
+
+TEST(DecodeMatchingBitsTest, DecodesPerGadgetChoice) {
+  ASSERT_OK_AND_ASSIGN(HourglassGadgetGraph gadget, MakeMatchingGadget(2));
+  // Gadget 0: (0,1)-(1,0) matched => edge EdgeFor(0,1,0)=2 => bit 0.
+  //           partner edge (0,0)-(1,1): EdgeFor(0,0,1)=1.
+  // Gadget 1: (0,1)-(1,1) matched => EdgeFor(1,1,1)=7 => bit 1.
+  //           partner edge (0,0)-(1,0): EdgeFor(1,0,0)=4.
+  ASSERT_OK_AND_ASSIGN(std::vector<int> bits,
+                       DecodeMatchingBits(gadget, {2, 1, 7, 4}));
+  EXPECT_EQ(bits, (std::vector<int>{0, 1}));
+}
+
+TEST(AttackShortestPathTest, HighEpsilonReconstructsPerfectly) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(BitGadgetGraph gadget, MakeShortestPathGadget(30));
+  std::vector<int> x(30);
+  for (int& b : x) b = rng.Bernoulli(0.5) ? 1 : 0;
+  PrivacyParams params{1e6, 0.0, 1.0};
+  ASSERT_OK_AND_ASSIGN(AttackOutcome outcome,
+                       AttackShortestPath(gadget, x, params, 0.05, &rng));
+  EXPECT_EQ(outcome.hamming_distance, 0);
+  EXPECT_DOUBLE_EQ(outcome.object_error, 0.0);
+}
+
+TEST(AttackShortestPathTest, HammingEqualsObjectErrorOnGadget) {
+  // On this gadget every decoded disagreement contributes exactly one unit
+  // of path weight.
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(BitGadgetGraph gadget, MakeShortestPathGadget(40));
+  std::vector<int> x(40);
+  for (int& b : x) b = rng.Bernoulli(0.5) ? 1 : 0;
+  PrivacyParams params{1.0, 0.0, 1.0};
+  for (int trial = 0; trial < 5; ++trial) {
+    ASSERT_OK_AND_ASSIGN(AttackOutcome outcome,
+                         AttackShortestPath(gadget, x, params, 0.05, &rng));
+    EXPECT_DOUBLE_EQ(outcome.object_error,
+                     static_cast<double>(outcome.hamming_distance));
+  }
+}
+
+TEST(RunReconstructionExperimentTest, ShortestPathReportSane) {
+  Rng rng(kTestSeed);
+  PrivacyParams params{1.0, 0.0, 1.0};
+  ASSERT_OK_AND_ASSIGN(
+      AttackReport report,
+      RunReconstructionExperiment(AttackKind::kShortestPath, 50, params, 20,
+                                  &rng));
+  EXPECT_EQ(report.n, 50);
+  EXPECT_EQ(report.trials, 20);
+  // Theorem 5.1: expected error >= alpha. (Statistical slack 0.7.)
+  EXPECT_GE(report.mean_object_error, report.alpha * 0.7);
+  // Randomized response at the same eps flips n/(1+e) ~ 13.4 bits; the
+  // attack on Algorithm 3 cannot beat the RR optimum by Lemma 5.3 (slack
+  // for sampling noise).
+  EXPECT_GE(report.mean_hamming,
+            report.randomized_response_expectation * 0.5);
+  EXPECT_LE(report.mean_hamming, 50.0);
+}
+
+TEST(RunReconstructionExperimentTest, MstAndMatchingReports) {
+  Rng rng(kTestSeed);
+  PrivacyParams params{1.0, 0.0, 1.0};
+  ASSERT_OK_AND_ASSIGN(AttackReport mst,
+                       RunReconstructionExperiment(AttackKind::kMst, 40,
+                                                   params, 15, &rng));
+  EXPECT_GE(mst.mean_object_error, mst.alpha * 0.6);
+  ASSERT_OK_AND_ASSIGN(AttackReport matching,
+                       RunReconstructionExperiment(AttackKind::kMatching, 40,
+                                                   params, 15, &rng));
+  EXPECT_GE(matching.mean_object_error,
+            ReconstructionLowerBound(40, 1.0, 0.0) * 0.6);
+}
+
+TEST(RunReconstructionExperimentTest, LargerEpsilonReconstructsBetter) {
+  Rng rng(kTestSeed);
+  PrivacyParams tight{0.2, 0.0, 1.0};
+  PrivacyParams loose{4.0, 0.0, 1.0};
+  ASSERT_OK_AND_ASSIGN(
+      AttackReport rt,
+      RunReconstructionExperiment(AttackKind::kShortestPath, 60, tight, 15,
+                                  &rng));
+  ASSERT_OK_AND_ASSIGN(
+      AttackReport rl,
+      RunReconstructionExperiment(AttackKind::kShortestPath, 60, loose, 15,
+                                  &rng));
+  EXPECT_LT(rl.mean_hamming, rt.mean_hamming);
+}
+
+TEST(RunReconstructionExperimentTest, InvalidArguments) {
+  Rng rng(kTestSeed);
+  PrivacyParams params;
+  EXPECT_FALSE(RunReconstructionExperiment(AttackKind::kMst, 0, params, 5,
+                                           &rng)
+                   .ok());
+  EXPECT_FALSE(RunReconstructionExperiment(AttackKind::kMst, 5, params, 0,
+                                           &rng)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace dpsp

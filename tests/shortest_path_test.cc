@@ -1,0 +1,168 @@
+#include "graph/shortest_path.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(DijkstraTest, PathGraphDistances) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(4));
+  EdgeWeights w{1.0, 2.0, 3.0};
+  ASSERT_OK_AND_ASSIGN(ShortestPathTree tree, Dijkstra(g, w, 0));
+  EXPECT_DOUBLE_EQ(tree.distance[0], 0.0);
+  EXPECT_DOUBLE_EQ(tree.distance[1], 1.0);
+  EXPECT_DOUBLE_EQ(tree.distance[2], 3.0);
+  EXPECT_DOUBLE_EQ(tree.distance[3], 6.0);
+}
+
+TEST(DijkstraTest, PrefersCheaperDetour) {
+  // 0-1 expensive direct, 0-2-1 cheap detour.
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(3, {{0, 1}, {0, 2}, {2, 1}}));
+  EdgeWeights w{10.0, 1.0, 1.0};
+  ASSERT_OK_AND_ASSIGN(ShortestPathTree tree, Dijkstra(g, w, 0));
+  EXPECT_DOUBLE_EQ(tree.distance[1], 2.0);
+  ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> path, ExtractPathEdges(g, tree, 1));
+  EXPECT_EQ(path, (std::vector<EdgeId>{1, 2}));
+}
+
+TEST(DijkstraTest, UnreachableVertexIsInfinite) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(3, {{0, 1}}));
+  ASSERT_OK_AND_ASSIGN(ShortestPathTree tree, Dijkstra(g, {1.0}, 0));
+  EXPECT_EQ(tree.distance[2], kInfiniteDistance);
+  EXPECT_FALSE(tree.Reachable(2));
+  EXPECT_FALSE(ExtractPathEdges(g, tree, 2).ok());
+}
+
+TEST(DijkstraTest, RejectsNegativeWeights) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(2, {{0, 1}}));
+  EXPECT_FALSE(Dijkstra(g, {-1.0}, 0).ok());
+}
+
+TEST(DijkstraTest, RejectsBadSource) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(2, {{0, 1}}));
+  EXPECT_FALSE(Dijkstra(g, {1.0}, 5).ok());
+}
+
+TEST(DijkstraTest, ParallelEdgesUseCheaper) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(2, {{0, 1}, {0, 1}}));
+  EdgeWeights w{5.0, 2.0};
+  ASSERT_OK_AND_ASSIGN(ShortestPathTree tree, Dijkstra(g, w, 0));
+  EXPECT_DOUBLE_EQ(tree.distance[1], 2.0);
+  ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> path, ExtractPathEdges(g, tree, 1));
+  EXPECT_EQ(path, std::vector<EdgeId>{1});
+}
+
+TEST(DijkstraTest, DirectedRespectsOrientation) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(2, {{0, 1}}, true));
+  ASSERT_OK_AND_ASSIGN(ShortestPathTree from0, Dijkstra(g, {1.0}, 0));
+  EXPECT_DOUBLE_EQ(from0.distance[1], 1.0);
+  ASSERT_OK_AND_ASSIGN(ShortestPathTree from1, Dijkstra(g, {1.0}, 1));
+  EXPECT_EQ(from1.distance[0], kInfiniteDistance);
+}
+
+TEST(BellmanFordTest, MatchesDijkstraOnNonNegative) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeConnectedErdosRenyi(30, 0.15, &rng));
+  EdgeWeights w = MakeUniformWeights(g, 0.0, 5.0, &rng);
+  ASSERT_OK_AND_ASSIGN(ShortestPathTree d, Dijkstra(g, w, 0));
+  ASSERT_OK_AND_ASSIGN(ShortestPathTree b, BellmanFord(g, w, 0));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(d.distance[static_cast<size_t>(v)],
+                b.distance[static_cast<size_t>(v)], 1e-9);
+  }
+}
+
+TEST(BellmanFordTest, HandlesNegativeEdges) {
+  // 0 ->(5) 1, 0 ->(10) 2, 2 ->(-8) 1 : best to 1 is 2.
+  ASSERT_OK_AND_ASSIGN(Graph g,
+                       Graph::Create(3, {{0, 1}, {0, 2}, {2, 1}}, true));
+  EdgeWeights w{5.0, 10.0, -8.0};
+  ASSERT_OK_AND_ASSIGN(ShortestPathTree tree, BellmanFord(g, w, 0));
+  EXPECT_DOUBLE_EQ(tree.distance[1], 2.0);
+}
+
+TEST(BellmanFordTest, DetectsNegativeCycle) {
+  ASSERT_OK_AND_ASSIGN(Graph g,
+                       Graph::Create(2, {{0, 1}, {1, 0}}, true));
+  EdgeWeights w{1.0, -2.0};
+  auto result = BellmanFord(g, w, 0);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BellmanFordTest, UndirectedNegativeEdgeIsANegativeCycle) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(2, {{0, 1}}));
+  EXPECT_FALSE(BellmanFord(g, {-1.0}, 0).ok());
+}
+
+TEST(HopDistancesTest, GridHops) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeGridGraph(3, 3));
+  ASSERT_OK_AND_ASSIGN(std::vector<int> hops, HopDistances(g, 0));
+  EXPECT_EQ(hops[0], 0);
+  EXPECT_EQ(hops[4], 2);  // center of 3x3
+  EXPECT_EQ(hops[8], 4);  // opposite corner
+}
+
+TEST(HopDistancesTest, DisconnectedMarked) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(3, {{0, 1}}));
+  ASSERT_OK_AND_ASSIGN(std::vector<int> hops, HopDistances(g, 0));
+  EXPECT_EQ(hops[2], kUnreachableHops);
+}
+
+TEST(ExtractPathTest, VerticesMatchEdges) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(5));
+  EdgeWeights w(4, 1.0);
+  ASSERT_OK_AND_ASSIGN(ShortestPathTree tree, Dijkstra(g, w, 1));
+  ASSERT_OK_AND_ASSIGN(std::vector<VertexId> verts,
+                       ExtractPathVertices(g, tree, 4));
+  EXPECT_EQ(verts, (std::vector<VertexId>{1, 2, 3, 4}));
+  ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> edges,
+                       ExtractPathEdges(g, tree, 4));
+  EXPECT_OK(ValidatePath(g, edges, 1, 4));
+}
+
+TEST(ExtractPathTest, PathToSourceIsEmpty) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(3));
+  ASSERT_OK_AND_ASSIGN(ShortestPathTree tree, Dijkstra(g, {1.0, 1.0}, 1));
+  ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> edges,
+                       ExtractPathEdges(g, tree, 1));
+  EXPECT_TRUE(edges.empty());
+}
+
+TEST(ValidatePathTest, RejectsBrokenWalks) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(4));
+  EXPECT_OK(ValidatePath(g, {0, 1, 2}, 0, 3));
+  EXPECT_FALSE(ValidatePath(g, {0, 2}, 0, 3).ok());    // gap
+  EXPECT_FALSE(ValidatePath(g, {0, 1}, 0, 3).ok());    // wrong endpoint
+  EXPECT_FALSE(ValidatePath(g, {9}, 0, 1).ok());       // bad edge id
+  EXPECT_OK(ValidatePath(g, {}, 2, 2));                // trivial walk
+}
+
+// Property sweep: on random graphs, Dijkstra's tree paths have weight equal
+// to the reported distance and validate as walks.
+class DijkstraPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DijkstraPropertyTest, TreePathsConsistent) {
+  Rng rng(kTestSeed + static_cast<uint64_t>(GetParam()));
+  ASSERT_OK_AND_ASSIGN(Graph g,
+                       MakeConnectedErdosRenyi(GetParam(), 0.1, &rng));
+  EdgeWeights w = MakeUniformWeights(g, 0.1, 3.0, &rng);
+  ASSERT_OK_AND_ASSIGN(ShortestPathTree tree, Dijkstra(g, w, 0));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> path,
+                         ExtractPathEdges(g, tree, v));
+    EXPECT_OK(ValidatePath(g, path, 0, v));
+    EXPECT_NEAR(TotalWeight(w, path), tree.distance[static_cast<size_t>(v)],
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DijkstraPropertyTest,
+                         ::testing::Values(5, 12, 25, 50, 80));
+
+}  // namespace
+}  // namespace dpsp

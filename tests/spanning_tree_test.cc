@@ -1,0 +1,103 @@
+#include "graph/spanning_tree.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(KruskalTest, SimpleTriangle) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(3, {{0, 1}, {1, 2}, {0, 2}}));
+  EdgeWeights w{1.0, 2.0, 3.0};
+  ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> tree, KruskalMst(g, w));
+  EXPECT_TRUE(IsSpanningTree(g, tree));
+  EXPECT_DOUBLE_EQ(TotalWeight(w, tree), 3.0);
+}
+
+TEST(KruskalTest, NegativeWeightsAllowed) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(3, {{0, 1}, {1, 2}, {0, 2}}));
+  EdgeWeights w{-5.0, -1.0, 2.0};
+  ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> tree, KruskalMst(g, w));
+  EXPECT_DOUBLE_EQ(TotalWeight(w, tree), -6.0);
+}
+
+TEST(KruskalTest, DisconnectedFails) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(4, {{0, 1}, {2, 3}}));
+  EXPECT_FALSE(KruskalMst(g, {1.0, 1.0}).ok());
+}
+
+TEST(KruskalTest, ParallelEdgesPickCheaper) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(2, {{0, 1}, {0, 1}}));
+  ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> tree, KruskalMst(g, {4.0, 1.0}));
+  EXPECT_EQ(tree, std::vector<EdgeId>{1});
+}
+
+TEST(PrimTest, MatchesKruskalWeightOnRandomGraphs) {
+  Rng rng(kTestSeed);
+  for (int trial = 0; trial < 10; ++trial) {
+    ASSERT_OK_AND_ASSIGN(Graph g, MakeConnectedErdosRenyi(40, 0.15, &rng));
+    EdgeWeights w = MakeUniformWeights(g, -2.0, 5.0, &rng);
+    ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> k, KruskalMst(g, w));
+    ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> p, PrimMst(g, w));
+    EXPECT_TRUE(IsSpanningTree(g, k));
+    EXPECT_TRUE(IsSpanningTree(g, p));
+    EXPECT_NEAR(TotalWeight(w, k), TotalWeight(w, p), 1e-9);
+  }
+}
+
+TEST(PrimTest, SingleVertexTreeIsEmpty) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(1, {}));
+  ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> tree, PrimMst(g, {}));
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(IsSpanningTree(g, tree));
+}
+
+TEST(MstTest, DirectedRejected) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(2, {{0, 1}}, true));
+  EXPECT_FALSE(KruskalMst(g, {1.0}).ok());
+  EXPECT_FALSE(PrimMst(g, {1.0}).ok());
+  EXPECT_FALSE(BfsSpanningTree(g, 0).ok());
+}
+
+TEST(MstTest, MstWeightIsMinimalAgainstRandomSpanningTrees) {
+  // Sample random spanning trees (via random weights) and check the MST of
+  // the true weights is never beaten.
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeConnectedErdosRenyi(20, 0.3, &rng));
+  EdgeWeights w = MakeUniformWeights(g, 0.0, 1.0, &rng);
+  ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> best, KruskalMst(g, w));
+  double best_weight = TotalWeight(w, best);
+  for (int trial = 0; trial < 50; ++trial) {
+    EdgeWeights random_w = MakeUniformWeights(g, 0.0, 1.0, &rng);
+    ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> other, KruskalMst(g, random_w));
+    EXPECT_GE(TotalWeight(w, other), best_weight - 1e-9);
+  }
+}
+
+TEST(BfsSpanningTreeTest, SpansAndRespectsHops) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeGridGraph(5, 5));
+  ASSERT_OK_AND_ASSIGN(std::vector<EdgeId> tree, BfsSpanningTree(g, 12));
+  EXPECT_TRUE(IsSpanningTree(g, tree));
+}
+
+TEST(BfsSpanningTreeTest, DisconnectedFails) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(3, {{0, 1}}));
+  EXPECT_FALSE(BfsSpanningTree(g, 0).ok());
+}
+
+TEST(IsSpanningTreeTest, RejectsCyclesAndWrongSizes) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(3, {{0, 1}, {1, 2}, {0, 2}}));
+  EXPECT_TRUE(IsSpanningTree(g, {0, 1}));
+  EXPECT_FALSE(IsSpanningTree(g, {0}));          // too few
+  EXPECT_FALSE(IsSpanningTree(g, {0, 1, 2}));    // too many
+  ASSERT_OK_AND_ASSIGN(Graph g4, Graph::Create(4, {{0, 1}, {1, 2}, {0, 2}}));
+  EXPECT_FALSE(IsSpanningTree(g4, {0, 1, 2}));   // cycle, vertex 3 isolated
+}
+
+}  // namespace
+}  // namespace dpsp

@@ -1,0 +1,108 @@
+#include "common/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(OnlineStatsTest, EmptyDefaults) {
+  OnlineStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleValue) {
+  OnlineStats stats;
+  stats.Add(3.5);
+  EXPECT_EQ(stats.count(), 1);
+  EXPECT_EQ(stats.mean(), 3.5);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 3.5);
+  EXPECT_EQ(stats.max(), 3.5);
+}
+
+TEST(OnlineStatsTest, KnownMoments) {
+  OnlineStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_EQ(stats.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, NegativeValues) {
+  OnlineStats stats;
+  stats.Add(-10.0);
+  stats.Add(10.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.min(), -10.0);
+  EXPECT_EQ(stats.max(), 10.0);
+}
+
+TEST(QuantileTest, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(Quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStatistics) {
+  EXPECT_DOUBLE_EQ(Quantile({0.0, 10.0}, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({0.0, 10.0}, 0.5), 5.0);
+}
+
+TEST(QuantileTest, Extremes) {
+  std::vector<double> v{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 9.0);
+}
+
+TEST(QuantileTest, EmptyGivesZero) { EXPECT_EQ(Quantile({}, 0.5), 0.0); }
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_EQ(Mean({}), 0.0);
+}
+
+TEST(MaxAbsTest, Basic) {
+  EXPECT_DOUBLE_EQ(MaxAbs({-5.0, 3.0}), 5.0);
+  EXPECT_EQ(MaxAbs({}), 0.0);
+}
+
+TEST(HistogramTest, CountsFallInCorrectBins) {
+  Histogram hist(0.0, 10.0, 10);
+  hist.Add(0.5);   // bin 0
+  hist.Add(9.5);   // bin 9
+  hist.Add(5.5);   // bin 5
+  EXPECT_EQ(hist.count(0), 1);
+  EXPECT_EQ(hist.count(9), 1);
+  EXPECT_EQ(hist.count(5), 1);
+  EXPECT_EQ(hist.total(), 3);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram hist(0.0, 1.0, 4);
+  hist.Add(-100.0);
+  hist.Add(100.0);
+  EXPECT_EQ(hist.count(0), 1);
+  EXPECT_EQ(hist.count(3), 1);
+}
+
+TEST(HistogramTest, SmoothedMassSumsToOne) {
+  Histogram hist(0.0, 1.0, 5);
+  hist.Add(0.1);
+  hist.Add(0.1);
+  hist.Add(0.9);
+  double total = 0.0;
+  for (int b = 0; b < hist.bins(); ++b) total += hist.SmoothedMass(b);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Every bin keeps positive mass even when empty.
+  for (int b = 0; b < hist.bins(); ++b) EXPECT_GT(hist.SmoothedMass(b), 0.0);
+}
+
+}  // namespace
+}  // namespace dpsp

@@ -1,0 +1,49 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table table("demo", {"a", "bb"});
+  table.Row().Add(1).Add("x");
+  table.Row().Add(22).Add("yy");
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("| 22 |"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2);
+}
+
+TEST(TableTest, AlignsColumnsToWidestCell) {
+  Table table("t", {"col"});
+  table.Row().Add("wide-cell-content");
+  std::string out = table.ToString();
+  // Header cell padded to the same width as the widest row cell.
+  EXPECT_NE(out.find("| col              "), std::string::npos);
+}
+
+TEST(TableTest, DoubleFormattingUsesPrecision) {
+  Table table("t", {"v"});
+  table.Row().Add(1.23456789, 3);
+  EXPECT_NE(table.ToString().find("1.23"), std::string::npos);
+}
+
+TEST(TableTest, MissingCellsRenderEmpty) {
+  Table table("t", {"a", "b"});
+  table.Row().Add("only-one");
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpsp

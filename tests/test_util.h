@@ -1,0 +1,43 @@
+// Shared helpers for the test suite.
+
+#ifndef DPSP_TESTS_TEST_UTIL_H_
+#define DPSP_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+// Asserts that a Status (or the .status() of a Result) is OK.
+#define ASSERT_OK(expr)                                 \
+  do {                                                  \
+    const ::dpsp::Status dpsp_test_status_ = (expr);    \
+    ASSERT_TRUE(dpsp_test_status_.ok())                 \
+        << dpsp_test_status_.ToString();                \
+  } while (0)
+
+#define EXPECT_OK(expr)                                 \
+  do {                                                  \
+    const ::dpsp::Status dpsp_test_status_ = (expr);    \
+    EXPECT_TRUE(dpsp_test_status_.ok())                 \
+        << dpsp_test_status_.ToString();                \
+  } while (0)
+
+// Unwraps a Result<T> into `lhs`, failing the test on error.
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                             \
+  ASSERT_OK_AND_ASSIGN_IMPL(DPSP_CONCAT(dpsp_test_result_, __LINE__), \
+                            lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(result, lhs, rexpr)         \
+  auto result = (rexpr);                                      \
+  ASSERT_TRUE(result.ok()) << result.status().ToString();     \
+  lhs = std::move(result).value()
+
+namespace dpsp {
+
+/// Fixed seed used across the suite; tests that need multiple independent
+/// streams derive child seeds from it.
+inline constexpr uint64_t kTestSeed = 0x5ea1f00d2016ULL;
+
+}  // namespace dpsp
+
+#endif  // DPSP_TESTS_TEST_UTIL_H_

@@ -1,0 +1,172 @@
+#include "graph/tree_partition.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+void ExpectValidSplit(const RootedTree& tree, const SubtreeView& view,
+                      const TreeSplit& split) {
+  int n = view.size();
+  // v* and child roots are members of the view.
+  std::set<VertexId> view_set(view.vertices.begin(), view.vertices.end());
+  EXPECT_TRUE(view_set.count(split.v_star));
+
+  // Parts partition the view.
+  std::set<VertexId> seen;
+  auto absorb = [&](const SubtreeView& part) {
+    EXPECT_OK(ValidateSubtreeView(tree, part));
+    for (VertexId v : part.vertices) {
+      EXPECT_TRUE(view_set.count(v));
+      EXPECT_TRUE(seen.insert(v).second) << "vertex in two parts: " << v;
+    }
+  };
+  absorb(split.rest);
+  for (const SubtreeView& child : split.child_subtrees) absorb(child);
+  EXPECT_EQ(static_cast<int>(seen.size()), n);
+
+  // Size bounds from the proof of Theorem 4.1.
+  for (const SubtreeView& child : split.child_subtrees) {
+    EXPECT_LE(child.size() * 2, n);
+  }
+  EXPECT_LE(split.rest.size(), (n + 1) / 2);
+
+  // rest contains the view root and v*.
+  std::set<VertexId> rest_set(split.rest.vertices.begin(),
+                              split.rest.vertices.end());
+  EXPECT_TRUE(rest_set.count(view.root));
+  EXPECT_TRUE(rest_set.count(split.v_star));
+
+  // Each child subtree root is a tree-child of v*.
+  ASSERT_EQ(split.child_roots.size(), split.child_subtrees.size());
+  for (size_t i = 0; i < split.child_roots.size(); ++i) {
+    EXPECT_EQ(tree.parent(split.child_roots[i]), split.v_star);
+    EXPECT_EQ(split.child_subtrees[i].root, split.child_roots[i]);
+  }
+}
+
+TEST(TreePartitionTest, FullViewOfPath) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(8));
+  ASSERT_OK_AND_ASSIGN(RootedTree tree, RootedTree::FromGraph(g, 0));
+  SubtreeView view = FullTreeView(tree);
+  EXPECT_EQ(view.size(), 8);
+  ASSERT_OK_AND_ASSIGN(TreeSplit split, SplitSubtree(tree, view));
+  ExpectValidSplit(tree, view, split);
+  // For the path rooted at an end, v* is the midpoint-ish vertex whose
+  // subtree exceeds half: subtree of vertex i has 8-i vertices; the deepest
+  // with > 4 is vertex 3.
+  EXPECT_EQ(split.v_star, 3);
+}
+
+TEST(TreePartitionTest, StarSplitsAtCenter) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeStarGraph(9));
+  ASSERT_OK_AND_ASSIGN(RootedTree tree, RootedTree::FromGraph(g, 1));
+  // Rooted at a leaf: the center (vertex 0) has subtree 8 > 4.5.
+  SubtreeView view = FullTreeView(tree);
+  ASSERT_OK_AND_ASSIGN(TreeSplit split, SplitSubtree(tree, view));
+  ExpectValidSplit(tree, view, split);
+  EXPECT_EQ(split.v_star, 0);
+  EXPECT_EQ(split.child_roots.size(), 7u);
+}
+
+TEST(TreePartitionTest, TwoVertexTree) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(2));
+  ASSERT_OK_AND_ASSIGN(RootedTree tree, RootedTree::FromGraph(g, 0));
+  SubtreeView view = FullTreeView(tree);
+  ASSERT_OK_AND_ASSIGN(TreeSplit split, SplitSubtree(tree, view));
+  ExpectValidSplit(tree, view, split);
+}
+
+TEST(TreePartitionTest, SingletonRejected) {
+  ASSERT_OK_AND_ASSIGN(Graph g, Graph::Create(1, {}));
+  ASSERT_OK_AND_ASSIGN(RootedTree tree, RootedTree::FromGraph(g, 0));
+  EXPECT_FALSE(SplitSubtree(tree, FullTreeView(tree)).ok());
+}
+
+TEST(TreePartitionTest, RecursiveDepthIsLogarithmic) {
+  // Applying the split recursively reaches singletons within
+  // ceil(log2 n) + 1 levels (the sensitivity bound of Theorem 4.1).
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeRandomTree(257, &rng));
+  ASSERT_OK_AND_ASSIGN(RootedTree tree, RootedTree::FromGraph(g, 0));
+
+  int max_depth = 0;
+  std::function<void(const SubtreeView&, int)> recurse =
+      [&](const SubtreeView& view, int depth) {
+        max_depth = std::max(max_depth, depth);
+        if (view.size() == 1) return;
+        TreeSplit split = SplitSubtree(tree, view).value();
+        ExpectValidSplit(tree, view, split);
+        recurse(split.rest, depth + 1);
+        for (const SubtreeView& child : split.child_subtrees) {
+          recurse(child, depth + 1);
+        }
+      };
+  recurse(FullTreeView(tree), 0);
+  // ceil(log2 257) + 1 = 10.
+  EXPECT_LE(max_depth, 10);
+}
+
+TEST(ValidateSubtreeViewTest, CatchesViolations) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(4));
+  ASSERT_OK_AND_ASSIGN(RootedTree tree, RootedTree::FromGraph(g, 0));
+  SubtreeView empty{0, {}};
+  EXPECT_FALSE(ValidateSubtreeView(tree, empty).ok());
+  SubtreeView missing_root{2, {0, 1}};
+  EXPECT_FALSE(ValidateSubtreeView(tree, missing_root).ok());
+  SubtreeView not_closed{0, {0, 2}};  // 2's parent 1 missing
+  EXPECT_FALSE(ValidateSubtreeView(tree, not_closed).ok());
+  SubtreeView dup{0, {0, 0}};
+  EXPECT_FALSE(ValidateSubtreeView(tree, dup).ok());
+  SubtreeView ok{0, {0, 1, 2}};
+  EXPECT_OK(ValidateSubtreeView(tree, ok));
+}
+
+class TreePartitionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TreePartitionPropertyTest, SplitsAreValidAcrossFamilies) {
+  auto [family, n] = GetParam();
+  Rng rng(kTestSeed + static_cast<uint64_t>(n));
+  Result<Graph> g = Status::Internal("unset");
+  switch (family) {
+    case 0:
+      g = MakePathGraph(n);
+      break;
+    case 1:
+      g = MakeBalancedTree(n, 2);
+      break;
+    case 2:
+      g = MakeRandomTree(n, &rng);
+      break;
+    case 3:
+      g = MakeStarGraph(n);
+      break;
+    default:
+      g = MakeCaterpillarTree(n / 3 + 1, 2);
+      break;
+  }
+  ASSERT_TRUE(g.ok());
+  ASSERT_OK_AND_ASSIGN(RootedTree tree, RootedTree::FromGraph(*g, 0));
+  SubtreeView view = FullTreeView(tree);
+  if (view.size() < 2) return;
+  ASSERT_OK_AND_ASSIGN(TreeSplit split, SplitSubtree(tree, view));
+  ExpectValidSplit(tree, view, split);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, TreePartitionPropertyTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(2, 5, 16, 63, 200)));
+
+}  // namespace
+}  // namespace dpsp

@@ -1,0 +1,144 @@
+#include "graph/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(RootedTreeTest, PathTreeStructure) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(4));
+  ASSERT_OK_AND_ASSIGN(RootedTree tree, RootedTree::FromGraph(g, 0));
+  EXPECT_EQ(tree.root(), 0);
+  EXPECT_EQ(tree.parent(0), -1);
+  EXPECT_EQ(tree.parent(3), 2);
+  EXPECT_EQ(tree.depth(3), 3);
+  EXPECT_EQ(tree.subtree_size(0), 4);
+  EXPECT_EQ(tree.subtree_size(2), 2);
+  EXPECT_EQ(tree.children(1), std::vector<VertexId>{2});
+}
+
+TEST(RootedTreeTest, RootingAtInternalVertex) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(5));
+  ASSERT_OK_AND_ASSIGN(RootedTree tree, RootedTree::FromGraph(g, 2));
+  EXPECT_EQ(tree.depth(0), 2);
+  EXPECT_EQ(tree.depth(4), 2);
+  EXPECT_EQ(tree.subtree_size(2), 5);
+  EXPECT_EQ(tree.children(2).size(), 2u);
+}
+
+TEST(RootedTreeTest, RejectsNonTrees) {
+  ASSERT_OK_AND_ASSIGN(Graph cycle, MakeCycleGraph(4));
+  EXPECT_FALSE(RootedTree::FromGraph(cycle, 0).ok());
+  ASSERT_OK_AND_ASSIGN(Graph forest, Graph::Create(4, {{0, 1}, {2, 3}}));
+  EXPECT_FALSE(RootedTree::FromGraph(forest, 0).ok());
+  ASSERT_OK_AND_ASSIGN(Graph multi, Graph::Create(3, {{0, 1}, {0, 1}}));
+  EXPECT_FALSE(RootedTree::FromGraph(multi, 0).ok());
+}
+
+TEST(RootedTreeTest, BfsOrderStartsAtRootAndCoversAll) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeRandomTree(30, &rng));
+  ASSERT_OK_AND_ASSIGN(RootedTree tree, RootedTree::FromGraph(g, 7));
+  EXPECT_EQ(tree.bfs_order().front(), 7);
+  EXPECT_EQ(tree.bfs_order().size(), 30u);
+  // Parents precede children in BFS order.
+  std::vector<int> position(30, -1);
+  for (size_t i = 0; i < tree.bfs_order().size(); ++i) {
+    position[static_cast<size_t>(tree.bfs_order()[i])] = static_cast<int>(i);
+  }
+  for (VertexId v = 0; v < 30; ++v) {
+    if (v == 7) continue;
+    EXPECT_LT(position[static_cast<size_t>(tree.parent(v))],
+              position[static_cast<size_t>(v)]);
+  }
+}
+
+TEST(RootedTreeTest, SubtreeSizesSumCorrectly) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeRandomTree(50, &rng));
+  ASSERT_OK_AND_ASSIGN(RootedTree tree, RootedTree::FromGraph(g, 0));
+  for (VertexId v = 0; v < 50; ++v) {
+    int sum = 1;
+    for (VertexId c : tree.children(v)) sum += tree.subtree_size(c);
+    EXPECT_EQ(tree.subtree_size(v), sum);
+  }
+}
+
+TEST(RootedTreeTest, RootDistancesMatchDijkstra) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeRandomTree(40, &rng));
+  EdgeWeights w = MakeUniformWeights(g, 0.1, 4.0, &rng);
+  ASSERT_OK_AND_ASSIGN(RootedTree tree, RootedTree::FromGraph(g, 5));
+  std::vector<double> dist = tree.RootDistances(w);
+  ASSERT_OK_AND_ASSIGN(ShortestPathTree spt, Dijkstra(g, w, 5));
+  for (VertexId v = 0; v < 40; ++v) {
+    EXPECT_NEAR(dist[static_cast<size_t>(v)],
+                spt.distance[static_cast<size_t>(v)], 1e-9);
+  }
+}
+
+// Naive LCA by walking parents, for cross-checking.
+VertexId NaiveLca(const RootedTree& tree, VertexId u, VertexId v) {
+  while (tree.depth(u) > tree.depth(v)) u = tree.parent(u);
+  while (tree.depth(v) > tree.depth(u)) v = tree.parent(v);
+  while (u != v) {
+    u = tree.parent(u);
+    v = tree.parent(v);
+  }
+  return u;
+}
+
+class LcaPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LcaPropertyTest, MatchesNaiveOnRandomTrees) {
+  Rng rng(kTestSeed + static_cast<uint64_t>(GetParam()));
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeRandomTree(GetParam(), &rng));
+  ASSERT_OK_AND_ASSIGN(RootedTree tree, RootedTree::FromGraph(g, 0));
+  LcaIndex lca(tree);
+  for (int trial = 0; trial < 300; ++trial) {
+    VertexId u = static_cast<VertexId>(rng.UniformInt(0, GetParam() - 1));
+    VertexId v = static_cast<VertexId>(rng.UniformInt(0, GetParam() - 1));
+    EXPECT_EQ(lca.Lca(u, v), NaiveLca(tree, u, v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LcaPropertyTest,
+                         ::testing::Values(2, 3, 10, 33, 64, 129));
+
+TEST(LcaIndexTest, HopDistanceMatchesBfs) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeRandomTree(60, &rng));
+  ASSERT_OK_AND_ASSIGN(RootedTree tree, RootedTree::FromGraph(g, 0));
+  LcaIndex lca(tree);
+  ASSERT_OK_AND_ASSIGN(std::vector<int> hops, HopDistances(g, 13));
+  for (VertexId v = 0; v < 60; ++v) {
+    EXPECT_EQ(lca.HopDistance(13, v), hops[static_cast<size_t>(v)]);
+  }
+}
+
+TEST(LcaIndexTest, LcaOfVertexWithItself) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeBalancedTree(15, 2));
+  ASSERT_OK_AND_ASSIGN(RootedTree tree, RootedTree::FromGraph(g, 0));
+  LcaIndex lca(tree);
+  EXPECT_EQ(lca.Lca(7, 7), 7);
+  EXPECT_EQ(lca.Lca(0, 9), 0);
+}
+
+TEST(IsTreeTest, Classification) {
+  ASSERT_OK_AND_ASSIGN(Graph path, MakePathGraph(6));
+  EXPECT_TRUE(IsTree(path));
+  ASSERT_OK_AND_ASSIGN(Graph cycle, MakeCycleGraph(6));
+  EXPECT_FALSE(IsTree(cycle));
+  ASSERT_OK_AND_ASSIGN(Graph star, MakeStarGraph(6));
+  EXPECT_TRUE(IsTree(star));
+  ASSERT_OK_AND_ASSIGN(Graph directed, Graph::Create(2, {{0, 1}}, true));
+  EXPECT_FALSE(IsTree(directed));
+}
+
+}  // namespace
+}  // namespace dpsp

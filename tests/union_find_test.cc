@@ -1,0 +1,77 @@
+#include "graph/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(UnionFindTest, InitiallyAllDisjoint) {
+  UnionFind dsu(5);
+  EXPECT_EQ(dsu.num_sets(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(dsu.Find(i), i);
+    EXPECT_EQ(dsu.SetSize(i), 1);
+  }
+}
+
+TEST(UnionFindTest, UnionMerges) {
+  UnionFind dsu(4);
+  EXPECT_TRUE(dsu.Union(0, 1));
+  EXPECT_TRUE(dsu.Connected(0, 1));
+  EXPECT_FALSE(dsu.Connected(0, 2));
+  EXPECT_EQ(dsu.num_sets(), 3);
+  EXPECT_EQ(dsu.SetSize(1), 2);
+}
+
+TEST(UnionFindTest, UnionOfSameSetReturnsFalse) {
+  UnionFind dsu(3);
+  EXPECT_TRUE(dsu.Union(0, 1));
+  EXPECT_FALSE(dsu.Union(1, 0));
+  EXPECT_EQ(dsu.num_sets(), 2);
+}
+
+TEST(UnionFindTest, TransitiveConnectivity) {
+  UnionFind dsu(5);
+  dsu.Union(0, 1);
+  dsu.Union(1, 2);
+  dsu.Union(3, 4);
+  EXPECT_TRUE(dsu.Connected(0, 2));
+  EXPECT_TRUE(dsu.Connected(3, 4));
+  EXPECT_FALSE(dsu.Connected(2, 3));
+  EXPECT_EQ(dsu.SetSize(0), 3);
+}
+
+TEST(UnionFindTest, RandomizedAgainstNaiveLabels) {
+  // Compare against a brute-force labelling under random unions.
+  const int n = 60;
+  UnionFind dsu(n);
+  std::vector<int> label(n);
+  for (int i = 0; i < n; ++i) label[static_cast<size_t>(i)] = i;
+  Rng rng(kTestSeed);
+  for (int step = 0; step < 200; ++step) {
+    int a = static_cast<int>(rng.UniformInt(0, n - 1));
+    int b = static_cast<int>(rng.UniformInt(0, n - 1));
+    if (a == b) continue;
+    dsu.Union(a, b);
+    int la = label[static_cast<size_t>(a)];
+    int lb = label[static_cast<size_t>(b)];
+    if (la != lb) {
+      for (int& l : label) {
+        if (l == lb) l = la;
+      }
+    }
+    // Spot-check equivalence of the two structures.
+    for (int i = 0; i < n; i += 7) {
+      for (int j = i + 1; j < n; j += 11) {
+        EXPECT_EQ(dsu.Connected(i, j), label[static_cast<size_t>(i)] ==
+                                           label[static_cast<size_t>(j)]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpsp
