@@ -48,18 +48,25 @@ void Run() {
           .Add(guarantee);
     };
 
-    auto tree = OrDie(TreeAllPairsOracle::Build(g, w, pure, &rng));
+    // All four oracles come out of the registry; only the context's params
+    // differ between the pure and approx variants.
+    auto create = [&](const char* name, const PrivacyParams& params) {
+      ReleaseContext ctx =
+          OrDie(ReleaseContext::Create(params, rng.NextSeed()));
+      return OrDie(OracleRegistry::Global().Create(name, g, w, ctx));
+    };
+    auto tree = create(TreeAllPairsOracle::kName, pure);
     evaluate(*tree, StrFormat("O(log^2.5 V)/eps = %.4g",
                               TreeAllPairsErrorBound(n, pure, 0.05)));
-    auto synthetic = OrDie(MakeSyntheticGraphOracle(g, w, pure, &rng));
+    auto synthetic = create(kSyntheticGraphOracleName, pure);
     evaluate(*synthetic,
              StrFormat("(V/eps)log(E/g) = %.4g",
                        n * std::log(g.num_edges() / 0.05)));
-    auto pp_approx = OrDie(MakePerPairLaplaceOracle(g, w, approx, &rng));
+    auto pp_approx = create(kPerPairLaplaceOracleName, approx);
     evaluate(*pp_approx,
              StrFormat("Lap scale %.4g",
                        OrDie(PerPairLaplaceNoiseScale(pairs, approx))));
-    auto pp_pure = OrDie(MakePerPairLaplaceOracle(g, w, pure, &rng));
+    auto pp_pure = create(kPerPairLaplaceOracleName, pure);
     evaluate(*pp_pure,
              StrFormat("Lap scale %.4g",
                        OrDie(PerPairLaplaceNoiseScale(pairs, pure))));

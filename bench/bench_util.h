@@ -1,22 +1,39 @@
-// Shared helpers for the experiment harnesses in bench/.
+// Shared helpers for the experiment harnesses in bench/. Timing and CSV
+// rendering live in common/table.h (WallTimer, Table::ToCsv); this header
+// only adds the bench-specific glue: OrDie unwrapping, deterministic pair
+// sampling, and the uniform registry sweep every mechanism harness uses.
 
 #ifndef DPSP_BENCH_BENCH_UTIL_H_
 #define DPSP_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/random.h"
+#include "common/statistics.h"
 #include "common/status.h"
+#include "common/table.h"
+#include "core/oracle_registry.h"
+#include "dp/release_context.h"
 #include "graph/graph.h"
+#include "graph/shortest_path.h"
 
 namespace dpsp {
 
 /// Fixed seed for all harnesses: every run of every bench binary prints the
 /// same numbers.
 inline constexpr uint64_t kBenchSeed = 0x9a9e52016ULL;
+
+/// Default seed for the NOISE stream of registry sweeps. Deliberately
+/// distinct from kBenchSeed: reusing the data-generating seed would replay
+/// the PRNG stream that produced the private weights, correlating noise
+/// with data.
+inline constexpr uint64_t kBenchNoiseSeed = 0xb10c5eed2016ULL;
 
 /// Unwraps a Result in a harness; aborts with the status on failure.
 template <typename T>
@@ -47,6 +64,78 @@ inline std::vector<std::pair<VertexId, VertexId>> SamplePairs(int n, int count,
     if (u != v) pairs.emplace_back(u, v);
   }
   return pairs;
+}
+
+/// Configuration of a uniform registry sweep.
+struct SweepOptions {
+  PrivacyParams params;
+  /// The workload's input family; picks the applicable mechanisms.
+  OracleInput input = OracleInput::kAnyConnected;
+  bool has_perfect_matching = false;
+  /// Noise seed; keep it independent of the stream that generated the
+  /// weights (e.g. data_rng.NextSeed()).
+  uint64_t seed = kBenchNoiseSeed;
+};
+
+/// The uniform report shape every registry sweep emits. Pass the result to
+/// AppendSweepRows and render with Print() or ToCsv().
+inline Table MakeSweepTable(const std::string& title) {
+  return Table(title, {"mechanism", "build_ms", "batch_ms", "mean|err|",
+                       "p95|err|", "max|err|"});
+}
+
+/// Appends one row per applicable registered mechanism: builds the oracle
+/// through OracleRegistry::Create with a fresh ReleaseContext, times the
+/// build and one DistanceBatch over `pairs`, and reports batched-query
+/// error against `exact`. Mechanisms whose build fails on this workload
+/// get an error row instead of aborting the sweep. Adding a mechanism to
+/// every harness that calls this is one Register() line.
+inline void AppendSweepRows(Table& table, const Graph& graph,
+                            const EdgeWeights& w, const DistanceMatrix& exact,
+                            const std::vector<VertexPair>& pairs,
+                            const SweepOptions& options) {
+  const OracleRegistry& registry = OracleRegistry::Global();
+  for (const std::string& name :
+       registry.NamesForInput(options.input, options.has_perfect_matching)) {
+    // Per-mechanism seed: same-seed contexts would replay identical noise
+    // across rows, making distinct mechanisms spuriously agree.
+    uint64_t seed = options.seed ^ std::hash<std::string>{}(name);
+    ReleaseContext ctx =
+        OrDie(ReleaseContext::Create(options.params, seed));
+    WallTimer build_timer;
+    Result<std::unique_ptr<DistanceOracle>> oracle =
+        registry.Create(name, graph, w, ctx);
+    if (!oracle.ok()) {
+      table.Row()
+          .Add(name)
+          .Add("-")
+          .Add("-")
+          .Add(oracle.status().ToString())
+          .Add("-")
+          .Add("-");
+      continue;
+    }
+    double build_ms = build_timer.Ms();
+    WallTimer batch_timer;
+    std::vector<double> estimates = OrDie((*oracle)->DistanceBatch(pairs));
+    double batch_ms = batch_timer.Ms();
+    // Error columns come from the timed batch itself — no second sweep.
+    std::vector<double> errors;
+    errors.reserve(pairs.size());
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      double truth = exact.at(pairs[i].first, pairs[i].second);
+      if (truth == kInfiniteDistance) continue;  // unreachable: skip
+      errors.push_back(std::fabs(estimates[i] - truth));
+    }
+    table.Row().Add(name).Add(build_ms, 4).Add(batch_ms, 4);
+    if (errors.empty()) {
+      table.Add("-").Add("-").Add("-");
+    } else {
+      table.Add(Mean(errors), 4)
+          .Add(Quantile(errors, 0.95), 4)
+          .Add(MaxAbs(errors), 4);
+    }
+  }
 }
 
 }  // namespace dpsp

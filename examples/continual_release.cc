@@ -15,7 +15,7 @@
 #include "common/random.h"
 #include "common/table.h"
 #include "core/private_shortest_path.h"
-#include "dp/accountant.h"
+#include "dp/release_context.h"
 #include "graph/generators.h"
 
 using namespace dpsp;  // NOLINT — example brevity
@@ -24,10 +24,19 @@ int main() {
   Rng rng(/*seed=*/24);
   RoadNetwork city = MakeSyntheticRoadNetwork(8, 8, 0.3, &rng).value();
 
+  // One ReleaseContext is the service's daily ledger: per-release budget,
+  // seeded randomness, accountant, and a hard daily ceiling that stops a
+  // refresh BEFORE it would overspend.
   const double per_release_eps = 0.05;
-  PrivacyAccountant accountant;
+  ReleaseContext ctx =
+      ReleaseContext::Create(PrivacyParams{per_release_eps, 0.0, 1.0},
+                             /*seed=*/24)
+          .value();
+  PrivacyParams daily_budget{4.0, 1e-5, 1.0};
+  ctx.SetTotalBudget(daily_budget, /*delta_slack=*/1e-6);
+
   PrivateShortestPathOptions options;
-  options.params = PrivacyParams{per_release_eps, 0.0, 1.0};
+  options.params = ctx.params();
   options.gamma = 0.05;
 
   Table table("96 quarter-hourly weight-map refreshes at eps=0.05 each",
@@ -38,31 +47,34 @@ int main() {
     EdgeWeights traffic =
         MakeCongestionWeights(city, 3 + epoch % 3, 1.0 + 0.2 * (epoch % 5),
                               &rng);
-    PrivateShortestPaths release =
-        PrivateShortestPaths::Release(city.graph, traffic, options, &rng)
-            .value();
-    if (!accountant.Record(StrFormat("refresh-%02d", epoch), options.params)
-             .ok()) {
-      return 1;
+    // Draw the budget first: if the day's ceiling would be exceeded, no
+    // noise is drawn and nothing is released.
+    if (!ctx.ChargeRelease(StrFormat("refresh-%02d", epoch)).ok()) {
+      std::printf("refresh %d blocked: daily budget exhausted\n", epoch);
+      break;
     }
+    PrivateShortestPaths release =
+        PrivateShortestPaths::Release(city.graph, traffic, options,
+                                      ctx.rng())
+            .value();
     std::vector<EdgeId> route = release.Path(0, 63).value();
     if (epoch % 24 == 0 || epoch == 95) {
       table.Row()
           .Add(epoch)
           .Add(TotalWeight(traffic, route), 4)
-          .Add(accountant.BasicTotal().epsilon, 4)
-          .Add(accountant.AdvancedTotal(1e-6).value().epsilon, 4);
+          .Add(ctx.accountant().BasicTotal().epsilon, 4)
+          .Add(ctx.accountant().AdvancedTotal(1e-6).value().epsilon, 4);
     }
   }
   table.Print();
 
-  PrivacyParams daily_budget{4.0, 1e-5, 1.0};
   std::printf("\nwithin daily budget (eps=4, delta=1e-5)? %s\n",
-              accountant.WithinBudget(daily_budget, 1e-6) ? "yes" : "no");
+              ctx.accountant().WithinBudget(daily_budget, 1e-6) ? "yes"
+                                                                : "no");
   std::printf(
       "naive summation says eps=%.2f (over budget); Lemma 3.4 certifies "
       "eps=%.2f.\n",
-      accountant.BasicTotal().epsilon,
-      accountant.AdvancedTotal(1e-6).value().epsilon);
+      ctx.accountant().BasicTotal().epsilon,
+      ctx.accountant().AdvancedTotal(1e-6).value().epsilon);
   return 0;
 }

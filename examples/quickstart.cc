@@ -1,15 +1,18 @@
 // Quickstart: the library in ~60 lines.
 //
 // 1. Build a public topology and a private weight function.
-// 2. Release a private distance oracle (Theorem 4.2, trees).
-// 3. Release private shortest paths (Algorithm 3, any graph).
-// 4. Query both — queries are post-processing, free of privacy cost.
+// 2. Create a ReleaseContext (validated budget + accountant + rng).
+// 3. Release a private distance oracle through the OracleRegistry.
+// 4. Release private shortest paths (Algorithm 3, any graph).
+// 5. Query both — single or batched — as post-processing, free of
+//    privacy cost; the context holds the ledger and telemetry.
 //
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
 
 #include "common/random.h"
+#include "core/oracle_registry.h"
 #include "core/private_shortest_path.h"
 #include "core/tree_distance.h"
 #include "graph/generators.h"
@@ -23,12 +26,16 @@ int main() {
   Graph tree = MakeBalancedTree(/*n=*/31, /*branching=*/2).value();
   EdgeWeights tree_weights = MakeUniformWeights(tree, 1.0, 10.0, &rng);
 
-  // One unit of l1 change in the weights is one "individual".
+  // One unit of l1 change in the weights is one "individual". The context
+  // validates the budget once and meters every release built through it.
   PrivacyParams params{/*epsilon=*/1.0, /*delta=*/0.0,
                        /*neighbor_l1_bound=*/1.0};
+  ReleaseContext ctx = ReleaseContext::Create(params, /*seed=*/2016).value();
 
   // eps-DP all-pairs distance oracle (error O(log^2.5 V)/eps, Thm 4.2).
-  auto oracle = TreeAllPairsOracle::Build(tree, tree_weights, params, &rng);
+  // Any registered mechanism is one name away; see OracleRegistry::Names().
+  auto oracle = OracleRegistry::Global().Create(TreeAllPairsOracle::kName,
+                                                tree, tree_weights, ctx);
   if (!oracle.ok()) {
     std::fprintf(stderr, "%s\n", oracle.status().ToString().c_str());
     return 1;
@@ -40,6 +47,15 @@ int main() {
               rooted.RootDistances(tree_weights)[5] +
                   rooted.RootDistances(tree_weights)[27] -
                   2 * rooted.RootDistances(tree_weights)[1]);
+
+  // Batched queries share one call (and worker threads on big batches).
+  std::vector<VertexPair> pairs = {{5, 27}, {3, 11}, {0, 30}};
+  std::vector<double> batch = (*oracle)->DistanceBatch(pairs).value();
+  std::printf("batched  distances       = %.3f %.3f %.3f\n", batch[0],
+              batch[1], batch[2]);
+  std::printf("budget spent so far: eps=%.2f over %d release(s)\n",
+              ctx.accountant().BasicTotal().epsilon,
+              ctx.accountant().num_releases());
 
   // --- Private shortest paths on a general graph (Algorithm 3). ----------
   Graph city = MakeGridGraph(6, 6).value();

@@ -1,0 +1,44 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace dpsp {
+
+int ParallelWorkerCount(size_t n, int max_threads,
+                        size_t min_items_per_worker) {
+  if (n == 0) return 1;
+  size_t by_size = std::max<size_t>(1, n / std::max<size_t>(
+                                           1, min_items_per_worker));
+  // An explicit max_threads overrides the hardware-concurrency default
+  // (it may exceed it; tests use this to force real thread fan-out).
+  size_t cap = max_threads > 0
+                   ? static_cast<size_t>(max_threads)
+                   : std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<int>(std::min(by_size, cap));
+}
+
+void ParallelFor(size_t n, int max_threads,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  int workers = ParallelWorkerCount(n, max_threads);
+  if (workers <= 1) {
+    fn(0, n);
+    return;
+  }
+  size_t chunk = (n + static_cast<size_t>(workers) - 1) /
+                 static_cast<size_t>(workers);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers) - 1);
+  size_t begin = chunk;  // the calling thread takes [0, chunk)
+  for (int t = 1; t < workers && begin < n; ++t) {
+    size_t end = std::min(n, begin + chunk);
+    threads.emplace_back(fn, begin, end);
+    begin = end;
+  }
+  fn(0, std::min(n, chunk));
+  for (std::thread& thread : threads) thread.join();
+}
+
+}  // namespace dpsp

@@ -1,0 +1,33 @@
+// Minimal data-parallel loop used by the batched oracle query paths.
+//
+// The released objects behind every DistanceOracle are immutable after
+// construction, so answering a batch of queries is embarrassingly parallel.
+// ParallelFor splits an index range into contiguous chunks, one per worker
+// thread; small batches run inline to avoid paying thread start-up on the
+// latency path.
+
+#ifndef DPSP_COMMON_PARALLEL_H_
+#define DPSP_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace dpsp {
+
+/// Workers ParallelFor would use for `n` items: capped so each worker gets
+/// at least `min_items_per_worker` items, and by `max_threads` when
+/// positive (which overrides the hardware-concurrency default). Always
+/// >= 1.
+int ParallelWorkerCount(size_t n, int max_threads = 0,
+                        size_t min_items_per_worker = 2048);
+
+/// Runs fn(begin, end) over a partition of [0, n) using up to `max_threads`
+/// workers (0 = hardware concurrency; a positive value overrides it). With
+/// one worker, runs inline on the calling thread. `fn` must be safe to
+/// call concurrently on disjoint ranges.
+void ParallelFor(size_t n, int max_threads,
+                 const std::function<void(size_t begin, size_t end)>& fn);
+
+}  // namespace dpsp
+
+#endif  // DPSP_COMMON_PARALLEL_H_

@@ -83,4 +83,45 @@ std::string Table::ToString() const {
 
 void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
 
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::ToCsv() const {
+  std::string out;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) out += ',';
+    out += CsvEscape(columns_[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out += ',';
+      if (c < row.size()) out += CsvEscape(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool Table::WriteCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string csv = ToCsv();
+  size_t written = std::fwrite(csv.data(), 1, csv.size(), f);
+  // fclose flushes; a full disk surfaces there, not in fwrite.
+  return (std::fclose(f) == 0) && written == csv.size();
+}
+
 }  // namespace dpsp

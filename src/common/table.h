@@ -1,9 +1,11 @@
-// ASCII table printer. Every bench harness renders its experiment results
-// through this so the output is uniform and diffable against EXPERIMENTS.md.
+// ASCII table printer plus the shared timing/CSV reporting utilities. Every
+// bench harness and registry sweep renders its results through this so the
+// output is uniform and diffable against EXPERIMENTS.md.
 
 #ifndef DPSP_COMMON_TABLE_H_
 #define DPSP_COMMON_TABLE_H_
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -28,8 +30,16 @@ class Table {
   /// Renders the table (title, header, separator, rows).
   std::string ToString() const;
 
+  /// Renders the same rows as RFC-4180-style CSV (header line + rows;
+  /// cells containing commas or quotes are quoted). The title is omitted.
+  std::string ToCsv() const;
+
   /// Renders to stdout.
   void Print() const;
+
+  /// Writes the CSV rendering to `path` (truncating). Returns false when
+  /// the file cannot be opened.
+  bool WriteCsv(const std::string& path) const;
 
   int num_rows() const { return static_cast<int>(rows_.size()); }
 
@@ -41,6 +51,25 @@ class Table {
 
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...);
+
+/// Wall-clock stopwatch for release telemetry and bench rows. Starts on
+/// construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Milliseconds since construction (or the last Reset).
+  double Ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace dpsp
 

@@ -24,7 +24,7 @@ class ExactOracle final : public DistanceOracle {
     return matrix_.at(u, v);
   }
 
-  std::string Name() const override { return "exact"; }
+  std::string Name() const override { return kExactOracleName; }
 
  private:
   DistanceMatrix matrix_;
@@ -62,7 +62,7 @@ class SyntheticGraphOracle final : public DistanceOracle {
     return distances_.at(u, v);
   }
 
-  std::string Name() const override { return "synthetic-graph"; }
+  std::string Name() const override { return kSyntheticGraphOracleName; }
 
  private:
   DistanceMatrix distances_;
@@ -92,6 +92,18 @@ Result<std::unique_ptr<DistanceOracle>> MakeExactOracle(const Graph& graph,
                                                         const EdgeWeights& w) {
   DPSP_ASSIGN_OR_RETURN(DistanceMatrix matrix, AllPairsDijkstra(graph, w));
   return std::unique_ptr<DistanceOracle>(new ExactOracle(std::move(matrix)));
+}
+
+Result<std::unique_ptr<DistanceOracle>> MakeExactOracle(const Graph& graph,
+                                                        const EdgeWeights& w,
+                                                        ReleaseContext& ctx) {
+  WallTimer timer;
+  DPSP_ASSIGN_OR_RETURN(auto oracle, MakeExactOracle(graph, w));
+  ReleaseTelemetry t;
+  t.mechanism = kExactOracleName;  // eps/delta stay 0: nothing is private
+  t.wall_ms = timer.Ms();
+  ctx.RecordTelemetry(std::move(t));
+  return oracle;
 }
 
 Result<double> PerPairLaplaceNoiseScale(int num_pairs,
@@ -133,6 +145,28 @@ Result<std::unique_ptr<DistanceOracle>> MakePerPairLaplaceOracle(
       new PerPairLaplaceOracle(std::move(noisy), std::move(name)));
 }
 
+Result<std::unique_ptr<DistanceOracle>> MakePerPairLaplaceOracle(
+    const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx) {
+  WallTimer timer;
+  DPSP_RETURN_IF_ERROR(ctx.CheckBudgetFor(kPerPairLaplaceOracleName));
+  DPSP_ASSIGN_OR_RETURN(auto oracle,
+                        MakePerPairLaplaceOracle(graph, w, ctx.params(),
+                                                 ctx.rng()));
+  int n = graph.num_vertices();
+  int num_pairs = std::max(1, n * (n - 1) / 2);
+  ReleaseTelemetry t;
+  t.mechanism = kPerPairLaplaceOracleName;
+  t.sensitivity = num_pairs;  // joint l1 sensitivity under basic composition
+  if (Result<double> scale = PerPairLaplaceNoiseScale(num_pairs, ctx.params());
+      scale.ok()) {
+    t.noise_scale = *scale;
+  }
+  t.noise_draws = num_pairs;
+  t.wall_ms = timer.Ms();
+  DPSP_RETURN_IF_ERROR(ctx.CommitRelease(std::move(t)));
+  return oracle;
+}
+
 Result<std::unique_ptr<DistanceOracle>> MakeSyntheticGraphOracle(
     const Graph& graph, const EdgeWeights& w, const PrivacyParams& params,
     Rng* rng) {
@@ -147,6 +181,23 @@ Result<std::unique_ptr<DistanceOracle>> MakeSyntheticGraphOracle(
                         AllPairsDijkstra(graph, noisy));
   return std::unique_ptr<DistanceOracle>(
       new SyntheticGraphOracle(std::move(distances)));
+}
+
+Result<std::unique_ptr<DistanceOracle>> MakeSyntheticGraphOracle(
+    const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx) {
+  WallTimer timer;
+  DPSP_RETURN_IF_ERROR(ctx.CheckBudgetFor(kSyntheticGraphOracleName));
+  DPSP_ASSIGN_OR_RETURN(auto oracle,
+                        MakeSyntheticGraphOracle(graph, w, ctx.params(),
+                                                 ctx.rng()));
+  ReleaseTelemetry t;
+  t.mechanism = kSyntheticGraphOracleName;
+  t.sensitivity = 1.0;  // identity query on the weight vector
+  t.noise_scale = ctx.params().neighbor_l1_bound / ctx.params().epsilon;
+  t.noise_draws = graph.num_edges();
+  t.wall_ms = timer.Ms();
+  DPSP_RETURN_IF_ERROR(ctx.CommitRelease(std::move(t)));
+  return oracle;
 }
 
 Result<std::vector<double>> PrivateSingleSourceDistances(

@@ -26,8 +26,14 @@
 #include "common/random.h"
 #include "core/distance_oracle.h"
 #include "dp/privacy.h"
+#include "dp/release_context.h"
 
 namespace dpsp {
+
+/// Registry names of the baseline oracles.
+inline constexpr const char* kExactOracleName = "exact";
+inline constexpr const char* kPerPairLaplaceOracleName = "per-pair-laplace";
+inline constexpr const char* kSyntheticGraphOracleName = "synthetic-graph";
 
 /// One private distance query: dw(u, v) + Lap(rho/eps). Consumes the whole
 /// budget for a single pair (Section 4, first paragraph).
@@ -41,6 +47,12 @@ Result<double> PrivateSinglePairDistance(const Graph& graph,
 Result<std::unique_ptr<DistanceOracle>> MakeExactOracle(const Graph& graph,
                                                         const EdgeWeights& w);
 
+/// Pipeline variant: charges nothing (the exact oracle is not private) but
+/// records a zero-budget telemetry row so sweeps stay uniform.
+Result<std::unique_ptr<DistanceOracle>> MakeExactOracle(const Graph& graph,
+                                                        const EdgeWeights& w,
+                                                        ReleaseContext& ctx);
+
 /// All-pairs Laplace baseline. With params.delta == 0, uses basic
 /// composition (noise scale = #pairs * rho / eps); with delta > 0, uses the
 /// better of basic and advanced composition. Requires non-negative weights.
@@ -48,12 +60,22 @@ Result<std::unique_ptr<DistanceOracle>> MakePerPairLaplaceOracle(
     const Graph& graph, const EdgeWeights& w, const PrivacyParams& params,
     Rng* rng);
 
+/// Pipeline variant: draws one release of ctx.params() from the accountant
+/// and records telemetry.
+Result<std::unique_ptr<DistanceOracle>> MakePerPairLaplaceOracle(
+    const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx);
+
 /// Synthetic-graph baseline: releases (G, w + Lap(rho/eps) per edge,
 /// clamped at 0) and answers queries by Dijkstra on the released weights.
 /// Pure eps-DP.
 Result<std::unique_ptr<DistanceOracle>> MakeSyntheticGraphOracle(
     const Graph& graph, const EdgeWeights& w, const PrivacyParams& params,
     Rng* rng);
+
+/// Pipeline variant: draws one release of ctx.params() from the accountant
+/// and records telemetry.
+Result<std::unique_ptr<DistanceOracle>> MakeSyntheticGraphOracle(
+    const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx);
 
 /// The per-query Laplace noise scale the all-pairs baseline uses, exposed
 /// for reporting. `num_pairs` = V(V-1)/2.

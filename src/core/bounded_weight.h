@@ -22,6 +22,7 @@
 #include "common/random.h"
 #include "core/distance_oracle.h"
 #include "dp/privacy.h"
+#include "dp/release_context.h"
 #include "graph/covering.h"
 
 namespace dpsp {
@@ -54,9 +55,19 @@ int AutoCoveringRadius(int num_vertices, double max_weight,
 /// Algorithm 2 oracle.
 class BoundedWeightOracle final : public DistanceOracle {
  public:
-  /// Builds the covering per `options` and releases the noisy Z-to-Z
-  /// distance table. Requires a connected undirected graph and weights in
-  /// [0, max_weight].
+  /// Registry name of this mechanism.
+  static constexpr const char* kName = "bounded-weight";
+
+  /// Builds through the release pipeline: `options.params` is overridden
+  /// by ctx.params(), the release is drawn from the accountant, and
+  /// telemetry is recorded.
+  static Result<std::unique_ptr<BoundedWeightOracle>> Build(
+      const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx,
+      BoundedWeightOptions options = {});
+
+  /// Legacy entry point without budget accounting. Builds the covering per
+  /// `options` and releases the noisy Z-to-Z distance table. Requires a
+  /// connected undirected graph and weights in [0, max_weight].
   static Result<std::unique_ptr<BoundedWeightOracle>> Build(
       const Graph& graph, const EdgeWeights& w,
       const BoundedWeightOptions& options, Rng* rng);
@@ -73,6 +84,11 @@ class BoundedWeightOracle final : public DistanceOracle {
 
   const Covering& covering() const { return covering_; }
   double noise_scale() const { return noise_scale_; }
+  /// Number of released noisy table entries, for telemetry.
+  int num_noisy_values() const {
+    int z = static_cast<int>(noisy_.size());
+    return z * (z - 1) / 2;
+  }
 
   /// High-probability per-query error bound as proved: 2kM plus the
   /// Laplace tail over the Z^2 released values.

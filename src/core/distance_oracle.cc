@@ -1,28 +1,63 @@
 #include "core/distance_oracle.h"
 
+#include <atomic>
 #include <cmath>
+#include <mutex>
 
+#include "common/parallel.h"
 #include "common/statistics.h"
 #include "graph/shortest_path.h"
 
 namespace dpsp {
 
+Result<std::vector<double>> DistanceOracle::DistanceBatch(
+    std::span<const VertexPair> pairs) const {
+  return DistanceBatchOf(*this, pairs);
+}
+
+Result<std::vector<double>> DistanceBatchOf(const DistanceOracle& oracle,
+                                            std::span<const VertexPair> pairs,
+                                            int max_threads) {
+  std::vector<double> out(pairs.size(), 0.0);
+  // First failing query wins; the rest of its chunk is abandoned.
+  std::atomic<bool> failed{false};
+  Status first_error;
+  std::mutex error_mutex;
+  ParallelFor(pairs.size(), max_threads, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      Result<double> d = oracle.Distance(pairs[i].first, pairs[i].second);
+      if (!d.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!failed.exchange(true)) first_error = d.status();
+        return;
+      }
+      out[i] = *d;
+    }
+  });
+  if (failed.load()) return first_error;
+  return out;
+}
+
 namespace {
 
-Result<OracleErrorReport> Evaluate(
-    const Graph& graph, const DistanceMatrix& exact,
-    const DistanceOracle& oracle,
-    const std::vector<std::pair<VertexId, VertexId>>& pairs) {
-  std::vector<double> errors;
-  errors.reserve(pairs.size());
+Result<OracleErrorReport> Evaluate(const Graph& graph,
+                                   const DistanceMatrix& exact,
+                                   const DistanceOracle& oracle,
+                                   const std::vector<VertexPair>& pairs) {
   for (const auto& [u, v] : pairs) {
     if (!graph.HasVertex(u) || !graph.HasVertex(v)) {
       return Status::InvalidArgument("evaluation pair out of range");
     }
-    double truth = exact.at(u, v);
+  }
+  DPSP_ASSIGN_OR_RETURN(std::vector<double> estimates,
+                        oracle.DistanceBatch(pairs));
+  std::vector<double> errors;
+  errors.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    double truth = exact.at(pairs[i].first, pairs[i].second);
     if (truth == kInfiniteDistance) continue;  // unreachable: skip
-    DPSP_ASSIGN_OR_RETURN(double estimate, oracle.Distance(u, v));
-    errors.push_back(std::fabs(estimate - truth));
+    errors.push_back(std::fabs(estimates[i] - truth));
   }
   OracleErrorReport report;
   report.num_pairs = static_cast<int>(errors.size());
@@ -40,7 +75,7 @@ Result<OracleErrorReport> Evaluate(
 Result<OracleErrorReport> EvaluateOracleAllPairs(const Graph& graph,
                                                  const DistanceMatrix& exact,
                                                  const DistanceOracle& oracle) {
-  std::vector<std::pair<VertexId, VertexId>> pairs;
+  std::vector<VertexPair> pairs;
   for (VertexId u = 0; u < graph.num_vertices(); ++u) {
     for (VertexId v = u + 1; v < graph.num_vertices(); ++v) {
       pairs.emplace_back(u, v);
@@ -51,8 +86,7 @@ Result<OracleErrorReport> EvaluateOracleAllPairs(const Graph& graph,
 
 Result<OracleErrorReport> EvaluateOraclePairs(
     const Graph& graph, const DistanceMatrix& exact,
-    const DistanceOracle& oracle,
-    const std::vector<std::pair<VertexId, VertexId>>& pairs) {
+    const DistanceOracle& oracle, const std::vector<VertexPair>& pairs) {
   return Evaluate(graph, exact, oracle, pairs);
 }
 

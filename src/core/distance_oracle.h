@@ -1,13 +1,17 @@
 // The common interface all distance-release mechanisms implement, plus the
 // error-evaluation harness the experiments share. Every mechanism in this
-// library (exact, baselines, tree recursion, path hierarchy, bounded-weight
-// covering) is a DistanceOracle, so benches can sweep them uniformly.
+// library (exact, baselines, tree recursion, HLD, path hierarchy,
+// bounded-weight covering, MST/matching releases) is a DistanceOracle
+// registered in core/oracle_registry.h, so benches and serving pipelines
+// sweep them uniformly.
 
 #ifndef DPSP_CORE_DISTANCE_ORACLE_H_
 #define DPSP_CORE_DISTANCE_ORACLE_H_
 
 #include <memory>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -16,9 +20,13 @@
 
 namespace dpsp {
 
+/// One (u, v) distance query.
+using VertexPair = std::pair<VertexId, VertexId>;
+
 /// A released all-pairs distance estimator. Queries are post-processing of
-/// an already-released private object, so calling Distance() any number of
-/// times consumes no additional privacy budget.
+/// an already-released private object, so calling Distance() or
+/// DistanceBatch() any number of times consumes no additional privacy
+/// budget. Query methods are const and safe to call concurrently.
 class DistanceOracle {
  public:
   virtual ~DistanceOracle() = default;
@@ -26,9 +34,26 @@ class DistanceOracle {
   /// Estimated distance between u and v.
   virtual Result<double> Distance(VertexId u, VertexId v) const = 0;
 
+  /// Estimated distances for a batch of pairs, in order — the hot path a
+  /// query-serving deployment uses. The default implementation answers via
+  /// DistanceBatchOf (chunk-parallel Distance calls, valid because this
+  /// interface requires const query methods to be concurrency-safe); the
+  /// tree oracles override it with fused loops that skip the per-query
+  /// Result/virtual-dispatch overhead entirely.
+  virtual Result<std::vector<double>> DistanceBatch(
+      std::span<const VertexPair> pairs) const;
+
   /// Mechanism name for reports.
   virtual std::string Name() const = 0;
 };
+
+/// Answers `pairs` by calling oracle.Distance() chunk-wise across worker
+/// threads. Oracles whose Distance() is a pure read of the released object
+/// (all oracles in this library) implement their DistanceBatch override
+/// with this.
+Result<std::vector<double>> DistanceBatchOf(const DistanceOracle& oracle,
+                                            std::span<const VertexPair> pairs,
+                                            int max_threads = 0);
 
 /// Aggregate error of an oracle against exact distances.
 struct OracleErrorReport {
@@ -40,7 +65,8 @@ struct OracleErrorReport {
 };
 
 /// Compares the oracle against the exact distance matrix over all ordered
-/// pairs u < v (skipping unreachable pairs).
+/// pairs u < v (skipping unreachable pairs). Queries go through
+/// DistanceBatch.
 Result<OracleErrorReport> EvaluateOracleAllPairs(const Graph& graph,
                                                  const DistanceMatrix& exact,
                                                  const DistanceOracle& oracle);
@@ -48,8 +74,7 @@ Result<OracleErrorReport> EvaluateOracleAllPairs(const Graph& graph,
 /// Compares the oracle against exact distances over an explicit pair list.
 Result<OracleErrorReport> EvaluateOraclePairs(
     const Graph& graph, const DistanceMatrix& exact,
-    const DistanceOracle& oracle,
-    const std::vector<std::pair<VertexId, VertexId>>& pairs);
+    const DistanceOracle& oracle, const std::vector<VertexPair>& pairs);
 
 }  // namespace dpsp
 

@@ -1,7 +1,10 @@
 #include "core/hld_oracle.h"
 
 #include <algorithm>
+#include <atomic>
 
+#include "common/parallel.h"
+#include "common/table.h"
 #include "dp/laplace_mechanism.h"
 
 namespace dpsp {
@@ -63,6 +66,7 @@ Result<std::unique_ptr<HldTreeOracle>> HldTreeOracle::Build(
       double scale,
       LaplaceScale(static_cast<double>(max_levels), params));
   oracle->noise_scale_ = scale;
+  oracle->sensitivity_ = max_levels;
 
   // Released structures: per-chain dyadic sums over the heavy edges, plus
   // one noisy scalar per light (chain-head parent) edge.
@@ -84,32 +88,77 @@ Result<std::unique_ptr<HldTreeOracle>> HldTreeOracle::Build(
     }
   }
 
+  for (const NoisyDyadicRangeSums& chain : oracle->chains_) {
+    oracle->num_noisy_values_ += chain.num_blocks();
+  }
+  for (size_t c = 0; c < members.size(); ++c) {
+    if (tree.parent(oracle->chain_head_[c]) != -1) {
+      ++oracle->num_noisy_values_;
+    }
+  }
+
   oracle->tree_ = std::make_unique<RootedTree>(std::move(tree));
-  oracle->lca_ = std::make_unique<LcaIndex>(*oracle->tree_);
+  oracle->lca_ = std::make_unique<EulerTourLca>(*oracle->tree_);
   return oracle;
 }
 
-Result<double> HldTreeOracle::DistanceToAncestor(VertexId v,
-                                                 VertexId z) const {
+Result<std::unique_ptr<HldTreeOracle>> HldTreeOracle::Build(
+    const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx,
+    VertexId root) {
+  WallTimer timer;
+  DPSP_RETURN_IF_ERROR(ctx.CheckBudgetFor(kName));
+  DPSP_ASSIGN_OR_RETURN(auto oracle,
+                        Build(graph, w, ctx.params(), ctx.rng(), root));
+  ReleaseTelemetry t;
+  t.mechanism = kName;
+  t.sensitivity = oracle->sensitivity();
+  t.noise_scale = oracle->noise_scale();
+  t.noise_draws = oracle->num_noisy_values();
+  t.wall_ms = timer.Ms();
+  DPSP_RETURN_IF_ERROR(ctx.CommitRelease(std::move(t)));
+  return oracle;
+}
+
+Result<std::vector<double>> HldTreeOracle::DistanceBatch(
+    std::span<const VertexPair> pairs) const {
+  // Single fused pass: bounds checks fold into the chunk loop, and each
+  // query is an O(1) LCA lookup plus two unchecked chain ascents — no
+  // per-query Result or virtual dispatch.
+  const unsigned n = static_cast<unsigned>(tree_->num_vertices());
+  const EulerTourLca& lca = *lca_;
+  std::vector<double> out(pairs.size());
+  std::atomic<bool> bad{false};
+  ParallelFor(pairs.size(), /*max_threads=*/0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const auto& [u, v] = pairs[i];
+      if (static_cast<unsigned>(u) >= n || static_cast<unsigned>(v) >= n) {
+        bad.store(true, std::memory_order_relaxed);
+        return;
+      }
+      VertexId z = lca.Lca(u, v);
+      out[i] = DistanceToAncestor(u, z) + DistanceToAncestor(v, z);
+    }
+  });
+  if (bad.load()) return Status::InvalidArgument("vertex out of range");
+  return out;
+}
+
+double HldTreeOracle::DistanceToAncestor(VertexId v, VertexId z) const {
   double sum = 0.0;
   while (chain_of_[static_cast<size_t>(v)] !=
          chain_of_[static_cast<size_t>(z)]) {
     int c = chain_of_[static_cast<size_t>(v)];
-    DPSP_ASSIGN_OR_RETURN(
-        double range,
-        chains_[static_cast<size_t>(c)].RangeSum(
-            0, pos_in_chain_[static_cast<size_t>(v)]));
-    sum += range + light_noisy_[static_cast<size_t>(c)];
+    sum += chains_[static_cast<size_t>(c)].RangeSumUnchecked(
+               0, pos_in_chain_[static_cast<size_t>(v)]) +
+           light_noisy_[static_cast<size_t>(c)];
     VertexId head = chain_head_[static_cast<size_t>(c)];
     v = tree_->parent(head);
     DPSP_CHECK_MSG(v != -1, "climbed past the root during HLD ascent");
   }
-  DPSP_ASSIGN_OR_RETURN(
-      double range,
-      chains_[static_cast<size_t>(chain_of_[static_cast<size_t>(v)])]
-          .RangeSum(pos_in_chain_[static_cast<size_t>(z)],
-                    pos_in_chain_[static_cast<size_t>(v)]));
-  return sum + range;
+  return sum +
+         chains_[static_cast<size_t>(chain_of_[static_cast<size_t>(v)])]
+             .RangeSumUnchecked(pos_in_chain_[static_cast<size_t>(z)],
+                                pos_in_chain_[static_cast<size_t>(v)]);
 }
 
 Result<double> HldTreeOracle::Distance(VertexId u, VertexId v) const {
@@ -118,9 +167,7 @@ Result<double> HldTreeOracle::Distance(VertexId u, VertexId v) const {
     return Status::InvalidArgument("vertex out of range");
   }
   VertexId z = lca_->Lca(u, v);
-  DPSP_ASSIGN_OR_RETURN(double du, DistanceToAncestor(u, z));
-  DPSP_ASSIGN_OR_RETURN(double dv, DistanceToAncestor(v, z));
-  return du + dv;
+  return DistanceToAncestor(u, z) + DistanceToAncestor(v, z);
 }
 
 double HldTreeOracle::ErrorBound(int num_vertices,
@@ -134,7 +181,7 @@ double HldTreeOracle::ErrorBound(int num_vertices,
   // Two ascents, each crossing <= levels chains, each chain costing
   // <= 2 levels blocks plus one light edge.
   int summands = 2 * levels * (2 * levels + 1);
-  return LaplaceSumBound(scale, summands, gamma);
+  return LaplaceSumBound(scale, summands, gamma).value();
 }
 
 }  // namespace dpsp

@@ -29,6 +29,7 @@
 #include "core/distance_oracle.h"
 #include "core/range_sums.h"
 #include "dp/privacy.h"
+#include "dp/release_context.h"
 #include "graph/tree.h"
 
 namespace dpsp {
@@ -36,17 +37,35 @@ namespace dpsp {
 /// eps-DP all-pairs tree distance oracle via heavy-light decomposition.
 class HldTreeOracle final : public DistanceOracle {
  public:
-  /// Builds the oracle; `graph` must be an undirected tree with
-  /// non-negative weights. `root` = -1 picks vertex 0.
+  /// Registry name of this mechanism.
+  static constexpr const char* kName = "tree-hld";
+
+  /// Builds the oracle through the release pipeline: draws one release of
+  /// ctx.params() from the accountant and records telemetry. `graph` must
+  /// be an undirected tree with non-negative weights; `root` = -1 picks
+  /// vertex 0.
+  static Result<std::unique_ptr<HldTreeOracle>> Build(
+      const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx,
+      VertexId root = -1);
+
+  /// Legacy entry point without budget accounting.
   static Result<std::unique_ptr<HldTreeOracle>> Build(
       const Graph& graph, const EdgeWeights& w, const PrivacyParams& params,
       Rng* rng, VertexId root = -1);
 
   Result<double> Distance(VertexId u, VertexId v) const override;
-  std::string Name() const override { return "tree-hld"; }
+  /// Parallel scan; each query does an O(1) Euler-tour LCA plus the chain
+  /// walk.
+  Result<std::vector<double>> DistanceBatch(
+      std::span<const VertexPair> pairs) const override;
+  std::string Name() const override { return kName; }
 
   int num_chains() const { return static_cast<int>(chains_.size()); }
   double noise_scale() const { return noise_scale_; }
+  /// Release sensitivity (max chain levels) and total noise draws, for
+  /// telemetry.
+  int sensitivity() const { return sensitivity_; }
+  int num_noisy_values() const { return num_noisy_values_; }
 
   /// High-probability per-pair error bound with the constants proved in
   /// the header comment (Lemma 3.1 over at most 4 log^2 V summands).
@@ -57,11 +76,14 @@ class HldTreeOracle final : public DistanceOracle {
   HldTreeOracle() = default;
 
   // Noisy distance from `v` up to its ancestor `z` (sum of chain ranges).
-  Result<double> DistanceToAncestor(VertexId v, VertexId z) const;
+  // Both must be valid vertices with z an ancestor of v.
+  double DistanceToAncestor(VertexId v, VertexId z) const;
 
   std::unique_ptr<RootedTree> tree_;
-  std::unique_ptr<LcaIndex> lca_;
+  std::unique_ptr<EulerTourLca> lca_;
   double noise_scale_ = 0.0;
+  int sensitivity_ = 0;
+  int num_noisy_values_ = 0;
   // Heavy-chain bookkeeping.
   std::vector<int> chain_of_;      // vertex -> chain index
   std::vector<int> pos_in_chain_;  // vertex -> position along its chain

@@ -1,0 +1,182 @@
+#include "core/oracle_registry.h"
+
+#include <utility>
+
+#include "core/baselines.h"
+#include "core/bounded_weight.h"
+#include "core/hld_oracle.h"
+#include "core/path_graph.h"
+#include "core/private_matching.h"
+#include "core/private_mst.h"
+#include "core/tree_distance.h"
+
+namespace dpsp {
+
+namespace {
+
+// Adapts a factory returning a concrete oracle type to OracleFactory.
+template <typename Builder>
+OracleFactory Erase(Builder builder) {
+  return [builder = std::move(builder)](
+             const Graph& graph, const EdgeWeights& w,
+             ReleaseContext& ctx) -> Result<std::unique_ptr<DistanceOracle>> {
+    auto built = builder(graph, w, ctx);
+    if (!built.ok()) return built.status();
+    return std::unique_ptr<DistanceOracle>(std::move(built).value());
+  };
+}
+
+void RegisterBuiltins(OracleRegistry& registry) {
+  auto must = [&registry](OracleSpec spec) {
+    Status status = registry.Register(std::move(spec));
+    DPSP_CHECK_MSG(status.ok(), "builtin oracle registration failed");
+  };
+
+  must({kExactOracleName, "non-private ground truth for evaluation",
+        OracleInput::kAnyConnected, /*consumes_budget=*/false,
+        [](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
+          return MakeExactOracle(g, w, ctx);
+        }});
+  must({kPerPairLaplaceOracleName,
+        "Section 4 baseline: Laplace noise per pair, basic/advanced "
+        "composition",
+        OracleInput::kAnyConnected, true,
+        [](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
+          return MakePerPairLaplaceOracle(g, w, ctx);
+        }});
+  must({kSyntheticGraphOracleName,
+        "Section 4 baseline: release noisy weights, answer by Dijkstra",
+        OracleInput::kAnyConnected, true,
+        [](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
+          return MakeSyntheticGraphOracle(g, w, ctx);
+        }});
+  must({TreeAllPairsOracle::kName,
+        "Theorem 4.2: balanced-separator recursion + LCA combination",
+        OracleInput::kTree, true,
+        Erase([](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
+          return TreeAllPairsOracle::Build(g, w, ctx);
+        })});
+  must({HldTreeOracle::kName,
+        "heavy-light chains over the Appendix-A dyadic structure",
+        OracleInput::kTree, true,
+        Erase([](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
+          return HldTreeOracle::Build(g, w, ctx);
+        })});
+  must({PathGraphOracle::kName,
+        "Theorem A.1: binary hub hierarchy on the path graph",
+        OracleInput::kPath, true,
+        Erase([](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
+          return PathGraphOracle::Build(g, w, ctx);
+        })});
+  must({BoundedWeightOracle::kName,
+        "Algorithm 2: noisy distances between covering centers",
+        OracleInput::kAnyConnected, true,
+        Erase([](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
+          return BoundedWeightOracle::Build(g, w, ctx);
+        })});
+  must({MstDistanceOracle::kName,
+        "Theorem B.3 release: distances within the released spanning tree",
+        OracleInput::kAnyConnected, true,
+        Erase([](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
+          return MstDistanceOracle::Build(g, w, ctx);
+        })});
+  must({MatchingDistanceOracle::kName,
+        "Theorem B.6 release: matching + distances on the noisy graph",
+        OracleInput::kPerfectMatching, true,
+        Erase([](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
+          return MatchingDistanceOracle::Build(g, w, ctx);
+        })});
+}
+
+}  // namespace
+
+const char* OracleInputName(OracleInput input) {
+  switch (input) {
+    case OracleInput::kAnyConnected:
+      return "any-connected";
+    case OracleInput::kTree:
+      return "tree";
+    case OracleInput::kPath:
+      return "path";
+    case OracleInput::kPerfectMatching:
+      return "perfect-matching";
+  }
+  return "unknown";
+}
+
+OracleRegistry& OracleRegistry::Global() {
+  static OracleRegistry* registry = [] {
+    auto* r = new OracleRegistry();
+    RegisterBuiltins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status OracleRegistry::Register(OracleSpec spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("oracle name must not be empty");
+  }
+  if (spec.factory == nullptr) {
+    return Status::InvalidArgument("oracle factory must not be null");
+  }
+  if (Contains(spec.name)) {
+    return Status::InvalidArgument("oracle '" + spec.name +
+                                   "' is already registered");
+  }
+  specs_.push_back(std::move(spec));
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<DistanceOracle>> OracleRegistry::Create(
+    const std::string& name, const Graph& graph, const EdgeWeights& w,
+    ReleaseContext& ctx) const {
+  const OracleSpec* spec = Find(name);
+  if (spec == nullptr) {
+    return Status::NotFound("no oracle registered under '" + name + "'");
+  }
+  return spec->factory(graph, w, ctx);
+}
+
+const OracleSpec* OracleRegistry::Find(const std::string& name) const {
+  for (const OracleSpec& spec : specs_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+bool OracleRegistry::Contains(const std::string& name) const {
+  return Find(name) != nullptr;
+}
+
+std::vector<std::string> OracleRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(specs_.size());
+  for (const OracleSpec& spec : specs_) names.push_back(spec.name);
+  return names;
+}
+
+std::vector<std::string> OracleRegistry::NamesForInput(
+    OracleInput input, bool has_perfect_matching) const {
+  auto satisfies = [&](OracleInput requirement) {
+    if (requirement == input) return true;
+    switch (requirement) {
+      case OracleInput::kAnyConnected:
+        return true;
+      case OracleInput::kTree:
+        return input == OracleInput::kPath;
+      case OracleInput::kPath:
+        return false;
+      case OracleInput::kPerfectMatching:
+        return has_perfect_matching;
+    }
+    return false;
+  };
+  std::vector<std::string> names;
+  for (const OracleSpec& spec : specs_) {
+    if (satisfies(spec.input)) names.push_back(spec.name);
+  }
+  return names;
+}
+
+}  // namespace dpsp

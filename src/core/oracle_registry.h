@@ -1,0 +1,102 @@
+// The unified mechanism registry: every distance-release mechanism in the
+// library is a named factory behind one signature, so benches, examples,
+// conformance tests, and serving pipelines sweep all of them uniformly.
+// Adding a mechanism to the whole pipeline is one Register() call.
+//
+// Factories take (graph, weights, ReleaseContext&): the context supplies
+// the validated privacy parameters and seeded randomness, meters the
+// release through the budget accountant, and collects telemetry
+// (dp/release_context.h).
+
+#ifndef DPSP_CORE_ORACLE_REGISTRY_H_
+#define DPSP_CORE_ORACLE_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/distance_oracle.h"
+#include "dp/release_context.h"
+
+namespace dpsp {
+
+/// The input family a registered mechanism accepts. Sweeps use this to
+/// pick which mechanisms apply to a given workload (a canonical path graph
+/// satisfies every family).
+enum class OracleInput {
+  /// Any connected undirected graph with non-negative weights.
+  kAnyConnected,
+  /// An undirected tree.
+  kTree,
+  /// The canonical path graph (edge i joins vertices i and i+1).
+  kPath,
+  /// A graph whose minimum perfect matching the graph/matching.h solvers
+  /// handle.
+  kPerfectMatching,
+};
+
+/// Human-readable name of an input family ("any-connected", ...).
+const char* OracleInputName(OracleInput input);
+
+/// Builds a released oracle from the public topology, the private weights,
+/// and the shared release context.
+using OracleFactory = std::function<Result<std::unique_ptr<DistanceOracle>>(
+    const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx)>;
+
+/// One registered mechanism.
+struct OracleSpec {
+  /// Unique registry key; also the oracle's Name() prefix.
+  std::string name;
+  /// One-line description for listings.
+  std::string description;
+  OracleInput input = OracleInput::kAnyConnected;
+  /// False only for the exact (non-private) oracle.
+  bool consumes_budget = true;
+  OracleFactory factory;
+};
+
+/// Name -> factory map over every distance-release mechanism.
+class OracleRegistry {
+ public:
+  /// The process-wide registry, pre-populated with every mechanism family
+  /// in the library (exact, per-pair-laplace, synthetic-graph,
+  /// tree-recursive, tree-hld, path-hierarchy, bounded-weight,
+  /// private-mst, private-matching).
+  static OracleRegistry& Global();
+
+  /// Registers a mechanism. Fails on an empty or duplicate name or a null
+  /// factory.
+  Status Register(OracleSpec spec);
+
+  /// Builds the named oracle through the shared pipeline.
+  Result<std::unique_ptr<DistanceOracle>> Create(const std::string& name,
+                                                 const Graph& graph,
+                                                 const EdgeWeights& w,
+                                                 ReleaseContext& ctx) const;
+
+  /// The spec registered under `name`, or nullptr.
+  const OracleSpec* Find(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  /// Registered names in registration order.
+  std::vector<std::string> Names() const;
+
+  /// Registered names whose input family is satisfied by a workload of
+  /// family `input`: a path satisfies kTree and kAnyConnected, a tree
+  /// satisfies kAnyConnected. `has_perfect_matching` additionally admits
+  /// kPerfectMatching mechanisms (the registry cannot see the workload's
+  /// vertex parity).
+  std::vector<std::string> NamesForInput(
+      OracleInput input, bool has_perfect_matching = false) const;
+
+  int size() const { return static_cast<int>(specs_.size()); }
+
+ private:
+  // Small, append-only; linear scans keep iteration deterministic.
+  std::vector<OracleSpec> specs_;
+};
+
+}  // namespace dpsp
+
+#endif  // DPSP_CORE_ORACLE_REGISTRY_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/table.h"
 #include "dp/laplace_mechanism.h"
 
 namespace dpsp {
@@ -87,6 +88,29 @@ Result<std::unique_ptr<PathGraphOracle>> PathGraphOracle::Build(
   return oracle;
 }
 
+Result<std::unique_ptr<PathGraphOracle>> PathGraphOracle::Build(
+    const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx,
+    int branching) {
+  WallTimer timer;
+  DPSP_RETURN_IF_ERROR(ctx.CheckBudgetFor(kName));
+  DPSP_ASSIGN_OR_RETURN(auto oracle,
+                        Build(graph, w, ctx.params(), ctx.rng(), branching));
+  ReleaseTelemetry t;
+  t.mechanism = kName;
+  t.sensitivity = oracle->num_levels();
+  t.noise_scale = oracle->noise_scale();
+  t.noise_draws = oracle->num_noisy_values();
+  t.wall_ms = timer.Ms();
+  DPSP_RETURN_IF_ERROR(ctx.CommitRelease(std::move(t)));
+  return oracle;
+}
+
+int PathGraphOracle::num_noisy_values() const {
+  int total = 0;
+  for (const auto& row : levels_) total += static_cast<int>(row.size());
+  return total;
+}
+
 double PathGraphOracle::QueryRange(int lo, int hi, int* segments) const {
   // Greedy aligned decomposition: repeatedly take the largest level block
   // that starts at `lo` and fits in [lo, hi). At most 2(branching-1) blocks
@@ -137,7 +161,7 @@ double PathGraphErrorBound(int num_vertices, const PrivacyParams& params,
   while ((1 << (num_levels - 1)) < m) ++num_levels;
   double scale = static_cast<double>(num_levels) * params.neighbor_l1_bound /
                  params.epsilon;
-  return LaplaceSumBound(scale, 2 * num_levels, gamma);
+  return LaplaceSumBound(scale, 2 * num_levels, gamma).value();
 }
 
 }  // namespace dpsp

@@ -23,14 +23,25 @@
 #include "common/random.h"
 #include "core/distance_oracle.h"
 #include "dp/privacy.h"
+#include "dp/release_context.h"
 
 namespace dpsp {
 
 /// eps-DP all-pairs distance oracle for the path graph 0-1-...-(V-1).
 class PathGraphOracle final : public DistanceOracle {
  public:
-  /// Builds the hierarchy. `graph` must be MakePathGraph(V)-shaped: edge i
-  /// joins vertices i and i+1 (validated). Weights non-negative.
+  /// Registry name of this mechanism.
+  static constexpr const char* kName = "path-hierarchy";
+
+  /// Builds the hierarchy through the release pipeline: draws one release
+  /// of ctx.params() from the accountant and records telemetry.
+  static Result<std::unique_ptr<PathGraphOracle>> Build(
+      const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx,
+      int branching = 2);
+
+  /// Legacy entry point without budget accounting. `graph` must be
+  /// MakePathGraph(V)-shaped: edge i joins vertices i and i+1 (validated).
+  /// Weights non-negative.
   ///
   /// `branching` is the paper's V^{1/k} hub spacing ratio: level-i hubs sit
   /// at multiples of branching^i. branching = 2 (default) gives the
@@ -44,11 +55,13 @@ class PathGraphOracle final : public DistanceOracle {
 
   /// Estimated distance |path sum| between u and v; symmetric in (u, v).
   Result<double> Distance(VertexId u, VertexId v) const override;
-  std::string Name() const override { return "path-hierarchy"; }
+  std::string Name() const override { return kName; }
 
   /// Number of hub levels (= sensitivity of the release).
   int num_levels() const { return static_cast<int>(levels_.size()); }
   double noise_scale() const { return noise_scale_; }
+  /// Total noisy block sums stored, for telemetry.
+  int num_noisy_values() const;
 
   /// Number of noisy values a query for [u, v) sums (for tests).
   Result<int> QuerySegmentCount(VertexId u, VertexId v) const;

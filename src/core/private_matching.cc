@@ -1,8 +1,12 @@
 #include "core/private_matching.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "common/table.h"
 #include "dp/laplace_mechanism.h"
+#include "graph/all_pairs.h"
 
 namespace dpsp {
 
@@ -18,6 +22,47 @@ Result<PrivateMatchingResult> PrivateMatching(const Graph& graph,
   DPSP_ASSIGN_OR_RETURN(Matching matching,
                         MinWeightPerfectMatching(graph, noisy));
   return PrivateMatchingResult{std::move(matching), std::move(noisy), scale};
+}
+
+MatchingDistanceOracle::MatchingDistanceOracle(
+    PrivateMatchingResult released, DistanceMatrix distances)
+    : released_(std::move(released)), distances_(std::move(distances)) {}
+
+Result<std::unique_ptr<MatchingDistanceOracle>> MatchingDistanceOracle::Build(
+    const Graph& graph, const EdgeWeights& w, const PrivacyParams& params,
+    Rng* rng) {
+  DPSP_ASSIGN_OR_RETURN(PrivateMatchingResult released,
+                        PrivateMatching(graph, w, params, rng));
+  // Distances are further post-processing of the released noisy weights;
+  // clamping at zero keeps Dijkstra applicable (cf. Algorithm 3).
+  EdgeWeights clamped = released.noisy_weights;
+  for (double& x : clamped) x = std::max(0.0, x);
+  DPSP_ASSIGN_OR_RETURN(DistanceMatrix distances,
+                        AllPairsDijkstra(graph, clamped));
+  return std::unique_ptr<MatchingDistanceOracle>(new MatchingDistanceOracle(
+      std::move(released), std::move(distances)));
+}
+
+Result<std::unique_ptr<MatchingDistanceOracle>> MatchingDistanceOracle::Build(
+    const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx) {
+  WallTimer timer;
+  DPSP_RETURN_IF_ERROR(ctx.CheckBudgetFor(kName));
+  DPSP_ASSIGN_OR_RETURN(auto oracle, Build(graph, w, ctx.params(), ctx.rng()));
+  ReleaseTelemetry t;
+  t.mechanism = kName;
+  t.sensitivity = 1.0;  // identity query on the weight vector
+  t.noise_scale = oracle->released().noise_scale;
+  t.noise_draws = graph.num_edges();
+  t.wall_ms = timer.Ms();
+  DPSP_RETURN_IF_ERROR(ctx.CommitRelease(std::move(t)));
+  return oracle;
+}
+
+Result<double> MatchingDistanceOracle::Distance(VertexId u, VertexId v) const {
+  if (u < 0 || u >= distances_.size() || v < 0 || v >= distances_.size()) {
+    return Status::InvalidArgument("vertex out of range");
+  }
+  return distances_.at(u, v);
 }
 
 double PrivateMatchingErrorBound(int num_vertices, int num_edges,

@@ -9,8 +9,12 @@
 #ifndef DPSP_CORE_PRIVATE_MATCHING_H_
 #define DPSP_CORE_PRIVATE_MATCHING_H_
 
+#include <memory>
+
 #include "common/random.h"
+#include "core/distance_oracle.h"
 #include "dp/privacy.h"
+#include "dp/release_context.h"
 #include "graph/graph.h"
 #include "graph/matching.h"
 
@@ -39,6 +43,41 @@ double PrivateMatchingErrorBound(int num_vertices, int num_edges,
 /// (eps, delta)-DP algorithm on the hourglass gadget:
 /// (V/4) (1 - (1+e^eps) delta) / (1 + e^{2 eps}).
 double MatchingLowerBound(int num_vertices, double epsilon, double delta);
+
+/// Distance oracle over the Theorem B.6 release. The mechanism's released
+/// object is the noisy weight function (the matching is post-processing of
+/// it); further post-processing yields all-pairs distances on the noisy
+/// graph, clamped at zero so Dijkstra applies. One eps-DP release thus
+/// serves both the matching structure and distance queries. Registered as
+/// "private-matching".
+class MatchingDistanceOracle final : public DistanceOracle {
+ public:
+  /// Registry name of this mechanism.
+  static constexpr const char* kName = "private-matching";
+
+  /// Builds through the release pipeline: draws one release of
+  /// ctx.params() from the accountant and records telemetry.
+  static Result<std::unique_ptr<MatchingDistanceOracle>> Build(
+      const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx);
+
+  /// Legacy entry point without budget accounting.
+  static Result<std::unique_ptr<MatchingDistanceOracle>> Build(
+      const Graph& graph, const EdgeWeights& w, const PrivacyParams& params,
+      Rng* rng);
+
+  Result<double> Distance(VertexId u, VertexId v) const override;
+  std::string Name() const override { return kName; }
+
+  /// The underlying release (matching + noisy weights).
+  const PrivateMatchingResult& released() const { return released_; }
+
+ private:
+  MatchingDistanceOracle(PrivateMatchingResult released,
+                         DistanceMatrix distances);
+
+  PrivateMatchingResult released_;
+  DistanceMatrix distances_;
+};
 
 /// The minimum perfect-matching *cost*: like the MST cost, a sensitivity-1
 /// scalar in this model (a unit l1 weight change moves every matching's

@@ -1,7 +1,9 @@
 #include "core/private_mst.h"
 
 #include <cmath>
+#include <utility>
 
+#include "common/table.h"
 #include "dp/laplace_mechanism.h"
 #include "graph/spanning_tree.h"
 
@@ -16,6 +18,65 @@ Result<PrivateMstResult> PrivateMst(const Graph& graph, const EdgeWeights& w,
                         LaplaceMechanism(w, 1.0, params, rng));
   DPSP_ASSIGN_OR_RETURN(std::vector<EdgeId> tree, KruskalMst(graph, noisy));
   return PrivateMstResult{std::move(tree), std::move(noisy), scale};
+}
+
+MstDistanceOracle::MstDistanceOracle(PrivateMstResult released,
+                                     RootedTree tree,
+                                     std::vector<double> root_dist)
+    : released_(std::move(released)),
+      tree_(std::move(tree)),
+      lca_(tree_),
+      root_dist_(std::move(root_dist)) {}
+
+Result<std::unique_ptr<MstDistanceOracle>> MstDistanceOracle::Build(
+    const Graph& graph, const EdgeWeights& w, const PrivacyParams& params,
+    Rng* rng) {
+  DPSP_ASSIGN_OR_RETURN(PrivateMstResult released,
+                        PrivateMst(graph, w, params, rng));
+  // Re-index the released tree as its own graph; tree edge i carries the
+  // noisy weight of original edge released.tree_edges[i].
+  std::vector<EdgeEndpoints> endpoints;
+  EdgeWeights tree_weights;
+  endpoints.reserve(released.tree_edges.size());
+  tree_weights.reserve(released.tree_edges.size());
+  for (EdgeId e : released.tree_edges) {
+    endpoints.push_back(graph.edge(e));
+    tree_weights.push_back(released.noisy_weights[static_cast<size_t>(e)]);
+  }
+  DPSP_ASSIGN_OR_RETURN(
+      Graph tree_graph,
+      Graph::Create(graph.num_vertices(), std::move(endpoints)));
+  DPSP_ASSIGN_OR_RETURN(RootedTree tree,
+                        RootedTree::FromGraph(tree_graph, 0));
+  std::vector<double> root_dist = tree.RootDistances(tree_weights);
+  return std::unique_ptr<MstDistanceOracle>(new MstDistanceOracle(
+      std::move(released), std::move(tree), std::move(root_dist)));
+}
+
+Result<std::unique_ptr<MstDistanceOracle>> MstDistanceOracle::Build(
+    const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx) {
+  WallTimer timer;
+  DPSP_RETURN_IF_ERROR(ctx.CheckBudgetFor(kName));
+  DPSP_ASSIGN_OR_RETURN(auto oracle, Build(graph, w, ctx.params(), ctx.rng()));
+  ReleaseTelemetry t;
+  t.mechanism = kName;
+  t.sensitivity = 1.0;  // identity query on the weight vector
+  t.noise_scale = oracle->released().noise_scale;
+  t.noise_draws = graph.num_edges();
+  t.wall_ms = timer.Ms();
+  DPSP_RETURN_IF_ERROR(ctx.CommitRelease(std::move(t)));
+  return oracle;
+}
+
+Result<double> MstDistanceOracle::Distance(VertexId u, VertexId v) const {
+  if (u < 0 || u >= tree_.num_vertices() || v < 0 ||
+      v >= tree_.num_vertices()) {
+    return Status::InvalidArgument("vertex out of range");
+  }
+  VertexId z = lca_.Lca(u, v);
+  return root_dist_[static_cast<size_t>(u)] +
+         root_dist_[static_cast<size_t>(v)] -
+         2.0 * root_dist_[static_cast<size_t>(z)];
 }
 
 double PrivateMstErrorBound(int num_vertices, int num_edges,

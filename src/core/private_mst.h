@@ -10,11 +10,15 @@
 #ifndef DPSP_CORE_PRIVATE_MST_H_
 #define DPSP_CORE_PRIVATE_MST_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/random.h"
+#include "core/distance_oracle.h"
 #include "dp/privacy.h"
+#include "dp/release_context.h"
 #include "graph/graph.h"
+#include "graph/tree.h"
 
 namespace dpsp {
 
@@ -40,6 +44,51 @@ double PrivateMstErrorBound(int num_vertices, int num_edges,
 /// DP algorithm on the Figure-3 gadget:
 /// (V-1) * (1 - (1+e^eps) delta) / (1 + e^{2 eps}).
 double MstLowerBound(int num_vertices, double epsilon, double delta);
+
+/// Distance oracle over the Theorem B.3 release: answers d(u, v) as the
+/// path length between u and v *in the released spanning tree* under the
+/// released noisy weights — pure post-processing of the PrivateMstResult,
+/// so queries are free. This is the "routing backbone" view of the MST
+/// release: one eps-DP release yields both the tree structure and an
+/// all-pairs distance table over it. Registered as "private-mst".
+class MstDistanceOracle final : public DistanceOracle {
+ public:
+  /// Registry name of this mechanism.
+  static constexpr const char* kName = "private-mst";
+
+  /// Builds through the release pipeline: draws one release of
+  /// ctx.params() from the accountant and records telemetry.
+  static Result<std::unique_ptr<MstDistanceOracle>> Build(
+      const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx);
+
+  /// Legacy entry point without budget accounting.
+  static Result<std::unique_ptr<MstDistanceOracle>> Build(
+      const Graph& graph, const EdgeWeights& w, const PrivacyParams& params,
+      Rng* rng);
+
+  // Not copyable/movable: lca_ holds an interior pointer to tree_.
+  MstDistanceOracle(const MstDistanceOracle&) = delete;
+  MstDistanceOracle& operator=(const MstDistanceOracle&) = delete;
+
+  /// Path length u -> v in the released tree (noisy weights; may be
+  /// negative since the release permits negative noisy edges). O(1) via
+  /// the shared Euler-tour LCA.
+  Result<double> Distance(VertexId u, VertexId v) const override;
+  std::string Name() const override { return kName; }
+
+  /// The underlying release (tree edges + noisy weights).
+  const PrivateMstResult& released() const { return released_; }
+
+ private:
+  MstDistanceOracle(PrivateMstResult released, RootedTree tree,
+                    std::vector<double> root_dist);
+
+  PrivateMstResult released_;
+  RootedTree tree_;
+  EulerTourLca lca_;
+  // Root-to-vertex path sums in the released tree under noisy weights.
+  std::vector<double> root_dist_;
+};
 
 /// The MST *cost* (the query studied by [NRS07] under a different privacy
 /// model, discussed in §1.3). In the private edge-weight model the cost

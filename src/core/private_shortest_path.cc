@@ -20,9 +20,7 @@ Result<PrivateShortestPaths> PrivateShortestPaths::Release(
     const PrivateShortestPathOptions& options, Rng* rng) {
   DPSP_RETURN_IF_ERROR(options.params.Validate());
   DPSP_RETURN_IF_ERROR(graph.ValidateNonNegativeWeights(w));
-  if (!(options.gamma > 0.0 && options.gamma < 1.0)) {
-    return Status::InvalidArgument("gamma must be in (0,1)");
-  }
+  DPSP_RETURN_IF_ERROR(ValidateGamma(options.gamma));
   if (graph.num_edges() == 0) {
     return PrivateShortestPaths(&graph, EdgeWeights{}, 0.0, 0.0);
   }

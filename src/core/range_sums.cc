@@ -54,6 +54,14 @@ Result<double> NoisyDyadicRangeSums::RangeSum(int lo, int hi,
     return Status::InvalidArgument(
         StrFormat("range [%d, %d) out of bounds [0, %d)", lo, hi, size_));
   }
+  return SumRange(lo, hi, segments);
+}
+
+double NoisyDyadicRangeSums::RangeSumUnchecked(int lo, int hi) const {
+  return SumRange(lo, hi, nullptr);
+}
+
+double NoisyDyadicRangeSums::SumRange(int lo, int hi, int* segments) const {
   double sum = 0.0;
   while (lo < hi) {
     int level = 0;

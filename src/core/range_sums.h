@@ -39,10 +39,17 @@ class NoisyDyadicRangeSums {
   /// `segments`, if non-null, receives the number of blocks summed.
   Result<double> RangeSum(int lo, int hi, int* segments = nullptr) const;
 
+  /// RangeSum without validation or segment counting; the caller must
+  /// guarantee 0 <= lo <= hi <= size. The batched-query hot path.
+  double RangeSumUnchecked(int lo, int hi) const;
+
   /// How many dyadic levels a vector of `size` values needs.
   static int LevelsForSize(int size);
 
  private:
+  // The shared greedy dyadic decomposition behind both query paths.
+  double SumRange(int lo, int hi, int* segments) const;
+
   int size_ = 0;
   // levels_[l][j]: noisy sum of [j 2^l, min(size, (j+1) 2^l)).
   std::vector<std::vector<double>> levels_;

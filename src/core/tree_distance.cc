@@ -1,7 +1,10 @@
 #include "core/tree_distance.h"
 
+#include <atomic>
 #include <cmath>
 
+#include "common/parallel.h"
+#include "common/table.h"
 #include "dp/laplace_mechanism.h"
 #include "graph/tree_partition.h"
 
@@ -110,7 +113,7 @@ double TreeSingleSourceErrorBound(int num_vertices,
   double scale = static_cast<double>(sensitivity) * params.neighbor_l1_bound /
                  params.epsilon;
   int summands = 2 * CeilLog2(num_vertices) + 2;
-  return LaplaceSumBound(scale, summands, gamma);
+  return LaplaceSumBound(scale, summands, gamma).value();
 }
 
 double TreeAllPairsErrorBound(int num_vertices, const PrivacyParams& params,
@@ -134,6 +137,23 @@ Result<std::unique_ptr<TreeAllPairsOracle>> TreeAllPairsOracle::Build(
       new TreeAllPairsOracle(std::move(tree), std::move(release)));
 }
 
+Result<std::unique_ptr<TreeAllPairsOracle>> TreeAllPairsOracle::Build(
+    const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx,
+    VertexId root) {
+  WallTimer timer;
+  DPSP_RETURN_IF_ERROR(ctx.CheckBudgetFor(kName));
+  DPSP_ASSIGN_OR_RETURN(auto oracle,
+                        Build(graph, w, ctx.params(), ctx.rng(), root));
+  ReleaseTelemetry t;
+  t.mechanism = kName;
+  t.sensitivity = oracle->release().sensitivity;
+  t.noise_scale = oracle->release().noise_scale;
+  t.noise_draws = oracle->release().num_noisy_values;
+  t.wall_ms = timer.Ms();
+  DPSP_RETURN_IF_ERROR(ctx.CommitRelease(std::move(t)));
+  return oracle;
+}
+
 Result<double> TreeAllPairsOracle::Distance(VertexId u, VertexId v) const {
   if (u < 0 || u >= tree_.num_vertices() || v < 0 ||
       v >= tree_.num_vertices()) {
@@ -143,6 +163,31 @@ Result<double> TreeAllPairsOracle::Distance(VertexId u, VertexId v) const {
   const std::vector<double>& est = release_.estimates;
   return est[static_cast<size_t>(u)] + est[static_cast<size_t>(v)] -
          2.0 * est[static_cast<size_t>(z)];
+}
+
+Result<std::vector<double>> TreeAllPairsOracle::DistanceBatch(
+    std::span<const VertexPair> pairs) const {
+  // Single fused pass: bounds checks fold into the chunk loop (no separate
+  // validation sweep) and the per-pair work is three array reads around an
+  // O(1) LCA lookup — no per-query Result or virtual dispatch.
+  const unsigned n = static_cast<unsigned>(tree_.num_vertices());
+  const double* est = release_.estimates.data();
+  std::vector<double> out(pairs.size());
+  std::atomic<bool> bad{false};
+  ParallelFor(pairs.size(), /*max_threads=*/0, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const auto& [u, v] = pairs[i];
+      if (static_cast<unsigned>(u) >= n || static_cast<unsigned>(v) >= n) {
+        bad.store(true, std::memory_order_relaxed);
+        return;
+      }
+      VertexId z = lca_.Lca(u, v);
+      out[i] = est[static_cast<size_t>(u)] + est[static_cast<size_t>(v)] -
+               2.0 * est[static_cast<size_t>(z)];
+    }
+  });
+  if (bad.load()) return Status::InvalidArgument("vertex out of range");
+  return out;
 }
 
 }  // namespace dpsp

@@ -24,6 +24,7 @@
 #include "common/random.h"
 #include "core/distance_oracle.h"
 #include "dp/privacy.h"
+#include "dp/release_context.h"
 #include "graph/tree.h"
 
 namespace dpsp {
@@ -58,13 +59,31 @@ double TreeSingleSourceErrorBound(int num_vertices,
 /// a single-source release).
 class TreeAllPairsOracle final : public DistanceOracle {
  public:
-  /// Builds the oracle. `root` = -1 picks vertex 0.
+  /// Registry name of this mechanism.
+  static constexpr const char* kName = "tree-recursive";
+
+  /// Builds the oracle through the release pipeline: draws one release of
+  /// ctx.params() from the accountant and records telemetry. `root` = -1
+  /// picks vertex 0.
+  static Result<std::unique_ptr<TreeAllPairsOracle>> Build(
+      const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx,
+      VertexId root = -1);
+
+  /// Legacy entry point without budget accounting.
   static Result<std::unique_ptr<TreeAllPairsOracle>> Build(
       const Graph& graph, const EdgeWeights& w, const PrivacyParams& params,
       Rng* rng, VertexId root = -1);
 
+  // Not copyable/movable: lca_ holds an interior pointer to tree_.
+  TreeAllPairsOracle(const TreeAllPairsOracle&) = delete;
+  TreeAllPairsOracle& operator=(const TreeAllPairsOracle&) = delete;
+
   Result<double> Distance(VertexId u, VertexId v) const override;
-  std::string Name() const override { return "tree-recursive"; }
+  /// O(1) per pair: Euler-tour LCA over the released estimates, scanned in
+  /// parallel.
+  Result<std::vector<double>> DistanceBatch(
+      std::span<const VertexPair> pairs) const override;
+  std::string Name() const override { return kName; }
 
   const TreeSingleSourceRelease& release() const { return release_; }
 
@@ -72,7 +91,7 @@ class TreeAllPairsOracle final : public DistanceOracle {
   TreeAllPairsOracle(RootedTree tree, TreeSingleSourceRelease release);
 
   RootedTree tree_;
-  LcaIndex lca_;
+  EulerTourLca lca_;
   TreeSingleSourceRelease release_;
 };
 

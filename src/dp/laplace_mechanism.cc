@@ -30,15 +30,29 @@ Result<double> LaplaceMechanismScalar(double value, double sensitivity,
   return value + rng->Laplace(scale);
 }
 
-double LaplaceTailBound(double scale, double gamma) {
-  DPSP_CHECK_MSG(scale > 0.0 && gamma > 0.0 && gamma < 1.0,
-                 "invalid tail bound arguments");
+Status ValidateGamma(double gamma) {
+  if (!(gamma > 0.0 && gamma < 1.0) || !std::isfinite(gamma)) {
+    return Status::InvalidArgument("gamma must be in (0, 1)");
+  }
+  return Status::Ok();
+}
+
+Result<double> LaplaceTailBound(double scale, double gamma) {
+  DPSP_RETURN_IF_ERROR(ValidateGamma(gamma));
+  if (!(scale > 0.0) || !std::isfinite(scale)) {
+    return Status::InvalidArgument("scale must be positive and finite");
+  }
   return scale * std::log(1.0 / gamma);
 }
 
-double LaplaceSumBound(double scale, int t, double gamma) {
-  DPSP_CHECK_MSG(scale > 0.0 && t >= 0 && gamma > 0.0 && gamma < 1.0,
-                 "invalid sum bound arguments");
+Result<double> LaplaceSumBound(double scale, int t, double gamma) {
+  DPSP_RETURN_IF_ERROR(ValidateGamma(gamma));
+  if (!(scale > 0.0) || !std::isfinite(scale)) {
+    return Status::InvalidArgument("scale must be positive and finite");
+  }
+  if (t < 0) {
+    return Status::InvalidArgument("summand count must be non-negative");
+  }
   return 4.0 * scale * std::sqrt(static_cast<double>(t) *
                                  std::log(2.0 / gamma));
 }

@@ -34,14 +34,20 @@ Result<double> LaplaceMechanismScalar(double value, double sensitivity,
 /// can reason about it.
 Result<double> LaplaceScale(double sensitivity, const PrivacyParams& params);
 
+/// OK iff gamma is a usable failure probability (0 < gamma < 1). The
+/// shared validation every gamma-taking entry point goes through.
+Status ValidateGamma(double gamma);
+
 /// Tail bound helper: with probability 1 - gamma a Lap(b) sample has
-/// magnitude at most b * ln(1/gamma) (Definition 3.1).
-double LaplaceTailBound(double scale, double gamma);
+/// magnitude at most b * ln(1/gamma) (Definition 3.1). Fails (instead of
+/// aborting the process) on non-positive scale or gamma outside (0, 1) —
+/// gamma often arrives from user-supplied options.
+Result<double> LaplaceTailBound(double scale, double gamma);
 
 /// Concentration helper (Lemma 3.1, [CSS10]): the sum of t independent
 /// Lap(b) samples has magnitude at most 4 b sqrt(t ln(2/gamma)) with
-/// probability 1 - gamma.
-double LaplaceSumBound(double scale, int t, double gamma);
+/// probability 1 - gamma. Same validation behaviour as LaplaceTailBound.
+Result<double> LaplaceSumBound(double scale, int t, double gamma);
 
 }  // namespace dpsp
 

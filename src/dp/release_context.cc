@@ -1,0 +1,105 @@
+#include "dp/release_context.h"
+
+#include "common/table.h"
+
+namespace dpsp {
+
+std::string ReleaseTelemetry::ToString() const {
+  return StrFormat(
+      "%s: eps=%g delta=%g sensitivity=%g scale=%g draws=%d wall=%.3fms",
+      mechanism.c_str(), epsilon, delta, sensitivity, noise_scale,
+      noise_draws, wall_ms);
+}
+
+ReleaseContext::ReleaseContext(const PrivacyParams& params, uint64_t seed)
+    : params_(params),
+      rng_(std::make_unique<Rng>(seed)),
+      accountant_(std::make_unique<PrivacyAccountant>()) {}
+
+Result<ReleaseContext> ReleaseContext::Create(const PrivacyParams& params,
+                                              uint64_t seed) {
+  DPSP_RETURN_IF_ERROR(params.Validate());
+  return ReleaseContext(params, seed);
+}
+
+void ReleaseContext::SetTotalBudget(const PrivacyParams& budget,
+                                    double delta_slack) {
+  has_total_budget_ = true;
+  total_budget_ = budget;
+  delta_slack_ = delta_slack;
+}
+
+namespace {
+
+bool Fits(const PrivacyParams& total, const PrivacyParams& budget) {
+  return total.epsilon <= budget.epsilon + 1e-12 &&
+         total.delta <= budget.delta + 1e-12;
+}
+
+}  // namespace
+
+Status ReleaseContext::CheckProspective(const std::string& label,
+                                        double epsilon, double delta) const {
+  if (!has_total_budget_) return Status::Ok();
+  // Check against a scratch copy so nothing is recorded.
+  PrivacyAccountant prospective = *accountant_;
+  DPSP_RETURN_IF_ERROR(prospective.Record(label, epsilon, delta));
+  // The total fits if EITHER composition theorem certifies it: a pure
+  // (delta = 0) budget is satisfiable by the basic total even when the
+  // smaller-epsilon advanced total carries the delta_slack.
+  if (Fits(prospective.BasicTotal(), total_budget_)) return Status::Ok();
+  Result<PrivacyParams> advanced = prospective.AdvancedTotal(delta_slack_);
+  if (advanced.ok() && Fits(*advanced, total_budget_)) return Status::Ok();
+  PrivacyParams total = prospective.BestTotal(delta_slack_);
+  return Status::FailedPrecondition(StrFormat(
+      "privacy budget exhausted: release '%s' would bring the total to "
+      "eps=%g delta=%g, over the budget eps=%g delta=%g",
+      label.c_str(), total.epsilon, total.delta, total_budget_.epsilon,
+      total_budget_.delta));
+}
+
+Status ReleaseContext::CheckBudgetFor(const std::string& label) const {
+  return CheckProspective(label, params_.epsilon, params_.delta);
+}
+
+Status ReleaseContext::ChargeRelease(std::string label, double epsilon,
+                                     double delta) {
+  DPSP_RETURN_IF_ERROR(CheckProspective(label, epsilon, delta));
+  return accountant_->Record(std::move(label), epsilon, delta);
+}
+
+Status ReleaseContext::ChargeRelease(std::string label) {
+  return ChargeRelease(std::move(label), params_.epsilon, params_.delta);
+}
+
+Status ReleaseContext::CommitRelease(ReleaseTelemetry t) {
+  t.epsilon = params_.epsilon;
+  t.delta = params_.delta;
+  DPSP_RETURN_IF_ERROR(
+      ChargeRelease(t.mechanism, t.epsilon, t.delta));
+  telemetry_.push_back(std::move(t));
+  return Status::Ok();
+}
+
+void ReleaseContext::RecordTelemetry(ReleaseTelemetry t) {
+  telemetry_.push_back(std::move(t));
+}
+
+const ReleaseTelemetry* ReleaseContext::last_telemetry() const {
+  return telemetry_.empty() ? nullptr : &telemetry_.back();
+}
+
+std::string ReleaseContext::ToString() const {
+  std::string out = "ReleaseContext(\n  params: " + params_.ToString() + "\n";
+  if (has_total_budget_) {
+    out += "  total budget: " + total_budget_.ToString() + "\n";
+  }
+  out += "  " + accountant_->ToString() + "\n";
+  for (const ReleaseTelemetry& t : telemetry_) {
+    out += "  release " + t.ToString() + "\n";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dpsp

@@ -1,0 +1,124 @@
+// The shared execution context every release pipeline runs through.
+//
+// A deployment serving many mechanisms needs one place that (a) validates
+// the privacy parameters exactly once, (b) meters every release through the
+// budget accountant, (c) supplies the seeded randomness, and (d) collects
+// release telemetry (sensitivity, noise scale, draw count, wall time) for
+// monitoring. ReleaseContext bundles all four; OracleRegistry factories
+// (core/oracle_registry.h) take one instead of raw (params, rng) pairs.
+
+#ifndef DPSP_DP_RELEASE_CONTEXT_H_
+#define DPSP_DP_RELEASE_CONTEXT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dp/accountant.h"
+#include "dp/privacy.h"
+
+namespace dpsp {
+
+/// What one release through the pipeline did, for monitoring dashboards.
+struct ReleaseTelemetry {
+  /// Mechanism name as registered (e.g. "tree-recursive").
+  std::string mechanism;
+  /// Budget drawn for the release.
+  double epsilon = 0.0;
+  double delta = 0.0;
+  /// The l1 sensitivity the noise was calibrated to (0 when exact).
+  double sensitivity = 0.0;
+  /// Per-value noise scale of the release (0 when exact).
+  double noise_scale = 0.0;
+  /// Number of noise draws the release consumed (0 when exact).
+  int noise_draws = 0;
+  /// Wall-clock construction time of the released object.
+  double wall_ms = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Bundles the per-release PrivacyParams (validated once at construction),
+/// the budget accountant, the seeded Rng, and release telemetry. Movable,
+/// not copyable: a context is one ledger.
+class ReleaseContext {
+ public:
+  /// Validates `params` once; every release built through this context may
+  /// rely on them being valid. The context owns a fresh Rng seeded with
+  /// `seed` and an empty accountant.
+  static Result<ReleaseContext> Create(const PrivacyParams& params,
+                                       uint64_t seed);
+
+  ReleaseContext(ReleaseContext&&) = default;
+  ReleaseContext& operator=(ReleaseContext&&) = default;
+  ReleaseContext(const ReleaseContext&) = delete;
+  ReleaseContext& operator=(const ReleaseContext&) = delete;
+
+  /// The per-release budget mechanisms draw. Always valid.
+  const PrivacyParams& params() const { return params_; }
+  Rng* rng() { return rng_.get(); }
+  PrivacyAccountant& accountant() { return *accountant_; }
+  const PrivacyAccountant& accountant() const { return *accountant_; }
+
+  /// Installs a cross-release ceiling: subsequent ChargeRelease calls fail
+  /// (without recording) once the accountant's best composed total would
+  /// exceed `budget`. `delta_slack` is the advanced-composition slack.
+  void SetTotalBudget(const PrivacyParams& budget, double delta_slack = 1e-9);
+  bool has_total_budget() const { return has_total_budget_; }
+
+  /// Meters one release of (epsilon, delta) under `label`. With a total
+  /// budget installed, fails with FailedPrecondition when the ledger would
+  /// exceed it under BOTH basic and advanced composition, leaving the
+  /// ledger unchanged.
+  Status ChargeRelease(std::string label, double epsilon, double delta);
+
+  /// The same budget check as ChargeRelease without recording anything:
+  /// OK iff one more release of params() would still fit. Factories call
+  /// this BEFORE building so an exhausted context refuses without paying
+  /// construction cost or drawing noise.
+  Status CheckBudgetFor(const std::string& label) const;
+
+  /// Meters one release of the context's own params().
+  Status ChargeRelease(std::string label);
+
+  /// Atomically meters and records one release of params() built by a
+  /// factory: fills t.epsilon/t.delta from params(), charges the
+  /// accountant under t.mechanism, and appends the telemetry — or, when
+  /// the total budget would be exceeded, records nothing and fails, in
+  /// which case the caller must discard the built object unreleased.
+  /// Factories call this AFTER a successful build so failed builds never
+  /// consume budget.
+  Status CommitRelease(ReleaseTelemetry t);
+
+  /// Appends one telemetry record without charging (used by the exact,
+  /// non-private oracle).
+  void RecordTelemetry(ReleaseTelemetry t);
+  const std::vector<ReleaseTelemetry>& telemetry() const {
+    return telemetry_;
+  }
+  /// The most recent record, or nullptr when nothing was released yet.
+  const ReleaseTelemetry* last_telemetry() const;
+
+  /// Ledger plus telemetry summary, human-readable.
+  std::string ToString() const;
+
+ private:
+  ReleaseContext(const PrivacyParams& params, uint64_t seed);
+
+  Status CheckProspective(const std::string& label, double epsilon,
+                          double delta) const;
+
+  PrivacyParams params_;
+  std::unique_ptr<Rng> rng_;
+  std::unique_ptr<PrivacyAccountant> accountant_;
+  std::vector<ReleaseTelemetry> telemetry_;
+  bool has_total_budget_ = false;
+  PrivacyParams total_budget_;
+  double delta_slack_ = 1e-9;
+};
+
+}  // namespace dpsp
+
+#endif  // DPSP_DP_RELEASE_CONTEXT_H_

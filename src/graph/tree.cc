@@ -1,6 +1,7 @@
 #include "graph/tree.h"
 
 #include <queue>
+#include <utility>
 
 #include "graph/connectivity.h"
 
@@ -118,6 +119,79 @@ VertexId LcaIndex::Lca(VertexId u, VertexId v) const {
 }
 
 int LcaIndex::HopDistance(VertexId u, VertexId v) const {
+  VertexId z = Lca(u, v);
+  return tree_->depth(u) + tree_->depth(v) - 2 * tree_->depth(z);
+}
+
+EulerTourLca::EulerTourLca(const RootedTree& tree)
+    : tree_(&tree), n_(tree.num_vertices()) {
+  int n = n_;
+  tour_.reserve(static_cast<size_t>(2 * n - 1));
+  first_visit_.assign(static_cast<size_t>(n), -1);
+
+  // Iterative DFS; the tour records a vertex on entry and again after each
+  // child returns, so consecutive tour entries differ by one tree edge.
+  std::vector<std::pair<VertexId, size_t>> stack;
+  stack.reserve(static_cast<size_t>(n));
+  first_visit_[static_cast<size_t>(tree.root())] = 0;
+  tour_.push_back(tree.root());
+  stack.emplace_back(tree.root(), 0);
+  while (!stack.empty()) {
+    auto& [v, next_child] = stack.back();
+    const std::vector<VertexId>& kids = tree.children(v);
+    if (next_child < kids.size()) {
+      VertexId c = kids[next_child++];
+      first_visit_[static_cast<size_t>(c)] = static_cast<int>(tour_.size());
+      tour_.push_back(c);
+      stack.emplace_back(c, 0);
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) tour_.push_back(stack.back().first);
+    }
+  }
+
+  int m = static_cast<int>(tour_.size());
+  log2_floor_.assign(static_cast<size_t>(m + 1), 0);
+  for (int i = 2; i <= m; ++i) {
+    log2_floor_[static_cast<size_t>(i)] =
+        log2_floor_[static_cast<size_t>(i / 2)] + 1;
+  }
+  int levels = log2_floor_[static_cast<size_t>(m)] + 1;
+  sparse_.assign(static_cast<size_t>(levels),
+                 std::vector<int>(static_cast<size_t>(m)));
+  for (int i = 0; i < m; ++i) sparse_[0][static_cast<size_t>(i)] = i;
+  for (int k = 1; k < levels; ++k) {
+    int half = 1 << (k - 1);
+    for (int i = 0; i + (1 << k) <= m; ++i) {
+      sparse_[static_cast<size_t>(k)][static_cast<size_t>(i)] =
+          MinByDepth(sparse_[static_cast<size_t>(k - 1)][static_cast<size_t>(i)],
+                     sparse_[static_cast<size_t>(k - 1)]
+                            [static_cast<size_t>(i + half)]);
+    }
+  }
+}
+
+int EulerTourLca::MinByDepth(int a, int b) const {
+  return tree_->depth(tour_[static_cast<size_t>(a)]) <=
+                 tree_->depth(tour_[static_cast<size_t>(b)])
+             ? a
+             : b;
+}
+
+VertexId EulerTourLca::Lca(VertexId u, VertexId v) const {
+  DPSP_CHECK_MSG(u >= 0 && u < n_ && v >= 0 && v < n_,
+                 "LCA query out of range");
+  int a = first_visit_[static_cast<size_t>(u)];
+  int b = first_visit_[static_cast<size_t>(v)];
+  if (a > b) std::swap(a, b);
+  int k = log2_floor_[static_cast<size_t>(b - a + 1)];
+  int idx = MinByDepth(
+      sparse_[static_cast<size_t>(k)][static_cast<size_t>(a)],
+      sparse_[static_cast<size_t>(k)][static_cast<size_t>(b - (1 << k) + 1)]);
+  return tour_[static_cast<size_t>(idx)];
+}
+
+int EulerTourLca::HopDistance(VertexId u, VertexId v) const {
   VertexId z = Lca(u, v);
   return tree_->depth(u) + tree_->depth(v) - 2 * tree_->depth(z);
 }

@@ -85,6 +85,37 @@ class LcaIndex {
   std::vector<std::vector<VertexId>> up_;
 };
 
+/// Constant-time lowest-common-ancestor queries via an Euler tour and a
+/// sparse table (range-minimum over tour depths). O(V log V) setup memory
+/// and time, O(1) per query — the structure the batched tree oracles share
+/// so a batch costs one array lookup per pair instead of a lifting walk.
+class EulerTourLca {
+ public:
+  explicit EulerTourLca(const RootedTree& tree);
+
+  /// The lowest common ancestor of u and v. O(1).
+  VertexId Lca(VertexId u, VertexId v) const;
+
+  /// Hop distance between u and v through their LCA. O(1).
+  int HopDistance(VertexId u, VertexId v) const;
+
+  /// Length of the Euler tour (2V - 1).
+  int tour_size() const { return static_cast<int>(tour_.size()); }
+
+ private:
+  const RootedTree* tree_;
+  int n_ = 0;                      // cached vertex count (query hot path)
+  std::vector<VertexId> tour_;     // vertices in Euler-tour order
+  std::vector<int> first_visit_;   // vertex -> first tour index
+  std::vector<int> log2_floor_;    // precomputed floor(log2(i))
+  // sparse_[k][i]: tour index of the min-depth vertex in
+  // tour[i .. i + 2^k).
+  std::vector<std::vector<int>> sparse_;
+
+  // The tour index with the smaller depth.
+  int MinByDepth(int a, int b) const;
+};
+
 /// True iff the undirected graph is a tree (connected, V-1 edges).
 bool IsTree(const Graph& graph);
 

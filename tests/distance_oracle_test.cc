@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "core/baselines.h"
 #include "graph/generators.h"
@@ -24,6 +25,55 @@ class BiasedOracle final : public DistanceOracle {
   const DistanceMatrix* exact_;
   double bias_;
 };
+
+TEST(DistanceBatchTest, DefaultBatchMatchesSerialLoop) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeGridGraph(3, 3));
+  EdgeWeights w = MakeUniformWeights(g, 1.0, 2.0, &rng);
+  ASSERT_OK_AND_ASSIGN(DistanceMatrix exact, AllPairsDijkstra(g, w));
+  BiasedOracle oracle(&exact, 0.5);  // no override: exercises the default
+
+  std::vector<VertexPair> pairs = {{0, 8}, {3, 3}, {2, 5}, {8, 0}};
+  ASSERT_OK_AND_ASSIGN(std::vector<double> batch,
+                       oracle.DistanceBatch(pairs));
+  ASSERT_EQ(batch.size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(double serial,
+                         oracle.Distance(pairs[i].first, pairs[i].second));
+    EXPECT_EQ(batch[i], serial);
+  }
+}
+
+TEST(DistanceBatchTest, ParallelHelperMatchesSerialAndPropagatesErrors) {
+  Rng rng(kTestSeed);
+  // 256 vertices -> 65536 pairs, enough that ParallelWorkerCount(.., 4)
+  // actually fans out 4 workers (an explicit max_threads overrides the
+  // hardware-concurrency cap, so this holds on single-core CI too).
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeGridGraph(16, 16));
+  EdgeWeights w = MakeUniformWeights(g, 1.0, 2.0, &rng);
+  ASSERT_OK_AND_ASSIGN(auto oracle, MakeExactOracle(g, w));
+
+  std::vector<VertexPair> pairs;
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      pairs.emplace_back(u, v);
+    }
+  }
+  ASSERT_EQ(ParallelWorkerCount(pairs.size(), /*max_threads=*/4), 4);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> batch,
+                       DistanceBatchOf(*oracle, pairs, /*max_threads=*/4));
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(double serial,
+                         oracle->Distance(pairs[i].first, pairs[i].second));
+    EXPECT_EQ(batch[i], serial);
+  }
+
+  // An out-of-range pair in the last chunk surfaces as the batch error
+  // even when another worker owns it.
+  pairs.push_back({0, g.num_vertices() + 7});
+  EXPECT_FALSE(DistanceBatchOf(*oracle, pairs, 4).ok());
+  EXPECT_FALSE(oracle->DistanceBatch(pairs).ok());
+}
 
 TEST(EvaluateOracleTest, ExactOracleHasZeroError) {
   Rng rng(kTestSeed);

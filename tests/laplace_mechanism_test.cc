@@ -66,7 +66,7 @@ TEST(LaplaceTailBoundTest, MatchesEmpiricalTail) {
   Rng rng(kTestSeed);
   double scale = 3.0;
   double gamma = 0.05;
-  double bound = LaplaceTailBound(scale, gamma);
+  ASSERT_OK_AND_ASSIGN(double bound, LaplaceTailBound(scale, gamma));
   int exceed = 0;
   int n = 100000;
   for (int i = 0; i < n; ++i) {
@@ -75,13 +75,27 @@ TEST(LaplaceTailBoundTest, MatchesEmpiricalTail) {
   EXPECT_NEAR(exceed / static_cast<double>(n), gamma, 0.005);
 }
 
+TEST(LaplaceTailBoundTest, RejectsBadArguments) {
+  EXPECT_FALSE(LaplaceTailBound(3.0, 0.0).ok());
+  EXPECT_FALSE(LaplaceTailBound(3.0, 1.0).ok());
+  EXPECT_FALSE(LaplaceTailBound(3.0, -0.5).ok());
+  EXPECT_FALSE(LaplaceTailBound(3.0, 1.5).ok());
+  EXPECT_FALSE(LaplaceTailBound(0.0, 0.5).ok());
+  EXPECT_FALSE(LaplaceSumBound(2.0, 4, 0.0).ok());
+  EXPECT_FALSE(LaplaceSumBound(2.0, -1, 0.5).ok());
+  EXPECT_FALSE(LaplaceSumBound(-2.0, 4, 0.5).ok());
+  EXPECT_OK(ValidateGamma(0.5));
+  EXPECT_FALSE(ValidateGamma(0.0).ok());
+  EXPECT_FALSE(ValidateGamma(1.0).ok());
+}
+
 TEST(LaplaceSumBoundTest, HoldsEmpiricallyWithSlack) {
   // Lemma 3.1: the bound should fail with probability well under gamma.
   Rng rng(kTestSeed);
   double scale = 2.0;
   int t = 16;
   double gamma = 0.1;
-  double bound = LaplaceSumBound(scale, t, gamma);
+  ASSERT_OK_AND_ASSIGN(double bound, LaplaceSumBound(scale, t, gamma));
   int exceed = 0;
   int trials = 20000;
   for (int i = 0; i < trials; ++i) {

@@ -1,0 +1,240 @@
+// Conformance suite for the unified oracle registry: every registered
+// mechanism family must build through OracleRegistry::Create on a common
+// workload and satisfy the shared DistanceOracle contract — zero
+// self-distance, symmetry on undirected inputs, batch == serial results,
+// and a correctly metered accountant/telemetry trail.
+
+#include "core/oracle_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/baselines.h"
+#include "dp/release_context.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+// An even-length canonical path graph satisfies every registered input
+// family at once: it is a path, hence a tree, hence connected, and it has
+// a perfect matching (edges 0-1, 2-3, ...) the DP solver handles.
+constexpr int kNumVertices = 16;
+
+class RegistryConformanceTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    Rng rng(kTestSeed);
+    ASSERT_OK_AND_ASSIGN(graph_, MakePathGraph(kNumVertices));
+    weights_ = MakeUniformWeights(*graph_, 0.1, 0.9, &rng);
+  }
+
+  Result<Graph> graph_ = Status::Internal("unset");
+  EdgeWeights weights_;
+};
+
+TEST_P(RegistryConformanceTest, BuildsAndSatisfiesOracleContract) {
+  const std::string& name = GetParam();
+  const OracleSpec* spec = OracleRegistry::Global().Find(name);
+  ASSERT_NE(spec, nullptr);
+
+  PrivacyParams params{/*epsilon=*/1.0, /*delta=*/0.0,
+                       /*neighbor_l1_bound=*/1.0};
+  ASSERT_OK_AND_ASSIGN(ReleaseContext ctx,
+                       ReleaseContext::Create(params, kTestSeed));
+  ASSERT_OK_AND_ASSIGN(
+      auto oracle,
+      OracleRegistry::Global().Create(name, *graph_, weights_, ctx));
+
+  // The oracle's self-reported name matches its registry key (modulo a
+  // parenthesised variant suffix such as "per-pair-laplace(pure)").
+  EXPECT_EQ(oracle->Name().rfind(name, 0), 0u) << oracle->Name();
+
+  // Distance(u, u) == 0 exactly, for every vertex.
+  for (VertexId u = 0; u < kNumVertices; ++u) {
+    ASSERT_OK_AND_ASSIGN(double d, oracle->Distance(u, u));
+    EXPECT_EQ(d, 0.0) << name << " self-distance at " << u;
+  }
+
+  // Symmetry on the undirected input.
+  for (VertexId u = 0; u < kNumVertices; ++u) {
+    for (VertexId v = u + 1; v < kNumVertices; ++v) {
+      ASSERT_OK_AND_ASSIGN(double duv, oracle->Distance(u, v));
+      ASSERT_OK_AND_ASSIGN(double dvu, oracle->Distance(v, u));
+      EXPECT_DOUBLE_EQ(duv, dvu) << name << " asymmetric at (" << u << ","
+                                 << v << ")";
+    }
+  }
+
+  // Batched queries agree exactly with serial queries (queries are
+  // post-processing of a fixed released object, so both are
+  // deterministic).
+  std::vector<VertexPair> pairs;
+  for (VertexId u = 0; u < kNumVertices; ++u) {
+    for (VertexId v = 0; v < kNumVertices; ++v) {
+      pairs.emplace_back(u, v);
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<double> batch,
+                       oracle->DistanceBatch(pairs));
+  ASSERT_EQ(batch.size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_OK_AND_ASSIGN(double serial,
+                         oracle->Distance(pairs[i].first, pairs[i].second));
+    EXPECT_EQ(batch[i], serial)
+        << name << " batch mismatch at (" << pairs[i].first << ","
+        << pairs[i].second << ")";
+  }
+
+  // Out-of-range queries fail gracefully in both paths.
+  EXPECT_FALSE(oracle->Distance(-1, 0).ok());
+  EXPECT_FALSE(oracle->Distance(0, kNumVertices).ok());
+  std::vector<VertexPair> bad = {{0, kNumVertices + 3}};
+  EXPECT_FALSE(oracle->DistanceBatch(bad).ok());
+
+  // Accountant balance: exactly one metered release for private
+  // mechanisms, none for the exact oracle; queries above consumed nothing.
+  if (spec->consumes_budget) {
+    ASSERT_EQ(ctx.accountant().num_releases(), 1);
+    EXPECT_EQ(ctx.accountant().entries()[0].label, name);
+    EXPECT_DOUBLE_EQ(ctx.accountant().BasicTotal().epsilon, params.epsilon);
+    EXPECT_DOUBLE_EQ(ctx.accountant().BasicTotal().delta, params.delta);
+  } else {
+    EXPECT_EQ(ctx.accountant().num_releases(), 0);
+  }
+
+  // Telemetry: one record naming the mechanism, with sane fields.
+  ASSERT_EQ(ctx.telemetry().size(), 1u);
+  const ReleaseTelemetry& t = ctx.telemetry()[0];
+  EXPECT_EQ(t.mechanism.rfind(name, 0), 0u) << t.mechanism;
+  EXPECT_GE(t.wall_ms, 0.0);
+  if (spec->consumes_budget) {
+    EXPECT_DOUBLE_EQ(t.epsilon, params.epsilon);
+    EXPECT_GT(t.noise_scale, 0.0);
+    // A degenerate covering can release an empty table, so draws and
+    // sensitivity are only required to be coherent, not positive.
+    EXPECT_GE(t.noise_draws, 0);
+    EXPECT_GE(t.sensitivity, 0.0);
+  } else {
+    EXPECT_EQ(t.epsilon, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredOracles, RegistryConformanceTest,
+    ::testing::ValuesIn(OracleRegistry::Global().Names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string id = info.param;
+      for (char& ch : id) {
+        if (ch == '-') ch = '_';
+      }
+      return id;
+    });
+
+TEST(OracleRegistryTest, AllSevenMechanismFamiliesRegistered) {
+  const OracleRegistry& registry = OracleRegistry::Global();
+  for (const char* name :
+       {"exact", "per-pair-laplace", "synthetic-graph", "tree-recursive",
+        "tree-hld", "path-hierarchy", "bounded-weight", "private-mst",
+        "private-matching"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+  EXPECT_GE(registry.size(), 9);
+}
+
+TEST(OracleRegistryTest, UnknownNameIsNotFound) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(4));
+  EdgeWeights w = MakeUniformWeights(g, 0.0, 1.0, &rng);
+  ASSERT_OK_AND_ASSIGN(ReleaseContext ctx,
+                       ReleaseContext::Create(PrivacyParams{}, kTestSeed));
+  Result<std::unique_ptr<DistanceOracle>> result =
+      OracleRegistry::Global().Create("no-such-oracle", g, w, ctx);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(OracleRegistryTest, RejectsDuplicateAndInvalidRegistrations) {
+  OracleRegistry registry;
+  OracleSpec spec;
+  spec.name = "custom";
+  spec.factory = [](const Graph& g, const EdgeWeights& w,
+                    ReleaseContext& ctx) {
+    return MakeExactOracle(g, w, ctx);
+  };
+  ASSERT_OK(registry.Register(spec));
+  EXPECT_FALSE(registry.Register(spec).ok());  // duplicate
+
+  OracleSpec unnamed;
+  unnamed.factory = spec.factory;
+  EXPECT_FALSE(registry.Register(unnamed).ok());
+
+  OracleSpec no_factory;
+  no_factory.name = "null-factory";
+  EXPECT_FALSE(registry.Register(no_factory).ok());
+}
+
+TEST(OracleRegistryTest, NewRegistrationIsCreatableImmediately) {
+  // Adding a mechanism to the pipeline is one Register call.
+  OracleRegistry registry;
+  OracleSpec spec;
+  spec.name = "exact-copy";
+  spec.consumes_budget = false;
+  spec.factory = [](const Graph& g, const EdgeWeights& w,
+                    ReleaseContext& ctx) {
+    return MakeExactOracle(g, w, ctx);
+  };
+  ASSERT_OK(registry.Register(std::move(spec)));
+
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(6));
+  EdgeWeights w = MakeUniformWeights(g, 0.0, 1.0, &rng);
+  ASSERT_OK_AND_ASSIGN(ReleaseContext ctx,
+                       ReleaseContext::Create(PrivacyParams{}, kTestSeed));
+  ASSERT_OK_AND_ASSIGN(auto oracle,
+                       registry.Create("exact-copy", g, w, ctx));
+  ASSERT_OK_AND_ASSIGN(double d, oracle->Distance(0, 5));
+  EXPECT_GT(d, 0.0);
+}
+
+TEST(OracleRegistryTest, NamesForInputRespectsTheSpecificityChain) {
+  const OracleRegistry& registry = OracleRegistry::Global();
+
+  // A generic connected graph only gets the any-connected mechanisms.
+  std::vector<std::string> generic =
+      registry.NamesForInput(OracleInput::kAnyConnected);
+  for (const char* excluded : {"tree-recursive", "tree-hld",
+                               "path-hierarchy", "private-matching"}) {
+    for (const std::string& name : generic) EXPECT_NE(name, excluded);
+  }
+
+  // A tree additionally gets the tree mechanisms but not the path one.
+  std::vector<std::string> tree = registry.NamesForInput(OracleInput::kTree);
+  auto contains = [](const std::vector<std::string>& names,
+                     const char* name) {
+    for (const std::string& n : names) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains(tree, "tree-recursive"));
+  EXPECT_TRUE(contains(tree, "tree-hld"));
+  EXPECT_FALSE(contains(tree, "path-hierarchy"));
+
+  // A path gets everything except perfect-matching, unless the caller
+  // vouches for one.
+  std::vector<std::string> path = registry.NamesForInput(OracleInput::kPath);
+  EXPECT_TRUE(contains(path, "path-hierarchy"));
+  EXPECT_TRUE(contains(path, "tree-recursive"));
+  EXPECT_FALSE(contains(path, "private-matching"));
+  std::vector<std::string> path_matchable =
+      registry.NamesForInput(OracleInput::kPath,
+                             /*has_perfect_matching=*/true);
+  EXPECT_TRUE(contains(path_matchable, "private-matching"));
+  EXPECT_EQ(path_matchable.size(), OracleRegistry::Global().Names().size());
+}
+
+}  // namespace
+}  // namespace dpsp

@@ -1,0 +1,136 @@
+// Tests for the shared release pipeline context: validate-once parameters,
+// accountant metering, total-budget enforcement with rollback, and the
+// telemetry trail.
+
+#include "dp/release_context.h"
+
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+#include "core/tree_distance.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(ReleaseContextTest, ValidatesParamsOnceAtCreation) {
+  PrivacyParams bad{/*epsilon=*/-1.0, 0.0, 1.0};
+  EXPECT_FALSE(ReleaseContext::Create(bad, kTestSeed).ok());
+
+  PrivacyParams bad_delta{1.0, /*delta=*/1.5, 1.0};
+  EXPECT_FALSE(ReleaseContext::Create(bad_delta, kTestSeed).ok());
+
+  ASSERT_OK_AND_ASSIGN(ReleaseContext ctx,
+                       ReleaseContext::Create(PrivacyParams{}, kTestSeed));
+  EXPECT_OK(ctx.params().Validate());
+  EXPECT_EQ(ctx.accountant().num_releases(), 0);
+  EXPECT_EQ(ctx.last_telemetry(), nullptr);
+}
+
+TEST(ReleaseContextTest, ChargeReleaseMetersTheAccountant) {
+  ASSERT_OK_AND_ASSIGN(
+      ReleaseContext ctx,
+      ReleaseContext::Create(PrivacyParams{0.5, 0.0, 1.0}, kTestSeed));
+  ASSERT_OK(ctx.ChargeRelease("first"));
+  ASSERT_OK(ctx.ChargeRelease("second", 0.25, 0.0));
+  EXPECT_EQ(ctx.accountant().num_releases(), 2);
+  EXPECT_DOUBLE_EQ(ctx.accountant().BasicTotal().epsilon, 0.75);
+}
+
+TEST(ReleaseContextTest, TotalBudgetBlocksOverspendAndRollsBack) {
+  ASSERT_OK_AND_ASSIGN(
+      ReleaseContext ctx,
+      ReleaseContext::Create(PrivacyParams{1.0, 0.0, 1.0}, kTestSeed));
+  ctx.SetTotalBudget(PrivacyParams{1.5, 0.0, 1.0});
+  ASSERT_OK(ctx.ChargeRelease("fits"));
+
+  Status overspend = ctx.ChargeRelease("does-not-fit");
+  EXPECT_FALSE(overspend.ok());
+  EXPECT_EQ(overspend.code(), StatusCode::kFailedPrecondition);
+  // The rejected charge left the ledger untouched.
+  EXPECT_EQ(ctx.accountant().num_releases(), 1);
+
+  // A smaller release still fits.
+  ASSERT_OK(ctx.ChargeRelease("small", 0.25, 0.0));
+  EXPECT_EQ(ctx.accountant().num_releases(), 2);
+}
+
+TEST(ReleaseContextTest, BudgetExhaustionStopsOracleConstruction) {
+  Rng unused(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(8));
+  EdgeWeights w(static_cast<size_t>(g.num_edges()), 1.0);
+
+  ASSERT_OK_AND_ASSIGN(
+      ReleaseContext ctx,
+      ReleaseContext::Create(PrivacyParams{1.0, 0.0, 1.0}, kTestSeed));
+  ctx.SetTotalBudget(PrivacyParams{1.0, 0.0, 1.0});
+  ASSERT_OK_AND_ASSIGN(auto first, TreeAllPairsOracle::Build(g, w, ctx));
+  (void)first;
+
+  auto second = TreeAllPairsOracle::Build(g, w, ctx);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ctx.accountant().num_releases(), 1);
+  EXPECT_EQ(ctx.telemetry().size(), 1u);
+}
+
+TEST(ReleaseContextTest, PureBudgetAcceptsBasicCompositionFit) {
+  // Regression: once the advanced-composition epsilon drops below the
+  // basic total, its delta_slack must not disqualify a pure (delta = 0)
+  // budget that the basic total certifiably fits.
+  ASSERT_OK_AND_ASSIGN(
+      ReleaseContext ctx,
+      ReleaseContext::Create(PrivacyParams{0.05, 0.0, 1.0}, kTestSeed));
+  ctx.SetTotalBudget(PrivacyParams{5.0, 0.0, 1.0}, /*delta_slack=*/1e-9);
+  for (int i = 0; i < 96; ++i) {
+    ASSERT_OK(ctx.ChargeRelease(StrFormat("refresh-%02d", i)));
+  }
+  EXPECT_EQ(ctx.accountant().num_releases(), 96);
+  EXPECT_NEAR(ctx.accountant().BasicTotal().epsilon, 4.8, 1e-9);
+}
+
+TEST(ReleaseContextTest, FailedBuildConsumesNoBudget) {
+  // A factory that fails validation must leave the shared ledger and
+  // telemetry untouched (CommitRelease runs only after a successful
+  // build).
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph cycle,
+                       Graph::Create(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}));
+  EdgeWeights w(4, 1.0);
+  ASSERT_OK_AND_ASSIGN(
+      ReleaseContext ctx,
+      ReleaseContext::Create(PrivacyParams{1.0, 0.0, 1.0}, kTestSeed));
+
+  auto not_a_tree = TreeAllPairsOracle::Build(cycle, w, ctx);
+  EXPECT_FALSE(not_a_tree.ok());
+  EXPECT_EQ(ctx.accountant().num_releases(), 0);
+  EXPECT_TRUE(ctx.telemetry().empty());
+}
+
+TEST(ReleaseContextTest, TelemetryAccumulatesPerRelease) {
+  ASSERT_OK_AND_ASSIGN(ReleaseContext ctx,
+                       ReleaseContext::Create(PrivacyParams{}, kTestSeed));
+  ReleaseTelemetry t;
+  t.mechanism = "fake";
+  t.epsilon = 1.0;
+  t.noise_draws = 7;
+  ctx.RecordTelemetry(t);
+  ASSERT_NE(ctx.last_telemetry(), nullptr);
+  EXPECT_EQ(ctx.last_telemetry()->mechanism, "fake");
+  EXPECT_EQ(ctx.last_telemetry()->noise_draws, 7);
+  EXPECT_NE(ctx.ToString().find("fake"), std::string::npos);
+}
+
+TEST(ReleaseContextTest, SeededRngIsDeterministic) {
+  ASSERT_OK_AND_ASSIGN(ReleaseContext a,
+                       ReleaseContext::Create(PrivacyParams{}, 42));
+  ASSERT_OK_AND_ASSIGN(ReleaseContext b,
+                       ReleaseContext::Create(PrivacyParams{}, 42));
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.rng()->Uniform(), b.rng()->Uniform());
+  }
+}
+
+}  // namespace
+}  // namespace dpsp

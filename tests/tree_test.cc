@@ -129,6 +129,40 @@ TEST(LcaIndexTest, LcaOfVertexWithItself) {
   EXPECT_EQ(lca.Lca(0, 9), 0);
 }
 
+TEST(EulerTourLcaTest, MatchesBinaryLiftingOnRandomTrees) {
+  Rng rng(kTestSeed);
+  for (int n : {2, 3, 17, 64, 200}) {
+    ASSERT_OK_AND_ASSIGN(Graph g, MakeRandomTree(n, &rng));
+    ASSERT_OK_AND_ASSIGN(RootedTree tree, RootedTree::FromGraph(g, 0));
+    LcaIndex lifting(tree);
+    EulerTourLca euler(tree);
+    EXPECT_EQ(euler.tour_size(), 2 * n - 1);
+    for (int trial = 0; trial < 200; ++trial) {
+      VertexId u = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+      VertexId v = static_cast<VertexId>(rng.UniformInt(0, n - 1));
+      EXPECT_EQ(euler.Lca(u, v), lifting.Lca(u, v))
+          << "n=" << n << " u=" << u << " v=" << v;
+      EXPECT_EQ(euler.HopDistance(u, v), lifting.HopDistance(u, v));
+    }
+  }
+}
+
+TEST(EulerTourLcaTest, SingleVertexAndSelfQueries) {
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(1));
+  ASSERT_OK_AND_ASSIGN(RootedTree tree, RootedTree::FromGraph(g, 0));
+  EulerTourLca euler(tree);
+  EXPECT_EQ(euler.tour_size(), 1);
+  EXPECT_EQ(euler.Lca(0, 0), 0);
+  EXPECT_EQ(euler.HopDistance(0, 0), 0);
+
+  ASSERT_OK_AND_ASSIGN(Graph path, MakePathGraph(5));
+  ASSERT_OK_AND_ASSIGN(RootedTree rooted, RootedTree::FromGraph(path, 2));
+  EulerTourLca lca(rooted);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(lca.Lca(v, v), v);
+  EXPECT_EQ(lca.Lca(0, 4), 2);
+  EXPECT_EQ(lca.HopDistance(0, 4), 4);
+}
+
 TEST(IsTreeTest, Classification) {
   ASSERT_OK_AND_ASSIGN(Graph path, MakePathGraph(6));
   EXPECT_TRUE(IsTree(path));
