@@ -6,10 +6,12 @@
 #ifndef DPSP_BENCH_BENCH_UTIL_H_
 #define DPSP_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -66,6 +68,65 @@ inline std::vector<std::pair<VertexId, VertexId>> SamplePairs(int n, int count,
   return pairs;
 }
 
+/// Steady-state batch timing. The first (warmup) runs are excluded so
+/// first-touch page faults, lazy allocation, and cold caches do not skew
+/// batch-vs-loop comparisons; the reported number is the best of `reps`
+/// timed runs, in per-query nanoseconds.
+struct BatchTiming {
+  double best_ms = 0.0;       // best timed run, milliseconds
+  double ns_per_query = 0.0;  // best_ms scaled to one query
+  double ops_per_sec = 0.0;   // queries per second at best_ms
+  /// First result of the last run (defeats dead-code elimination).
+  double front = 0.0;
+};
+
+/// Times oracle.DistanceBatch(pairs) with `warmup` untimed runs followed
+/// by `reps` timed runs; aborts on query failure.
+inline BatchTiming TimeDistanceBatch(const DistanceOracle& oracle,
+                                     const std::vector<VertexPair>& pairs,
+                                     int warmup = 1, int reps = 3) {
+  BatchTiming timing;
+  if (pairs.empty()) return timing;
+  for (int i = 0; i < warmup; ++i) {
+    timing.front = OrDie(oracle.DistanceBatch(pairs)).front();
+  }
+  timing.best_ms = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    WallTimer timer;
+    std::vector<double> out = OrDie(oracle.DistanceBatch(pairs));
+    timing.best_ms = std::min(timing.best_ms, timer.Ms());
+    timing.front = out.front();
+  }
+  timing.ns_per_query =
+      timing.best_ms * 1e6 / static_cast<double>(pairs.size());
+  timing.ops_per_sec =
+      static_cast<double>(pairs.size()) / (timing.best_ms * 1e-3);
+  return timing;
+}
+
+/// Same steady-state protocol for an arbitrary batch runner (e.g. the
+/// sharded BatchExecutor or a serial reference loop).
+inline BatchTiming TimeBatchRunner(
+    size_t num_queries, int warmup, int reps,
+    const std::function<double()>& run_batch_returning_front) {
+  BatchTiming timing;
+  if (num_queries == 0) return timing;
+  for (int i = 0; i < warmup; ++i) {
+    timing.front = run_batch_returning_front();
+  }
+  timing.best_ms = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    WallTimer timer;
+    timing.front = run_batch_returning_front();
+    timing.best_ms = std::min(timing.best_ms, timer.Ms());
+  }
+  timing.ns_per_query =
+      timing.best_ms * 1e6 / static_cast<double>(num_queries);
+  timing.ops_per_sec =
+      static_cast<double>(num_queries) / (timing.best_ms * 1e-3);
+  return timing;
+}
+
 /// Configuration of a uniform registry sweep.
 struct SweepOptions {
   PrivacyParams params;
@@ -78,22 +139,33 @@ struct SweepOptions {
 };
 
 /// The uniform report shape every registry sweep emits. Pass the result to
-/// AppendSweepRows and render with Print() or ToCsv().
+/// AppendSweepRows and render with Print() or ToCsv(). `batch_ms` and
+/// `ns/query` are steady-state numbers (warmup excluded, best of three).
 inline Table MakeSweepTable(const std::string& title) {
-  return Table(title, {"mechanism", "build_ms", "batch_ms", "mean|err|",
-                       "p95|err|", "max|err|"});
+  return Table(title, {"mechanism", "build_ms", "batch_ms", "ns/query",
+                       "mean|err|", "p95|err|", "max|err|"});
 }
+
+/// One sweep row's raw numbers, for harnesses that also emit JSON.
+struct SweepRowStats {
+  std::string mechanism;
+  bool ok = false;
+  double build_ms = 0.0;
+  BatchTiming batch;
+};
 
 /// Appends one row per applicable registered mechanism: builds the oracle
 /// through OracleRegistry::Create with a fresh ReleaseContext, times the
-/// build and one DistanceBatch over `pairs`, and reports batched-query
-/// error against `exact`. Mechanisms whose build fails on this workload
-/// get an error row instead of aborting the sweep. Adding a mechanism to
-/// every harness that calls this is one Register() line.
-inline void AppendSweepRows(Table& table, const Graph& graph,
-                            const EdgeWeights& w, const DistanceMatrix& exact,
-                            const std::vector<VertexPair>& pairs,
-                            const SweepOptions& options) {
+/// build and the steady-state DistanceBatch over `pairs` (warmup run
+/// excluded, best of three), and reports batched-query error against
+/// `exact`. Mechanisms whose build fails on this workload get an error row
+/// instead of aborting the sweep. Adding a mechanism to every harness that
+/// calls this is one Register() line. Returns the raw per-row numbers.
+inline std::vector<SweepRowStats> AppendSweepRows(
+    Table& table, const Graph& graph, const EdgeWeights& w,
+    const DistanceMatrix& exact, const std::vector<VertexPair>& pairs,
+    const SweepOptions& options) {
+  std::vector<SweepRowStats> stats;
   const OracleRegistry& registry = OracleRegistry::Global();
   for (const std::string& name :
        registry.NamesForInput(options.input, options.has_perfect_matching)) {
@@ -105,9 +177,12 @@ inline void AppendSweepRows(Table& table, const Graph& graph,
     WallTimer build_timer;
     Result<std::unique_ptr<DistanceOracle>> oracle =
         registry.Create(name, graph, w, ctx);
+    SweepRowStats& row = stats.emplace_back();
+    row.mechanism = name;
     if (!oracle.ok()) {
       table.Row()
           .Add(name)
+          .Add("-")
           .Add("-")
           .Add("-")
           .Add(oracle.status().ToString())
@@ -115,11 +190,12 @@ inline void AppendSweepRows(Table& table, const Graph& graph,
           .Add("-");
       continue;
     }
-    double build_ms = build_timer.Ms();
-    WallTimer batch_timer;
+    row.ok = true;
+    row.build_ms = build_timer.Ms();
+    row.batch = TimeDistanceBatch(**oracle, pairs);
+    // Error columns come from one more (untimed) batch — identical to the
+    // timed ones because queries are deterministic post-processing.
     std::vector<double> estimates = OrDie((*oracle)->DistanceBatch(pairs));
-    double batch_ms = batch_timer.Ms();
-    // Error columns come from the timed batch itself — no second sweep.
     std::vector<double> errors;
     errors.reserve(pairs.size());
     for (size_t i = 0; i < pairs.size(); ++i) {
@@ -127,7 +203,11 @@ inline void AppendSweepRows(Table& table, const Graph& graph,
       if (truth == kInfiniteDistance) continue;  // unreachable: skip
       errors.push_back(std::fabs(estimates[i] - truth));
     }
-    table.Row().Add(name).Add(build_ms, 4).Add(batch_ms, 4);
+    table.Row()
+        .Add(name)
+        .Add(row.build_ms, 4)
+        .Add(row.batch.best_ms, 4)
+        .Add(row.batch.ns_per_query, 2);
     if (errors.empty()) {
       table.Add("-").Add("-").Add("-");
     } else {
@@ -136,6 +216,7 @@ inline void AppendSweepRows(Table& table, const Graph& graph,
           .Add(MaxAbs(errors), 4);
     }
   }
+  return stats;
 }
 
 }  // namespace dpsp

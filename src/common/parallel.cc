@@ -1,7 +1,10 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace dpsp {
@@ -20,9 +23,10 @@ int ParallelWorkerCount(size_t n, int max_threads,
 }
 
 void ParallelFor(size_t n, int max_threads,
-                 const std::function<void(size_t, size_t)>& fn) {
+                 const std::function<void(size_t, size_t)>& fn,
+                 size_t min_items_per_worker) {
   if (n == 0) return;
-  int workers = ParallelWorkerCount(n, max_threads);
+  int workers = ParallelWorkerCount(n, max_threads, min_items_per_worker);
   if (workers <= 1) {
     fn(0, n);
     return;
@@ -39,6 +43,26 @@ void ParallelFor(size_t n, int max_threads,
   }
   fn(0, std::min(n, chunk));
   for (std::thread& thread : threads) thread.join();
+}
+
+Status ParallelForStatus(size_t n, int max_threads,
+                         const std::function<Status(size_t, size_t)>& fn,
+                         size_t min_items_per_worker) {
+  std::atomic<bool> failed{false};
+  Status first_error;
+  std::mutex error_mutex;
+  ParallelFor(
+      n, max_threads,
+      [&](size_t begin, size_t end) {
+        Status status = fn(begin, end);
+        if (!status.ok()) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!failed.exchange(true)) first_error = std::move(status);
+        }
+      },
+      min_items_per_worker);
+  if (failed.load()) return first_error;
+  return Status::Ok();
 }
 
 }  // namespace dpsp

@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "common/status.h"
+
 namespace dpsp {
 
 /// Workers ParallelFor would use for `n` items: capped so each worker gets
@@ -24,9 +26,23 @@ int ParallelWorkerCount(size_t n, int max_threads = 0,
 /// Runs fn(begin, end) over a partition of [0, n) using up to `max_threads`
 /// workers (0 = hardware concurrency; a positive value overrides it). With
 /// one worker, runs inline on the calling thread. `fn` must be safe to
-/// call concurrently on disjoint ranges.
+/// call concurrently on disjoint ranges. `min_items_per_worker` tunes the
+/// fan-out threshold: batched pair queries keep the default so tiny
+/// batches stay on the latency path, while coarse units (one Dijkstra
+/// source, one shard) pass 1.
 void ParallelFor(size_t n, int max_threads,
-                 const std::function<void(size_t begin, size_t end)>& fn);
+                 const std::function<void(size_t begin, size_t end)>& fn,
+                 size_t min_items_per_worker = 2048);
+
+/// ParallelFor for fallible chunks: runs fn(begin, end) over a partition
+/// of [0, n) and returns the first error any chunk reported (other chunks
+/// still run to completion). The single home of the cross-thread error
+/// aggregation both the batched oracle paths and the sharded executor
+/// fan-outs use.
+Status ParallelForStatus(
+    size_t n, int max_threads,
+    const std::function<Status(size_t begin, size_t end)>& fn,
+    size_t min_items_per_worker = 2048);
 
 }  // namespace dpsp
 

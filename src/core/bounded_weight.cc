@@ -124,11 +124,16 @@ BoundedWeightOracle::BuildWithCovering(const Graph& graph,
   oracle->gaussian_ = gaussian;
   oracle->noise_scale_ = scale;
 
-  // Exact distances among the centers (private intermediate), then noise.
-  DPSP_ASSIGN_OR_RETURN(std::vector<std::vector<double>> exact,
-                        MultiSourceDistances(graph, w, centers));
-  oracle->noisy_.assign(static_cast<size_t>(z),
-                        std::vector<double>(static_cast<size_t>(z), 0.0));
+  // Exact distances among the centers (private intermediate) — the build
+  // bottleneck at scale, fanned out one Dijkstra source per task over the
+  // shared CSR — then serial noise so the release is thread-count
+  // invariant.
+  DPSP_ASSIGN_OR_RETURN(
+      std::vector<std::vector<double>> exact,
+      MultiSourceDistances(graph, w, centers, options.build_threads));
+  oracle->num_centers_ = z;
+  oracle->noisy_.assign(static_cast<size_t>(z) * static_cast<size_t>(z),
+                        0.0);
   for (int i = 0; i < z; ++i) {
     for (int j = i + 1; j < z; ++j) {
       double truth =
@@ -137,10 +142,10 @@ BoundedWeightOracle::BuildWithCovering(const Graph& graph,
       double noise =
           gaussian ? rng->Gaussian(scale) : rng->Laplace(scale);
       double released = truth + noise;
-      oracle->noisy_[static_cast<size_t>(i)][static_cast<size_t>(j)] =
-          released;
-      oracle->noisy_[static_cast<size_t>(j)][static_cast<size_t>(i)] =
-          released;
+      oracle->noisy_[static_cast<size_t>(i) * static_cast<size_t>(z) +
+                     static_cast<size_t>(j)] = released;
+      oracle->noisy_[static_cast<size_t>(j) * static_cast<size_t>(z) +
+                     static_cast<size_t>(i)] = released;
     }
   }
   return oracle;
@@ -154,7 +159,26 @@ Result<double> BoundedWeightOracle::Distance(VertexId u, VertexId v) const {
   int zu = covering_.assignment[static_cast<size_t>(u)];
   int zv = covering_.assignment[static_cast<size_t>(v)];
   if (zu == zv) return 0.0;
-  return noisy_[static_cast<size_t>(zu)][static_cast<size_t>(zv)];
+  return noisy_[static_cast<size_t>(zu) * static_cast<size_t>(num_centers_) +
+                static_cast<size_t>(zv)];
+}
+
+Status BoundedWeightOracle::DistanceInto(std::span<const VertexPair> pairs,
+                                         double* out) const {
+  const unsigned n = static_cast<unsigned>(covering_.assignment.size());
+  const int* assign = covering_.assignment.data();
+  const double* table = noisy_.data();
+  const size_t stride = static_cast<size_t>(num_centers_);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const auto& [u, v] = pairs[i];
+    if (static_cast<unsigned>(u) >= n || static_cast<unsigned>(v) >= n) {
+      return Status::InvalidArgument("vertex out of range");
+    }
+    size_t zu = static_cast<size_t>(assign[u]);
+    size_t zv = static_cast<size_t>(assign[v]);
+    out[i] = zu == zv ? 0.0 : table[zu * stride + zv];
+  }
+  return Status::Ok();
 }
 
 std::string BoundedWeightOracle::Name() const {

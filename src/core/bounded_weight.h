@@ -45,6 +45,12 @@ struct BoundedWeightOptions {
   /// tails. See dp/gaussian_mechanism.h.
   enum class NoiseKind { kLaplace, kGaussian };
   NoiseKind noise = NoiseKind::kLaplace;
+
+  /// Worker threads for the Z-center multi-source Dijkstra that dominates
+  /// build time at scale (one source per task, shared CSR, thread-local
+  /// heaps). 0 = hardware concurrency, 1 = serial. The released table is
+  /// identical at any thread count: noise is drawn serially afterwards.
+  int build_threads = 0;
 };
 
 /// The Theorem 4.3 automatic choice of k for the given parameters, clamped
@@ -80,15 +86,16 @@ class BoundedWeightOracle final : public DistanceOracle {
 
   /// a_{z(u), z(v)} — or exactly 0 when z(u) == z(v) (data-independent).
   Result<double> Distance(VertexId u, VertexId v) const override;
+  /// Fused serial kernel: two assignment loads and one flat-table load per
+  /// pair.
+  Status DistanceInto(std::span<const VertexPair> pairs,
+                      double* out) const override;
   std::string Name() const override;
 
   const Covering& covering() const { return covering_; }
   double noise_scale() const { return noise_scale_; }
   /// Number of released noisy table entries, for telemetry.
-  int num_noisy_values() const {
-    int z = static_cast<int>(noisy_.size());
-    return z * (z - 1) / 2;
-  }
+  int num_noisy_values() const { return num_centers_ * (num_centers_ - 1) / 2; }
 
   /// High-probability per-query error bound as proved: 2kM plus the
   /// Laplace tail over the Z^2 released values.
@@ -102,8 +109,10 @@ class BoundedWeightOracle final : public DistanceOracle {
   bool gaussian_ = false;
   double max_weight_ = 0.0;
   double noise_scale_ = 0.0;
-  // Dense |Z| x |Z| noisy distance table (diagonal zero).
-  std::vector<std::vector<double>> noisy_;
+  // Dense |Z| x |Z| noisy distance table (diagonal zero), flattened
+  // row-major: entry (i, j) lives at i * num_centers_ + j.
+  int num_centers_ = 0;
+  std::vector<double> noisy_;
 };
 
 }  // namespace dpsp

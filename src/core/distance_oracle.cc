@@ -1,14 +1,21 @@
 #include "core/distance_oracle.h"
 
-#include <atomic>
 #include <cmath>
-#include <mutex>
 
 #include "common/parallel.h"
 #include "common/statistics.h"
 #include "graph/shortest_path.h"
 
 namespace dpsp {
+
+Status DistanceOracle::DistanceInto(std::span<const VertexPair> pairs,
+                                    double* out) const {
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    DPSP_ASSIGN_OR_RETURN(out[i],
+                          Distance(pairs[i].first, pairs[i].second));
+  }
+  return Status::Ok();
+}
 
 Result<std::vector<double>> DistanceOracle::DistanceBatch(
     std::span<const VertexPair> pairs) const {
@@ -19,23 +26,11 @@ Result<std::vector<double>> DistanceBatchOf(const DistanceOracle& oracle,
                                             std::span<const VertexPair> pairs,
                                             int max_threads) {
   std::vector<double> out(pairs.size(), 0.0);
-  // First failing query wins; the rest of its chunk is abandoned.
-  std::atomic<bool> failed{false};
-  Status first_error;
-  std::mutex error_mutex;
-  ParallelFor(pairs.size(), max_threads, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      if (failed.load(std::memory_order_relaxed)) return;
-      Result<double> d = oracle.Distance(pairs[i].first, pairs[i].second);
-      if (!d.ok()) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!failed.exchange(true)) first_error = d.status();
-        return;
-      }
-      out[i] = *d;
-    }
-  });
-  if (failed.load()) return first_error;
+  DPSP_RETURN_IF_ERROR(ParallelForStatus(
+      pairs.size(), max_threads, [&](size_t begin, size_t end) {
+        return oracle.DistanceInto(pairs.subspan(begin, end - begin),
+                                   out.data() + begin);
+      }));
   return out;
 }
 

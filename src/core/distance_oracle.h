@@ -34,12 +34,22 @@ class DistanceOracle {
   /// Estimated distance between u and v.
   virtual Result<double> Distance(VertexId u, VertexId v) const = 0;
 
+  /// Serial fused kernel: answers `pairs` into out[0 .. pairs.size()) on
+  /// the calling thread, one virtual dispatch for the whole span. This is
+  /// the unit of work the parallel DistanceBatch fan-out and the sharded
+  /// serve::BatchExecutor both schedule, so every execution strategy
+  /// produces bit-identical results. Oracles override it with a flat-array
+  /// loop (released estimates + O(1) LCA, dense table rows, dyadic
+  /// prefixes); the default loops Distance(). On error nothing is
+  /// guaranteed about out.
+  virtual Status DistanceInto(std::span<const VertexPair> pairs,
+                              double* out) const;
+
   /// Estimated distances for a batch of pairs, in order — the hot path a
-  /// query-serving deployment uses. The default implementation answers via
-  /// DistanceBatchOf (chunk-parallel Distance calls, valid because this
-  /// interface requires const query methods to be concurrency-safe); the
-  /// tree oracles override it with fused loops that skip the per-query
-  /// Result/virtual-dispatch overhead entirely.
+  /// query-serving deployment uses. The default implementation chunks the
+  /// span across worker threads (valid because this interface requires
+  /// const query methods to be concurrency-safe) and runs the
+  /// DistanceInto kernel per chunk.
   virtual Result<std::vector<double>> DistanceBatch(
       std::span<const VertexPair> pairs) const;
 
@@ -47,10 +57,10 @@ class DistanceOracle {
   virtual std::string Name() const = 0;
 };
 
-/// Answers `pairs` by calling oracle.Distance() chunk-wise across worker
-/// threads. Oracles whose Distance() is a pure read of the released object
-/// (all oracles in this library) implement their DistanceBatch override
-/// with this.
+/// Answers `pairs` by running oracle.DistanceInto() chunk-wise across
+/// worker threads (the default DistanceBatch body, exposed so callers can
+/// cap the thread count). `max_threads` = 1 is the strictly serial
+/// reference path the sharded executor tests compare against.
 Result<std::vector<double>> DistanceBatchOf(const DistanceOracle& oracle,
                                             std::span<const VertexPair> pairs,
                                             int max_threads = 0);

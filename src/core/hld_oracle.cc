@@ -1,9 +1,7 @@
 #include "core/hld_oracle.h"
 
 #include <algorithm>
-#include <atomic>
 
-#include "common/parallel.h"
 #include "common/table.h"
 #include "dp/laplace_mechanism.h"
 
@@ -99,6 +97,22 @@ Result<std::unique_ptr<HldTreeOracle>> HldTreeOracle::Build(
 
   oracle->tree_ = std::make_unique<RootedTree>(std::move(tree));
   oracle->lca_ = std::make_unique<EulerTourLca>(*oracle->tree_);
+
+  // Ascent caches (post-processing of the released blocks, no new noise):
+  // climbing off the top of v's chain costs the chain prefix up to v plus
+  // the light edge above the head, and lands on the head's parent.
+  oracle->head_parent_.resize(members.size());
+  for (size_t c = 0; c < members.size(); ++c) {
+    oracle->head_parent_[c] = oracle->tree_->parent(oracle->chain_head_[c]);
+  }
+  oracle->ascent_cost_.assign(static_cast<size_t>(n), 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    int c = oracle->chain_of_[static_cast<size_t>(v)];
+    oracle->ascent_cost_[static_cast<size_t>(v)] =
+        oracle->chains_[static_cast<size_t>(c)].PrefixSumUnchecked(
+            oracle->pos_in_chain_[static_cast<size_t>(v)]) +
+        oracle->light_noisy_[static_cast<size_t>(c)];
+  }
   return oracle;
 }
 
@@ -119,44 +133,38 @@ Result<std::unique_ptr<HldTreeOracle>> HldTreeOracle::Build(
   return oracle;
 }
 
-Result<std::vector<double>> HldTreeOracle::DistanceBatch(
-    std::span<const VertexPair> pairs) const {
-  // Single fused pass: bounds checks fold into the chunk loop, and each
-  // query is an O(1) LCA lookup plus two unchecked chain ascents — no
-  // per-query Result or virtual dispatch.
+Status HldTreeOracle::DistanceInto(std::span<const VertexPair> pairs,
+                                   double* out) const {
+  // Single fused pass: bounds checks fold into the loop, and each query is
+  // an O(1) LCA lookup plus two unchecked chain ascents — no per-query
+  // Result or virtual dispatch.
   const unsigned n = static_cast<unsigned>(tree_->num_vertices());
   const EulerTourLca& lca = *lca_;
-  std::vector<double> out(pairs.size());
-  std::atomic<bool> bad{false};
-  ParallelFor(pairs.size(), /*max_threads=*/0, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const auto& [u, v] = pairs[i];
-      if (static_cast<unsigned>(u) >= n || static_cast<unsigned>(v) >= n) {
-        bad.store(true, std::memory_order_relaxed);
-        return;
-      }
-      VertexId z = lca.Lca(u, v);
-      out[i] = DistanceToAncestor(u, z) + DistanceToAncestor(v, z);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const auto& [u, v] = pairs[i];
+    if (static_cast<unsigned>(u) >= n || static_cast<unsigned>(v) >= n) {
+      return Status::InvalidArgument("vertex out of range");
     }
-  });
-  if (bad.load()) return Status::InvalidArgument("vertex out of range");
-  return out;
+    VertexId z = lca.LcaUnchecked(u, v);
+    out[i] = DistanceToAncestor(u, z) + DistanceToAncestor(v, z);
+  }
+  return Status::Ok();
 }
 
 double HldTreeOracle::DistanceToAncestor(VertexId v, VertexId z) const {
+  // Each crossing is two flat loads: the precomputed ascent cost (chain
+  // prefix + light edge, cached at build as post-processing of the same
+  // released blocks) and the landing vertex.
   double sum = 0.0;
-  while (chain_of_[static_cast<size_t>(v)] !=
-         chain_of_[static_cast<size_t>(z)]) {
+  const int chain_z = chain_of_[static_cast<size_t>(z)];
+  while (chain_of_[static_cast<size_t>(v)] != chain_z) {
     int c = chain_of_[static_cast<size_t>(v)];
-    sum += chains_[static_cast<size_t>(c)].RangeSumUnchecked(
-               0, pos_in_chain_[static_cast<size_t>(v)]) +
-           light_noisy_[static_cast<size_t>(c)];
-    VertexId head = chain_head_[static_cast<size_t>(c)];
-    v = tree_->parent(head);
+    sum += ascent_cost_[static_cast<size_t>(v)];
+    v = head_parent_[static_cast<size_t>(c)];
     DPSP_CHECK_MSG(v != -1, "climbed past the root during HLD ascent");
   }
   return sum +
-         chains_[static_cast<size_t>(chain_of_[static_cast<size_t>(v)])]
+         chains_[static_cast<size_t>(chain_z)]
              .RangeSumUnchecked(pos_in_chain_[static_cast<size_t>(z)],
                                 pos_in_chain_[static_cast<size_t>(v)]);
 }

@@ -54,10 +54,11 @@ class HldTreeOracle final : public DistanceOracle {
       Rng* rng, VertexId root = -1);
 
   Result<double> Distance(VertexId u, VertexId v) const override;
-  /// Parallel scan; each query does an O(1) Euler-tour LCA plus the chain
-  /// walk.
-  Result<std::vector<double>> DistanceBatch(
-      std::span<const VertexPair> pairs) const override;
+  /// Fused serial kernel: an O(1) Euler-tour LCA plus two unchecked chain
+  /// ascents per pair, full-chain climbs answered by the countr_zero
+  /// prefix specialization of the dyadic structure.
+  Status DistanceInto(std::span<const VertexPair> pairs,
+                      double* out) const override;
   std::string Name() const override { return kName; }
 
   int num_chains() const { return static_cast<int>(chains_.size()); }
@@ -92,6 +93,13 @@ class HldTreeOracle final : public DistanceOracle {
   // chain -> noisy weight of the light edge above its head (0 at the root
   // chain).
   std::vector<double> light_noisy_;
+  // Ascent hot-path caches, pure post-processing of the release computed
+  // once at build: ascent_cost_[v] is the noisy cost of climbing from v
+  // off the top of its chain (the chain-prefix block sum plus the light
+  // edge — the exact value the ascent loop previously recomputed per
+  // query), and head_parent_[c] is the vertex the climb lands on.
+  std::vector<double> ascent_cost_;
+  std::vector<VertexId> head_parent_;
 };
 
 }  // namespace dpsp

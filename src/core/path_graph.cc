@@ -142,6 +142,19 @@ Result<double> PathGraphOracle::Distance(VertexId u, VertexId v) const {
   return QueryRange(lo, hi, nullptr);
 }
 
+Status PathGraphOracle::DistanceInto(std::span<const VertexPair> pairs,
+                                     double* out) const {
+  const unsigned n = static_cast<unsigned>(num_vertices_);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const auto& [u, v] = pairs[i];
+    if (static_cast<unsigned>(u) >= n || static_cast<unsigned>(v) >= n) {
+      return Status::InvalidArgument("vertex out of range");
+    }
+    out[i] = QueryRange(std::min(u, v), std::max(u, v), nullptr);
+  }
+  return Status::Ok();
+}
+
 Result<int> PathGraphOracle::QuerySegmentCount(VertexId u, VertexId v) const {
   if (u < 0 || u >= num_vertices_ || v < 0 || v >= num_vertices_) {
     return Status::InvalidArgument("vertex out of range");

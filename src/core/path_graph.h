@@ -55,6 +55,10 @@ class PathGraphOracle final : public DistanceOracle {
 
   /// Estimated distance |path sum| between u and v; symmetric in (u, v).
   Result<double> Distance(VertexId u, VertexId v) const override;
+  /// Fused serial kernel: the greedy aligned hub decomposition per pair
+  /// with bounds checks folded into the loop.
+  Status DistanceInto(std::span<const VertexPair> pairs,
+                      double* out) const override;
   std::string Name() const override { return kName; }
 
   /// Number of hub levels (= sensitivity of the release).

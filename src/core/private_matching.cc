@@ -65,6 +65,19 @@ Result<double> MatchingDistanceOracle::Distance(VertexId u, VertexId v) const {
   return distances_.at(u, v);
 }
 
+Status MatchingDistanceOracle::DistanceInto(std::span<const VertexPair> pairs,
+                                            double* out) const {
+  const unsigned n = static_cast<unsigned>(distances_.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const auto& [u, v] = pairs[i];
+    if (static_cast<unsigned>(u) >= n || static_cast<unsigned>(v) >= n) {
+      return Status::InvalidArgument("vertex out of range");
+    }
+    out[i] = distances_.at(u, v);
+  }
+  return Status::Ok();
+}
+
 double PrivateMatchingErrorBound(int num_vertices, int num_edges,
                                  const PrivacyParams& params, double gamma) {
   DPSP_CHECK_MSG(num_vertices >= 2 && num_edges >= 1 && gamma > 0.0 &&

@@ -66,6 +66,9 @@ class MatchingDistanceOracle final : public DistanceOracle {
       Rng* rng);
 
   Result<double> Distance(VertexId u, VertexId v) const override;
+  /// Fused serial kernel: one dense-matrix load per pair.
+  Status DistanceInto(std::span<const VertexPair> pairs,
+                      double* out) const override;
   std::string Name() const override { return kName; }
 
   /// The underlying release (matching + noisy weights).

@@ -79,6 +79,22 @@ Result<double> MstDistanceOracle::Distance(VertexId u, VertexId v) const {
          2.0 * root_dist_[static_cast<size_t>(z)];
 }
 
+Status MstDistanceOracle::DistanceInto(std::span<const VertexPair> pairs,
+                                       double* out) const {
+  const unsigned n = static_cast<unsigned>(tree_.num_vertices());
+  const double* dist = root_dist_.data();
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const auto& [u, v] = pairs[i];
+    if (static_cast<unsigned>(u) >= n || static_cast<unsigned>(v) >= n) {
+      return Status::InvalidArgument("vertex out of range");
+    }
+    VertexId z = lca_.LcaUnchecked(u, v);
+    out[i] = dist[static_cast<size_t>(u)] + dist[static_cast<size_t>(v)] -
+             2.0 * dist[static_cast<size_t>(z)];
+  }
+  return Status::Ok();
+}
+
 double PrivateMstErrorBound(int num_vertices, int num_edges,
                             const PrivacyParams& params, double gamma) {
   DPSP_CHECK_MSG(num_vertices >= 2 && num_edges >= 1 && gamma > 0.0 &&

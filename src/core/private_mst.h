@@ -74,6 +74,9 @@ class MstDistanceOracle final : public DistanceOracle {
   /// negative since the release permits negative noisy edges). O(1) via
   /// the shared Euler-tour LCA.
   Result<double> Distance(VertexId u, VertexId v) const override;
+  /// Fused serial kernel: three root-distance reads around an O(1) LCA.
+  Status DistanceInto(std::span<const VertexPair> pairs,
+                      double* out) const override;
   std::string Name() const override { return kName; }
 
   /// The underlying release (tree edges + noisy weights).

@@ -1,6 +1,7 @@
 #include "core/range_sums.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/table.h"
 
@@ -59,6 +60,18 @@ Result<double> NoisyDyadicRangeSums::RangeSum(int lo, int hi,
 
 double NoisyDyadicRangeSums::RangeSumUnchecked(int lo, int hi) const {
   return SumRange(lo, hi, nullptr);
+}
+
+double NoisyDyadicRangeSums::PrefixSumUnchecked(int hi) const {
+  // Clearing the lowest set bit each round walks the blocks back to front:
+  // the block of width 2^l ending at i starts at i - 2^l, which is
+  // 2^l-aligned, so it is dyadic block (i >> l) - 1 of level l.
+  double sum = 0.0;
+  for (unsigned i = static_cast<unsigned>(hi); i != 0; i &= i - 1) {
+    int l = std::countr_zero(i);
+    sum += levels_[static_cast<size_t>(l)][(i >> l) - 1];
+  }
+  return sum;
 }
 
 double NoisyDyadicRangeSums::SumRange(int lo, int hi, int* segments) const {

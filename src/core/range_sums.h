@@ -43,6 +43,15 @@ class NoisyDyadicRangeSums {
   /// guarantee 0 <= lo <= hi <= size. The batched-query hot path.
   double RangeSumUnchecked(int lo, int hi) const;
 
+  /// Specialized RangeSumUnchecked(0, hi): a prefix [0, hi) decomposes
+  /// into exactly one dyadic block per set bit of hi (the popcount(hi)
+  /// blocks a Fenwick walk would visit), found by std::countr_zero instead
+  /// of the level-probing loop the general decomposition pays per block.
+  /// The HLD oracle's full-chain ascents are all prefix queries, so this
+  /// cuts the chain-ascent constant in the batch hot path. Caller must
+  /// guarantee 0 <= hi <= size.
+  double PrefixSumUnchecked(int hi) const;
+
   /// How many dyadic levels a vector of `size` values needs.
   static int LevelsForSize(int size);
 

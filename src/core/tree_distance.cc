@@ -1,9 +1,7 @@
 #include "core/tree_distance.h"
 
-#include <atomic>
 #include <cmath>
 
-#include "common/parallel.h"
 #include "common/table.h"
 #include "dp/laplace_mechanism.h"
 #include "graph/tree_partition.h"
@@ -165,29 +163,23 @@ Result<double> TreeAllPairsOracle::Distance(VertexId u, VertexId v) const {
          2.0 * est[static_cast<size_t>(z)];
 }
 
-Result<std::vector<double>> TreeAllPairsOracle::DistanceBatch(
-    std::span<const VertexPair> pairs) const {
-  // Single fused pass: bounds checks fold into the chunk loop (no separate
+Status TreeAllPairsOracle::DistanceInto(std::span<const VertexPair> pairs,
+                                        double* out) const {
+  // Single fused pass: bounds checks fold into the loop (no separate
   // validation sweep) and the per-pair work is three array reads around an
   // O(1) LCA lookup — no per-query Result or virtual dispatch.
   const unsigned n = static_cast<unsigned>(tree_.num_vertices());
   const double* est = release_.estimates.data();
-  std::vector<double> out(pairs.size());
-  std::atomic<bool> bad{false};
-  ParallelFor(pairs.size(), /*max_threads=*/0, [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const auto& [u, v] = pairs[i];
-      if (static_cast<unsigned>(u) >= n || static_cast<unsigned>(v) >= n) {
-        bad.store(true, std::memory_order_relaxed);
-        return;
-      }
-      VertexId z = lca_.Lca(u, v);
-      out[i] = est[static_cast<size_t>(u)] + est[static_cast<size_t>(v)] -
-               2.0 * est[static_cast<size_t>(z)];
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const auto& [u, v] = pairs[i];
+    if (static_cast<unsigned>(u) >= n || static_cast<unsigned>(v) >= n) {
+      return Status::InvalidArgument("vertex out of range");
     }
-  });
-  if (bad.load()) return Status::InvalidArgument("vertex out of range");
-  return out;
+    VertexId z = lca_.LcaUnchecked(u, v);
+    out[i] = est[static_cast<size_t>(u)] + est[static_cast<size_t>(v)] -
+             2.0 * est[static_cast<size_t>(z)];
+  }
+  return Status::Ok();
 }
 
 }  // namespace dpsp

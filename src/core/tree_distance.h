@@ -79,10 +79,11 @@ class TreeAllPairsOracle final : public DistanceOracle {
   TreeAllPairsOracle& operator=(const TreeAllPairsOracle&) = delete;
 
   Result<double> Distance(VertexId u, VertexId v) const override;
-  /// O(1) per pair: Euler-tour LCA over the released estimates, scanned in
-  /// parallel.
-  Result<std::vector<double>> DistanceBatch(
-      std::span<const VertexPair> pairs) const override;
+  /// Fused serial kernel: three flat-array reads around an O(1) Euler-tour
+  /// LCA per pair, bounds checks folded into the loop. DistanceBatch and
+  /// the sharded executor fan this out.
+  Status DistanceInto(std::span<const VertexPair> pairs,
+                      double* out) const override;
   std::string Name() const override { return kName; }
 
   const TreeSingleSourceRelease& release() const { return release_; }

@@ -81,6 +81,39 @@ Status ReleaseContext::CommitRelease(ReleaseTelemetry t) {
   return Status::Ok();
 }
 
+ReleaseContext ReleaseContext::Fork() {
+  return ReleaseContext(params_, rng_->NextSeed());
+}
+
+Status ReleaseContext::AbsorbShard(const ReleaseContext& shard) {
+  // All-or-nothing: replay the shard's ledger onto a scratch accountant
+  // first so a budget failure leaves this context unchanged.
+  PrivacyAccountant prospective = *accountant_;
+  for (const AccountantEntry& e : shard.accountant().entries()) {
+    DPSP_RETURN_IF_ERROR(prospective.Record(e.label, e.epsilon, e.delta));
+  }
+  if (has_total_budget_) {
+    bool fits = Fits(prospective.BasicTotal(), total_budget_);
+    if (!fits) {
+      Result<PrivacyParams> advanced = prospective.AdvancedTotal(delta_slack_);
+      fits = advanced.ok() && Fits(*advanced, total_budget_);
+    }
+    if (!fits) {
+      PrivacyParams total = prospective.BestTotal(delta_slack_);
+      return Status::FailedPrecondition(StrFormat(
+          "privacy budget exhausted: absorbing a shard of %d releases "
+          "would bring the total to eps=%g delta=%g, over the budget "
+          "eps=%g delta=%g",
+          shard.accountant().num_releases(), total.epsilon, total.delta,
+          total_budget_.epsilon, total_budget_.delta));
+    }
+  }
+  *accountant_ = std::move(prospective);
+  telemetry_.insert(telemetry_.end(), shard.telemetry_.begin(),
+                    shard.telemetry_.end());
+  return Status::Ok();
+}
+
 void ReleaseContext::RecordTelemetry(ReleaseTelemetry t) {
   telemetry_.push_back(std::move(t));
 }

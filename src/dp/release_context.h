@@ -92,6 +92,21 @@ class ReleaseContext {
   /// consume budget.
   Status CommitRelease(ReleaseTelemetry t);
 
+  /// A shard-local child context for sharded build/serve pipelines: the
+  /// same validated params, a fresh Rng seeded from this context's stream,
+  /// an empty ledger, and no total budget (the parent's ceiling is
+  /// enforced when the shard is absorbed). Build per-shard releases
+  /// through the child, then compose the spend back with AbsorbShard.
+  ReleaseContext Fork();
+
+  /// Composes a shard's ledger into this one atomically: every release
+  /// recorded by `shard` is re-charged here under the parent's total
+  /// budget — all of them, or (when the composed total would exceed the
+  /// budget) none, with FailedPrecondition — and the shard's telemetry is
+  /// appended. The resulting ledger is identical to having built the
+  /// shard's releases through this context directly.
+  Status AbsorbShard(const ReleaseContext& shard);
+
   /// Appends one telemetry record without charging (used by the exact,
   /// non-private oracle).
   void RecordTelemetry(ReleaseTelemetry t);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "graph/shortest_path.h"
 
 namespace dpsp {
@@ -16,13 +17,24 @@ DistanceMatrix::DistanceMatrix(int n)
 Result<DistanceMatrix> AllPairsDijkstra(const Graph& graph,
                                         const EdgeWeights& w) {
   DPSP_RETURN_IF_ERROR(graph.ValidateNonNegativeWeights(w));
-  DistanceMatrix matrix(graph.num_vertices());
-  for (VertexId s = 0; s < graph.num_vertices(); ++s) {
-    DPSP_ASSIGN_OR_RETURN(ShortestPathTree tree, Dijkstra(graph, w, s));
-    for (VertexId t = 0; t < graph.num_vertices(); ++t) {
-      matrix.set(s, t, tree.distance[static_cast<size_t>(t)]);
-    }
-  }
+  int n = graph.num_vertices();
+  DistanceMatrix matrix(n);
+  // One source per task; each worker keeps a thread-local heap and tree
+  // across its sources, writing rows of the matrix directly.
+  ParallelFor(
+      static_cast<size_t>(n), /*max_threads=*/0,
+      [&](size_t begin, size_t end) {
+        ShortestPathTree tree;
+        DijkstraWorkspace ws;
+        for (size_t s = begin; s < end; ++s) {
+          DijkstraKernel(graph, w, static_cast<VertexId>(s), tree, ws);
+          for (VertexId t = 0; t < n; ++t) {
+            matrix.set(static_cast<VertexId>(s), t,
+                       tree.distance[static_cast<size_t>(t)]);
+          }
+        }
+      },
+      /*min_items_per_worker=*/1);
   return matrix;
 }
 
@@ -60,13 +72,25 @@ Result<DistanceMatrix> FloydWarshall(const Graph& graph,
 
 Result<std::vector<std::vector<double>>> MultiSourceDistances(
     const Graph& graph, const EdgeWeights& w,
-    const std::vector<VertexId>& sources) {
-  std::vector<std::vector<double>> rows;
-  rows.reserve(sources.size());
+    const std::vector<VertexId>& sources, int max_threads) {
+  DPSP_RETURN_IF_ERROR(graph.ValidateNonNegativeWeights(w));
   for (VertexId s : sources) {
-    DPSP_ASSIGN_OR_RETURN(ShortestPathTree tree, Dijkstra(graph, w, s));
-    rows.push_back(std::move(tree.distance));
+    if (!graph.HasVertex(s)) {
+      return Status::InvalidArgument("source vertex out of range");
+    }
   }
+  std::vector<std::vector<double>> rows(sources.size());
+  ParallelFor(
+      sources.size(), max_threads,
+      [&](size_t begin, size_t end) {
+        ShortestPathTree tree;
+        DijkstraWorkspace ws;
+        for (size_t i = begin; i < end; ++i) {
+          DijkstraKernel(graph, w, sources[i], tree, ws);
+          rows[i] = std::move(tree.distance);
+        }
+      },
+      /*min_items_per_worker=*/1);
   return rows;
 }
 

@@ -35,8 +35,9 @@ class DistanceMatrix {
   std::vector<double> data_;
 };
 
-/// All-pairs distances by running Dijkstra from every vertex.
-/// O(V (V + E) log V). Requires non-negative weights.
+/// All-pairs distances by running Dijkstra from every vertex, sources
+/// fanned out over worker threads (shared CSR, thread-local heaps).
+/// O(V (V + E) log V) work. Requires non-negative weights.
 Result<DistanceMatrix> AllPairsDijkstra(const Graph& graph,
                                         const EdgeWeights& w);
 
@@ -45,10 +46,14 @@ Result<DistanceMatrix> AllPairsDijkstra(const Graph& graph,
 Result<DistanceMatrix> FloydWarshall(const Graph& graph, const EdgeWeights& w);
 
 /// Distances from each vertex in `sources` to every vertex, one Dijkstra
-/// per source. Row i of the result corresponds to sources[i].
+/// per source. Row i of the result corresponds to sources[i]. Validates
+/// once, then runs one source per task across worker threads over the
+/// shared CSR arrays with thread-local heaps — the bounded-weight oracle's
+/// Z-center build path. `max_threads` = 0 uses hardware concurrency; 1
+/// forces the serial build. Results are identical at any thread count.
 Result<std::vector<std::vector<double>>> MultiSourceDistances(
     const Graph& graph, const EdgeWeights& w,
-    const std::vector<VertexId>& sources);
+    const std::vector<VertexId>& sources, int max_threads = 0);
 
 }  // namespace dpsp
 

@@ -7,13 +7,31 @@ namespace dpsp {
 Graph::Graph(int num_vertices, std::vector<EdgeEndpoints> edges, bool directed)
     : num_vertices_(num_vertices),
       directed_(directed),
-      edges_(std::move(edges)),
-      adjacency_(static_cast<size_t>(num_vertices)) {
+      edges_(std::move(edges)) {
+  // CSR build: count degrees, prefix-sum into offsets, then scatter. Entry
+  // order per vertex matches the old per-vertex push_back order (edge
+  // insertion order), which BFS-based constructions rely on.
+  adj_offset_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+  for (const EdgeEndpoints& ep : edges_) {
+    ++adj_offset_[static_cast<size_t>(ep.u) + 1];
+    if (!directed_) ++adj_offset_[static_cast<size_t>(ep.v) + 1];
+  }
+  for (size_t u = 0; u < static_cast<size_t>(num_vertices); ++u) {
+    adj_offset_[u + 1] += adj_offset_[u];
+  }
+  size_t slots = adj_offset_[static_cast<size_t>(num_vertices)];
+  adj_to_.resize(slots);
+  adj_edge_.resize(slots);
+  std::vector<uint32_t> cursor(adj_offset_.begin(), adj_offset_.end() - 1);
   for (EdgeId e = 0; e < static_cast<EdgeId>(edges_.size()); ++e) {
     const EdgeEndpoints& ep = edges_[static_cast<size_t>(e)];
-    adjacency_[static_cast<size_t>(ep.u)].push_back({e, ep.v});
+    uint32_t slot = cursor[static_cast<size_t>(ep.u)]++;
+    adj_to_[slot] = ep.v;
+    adj_edge_[slot] = e;
     if (!directed_) {
-      adjacency_[static_cast<size_t>(ep.v)].push_back({e, ep.u});
+      slot = cursor[static_cast<size_t>(ep.v)]++;
+      adj_to_[slot] = ep.u;
+      adj_edge_[slot] = e;
     }
   }
 }

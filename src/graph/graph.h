@@ -11,6 +11,8 @@
 #ifndef DPSP_GRAPH_GRAPH_H_
 #define DPSP_GRAPH_GRAPH_H_
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -41,9 +43,48 @@ struct AdjacencyEntry {
 /// require non-negativity validate it themselves.)
 using EdgeWeights = std::vector<double>;
 
-/// Immutable (multi)graph topology.
+/// Immutable (multi)graph topology. Adjacency is stored in compressed
+/// sparse row (CSR) form as a struct-of-arrays (neighbor, edge-id) split:
+/// one offset array plus two parallel flat arrays, so traversal kernels
+/// (Dijkstra, BFS, tree orientation) stream contiguous memory instead of
+/// chasing one heap allocation per vertex.
 class Graph {
  public:
+  /// Lightweight view over the CSR adjacency of one vertex. Iterates as
+  /// AdjacencyEntry values; the underlying storage stays struct-of-arrays.
+  class NeighborRange {
+   public:
+    class Iterator {
+     public:
+      Iterator(const VertexId* to, const EdgeId* edge) : to_(to), edge_(edge) {}
+      AdjacencyEntry operator*() const { return {*edge_, *to_}; }
+      Iterator& operator++() {
+        ++to_;
+        ++edge_;
+        return *this;
+      }
+      bool operator==(const Iterator& o) const { return to_ == o.to_; }
+      bool operator!=(const Iterator& o) const { return to_ != o.to_; }
+
+     private:
+      const VertexId* to_;
+      const EdgeId* edge_;
+    };
+
+    NeighborRange(const VertexId* to, const EdgeId* edge, size_t count)
+        : to_(to), edge_(edge), count_(count) {}
+    Iterator begin() const { return Iterator(to_, edge_); }
+    Iterator end() const { return Iterator(to_ + count_, edge_ + count_); }
+    size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    AdjacencyEntry operator[](size_t i) const { return {edge_[i], to_[i]}; }
+
+   private:
+    const VertexId* to_;
+    const EdgeId* edge_;
+    size_t count_;
+  };
+
   /// Validates endpoints and builds adjacency. Fails on out-of-range
   /// endpoints or self-loops. `directed` edges go u -> v only.
   static Result<Graph> Create(int num_vertices,
@@ -60,16 +101,27 @@ class Graph {
   }
 
   /// Out-adjacency of `u` (full adjacency for undirected graphs).
-  const std::vector<AdjacencyEntry>& Neighbors(VertexId u) const {
-    return adjacency_[static_cast<size_t>(u)];
+  NeighborRange Neighbors(VertexId u) const {
+    uint32_t begin = adj_offset_[static_cast<size_t>(u)];
+    uint32_t end = adj_offset_[static_cast<size_t>(u) + 1];
+    return NeighborRange(adj_to_.data() + begin, adj_edge_.data() + begin,
+                         end - begin);
   }
+
+  /// Raw CSR arrays for flat traversal kernels: AdjacencyOffsets()[u] ..
+  /// AdjacencyOffsets()[u+1] indexes into the parallel AdjacencyHeads()
+  /// (neighbor vertex) and AdjacencyEdges() (incident edge id) arrays.
+  std::span<const uint32_t> AdjacencyOffsets() const { return adj_offset_; }
+  std::span<const VertexId> AdjacencyHeads() const { return adj_to_; }
+  std::span<const EdgeId> AdjacencyEdges() const { return adj_edge_; }
 
   /// Given an edge and one endpoint, the opposite endpoint.
   VertexId OtherEndpoint(EdgeId e, VertexId from) const;
 
   /// Out-degree of `u` (degree for undirected graphs), counting parallels.
   int Degree(VertexId u) const {
-    return static_cast<int>(adjacency_[static_cast<size_t>(u)].size());
+    return static_cast<int>(adj_offset_[static_cast<size_t>(u) + 1] -
+                            adj_offset_[static_cast<size_t>(u)]);
   }
 
   /// True iff `u` is a valid vertex id.
@@ -90,7 +142,11 @@ class Graph {
   int num_vertices_;
   bool directed_;
   std::vector<EdgeEndpoints> edges_;
-  std::vector<std::vector<AdjacencyEntry>> adjacency_;
+  // CSR adjacency, struct-of-arrays: entry i of vertex u lives at
+  // adj_offset_[u] + i in the parallel adj_to_ / adj_edge_ arrays.
+  std::vector<uint32_t> adj_offset_;
+  std::vector<VertexId> adj_to_;
+  std::vector<EdgeId> adj_edge_;
 };
 
 /// Total weight of a set of edges.

@@ -29,32 +29,65 @@ Status ValidateSource(const Graph& graph, VertexId source) {
   return Status::Ok();
 }
 
+struct HeapGreater {
+  bool operator()(const std::pair<double, VertexId>& a,
+                  const std::pair<double, VertexId>& b) const {
+    return a > b;
+  }
+};
+
 }  // namespace
+
+void DijkstraKernel(const Graph& graph, const EdgeWeights& w, VertexId source,
+                    ShortestPathTree& tree, DijkstraWorkspace& ws) {
+  tree.source = source;
+  size_t n = static_cast<size_t>(graph.num_vertices());
+  tree.distance.assign(n, kInfiniteDistance);
+  tree.parent_edge.assign(n, -1);
+  tree.parent_vertex.assign(n, -1);
+  tree.distance[static_cast<size_t>(source)] = 0.0;
+
+  // Hot loop over the raw CSR arrays: the offset/head/edge triplet streams
+  // contiguously per vertex instead of chasing a per-vertex allocation.
+  const uint32_t* off = graph.AdjacencyOffsets().data();
+  const VertexId* head = graph.AdjacencyHeads().data();
+  const EdgeId* eid = graph.AdjacencyEdges().data();
+  const double* weight = w.data();
+  double* dist_out = tree.distance.data();
+
+  auto& heap = ws.heap;
+  heap.clear();
+  heap.emplace_back(0.0, source);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), HeapGreater{});
+    auto [dist, u] = heap.back();
+    heap.pop_back();
+    if (dist > dist_out[static_cast<size_t>(u)]) continue;  // stale
+    uint32_t begin = off[static_cast<size_t>(u)];
+    uint32_t end = off[static_cast<size_t>(u) + 1];
+    for (uint32_t i = begin; i < end; ++i) {
+      VertexId to = head[i];
+      EdgeId e = eid[i];
+      double candidate = dist + weight[static_cast<size_t>(e)];
+      if (candidate < dist_out[static_cast<size_t>(to)]) {
+        dist_out[static_cast<size_t>(to)] = candidate;
+        tree.parent_edge[static_cast<size_t>(to)] = e;
+        tree.parent_vertex[static_cast<size_t>(to)] = u;
+        heap.emplace_back(candidate, to);
+        std::push_heap(heap.begin(), heap.end(), HeapGreater{});
+      }
+    }
+  }
+}
 
 Result<ShortestPathTree> Dijkstra(const Graph& graph, const EdgeWeights& w,
                                   VertexId source) {
   DPSP_RETURN_IF_ERROR(ValidateSource(graph, source));
   DPSP_RETURN_IF_ERROR(graph.ValidateNonNegativeWeights(w));
 
-  ShortestPathTree tree = MakeEmptyTree(graph, source);
-  using HeapEntry = std::pair<double, VertexId>;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
-  heap.emplace(0.0, source);
-
-  while (!heap.empty()) {
-    auto [dist, u] = heap.top();
-    heap.pop();
-    if (dist > tree.distance[static_cast<size_t>(u)]) continue;  // stale
-    for (const AdjacencyEntry& adj : graph.Neighbors(u)) {
-      double candidate = dist + w[static_cast<size_t>(adj.edge)];
-      if (candidate < tree.distance[static_cast<size_t>(adj.to)]) {
-        tree.distance[static_cast<size_t>(adj.to)] = candidate;
-        tree.parent_edge[static_cast<size_t>(adj.to)] = adj.edge;
-        tree.parent_vertex[static_cast<size_t>(adj.to)] = u;
-        heap.emplace(candidate, adj.to);
-      }
-    }
-  }
+  ShortestPathTree tree;
+  DijkstraWorkspace ws;
+  DijkstraKernel(graph, w, source, tree, ws);
   return tree;
 }
 

@@ -7,6 +7,7 @@
 #define DPSP_GRAPH_SHORTEST_PATH_H_
 
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -39,6 +40,20 @@ struct ShortestPathTree {
 /// weights (validated) and a valid source.
 Result<ShortestPathTree> Dijkstra(const Graph& graph, const EdgeWeights& w,
                                   VertexId source);
+
+/// Reusable scratch for repeated Dijkstra runs: the heap buffer survives
+/// across calls so a multi-source sweep does not reallocate per source.
+struct DijkstraWorkspace {
+  std::vector<std::pair<double, VertexId>> heap;
+};
+
+/// Unvalidated Dijkstra over the graph's raw CSR arrays, writing into a
+/// reusable `tree`. Callers must guarantee a valid source and non-negative
+/// weights of the right length — the parallel multi-source build validates
+/// once up front and fans sources out over worker threads, each with its
+/// own workspace.
+void DijkstraKernel(const Graph& graph, const EdgeWeights& w, VertexId source,
+                    ShortestPathTree& tree, DijkstraWorkspace& ws);
 
 /// Bellman-Ford; O(V * E). Handles negative weights. Fails with
 /// FailedPrecondition on a negative cycle reachable from the source.

@@ -24,7 +24,6 @@ Result<RootedTree> RootedTree::FromGraph(const Graph& graph, VertexId root) {
   tree.root_ = root;
   tree.parent_.assign(static_cast<size_t>(n), -1);
   tree.parent_edge_.assign(static_cast<size_t>(n), -1);
-  tree.children_.assign(static_cast<size_t>(n), {});
   tree.depth_.assign(static_cast<size_t>(n), 0);
   tree.subtree_size_.assign(static_cast<size_t>(n), 1);
 
@@ -42,7 +41,6 @@ Result<RootedTree> RootedTree::FromGraph(const Graph& graph, VertexId root) {
       seen[static_cast<size_t>(adj.to)] = true;
       tree.parent_[static_cast<size_t>(adj.to)] = u;
       tree.parent_edge_[static_cast<size_t>(adj.to)] = adj.edge;
-      tree.children_[static_cast<size_t>(u)].push_back(adj.to);
       tree.depth_[static_cast<size_t>(adj.to)] =
           tree.depth_[static_cast<size_t>(u)] + 1;
       queue.push(adj.to);
@@ -50,6 +48,23 @@ Result<RootedTree> RootedTree::FromGraph(const Graph& graph, VertexId root) {
   }
   if (static_cast<int>(tree.bfs_order_.size()) != n) {
     return Status::InvalidArgument("graph is not a tree: not connected");
+  }
+  // Flat CSR child lists: count, prefix-sum, scatter. Appending in BFS
+  // order reproduces the per-parent adjacency discovery order.
+  tree.child_offset_.assign(static_cast<size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    VertexId p = tree.parent_[static_cast<size_t>(v)];
+    if (p != -1) ++tree.child_offset_[static_cast<size_t>(p) + 1];
+  }
+  for (size_t u = 0; u < static_cast<size_t>(n); ++u) {
+    tree.child_offset_[u + 1] += tree.child_offset_[u];
+  }
+  tree.child_list_.resize(static_cast<size_t>(n > 0 ? n - 1 : 0));
+  std::vector<uint32_t> cursor(tree.child_offset_.begin(),
+                               tree.child_offset_.end() - 1);
+  for (VertexId v : tree.bfs_order_) {
+    VertexId p = tree.parent_[static_cast<size_t>(v)];
+    if (p != -1) tree.child_list_[cursor[static_cast<size_t>(p)]++] = v;
   }
   // Children-before-parents accumulation of subtree sizes.
   for (auto it = tree.bfs_order_.rbegin(); it != tree.bfs_order_.rend();
@@ -126,69 +141,69 @@ int LcaIndex::HopDistance(VertexId u, VertexId v) const {
 EulerTourLca::EulerTourLca(const RootedTree& tree)
     : tree_(&tree), n_(tree.num_vertices()) {
   int n = n_;
-  tour_.reserve(static_cast<size_t>(2 * n - 1));
-  first_visit_.assign(static_cast<size_t>(n), -1);
+  // The tour records a vertex on entry and again after each child returns,
+  // so consecutive tour entries differ by one tree edge. Only the level-0
+  // table row is the tour itself; no separate tour array is kept.
+  std::vector<VertexId> tour;
+  tour.reserve(static_cast<size_t>(2 * n - 1));
+  first_visit_.assign(static_cast<size_t>(n), 0);
 
-  // Iterative DFS; the tour records a vertex on entry and again after each
-  // child returns, so consecutive tour entries differ by one tree edge.
   std::vector<std::pair<VertexId, size_t>> stack;
   stack.reserve(static_cast<size_t>(n));
   first_visit_[static_cast<size_t>(tree.root())] = 0;
-  tour_.push_back(tree.root());
+  tour.push_back(tree.root());
   stack.emplace_back(tree.root(), 0);
   while (!stack.empty()) {
     auto& [v, next_child] = stack.back();
-    const std::vector<VertexId>& kids = tree.children(v);
+    std::span<const VertexId> kids = tree.children(v);
     if (next_child < kids.size()) {
       VertexId c = kids[next_child++];
-      first_visit_[static_cast<size_t>(c)] = static_cast<int>(tour_.size());
-      tour_.push_back(c);
+      first_visit_[static_cast<size_t>(c)] =
+          static_cast<uint32_t>(tour.size());
+      tour.push_back(c);
       stack.emplace_back(c, 0);
     } else {
       stack.pop_back();
-      if (!stack.empty()) tour_.push_back(stack.back().first);
+      if (!stack.empty()) tour.push_back(stack.back().first);
     }
   }
 
-  int m = static_cast<int>(tour_.size());
+  int m = static_cast<int>(tour.size());
+  tour_len_ = m;
   log2_floor_.assign(static_cast<size_t>(m + 1), 0);
   for (int i = 2; i <= m; ++i) {
     log2_floor_[static_cast<size_t>(i)] =
-        log2_floor_[static_cast<size_t>(i / 2)] + 1;
+        static_cast<uint8_t>(log2_floor_[static_cast<size_t>(i / 2)] + 1);
   }
   int levels = log2_floor_[static_cast<size_t>(m)] + 1;
-  sparse_.assign(static_cast<size_t>(levels),
-                 std::vector<int>(static_cast<size_t>(m)));
-  for (int i = 0; i < m; ++i) sparse_[0][static_cast<size_t>(i)] = i;
+
+  // One row-major buffer; the row stride is the next power of two >= m so
+  // a level's base address is a shift of the level index.
+  stride_shift_ = 0;
+  while ((1u << stride_shift_) < static_cast<unsigned>(m)) ++stride_shift_;
+  size_t stride = static_cast<size_t>(1) << stride_shift_;
+  table_.assign(static_cast<size_t>(levels) * stride, 0);
+  for (int i = 0; i < m; ++i) {
+    VertexId v = tour[static_cast<size_t>(i)];
+    table_[static_cast<size_t>(i)] =
+        (static_cast<uint64_t>(tree.depth(v)) << 32) |
+        static_cast<uint32_t>(v);
+  }
   for (int k = 1; k < levels; ++k) {
+    const uint64_t* prev = table_.data() + (static_cast<size_t>(k - 1)
+                                            << stride_shift_);
+    uint64_t* row = table_.data() + (static_cast<size_t>(k) << stride_shift_);
     int half = 1 << (k - 1);
     for (int i = 0; i + (1 << k) <= m; ++i) {
-      sparse_[static_cast<size_t>(k)][static_cast<size_t>(i)] =
-          MinByDepth(sparse_[static_cast<size_t>(k - 1)][static_cast<size_t>(i)],
-                     sparse_[static_cast<size_t>(k - 1)]
-                            [static_cast<size_t>(i + half)]);
+      row[i] = std::min(prev[i], prev[i + half]);
     }
   }
-}
-
-int EulerTourLca::MinByDepth(int a, int b) const {
-  return tree_->depth(tour_[static_cast<size_t>(a)]) <=
-                 tree_->depth(tour_[static_cast<size_t>(b)])
-             ? a
-             : b;
 }
 
 VertexId EulerTourLca::Lca(VertexId u, VertexId v) const {
   DPSP_CHECK_MSG(u >= 0 && u < n_ && v >= 0 && v < n_,
                  "LCA query out of range");
-  int a = first_visit_[static_cast<size_t>(u)];
-  int b = first_visit_[static_cast<size_t>(v)];
-  if (a > b) std::swap(a, b);
-  int k = log2_floor_[static_cast<size_t>(b - a + 1)];
-  int idx = MinByDepth(
-      sparse_[static_cast<size_t>(k)][static_cast<size_t>(a)],
-      sparse_[static_cast<size_t>(k)][static_cast<size_t>(b - (1 << k) + 1)]);
-  return tour_[static_cast<size_t>(idx)];
+  return LcaUnchecked(u, v);
 }
 
 int EulerTourLca::HopDistance(VertexId u, VertexId v) const {

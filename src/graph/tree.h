@@ -5,6 +5,10 @@
 #ifndef DPSP_GRAPH_TREE_H_
 #define DPSP_GRAPH_TREE_H_
 
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -31,9 +35,12 @@ class RootedTree {
     return parent_edge_[static_cast<size_t>(v)];
   }
 
-  /// Children of v in adjacency order.
-  const std::vector<VertexId>& children(VertexId v) const {
-    return children_[static_cast<size_t>(v)];
+  /// Children of v in adjacency order. A view into the flat offset+index
+  /// child storage (CSR layout): no per-vertex heap allocation.
+  std::span<const VertexId> children(VertexId v) const {
+    uint32_t begin = child_offset_[static_cast<size_t>(v)];
+    uint32_t end = child_offset_[static_cast<size_t>(v) + 1];
+    return {child_list_.data() + begin, static_cast<size_t>(end - begin)};
   }
 
   /// Hop depth of v (0 at the root).
@@ -58,7 +65,10 @@ class RootedTree {
   VertexId root_ = 0;
   std::vector<VertexId> parent_;
   std::vector<EdgeId> parent_edge_;
-  std::vector<std::vector<VertexId>> children_;
+  // Flat CSR child storage: children of v occupy child_list_[
+  // child_offset_[v] .. child_offset_[v+1]) in adjacency order.
+  std::vector<uint32_t> child_offset_;
+  std::vector<VertexId> child_list_;
   std::vector<int> depth_;
   std::vector<int> subtree_size_;
   std::vector<VertexId> bfs_order_;
@@ -89,31 +99,48 @@ class LcaIndex {
 /// sparse table (range-minimum over tour depths). O(V log V) setup memory
 /// and time, O(1) per query — the structure the batched tree oracles share
 /// so a batch costs one array lookup per pair instead of a lifting walk.
+///
+/// The sparse table is one row-major buffer with a power-of-two row
+/// stride: level k starts at k << stride_shift_, so a query computes both
+/// cell addresses with shifts and adds — no per-level vector indirection.
+/// Each cell packs (depth << 32) | vertex, making the range-min a single
+/// 64-bit compare with no lookup back into the depth array.
 class EulerTourLca {
  public:
   explicit EulerTourLca(const RootedTree& tree);
 
-  /// The lowest common ancestor of u and v. O(1).
+  /// The lowest common ancestor of u and v. O(1). Bounds-checked.
   VertexId Lca(VertexId u, VertexId v) const;
+
+  /// Lca without the bounds check: callers must guarantee valid vertex
+  /// ids. The batched-query hot path.
+  VertexId LcaUnchecked(VertexId u, VertexId v) const {
+    uint32_t a = first_visit_[static_cast<size_t>(u)];
+    uint32_t b = first_visit_[static_cast<size_t>(v)];
+    if (a > b) std::swap(a, b);
+    uint32_t k = log2_floor_[static_cast<size_t>(b - a + 1)];
+    const uint64_t* row = table_.data() + (static_cast<size_t>(k)
+                                           << stride_shift_);
+    uint64_t key = std::min(row[a], row[b - (1u << k) + 1]);
+    return static_cast<VertexId>(key & 0xffffffffu);
+  }
 
   /// Hop distance between u and v through their LCA. O(1).
   int HopDistance(VertexId u, VertexId v) const;
 
   /// Length of the Euler tour (2V - 1).
-  int tour_size() const { return static_cast<int>(tour_.size()); }
+  int tour_size() const { return tour_len_; }
 
  private:
   const RootedTree* tree_;
-  int n_ = 0;                      // cached vertex count (query hot path)
-  std::vector<VertexId> tour_;     // vertices in Euler-tour order
-  std::vector<int> first_visit_;   // vertex -> first tour index
-  std::vector<int> log2_floor_;    // precomputed floor(log2(i))
-  // sparse_[k][i]: tour index of the min-depth vertex in
-  // tour[i .. i + 2^k).
-  std::vector<std::vector<int>> sparse_;
-
-  // The tour index with the smaller depth.
-  int MinByDepth(int a, int b) const;
+  int n_ = 0;         // cached vertex count (query hot path)
+  int tour_len_ = 0;  // Euler tour length (2V - 1)
+  unsigned stride_shift_ = 0;          // row stride = 1 << stride_shift_
+  std::vector<uint32_t> first_visit_;  // vertex -> first tour index
+  std::vector<uint8_t> log2_floor_;    // precomputed floor(log2(i))
+  // Row-major sparse table: table_[(k << stride_shift_) + i] packs
+  // (depth << 32) | vertex for the min-depth vertex in tour[i .. i + 2^k).
+  std::vector<uint64_t> table_;
 };
 
 /// True iff the undirected graph is a tree (connected, V-1 edges).

@@ -1,0 +1,90 @@
+// Sharded batch execution over released distance oracles — the serving
+// layer between a query stream and the DistanceOracle kernels.
+//
+// A released oracle answers queries by pure reads of an immutable
+// structure, so a batch of pairs can be partitioned arbitrarily. The
+// executor exploits that freedom for cache residency: it splits an
+// incoming span into shards — contiguous chunks by default, or groups
+// keyed by a per-vertex cell id (connected component for forests, covering
+// cell for the bounded-weight oracle) — pins each shard to a worker via
+// the common ParallelFor pool, runs the oracle's fused serial DistanceInto
+// kernel shard-locally, and merges results back in input order. Keyed
+// shards keep each worker's reads inside one region of the released
+// structure (one component's estimate range, one covering row block)
+// instead of striding the whole table.
+//
+// Every execution strategy runs the same serial kernel over the same
+// pairs, so sharded, chunk-parallel, and serial results are bit-identical.
+//
+// Privacy composition: serving consumes no budget (queries are
+// post-processing), but a sharded *build* pipeline constructs per-shard
+// oracles through ReleaseContext::Fork children and composes their spend
+// into the single parent ledger with ReleaseContext::AbsorbShard.
+
+#ifndef DPSP_SERVE_BATCH_EXECUTOR_H_
+#define DPSP_SERVE_BATCH_EXECUTOR_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "core/distance_oracle.h"
+#include "graph/covering.h"
+#include "graph/graph.h"
+
+namespace dpsp {
+
+/// Tuning knobs for the executor.
+struct BatchExecutorOptions {
+  /// Target shard count; 0 derives one shard per available worker.
+  int num_shards = 0;
+  /// Worker threads the shards are pinned across (0 = hardware
+  /// concurrency, 1 = serial execution of every shard).
+  int max_threads = 0;
+  /// Minimum pairs per shard: small batches collapse to fewer shards so
+  /// the latency path never pays fan-out overhead for a handful of
+  /// queries.
+  size_t min_shard_pairs = 2048;
+};
+
+/// Partitions query batches into shards and runs them across workers.
+class BatchExecutor {
+ public:
+  BatchExecutor() = default;
+  explicit BatchExecutor(BatchExecutorOptions options) : options_(options) {}
+
+  /// Installs per-vertex cell ids: queries whose *first* endpoint shares a
+  /// cell are grouped into the same shard (cells are packed into shards
+  /// largest-first to balance load). Vertices outside [0, cells.size())
+  /// fall into a catch-all shard and fail inside the oracle kernel with
+  /// the usual out-of-range error. An empty vector restores contiguous
+  /// chunking.
+  void SetShardCells(std::vector<int> cells);
+
+  /// Answers `pairs` through `oracle`, sharded per the options, results in
+  /// input order. Bit-identical to DistanceBatchOf(oracle, pairs, 1).
+  Result<std::vector<double>> Execute(const DistanceOracle& oracle,
+                                      std::span<const VertexPair> pairs) const;
+
+  /// Shards Execute would use for a batch of `num_pairs` (for reports).
+  int PlannedShardCount(size_t num_pairs) const;
+
+  const BatchExecutorOptions& options() const { return options_; }
+
+ private:
+  BatchExecutorOptions options_;
+  std::vector<int> cells_;  // vertex -> cell id; empty = contiguous
+  int num_cells_ = 0;
+};
+
+/// Per-vertex connected-component ids of `graph`, for component sharding
+/// of forest workloads.
+std::vector<int> ComponentCells(const Graph& graph);
+
+/// Per-vertex covering-cell ids (the Algorithm 2 center assignment), for
+/// cell sharding of bounded-weight workloads.
+std::vector<int> CoveringCells(const Covering& covering);
+
+}  // namespace dpsp
+
+#endif  // DPSP_SERVE_BATCH_EXECUTOR_H_

@@ -19,7 +19,8 @@ TEST(RootedTreeTest, PathTreeStructure) {
   EXPECT_EQ(tree.depth(3), 3);
   EXPECT_EQ(tree.subtree_size(0), 4);
   EXPECT_EQ(tree.subtree_size(2), 2);
-  EXPECT_EQ(tree.children(1), std::vector<VertexId>{2});
+  ASSERT_EQ(tree.children(1).size(), 1u);
+  EXPECT_EQ(tree.children(1)[0], 2);
 }
 
 TEST(RootedTreeTest, RootingAtInternalVertex) {
