@@ -26,6 +26,9 @@ enum class StatusCode {
   kOutOfRange = 4,
   kUnimplemented = 5,
   kInternal = 6,
+  /// The operation was refused by load shedding / backpressure and is safe
+  /// to retry later (the query-server admission controller uses this).
+  kUnavailable = 7,
 };
 
 /// Human-readable name of a status code ("InvalidArgument", ...).
@@ -57,6 +60,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

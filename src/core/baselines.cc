@@ -178,24 +178,23 @@ Result<std::unique_ptr<DistanceOracle>> MakePerPairLaplaceOracle(
 
 Result<std::unique_ptr<DistanceOracle>> MakePerPairLaplaceOracle(
     const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx) {
-  WallTimer timer;
-  DPSP_RETURN_IF_ERROR(ctx.CheckBudgetFor(kPerPairLaplaceOracleName));
-  DPSP_ASSIGN_OR_RETURN(auto oracle,
-                        MakePerPairLaplaceOracle(graph, w, ctx.params(),
-                                                 ctx.rng()));
-  int n = graph.num_vertices();
-  int num_pairs = std::max(1, n * (n - 1) / 2);
-  ReleaseTelemetry t;
-  t.mechanism = kPerPairLaplaceOracleName;
-  t.sensitivity = num_pairs;  // joint l1 sensitivity under basic composition
-  if (Result<double> scale = PerPairLaplaceNoiseScale(num_pairs, ctx.params());
-      scale.ok()) {
-    t.noise_scale = *scale;
-  }
-  t.noise_draws = num_pairs;
-  t.wall_ms = timer.Ms();
-  DPSP_RETURN_IF_ERROR(ctx.CommitRelease(std::move(t)));
-  return oracle;
+  return ctx.MeteredBuild(
+      kPerPairLaplaceOracleName,
+      [&] {
+        return MakePerPairLaplaceOracle(graph, w, ctx.params(), ctx.rng());
+      },
+      [&](const DistanceOracle&, ReleaseTelemetry& t) {
+        int n = graph.num_vertices();
+        int num_pairs = std::max(1, n * (n - 1) / 2);
+        // Joint l1 sensitivity under basic composition.
+        t.sensitivity = num_pairs;
+        if (Result<double> scale =
+                PerPairLaplaceNoiseScale(num_pairs, ctx.params());
+            scale.ok()) {
+          t.noise_scale = *scale;
+        }
+        t.noise_draws = num_pairs;
+      });
 }
 
 Result<std::unique_ptr<DistanceOracle>> MakeSyntheticGraphOracle(
@@ -216,19 +215,16 @@ Result<std::unique_ptr<DistanceOracle>> MakeSyntheticGraphOracle(
 
 Result<std::unique_ptr<DistanceOracle>> MakeSyntheticGraphOracle(
     const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx) {
-  WallTimer timer;
-  DPSP_RETURN_IF_ERROR(ctx.CheckBudgetFor(kSyntheticGraphOracleName));
-  DPSP_ASSIGN_OR_RETURN(auto oracle,
-                        MakeSyntheticGraphOracle(graph, w, ctx.params(),
-                                                 ctx.rng()));
-  ReleaseTelemetry t;
-  t.mechanism = kSyntheticGraphOracleName;
-  t.sensitivity = 1.0;  // identity query on the weight vector
-  t.noise_scale = ctx.params().neighbor_l1_bound / ctx.params().epsilon;
-  t.noise_draws = graph.num_edges();
-  t.wall_ms = timer.Ms();
-  DPSP_RETURN_IF_ERROR(ctx.CommitRelease(std::move(t)));
-  return oracle;
+  return ctx.MeteredBuild(
+      kSyntheticGraphOracleName,
+      [&] {
+        return MakeSyntheticGraphOracle(graph, w, ctx.params(), ctx.rng());
+      },
+      [&](const DistanceOracle&, ReleaseTelemetry& t) {
+        t.sensitivity = 1.0;  // identity query on the weight vector
+        t.noise_scale = ctx.params().neighbor_l1_bound / ctx.params().epsilon;
+        t.noise_draws = graph.num_edges();
+      });
 }
 
 Result<std::vector<double>> PrivateSingleSourceDistances(

@@ -52,20 +52,16 @@ Result<std::unique_ptr<BoundedWeightOracle>> BoundedWeightOracle::Build(
 Result<std::unique_ptr<BoundedWeightOracle>> BoundedWeightOracle::Build(
     const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx,
     BoundedWeightOptions options) {
-  WallTimer timer;
   options.params = ctx.params();
-  DPSP_RETURN_IF_ERROR(ctx.CheckBudgetFor(kName));
-  DPSP_ASSIGN_OR_RETURN(auto oracle, Build(graph, w, options, ctx.rng()));
-  ReleaseTelemetry t;
-  t.mechanism = kName;
-  // The released vector of Z(Z-1)/2 sensitivity-1 queries has joint l1
-  // sensitivity equal to the query count under basic composition.
-  t.sensitivity = oracle->num_noisy_values();
-  t.noise_scale = oracle->noise_scale();
-  t.noise_draws = oracle->num_noisy_values();
-  t.wall_ms = timer.Ms();
-  DPSP_RETURN_IF_ERROR(ctx.CommitRelease(std::move(t)));
-  return oracle;
+  return ctx.MeteredBuild(
+      kName, [&] { return Build(graph, w, options, ctx.rng()); },
+      [](const BoundedWeightOracle& oracle, ReleaseTelemetry& t) {
+        // The released vector of Z(Z-1)/2 sensitivity-1 queries has joint
+        // l1 sensitivity equal to the query count under basic composition.
+        t.sensitivity = oracle.num_noisy_values();
+        t.noise_scale = oracle.noise_scale();
+        t.noise_draws = oracle.num_noisy_values();
+      });
 }
 
 Result<std::unique_ptr<BoundedWeightOracle>>

@@ -26,6 +26,14 @@ Result<std::vector<double>> DistanceBatchOf(const DistanceOracle& oracle,
                                             std::span<const VertexPair> pairs,
                                             int max_threads) {
   std::vector<double> out(pairs.size(), 0.0);
+  // Degenerate batches never touch the fan-out machinery: an empty batch
+  // is a well-defined empty result (out.data() may be null, so the kernel
+  // must not be handed it), and a single pair runs the kernel inline.
+  if (pairs.empty()) return out;
+  if (pairs.size() == 1) {
+    DPSP_RETURN_IF_ERROR(oracle.DistanceInto(pairs, out.data()));
+    return out;
+  }
   DPSP_RETURN_IF_ERROR(ParallelForStatus(
       pairs.size(), max_threads, [&](size_t begin, size_t end) {
         return oracle.DistanceInto(pairs.subspan(begin, end - begin),

@@ -119,18 +119,13 @@ Result<std::unique_ptr<HldTreeOracle>> HldTreeOracle::Build(
 Result<std::unique_ptr<HldTreeOracle>> HldTreeOracle::Build(
     const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx,
     VertexId root) {
-  WallTimer timer;
-  DPSP_RETURN_IF_ERROR(ctx.CheckBudgetFor(kName));
-  DPSP_ASSIGN_OR_RETURN(auto oracle,
-                        Build(graph, w, ctx.params(), ctx.rng(), root));
-  ReleaseTelemetry t;
-  t.mechanism = kName;
-  t.sensitivity = oracle->sensitivity();
-  t.noise_scale = oracle->noise_scale();
-  t.noise_draws = oracle->num_noisy_values();
-  t.wall_ms = timer.Ms();
-  DPSP_RETURN_IF_ERROR(ctx.CommitRelease(std::move(t)));
-  return oracle;
+  return ctx.MeteredBuild(
+      kName, [&] { return Build(graph, w, ctx.params(), ctx.rng(), root); },
+      [](const HldTreeOracle& oracle, ReleaseTelemetry& t) {
+        t.sensitivity = oracle.sensitivity();
+        t.noise_scale = oracle.noise_scale();
+        t.noise_draws = oracle.num_noisy_values();
+      });
 }
 
 Status HldTreeOracle::DistanceInto(std::span<const VertexPair> pairs,

@@ -91,18 +91,14 @@ Result<std::unique_ptr<PathGraphOracle>> PathGraphOracle::Build(
 Result<std::unique_ptr<PathGraphOracle>> PathGraphOracle::Build(
     const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx,
     int branching) {
-  WallTimer timer;
-  DPSP_RETURN_IF_ERROR(ctx.CheckBudgetFor(kName));
-  DPSP_ASSIGN_OR_RETURN(auto oracle,
-                        Build(graph, w, ctx.params(), ctx.rng(), branching));
-  ReleaseTelemetry t;
-  t.mechanism = kName;
-  t.sensitivity = oracle->num_levels();
-  t.noise_scale = oracle->noise_scale();
-  t.noise_draws = oracle->num_noisy_values();
-  t.wall_ms = timer.Ms();
-  DPSP_RETURN_IF_ERROR(ctx.CommitRelease(std::move(t)));
-  return oracle;
+  return ctx.MeteredBuild(
+      kName,
+      [&] { return Build(graph, w, ctx.params(), ctx.rng(), branching); },
+      [](const PathGraphOracle& oracle, ReleaseTelemetry& t) {
+        t.sensitivity = oracle.num_levels();
+        t.noise_scale = oracle.noise_scale();
+        t.noise_draws = oracle.num_noisy_values();
+      });
 }
 
 int PathGraphOracle::num_noisy_values() const {

@@ -45,17 +45,13 @@ Result<std::unique_ptr<MatchingDistanceOracle>> MatchingDistanceOracle::Build(
 
 Result<std::unique_ptr<MatchingDistanceOracle>> MatchingDistanceOracle::Build(
     const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx) {
-  WallTimer timer;
-  DPSP_RETURN_IF_ERROR(ctx.CheckBudgetFor(kName));
-  DPSP_ASSIGN_OR_RETURN(auto oracle, Build(graph, w, ctx.params(), ctx.rng()));
-  ReleaseTelemetry t;
-  t.mechanism = kName;
-  t.sensitivity = 1.0;  // identity query on the weight vector
-  t.noise_scale = oracle->released().noise_scale;
-  t.noise_draws = graph.num_edges();
-  t.wall_ms = timer.Ms();
-  DPSP_RETURN_IF_ERROR(ctx.CommitRelease(std::move(t)));
-  return oracle;
+  return ctx.MeteredBuild(
+      kName, [&] { return Build(graph, w, ctx.params(), ctx.rng()); },
+      [&graph](const MatchingDistanceOracle& oracle, ReleaseTelemetry& t) {
+        t.sensitivity = 1.0;  // identity query on the weight vector
+        t.noise_scale = oracle.released().noise_scale;
+        t.noise_draws = graph.num_edges();
+      });
 }
 
 Result<double> MatchingDistanceOracle::Distance(VertexId u, VertexId v) const {

@@ -138,18 +138,13 @@ Result<std::unique_ptr<TreeAllPairsOracle>> TreeAllPairsOracle::Build(
 Result<std::unique_ptr<TreeAllPairsOracle>> TreeAllPairsOracle::Build(
     const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx,
     VertexId root) {
-  WallTimer timer;
-  DPSP_RETURN_IF_ERROR(ctx.CheckBudgetFor(kName));
-  DPSP_ASSIGN_OR_RETURN(auto oracle,
-                        Build(graph, w, ctx.params(), ctx.rng(), root));
-  ReleaseTelemetry t;
-  t.mechanism = kName;
-  t.sensitivity = oracle->release().sensitivity;
-  t.noise_scale = oracle->release().noise_scale;
-  t.noise_draws = oracle->release().num_noisy_values;
-  t.wall_ms = timer.Ms();
-  DPSP_RETURN_IF_ERROR(ctx.CommitRelease(std::move(t)));
-  return oracle;
+  return ctx.MeteredBuild(
+      kName, [&] { return Build(graph, w, ctx.params(), ctx.rng(), root); },
+      [](const TreeAllPairsOracle& oracle, ReleaseTelemetry& t) {
+        t.sensitivity = oracle.release().sensitivity;
+        t.noise_scale = oracle.release().noise_scale;
+        t.noise_draws = oracle.release().num_noisy_values;
+      });
 }
 
 Result<double> TreeAllPairsOracle::Distance(VertexId u, VertexId v) const {

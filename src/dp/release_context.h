@@ -12,10 +12,12 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/table.h"
 #include "dp/accountant.h"
 #include "dp/privacy.h"
 
@@ -91,6 +93,31 @@ class ReleaseContext {
   /// Factories call this AFTER a successful build so failed builds never
   /// consume budget.
   Status CommitRelease(ReleaseTelemetry t);
+
+  /// The one metering protocol every factory runs: check the budget BEFORE
+  /// building (an exhausted context refuses without paying construction
+  /// cost or drawing noise), time the build, then atomically commit the
+  /// release — so a mechanism cannot mis-order the sequence. `build` is a
+  /// nullary callable returning Result<P> for some pointer-like P (the
+  /// factories return Result<std::unique_ptr<Oracle>>); `annotate` fills
+  /// the mechanism-specific telemetry fields (sensitivity, noise scale,
+  /// draw count) from the built object: annotate(*pointer, telemetry).
+  /// Wall time, epsilon and delta are filled here. When the commit fails
+  /// the built object is discarded unreleased and nothing is recorded.
+  template <typename Builder, typename Annotate>
+  auto MeteredBuild(const std::string& mechanism, Builder&& build,
+                    Annotate&& annotate) -> decltype(build()) {
+    WallTimer timer;
+    DPSP_RETURN_IF_ERROR(CheckBudgetFor(mechanism));
+    auto built = build();
+    if (!built.ok()) return built.status();
+    ReleaseTelemetry t;
+    t.mechanism = mechanism;
+    annotate(*built.value(), t);
+    t.wall_ms = timer.Ms();
+    DPSP_RETURN_IF_ERROR(CommitRelease(std::move(t)));
+    return built;
+  }
 
   /// A shard-local child context for sharded build/serve pipelines: the
   /// same validated params, a fresh Rng seeded from this context's stream,

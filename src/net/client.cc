@@ -1,0 +1,74 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "common/table.h"
+
+namespace dpsp {
+namespace net {
+
+Result<Client> Client::Connect(const std::string& address, uint16_t port) {
+  DPSP_ASSIGN_OR_RETURN(Socket socket, net::Connect(address, port));
+  return Client(std::move(socket));
+}
+
+Result<Frame> Client::RoundTrip(MessageType request_type,
+                                std::span<const uint8_t> body,
+                                MessageType expected_response) {
+  DPSP_RETURN_IF_ERROR(WriteFrame(socket_, request_type, body));
+  DPSP_ASSIGN_OR_RETURN(Frame response, ReadFrame(socket_));
+  if (response.type == MessageType::kError) {
+    DPSP_ASSIGN_OR_RETURN(WireError error, DecodeError(response.body));
+    Status status = error.ToStatus();
+    last_error_ = std::move(error);
+    return status;
+  }
+  if (response.type != expected_response) {
+    return Status::Internal(
+        StrFormat("unexpected response type %u (wanted %u)",
+                  static_cast<unsigned>(response.type),
+                  static_cast<unsigned>(expected_response)));
+  }
+  last_error_.reset();
+  return response;
+}
+
+Result<ReleaseInfo> Client::Release(const std::string& workload,
+                                    const std::string& mechanism,
+                                    const std::string& handle_name) {
+  ReleaseRequest request{workload, mechanism, handle_name};
+  std::vector<uint8_t> body = EncodeReleaseRequest(request);
+  DPSP_ASSIGN_OR_RETURN(
+      Frame response,
+      RoundTrip(MessageType::kReleaseRequest, body,
+                MessageType::kReleaseResponse));
+  return DecodeReleaseInfo(response.body);
+}
+
+Result<std::vector<double>> Client::Query(uint32_t handle_id,
+                                          std::span<const VertexPair> pairs) {
+  std::vector<uint8_t> body = EncodeQueryRequest(handle_id, pairs);
+  DPSP_ASSIGN_OR_RETURN(
+      Frame response,
+      RoundTrip(MessageType::kQueryRequest, body,
+                MessageType::kQueryResponse));
+  DPSP_ASSIGN_OR_RETURN(std::vector<double> distances,
+                        DecodeQueryResponse(response.body));
+  if (distances.size() != pairs.size()) {
+    return Status::Internal(
+        StrFormat("server answered %zu distances for %zu pairs",
+                  distances.size(), pairs.size()));
+  }
+  return distances;
+}
+
+Result<ServerStats> Client::Stats() {
+  DPSP_ASSIGN_OR_RETURN(
+      Frame response,
+      RoundTrip(MessageType::kStatsRequest, {},
+                MessageType::kStatsResponse));
+  return DecodeServerStats(response.body);
+}
+
+}  // namespace net
+}  // namespace dpsp

@@ -1,0 +1,75 @@
+// Client library for the query-server wire protocol: one blocking
+// request/response connection. Errors the server sends as typed Error
+// frames surface as the same Status the in-process call would have
+// returned (budget exhaustion is FailedPrecondition, backpressure is
+// Unavailable), with the machine-readable ErrorKind retained in
+// last_error() so callers can branch on WHY without parsing messages —
+// kOverloaded means back off and retry, kBudgetExhausted means no retry
+// will ever succeed.
+//
+// A Client is one connection and is NOT thread-safe; concurrent load uses
+// one Client per thread (see bench/bench_server_loadgen.cc).
+
+#ifndef DPSP_NET_CLIENT_H_
+#define DPSP_NET_CLIENT_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/distance_oracle.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace dpsp {
+namespace net {
+
+class Client {
+ public:
+  /// Connects to a running QueryServer.
+  static Result<Client> Connect(const std::string& address, uint16_t port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Asks the server to release `mechanism` over `workload` under the
+  /// client-chosen `handle_name`. On success the returned handle id
+  /// addresses the release in Query calls. Over-budget requests fail with
+  /// FailedPrecondition and last_error()->kind == kBudgetExhausted.
+  Result<ReleaseInfo> Release(const std::string& workload,
+                              const std::string& mechanism,
+                              const std::string& handle_name);
+
+  /// Answers a batch of (u, v) pairs through a released handle. Results
+  /// arrive in input order, bit-identical to a direct BatchExecutor run
+  /// against the same release.
+  Result<std::vector<double>> Query(uint32_t handle_id,
+                                    std::span<const VertexPair> pairs);
+
+  /// Server-side counters snapshot.
+  Result<ServerStats> Stats();
+
+  /// The last typed Error frame this connection received, if any. Reset
+  /// by the next successful round trip.
+  const std::optional<WireError>& last_error() const { return last_error_; }
+
+ private:
+  explicit Client(Socket socket) : socket_(std::move(socket)) {}
+
+  /// Sends one request frame and reads the response; an Error frame is
+  /// decoded, stashed in last_error_, and returned as its Status.
+  Result<Frame> RoundTrip(MessageType request_type,
+                          std::span<const uint8_t> body,
+                          MessageType expected_response);
+
+  Socket socket_;
+  std::optional<WireError> last_error_;
+};
+
+}  // namespace net
+}  // namespace dpsp
+
+#endif  // DPSP_NET_CLIENT_H_

@@ -1,0 +1,159 @@
+// The length-prefixed binary wire protocol the query server and client
+// speak — one frame per request or response over a TCP stream.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic 0x44505350 ("DPSP")
+//   4       2     protocol version (kProtocolVersion)
+//   6       2     message type (MessageType)
+//   8       4     body size in bytes
+//   12      ...   body (per-type encoding below)
+//
+// Bodies:
+//   ReleaseRequest   str workload, str mechanism, str handle_name
+//   ReleaseResponse  u32 handle_id, f64 epsilon, f64 delta, f64 wall_ms
+//   QueryRequest     u32 handle_id, u32 num_pairs, num_pairs x (i32 u, i32 v)
+//   QueryResponse    u32 num_pairs, num_pairs x f64 distance
+//   StatsRequest     (empty)
+//   StatsResponse    6 x u64 counters, u32 open_handles (ServerStats order)
+//   Error            u16 kind (ErrorKind), u16 status code (StatusCode),
+//                    str message
+//
+// Strings are u32 length + raw bytes (no terminator). Every decoder
+// validates length prefixes against the remaining body and rejects
+// trailing bytes, so a malformed or truncated frame is a typed kMalformed
+// error, never a crash. The error frame is "typed": `kind` tells clients
+// WHY mechanically (budget exhausted vs. overloaded vs. unknown handle)
+// while the embedded status code/message reproduce the server-side Status
+// so Client can surface the same Result the in-process call would return.
+
+#ifndef DPSP_NET_PROTOCOL_H_
+#define DPSP_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/distance_oracle.h"
+#include "net/socket.h"
+
+namespace dpsp {
+namespace net {
+
+inline constexpr uint32_t kFrameMagic = 0x44505350u;  // "DPSP"
+inline constexpr uint16_t kProtocolVersion = 1;
+/// Frames above this body size are rejected before allocation: 1M pairs.
+inline constexpr uint32_t kMaxBodyBytes = 16u << 20;
+
+enum class MessageType : uint16_t {
+  kReleaseRequest = 1,
+  kReleaseResponse = 2,
+  kQueryRequest = 3,
+  kQueryResponse = 4,
+  kStatsRequest = 5,
+  kStatsResponse = 6,
+  kError = 7,
+};
+
+/// Machine-readable reason an Error frame was sent. The admission
+/// controller's two rejection paths get distinct kinds so clients can
+/// back off (kOverloaded: retry later) or stop (kBudgetExhausted: no
+/// retry will ever succeed).
+enum class ErrorKind : uint16_t {
+  kMalformed = 0,
+  kNotFound = 1,
+  kBudgetExhausted = 2,
+  kOverloaded = 3,
+  kTooLarge = 4,
+  kInternal = 5,
+};
+
+const char* ErrorKindName(ErrorKind kind);
+
+/// One decoded frame.
+struct Frame {
+  MessageType type = MessageType::kError;
+  std::vector<uint8_t> body;
+};
+
+/// Writes one frame (header + body).
+Status WriteFrame(Socket& socket, MessageType type,
+                  std::span<const uint8_t> body);
+
+/// Reads one frame, validating magic, version, and the body-size ceiling.
+/// A clean EOF before the header surfaces as kNotFound (peer hung up).
+Result<Frame> ReadFrame(Socket& socket, uint32_t max_body_bytes = kMaxBodyBytes);
+
+// ------------------------------------------------------------- messages --
+
+struct ReleaseRequest {
+  /// Which loaded workload (graph + private weights) to release over.
+  std::string workload;
+  /// Registry name of the mechanism to build.
+  std::string mechanism;
+  /// Client-chosen name for the release; re-releasing an existing name is
+  /// refused (a release is a budget spend, never silently repeated).
+  std::string handle_name;
+};
+
+/// What the server returns for a granted release.
+struct ReleaseInfo {
+  uint32_t handle_id = 0;
+  double epsilon = 0.0;
+  double delta = 0.0;
+  double wall_ms = 0.0;
+};
+
+struct QueryRequest {
+  uint32_t handle_id = 0;
+  std::vector<VertexPair> pairs;
+};
+
+/// Server-side counters, exposed over StatsRequest for monitoring and the
+/// load generator's sanity checks.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t queries_served = 0;
+  uint64_t pairs_served = 0;
+  uint64_t releases_granted = 0;
+  uint64_t budget_rejected = 0;
+  uint64_t overload_rejected = 0;
+  uint32_t open_handles = 0;
+};
+
+/// A decoded Error frame.
+struct WireError {
+  ErrorKind kind = ErrorKind::kInternal;
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+
+  /// The server-side Status this error reproduces.
+  Status ToStatus() const;
+};
+
+std::vector<uint8_t> EncodeReleaseRequest(const ReleaseRequest& request);
+Result<ReleaseRequest> DecodeReleaseRequest(std::span<const uint8_t> body);
+
+std::vector<uint8_t> EncodeReleaseInfo(const ReleaseInfo& info);
+Result<ReleaseInfo> DecodeReleaseInfo(std::span<const uint8_t> body);
+
+std::vector<uint8_t> EncodeQueryRequest(uint32_t handle_id,
+                                        std::span<const VertexPair> pairs);
+Result<QueryRequest> DecodeQueryRequest(std::span<const uint8_t> body);
+
+std::vector<uint8_t> EncodeQueryResponse(std::span<const double> distances);
+Result<std::vector<double>> DecodeQueryResponse(std::span<const uint8_t> body);
+
+std::vector<uint8_t> EncodeServerStats(const ServerStats& stats);
+Result<ServerStats> DecodeServerStats(std::span<const uint8_t> body);
+
+std::vector<uint8_t> EncodeError(ErrorKind kind, const Status& status);
+Result<WireError> DecodeError(std::span<const uint8_t> body);
+
+}  // namespace net
+}  // namespace dpsp
+
+#endif  // DPSP_NET_PROTOCOL_H_

@@ -1,0 +1,365 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dpsp {
+namespace net {
+
+namespace {
+
+/// RAII slot in the in-flight query gauge; `admitted()` is false when the
+/// gauge was already at the limit (the caller sheds the request).
+class InflightSlot {
+ public:
+  InflightSlot(std::atomic<int>* gauge, int limit) : gauge_(gauge) {
+    admitted_ = gauge_->fetch_add(1, std::memory_order_acq_rel) < limit;
+    if (!admitted_) gauge_->fetch_sub(1, std::memory_order_acq_rel);
+  }
+  ~InflightSlot() {
+    if (admitted_) gauge_->fetch_sub(1, std::memory_order_acq_rel);
+  }
+  InflightSlot(const InflightSlot&) = delete;
+  InflightSlot& operator=(const InflightSlot&) = delete;
+
+  bool admitted() const { return admitted_; }
+
+ private:
+  std::atomic<int>* gauge_;
+  bool admitted_ = false;
+};
+
+int DeriveInflightLimit(int configured) {
+  if (configured < 0) return 0;  // drain mode: shed every query
+  if (configured > 0) return configured;
+  return 4 * static_cast<int>(
+                 std::max(1u, std::thread::hardware_concurrency()));
+}
+
+/// The error kind a failed release maps to: the budget ceiling is the one
+/// FailedPrecondition the release path produces, and it must reach the
+/// client as the typed "stop retrying" signal.
+ErrorKind ReleaseErrorKind(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kFailedPrecondition:
+      return ErrorKind::kBudgetExhausted;
+    case StatusCode::kNotFound:
+      return ErrorKind::kNotFound;
+    case StatusCode::kInvalidArgument:
+      return ErrorKind::kMalformed;
+    default:
+      return ErrorKind::kInternal;
+  }
+}
+
+}  // namespace
+
+QueryServer::QueryServer(QueryServerOptions options, ReleaseContext context)
+    : options_(std::move(options)),
+      inflight_limit_(DeriveInflightLimit(options_.max_inflight_queries)),
+      context_(std::move(context)),
+      executor_(options_.executor) {}
+
+QueryServer::~QueryServer() { Stop(); }
+
+Status QueryServer::AddWorkload(std::string name, Graph graph,
+                                EdgeWeights weights) {
+  if (running_.load()) {
+    return Status::FailedPrecondition(
+        "workloads must be added before Start()");
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("workload name must not be empty");
+  }
+  for (const Workload& workload : workloads_) {
+    if (workload.name == name) {
+      return Status::InvalidArgument("workload '" + name +
+                                     "' is already loaded");
+    }
+  }
+  if (static_cast<int>(weights.size()) != graph.num_edges()) {
+    return Status::InvalidArgument(
+        "weight vector length disagrees with the edge count");
+  }
+  workloads_.push_back({std::move(name), std::move(graph),
+                        std::move(weights)});
+  return Status::Ok();
+}
+
+Status QueryServer::Start() {
+  if (running_.load()) {
+    return Status::FailedPrecondition("server is already running");
+  }
+  DPSP_ASSIGN_OR_RETURN(
+      listener_, Listener::Bind(options_.bind_address, options_.port));
+  stopping_.store(false);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void QueryServer::Stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  // Unblock every connection thread stuck in ReadFrame, then join. The
+  // acceptor is dead, so this thread is the only mutator of the list.
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& connection : connections_) connection->socket.ShutdownBoth();
+  }
+  for (auto& connection : connections_) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  connections_.clear();
+}
+
+ServerStats QueryServer::stats() const {
+  ServerStats stats;
+  stats.connections_accepted = counters_.connections_accepted.load();
+  stats.queries_served = counters_.queries_served.load();
+  stats.pairs_served = counters_.pairs_served.load();
+  stats.releases_granted = counters_.releases_granted.load();
+  stats.budget_rejected = counters_.budget_rejected.load();
+  stats.overload_rejected = counters_.overload_rejected.load();
+  {
+    std::lock_guard<std::mutex> lock(handles_mutex_);
+    stats.open_handles = static_cast<uint32_t>(handles_.size());
+  }
+  return stats;
+}
+
+void QueryServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    Result<Socket> accepted = listener_.Accept(/*timeout_ms=*/100);
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kUnavailable) {
+        ReapFinishedConnections();
+        continue;  // poll timeout: check the stop flag and wait again
+      }
+      break;  // listener failed or was closed underneath us
+    }
+    counters_.connections_accepted.fetch_add(1);
+    ReapFinishedConnections();
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (static_cast<int>(connections_.size()) >= options_.max_connections) {
+      counters_.overload_rejected.fetch_add(1);
+      Socket socket = std::move(accepted).value();
+      SendError(socket, ErrorKind::kOverloaded,
+                Status::Unavailable("connection limit reached, retry later"));
+      continue;  // socket closes on scope exit
+    }
+    auto connection = std::make_unique<Connection>();
+    connection->socket = std::move(accepted).value();
+    Connection* raw = connection.get();
+    connections_.push_back(std::move(connection));
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+  }
+}
+
+void QueryServer::ReapFinishedConnections() {
+  // Move finished connections out under the lock in ONE evaluation of the
+  // done flag, then join outside it: re-checking the flag separately for
+  // join and erase would let a connection finish in between and be
+  // destroyed joinable (std::terminate).
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    auto live = std::partition(
+        connections_.begin(), connections_.end(),
+        [](const std::unique_ptr<Connection>& connection) {
+          return !connection->done.load();
+        });
+    for (auto it = live; it != connections_.end(); ++it) {
+      finished.push_back(std::move(*it));
+    }
+    connections_.erase(live, connections_.end());
+  }
+  for (auto& connection : finished) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+void QueryServer::ServeConnection(Connection* connection) {
+  Socket& socket = connection->socket;
+  while (!stopping_.load()) {
+    Result<Frame> frame = ReadFrame(socket);
+    if (!frame.ok()) {
+      // kNotFound is the peer hanging up cleanly; anything else is a
+      // framing failure worth one best-effort typed error before closing
+      // (the stream cannot be resynchronized either way).
+      if (frame.status().code() != StatusCode::kNotFound &&
+          !stopping_.load()) {
+        SendError(socket, ErrorKind::kMalformed, frame.status());
+      }
+      break;
+    }
+    if (!DispatchFrame(socket, *frame)) break;
+  }
+  connection->done.store(true);
+}
+
+bool QueryServer::DispatchFrame(Socket& socket, const Frame& frame) {
+  switch (frame.type) {
+    case MessageType::kReleaseRequest:
+      HandleRelease(socket, frame.body);
+      return true;
+    case MessageType::kQueryRequest:
+      HandleQuery(socket, frame.body);
+      return true;
+    case MessageType::kStatsRequest:
+      HandleStats(socket);
+      return true;
+    default:
+      SendError(socket, ErrorKind::kMalformed,
+                Status::InvalidArgument(
+                    "unexpected message type for a request"));
+      return false;
+  }
+}
+
+void QueryServer::HandleRelease(Socket& socket,
+                                std::span<const uint8_t> body) {
+  Result<ReleaseRequest> request = DecodeReleaseRequest(body);
+  if (!request.ok()) {
+    SendError(socket, ErrorKind::kMalformed, request.status());
+    return;
+  }
+  const Workload* workload = nullptr;
+  for (const Workload& candidate : workloads_) {
+    if (candidate.name == request->workload) workload = &candidate;
+  }
+  if (workload == nullptr) {
+    SendError(socket, ErrorKind::kNotFound,
+              Status::NotFound("no workload loaded under '" +
+                               request->workload + "'"));
+    return;
+  }
+  const OracleRegistry& registry = OracleRegistry::Global();
+  if (!registry.Contains(request->mechanism)) {
+    SendError(socket, ErrorKind::kNotFound,
+              Status::NotFound("no oracle registered under '" +
+                               request->mechanism + "'"));
+    return;
+  }
+  if (request->handle_name.empty()) {
+    SendError(socket, ErrorKind::kMalformed,
+              Status::InvalidArgument("handle name must not be empty"));
+    return;
+  }
+  ReleaseInfo info;
+  {
+    // One ledger, one noise stream: releases serialize here, and the
+    // ledger lock also spans the duplicate-name check AND the handle
+    // insertion — two concurrent releases of the same name must not both
+    // pass the check and double-charge the budget. (handles_mutex_ is
+    // only ever taken inside ledger_mutex_ or alone, never the reverse.)
+    std::lock_guard<std::mutex> ledger_lock(ledger_mutex_);
+    {
+      std::lock_guard<std::mutex> lock(handles_mutex_);
+      for (const HandleEntry& handle : handles_) {
+        if (handle.name == request->handle_name) {
+          // A release is a budget spend: silently re-running it on a name
+          // collision would double-charge, so the collision is an error.
+          SendError(socket, ErrorKind::kMalformed,
+                    Status::InvalidArgument("handle '" +
+                                            request->handle_name +
+                                            "' already exists"));
+          return;
+        }
+      }
+    }
+    // The budget check inside the factory protocol (MeteredBuild) runs
+    // BEFORE the build, so an over-budget request is refused without
+    // construction cost — that check is the release half of admission
+    // control.
+    Result<std::unique_ptr<DistanceOracle>> built = registry.Create(
+        request->mechanism, workload->graph, workload->weights, context_);
+    if (!built.ok()) {
+      if (built.status().code() == StatusCode::kFailedPrecondition) {
+        counters_.budget_rejected.fetch_add(1);
+      }
+      SendError(socket, ReleaseErrorKind(built.status()), built.status());
+      return;
+    }
+    if (const ReleaseTelemetry* t = context_.last_telemetry()) {
+      info.epsilon = t->epsilon;
+      info.delta = t->delta;
+      info.wall_ms = t->wall_ms;
+    }
+    std::lock_guard<std::mutex> lock(handles_mutex_);
+    info.handle_id = static_cast<uint32_t>(handles_.size());
+    handles_.push_back({request->handle_name, request->mechanism,
+                        std::shared_ptr<const DistanceOracle>(
+                            std::move(built).value())});
+  }
+  counters_.releases_granted.fetch_add(1);
+  std::vector<uint8_t> response = EncodeReleaseInfo(info);
+  WriteFrame(socket, MessageType::kReleaseResponse, response);
+}
+
+void QueryServer::HandleQuery(Socket& socket, std::span<const uint8_t> body) {
+  // Queue-depth backpressure first: shedding happens before the body is
+  // even decoded, so an overloaded server does the minimum work per
+  // rejected request.
+  InflightSlot slot(&inflight_queries_, inflight_limit_);
+  if (!slot.admitted()) {
+    counters_.overload_rejected.fetch_add(1);
+    SendError(socket, ErrorKind::kOverloaded,
+              Status::Unavailable("query queue depth limit reached, "
+                                  "retry later"));
+    return;
+  }
+  Result<QueryRequest> request = DecodeQueryRequest(body);
+  if (!request.ok()) {
+    SendError(socket, ErrorKind::kMalformed, request.status());
+    return;
+  }
+  if (request->pairs.size() > options_.max_pairs_per_query) {
+    SendError(socket, ErrorKind::kTooLarge,
+              Status::OutOfRange(StrFormat(
+                  "batch of %zu pairs exceeds the per-request limit of %u",
+                  request->pairs.size(), options_.max_pairs_per_query)));
+    return;
+  }
+  std::shared_ptr<const DistanceOracle> oracle;
+  {
+    std::lock_guard<std::mutex> lock(handles_mutex_);
+    if (request->handle_id < handles_.size()) {
+      oracle = handles_[request->handle_id].oracle;
+    }
+  }
+  if (oracle == nullptr) {
+    SendError(socket, ErrorKind::kNotFound,
+              Status::NotFound(StrFormat("no released oracle with handle %u",
+                                         request->handle_id)));
+    return;
+  }
+  Result<std::vector<double>> distances =
+      executor_.Execute(*oracle, request->pairs);
+  if (!distances.ok()) {
+    // Out-of-range vertices and the like: the client's fault, typed so.
+    SendError(socket, ErrorKind::kMalformed, distances.status());
+    return;
+  }
+  counters_.queries_served.fetch_add(1);
+  counters_.pairs_served.fetch_add(request->pairs.size());
+  std::vector<uint8_t> response = EncodeQueryResponse(*distances);
+  WriteFrame(socket, MessageType::kQueryResponse, response);
+}
+
+void QueryServer::HandleStats(Socket& socket) {
+  std::vector<uint8_t> response = EncodeServerStats(stats());
+  WriteFrame(socket, MessageType::kStatsResponse, response);
+}
+
+void QueryServer::SendError(Socket& socket, ErrorKind kind,
+                            const Status& status) {
+  std::vector<uint8_t> body = EncodeError(kind, status);
+  // Best-effort: the peer may already be gone; its read loop will notice.
+  WriteFrame(socket, MessageType::kError, body);
+}
+
+}  // namespace net
+}  // namespace dpsp

@@ -1,0 +1,165 @@
+// The network query-server front end: a multi-threaded TCP server that
+// loads graph workloads, releases distance oracles through the
+// OracleRegistry + ReleaseContext pipeline, and serves distance batches by
+// fanning each QueryRequest into the sharded serve::BatchExecutor.
+//
+// Admission control is budget-driven, mirroring the paper's serving
+// asymmetry: a RELEASE is a privacy spend, so release requests pass
+// through the ReleaseContext budget check and an exhausted budget is a
+// typed kBudgetExhausted rejection BEFORE any construction work runs; a
+// QUERY is free post-processing of an already-released structure, so
+// query requests are only subject to queue-depth backpressure (a bounded
+// in-flight gauge) and oversized-batch limits — the server sheds load with
+// typed kOverloaded errors instead of queueing unboundedly.
+//
+// Threading model: one acceptor thread polls the listener; each accepted
+// connection gets a reader/writer thread running the frame dispatch loop.
+// Releases are serialized on the single ReleaseContext ledger (its Rng is
+// one stream); queries run concurrently — oracle query methods are const
+// and concurrency-safe by the DistanceOracle contract, and the handle
+// table hands out shared_ptrs so a handle stays alive for the duration of
+// any in-flight batch.
+
+#ifndef DPSP_NET_SERVER_H_
+#define DPSP_NET_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/oracle_registry.h"
+#include "dp/release_context.h"
+#include "graph/graph.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "serve/batch_executor.h"
+
+namespace dpsp {
+namespace net {
+
+struct QueryServerOptions {
+  /// IPv4 address to bind. Loopback by default: exposing a private-data
+  /// server beyond the host is a deployment decision, not a default.
+  std::string bind_address = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with port() after Start.
+  uint16_t port = 0;
+  /// Concurrent connections; further accepts are rejected kOverloaded.
+  int max_connections = 64;
+  /// Queue-depth backpressure: query batches executing at once. Requests
+  /// beyond this are rejected kOverloaded (clients retry; the server never
+  /// queues unboundedly). 0 derives 4x the hardware concurrency; negative
+  /// is drain (lame-duck) mode — every query is shed, releases still run.
+  int max_inflight_queries = 0;
+  /// Largest pair count in one QueryRequest; larger is a kTooLarge error
+  /// (clients split batches instead of the server buffering hugely).
+  uint32_t max_pairs_per_query = 1u << 20;
+  /// Sharding configuration for the per-request BatchExecutor fan-out.
+  BatchExecutorOptions executor;
+};
+
+/// The serving front end over one ReleaseContext ledger.
+class QueryServer {
+ public:
+  /// The context is the server's single budget ledger: install a total
+  /// budget (ReleaseContext::SetTotalBudget) before handing it over to
+  /// make the admission controller enforce a hard release ceiling.
+  QueryServer(QueryServerOptions options, ReleaseContext context);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Registers a named workload (public topology + private weights)
+  /// clients can release oracles over. Call before Start; fails on a
+  /// duplicate name or a weight/edge count mismatch.
+  Status AddWorkload(std::string name, Graph graph, EdgeWeights weights);
+
+  /// Binds the listener and starts the acceptor thread.
+  Status Start();
+
+  /// Stops accepting, shuts down live connections, joins all threads.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  bool running() const { return running_.load(); }
+
+  /// The bound port (useful with options.port = 0).
+  uint16_t port() const { return listener_.port(); }
+
+  ServerStats stats() const;
+
+  /// The ledger after whatever the remote clients did — telemetry rows,
+  /// composed totals. Not synchronized with in-flight releases; read it
+  /// when the server is quiesced (tests) or treat it as a snapshot.
+  const ReleaseContext& context() const { return context_; }
+
+ private:
+  struct Workload {
+    std::string name;
+    Graph graph;
+    EdgeWeights weights;
+  };
+  /// One granted release: the handle id is the index into this table.
+  struct HandleEntry {
+    std::string name;
+    std::string mechanism;
+    std::shared_ptr<const DistanceOracle> oracle;
+  };
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ReapFinishedConnections();
+  void ServeConnection(Connection* connection);
+  /// Dispatches one frame; returns false when the connection must close
+  /// (framing is broken and the stream cannot be resynchronized).
+  bool DispatchFrame(Socket& socket, const Frame& frame);
+  void HandleRelease(Socket& socket, std::span<const uint8_t> body);
+  void HandleQuery(Socket& socket, std::span<const uint8_t> body);
+  void HandleStats(Socket& socket);
+  void SendError(Socket& socket, ErrorKind kind, const Status& status);
+
+  const QueryServerOptions options_;
+  const int inflight_limit_;
+
+  // Releases serialize on this mutex: one ledger, one noise stream.
+  std::mutex ledger_mutex_;
+  ReleaseContext context_;
+
+  std::vector<Workload> workloads_;  // fixed after Start
+
+  mutable std::mutex handles_mutex_;
+  std::vector<HandleEntry> handles_;
+
+  BatchExecutor executor_;
+  std::atomic<int> inflight_queries_{0};
+
+  Listener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  struct Counters {
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> queries_served{0};
+    std::atomic<uint64_t> pairs_served{0};
+    std::atomic<uint64_t> releases_granted{0};
+    std::atomic<uint64_t> budget_rejected{0};
+    std::atomic<uint64_t> overload_rejected{0};
+  };
+  mutable Counters counters_;
+};
+
+}  // namespace net
+}  // namespace dpsp
+
+#endif  // DPSP_NET_SERVER_H_

@@ -48,7 +48,14 @@ Status RunShards(int num_shards, int max_threads,
 Result<std::vector<double>> BatchExecutor::Execute(
     const DistanceOracle& oracle, std::span<const VertexPair> pairs) const {
   std::vector<double> out(pairs.size(), 0.0);
+  // Empty and single-pair batches bypass shard planning entirely: no
+  // worker spawn, no bucket scatter — the empty result is well-defined and
+  // one pair runs the serial kernel inline on the calling thread.
   if (pairs.empty()) return out;
+  if (pairs.size() == 1) {
+    DPSP_RETURN_IF_ERROR(oracle.DistanceInto(pairs, out.data()));
+    return out;
+  }
   int num_shards = PlannedShardCount(pairs.size());
 
   if (cells_.empty() || num_shards <= 1) {

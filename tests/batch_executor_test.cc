@@ -263,5 +263,65 @@ TEST(BatchExecutorTest, AbsorbShardRespectsTotalBudgetAtomically) {
   EXPECT_TRUE(parent.telemetry().empty());
 }
 
+TEST(BatchExecutorTest, DegenerateBatchesAreWellDefinedOnEveryPath) {
+  // Regression: empty and single-element batches must produce well-defined
+  // results with no worker spawn on every execution path — the parallel
+  // DistanceBatch, the forced-serial reference, and both executor shard
+  // policies (an empty vector's data() is null, so any path that blindly
+  // hands the kernel a pointer would be UB).
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(8));
+  EdgeWeights w = MakeUniformWeights(g, 0.1, 0.9, &rng);
+  ASSERT_OK_AND_ASSIGN(ReleaseContext ctx,
+                       ReleaseContext::Create(PrivacyParams{}, kTestSeed));
+  ASSERT_OK_AND_ASSIGN(auto oracle,
+                       OracleRegistry::Global().Create("exact", g, w, ctx));
+  ASSERT_OK_AND_ASSIGN(double reference, oracle->Distance(2, 6));
+  std::vector<VertexPair> single = {{2, 6}};
+
+  // Oracle-level batch APIs.
+  ASSERT_OK_AND_ASSIGN(std::vector<double> empty_batch,
+                       oracle->DistanceBatch({}));
+  EXPECT_TRUE(empty_batch.empty());
+  ASSERT_OK_AND_ASSIGN(std::vector<double> single_batch,
+                       oracle->DistanceBatch(single));
+  ASSERT_EQ(single_batch.size(), 1u);
+  EXPECT_EQ(single_batch[0], reference);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> forced_parallel,
+                       DistanceBatchOf(*oracle, single, /*max_threads=*/8));
+  EXPECT_EQ(forced_parallel[0], reference);
+
+  // Executor with aggressive fan-out settings: degenerate batches still
+  // collapse to the inline path.
+  BatchExecutorOptions options;
+  options.num_shards = 8;
+  options.max_threads = 8;
+  options.min_shard_pairs = 1;
+  BatchExecutor contiguous(options);
+  EXPECT_EQ(contiguous.PlannedShardCount(0), 1);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> exec_empty,
+                       contiguous.Execute(*oracle, {}));
+  EXPECT_TRUE(exec_empty.empty());
+  ASSERT_OK_AND_ASSIGN(std::vector<double> exec_single,
+                       contiguous.Execute(*oracle, single));
+  ASSERT_EQ(exec_single.size(), 1u);
+  EXPECT_EQ(exec_single[0], reference);
+
+  BatchExecutor keyed(options);
+  keyed.SetShardCells(ComponentCells(g));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> keyed_empty,
+                       keyed.Execute(*oracle, {}));
+  EXPECT_TRUE(keyed_empty.empty());
+  ASSERT_OK_AND_ASSIGN(std::vector<double> keyed_single,
+                       keyed.Execute(*oracle, single));
+  ASSERT_EQ(keyed_single.size(), 1u);
+  EXPECT_EQ(keyed_single[0], reference);
+
+  // A single INVALID pair still reports the kernel's error, not UB.
+  std::vector<VertexPair> bad = {{0, 99}};
+  EXPECT_FALSE(contiguous.Execute(*oracle, bad).ok());
+  EXPECT_FALSE(DistanceBatchOf(*oracle, bad, 1).ok());
+}
+
 }  // namespace
 }  // namespace dpsp

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Perf-trajectory check: compare two BENCH_registry.json artifacts.
+
+CI downloads the artifact from the previous successful run on main and
+runs this against the one the current run just produced. Every ops/sec
+series the registry bench emits (R1 sweep batch throughput, R3 serving
+throughput both plain-batch and sharded) is compared per mechanism; a
+drop beyond the threshold (default 20%) is flagged. BENCH_server.json
+from the network loadgen is accepted with the same flag when present.
+
+Exit status is 0 unless --strict is given (shared CI runners are noisy;
+the default mode annotates instead of failing the build). Flags use the
+GitHub Actions ::warning:: syntax so they surface on the run summary.
+
+Usage:
+  check_perf_trajectory.py PRIOR.json CURRENT.json [--threshold 0.20]
+                           [--strict]
+"""
+
+import argparse
+import json
+import sys
+
+
+def ops_series(doc):
+    """Yields (series_name, mechanism, ops_per_sec) from a bench JSON."""
+    bench = doc.get("bench", "?")
+    if bench == "bench_registry":
+        for row in doc.get("sweep", {}).get("mechanisms", []):
+            if row.get("ok") and row.get("ops_per_sec"):
+                yield "sweep", row["name"], float(row["ops_per_sec"])
+        for row in doc.get("throughput", {}).get("mechanisms", []):
+            if row.get("batch_ops_per_sec"):
+                yield "batch", row["name"], float(row["batch_ops_per_sec"])
+            if row.get("sharded_ops_per_sec"):
+                yield ("sharded", row["name"],
+                       float(row["sharded_ops_per_sec"]))
+    elif bench == "bench_server_loadgen":
+        for row in doc.get("mechanisms", []):
+            if row.get("ops_per_sec"):
+                yield "net", row["name"], float(row["ops_per_sec"])
+            if row.get("direct_ops_per_sec"):
+                yield ("direct", row["name"],
+                       float(row["direct_ops_per_sec"]))
+    else:
+        print(f"::warning::unrecognized bench JSON ('{bench}'), skipping")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("prior")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="flag drops beyond this fraction (default .20)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any regression is flagged")
+    args = parser.parse_args()
+
+    with open(args.prior) as f:
+        prior = dict()
+        for series, name, ops in ops_series(json.load(f)):
+            prior[(series, name)] = ops
+    with open(args.current) as f:
+        current = dict()
+        for series, name, ops in ops_series(json.load(f)):
+            current[(series, name)] = ops
+
+    if not prior:
+        print("no ops/sec series in the prior artifact; nothing to compare")
+        return 0
+
+    regressions = []
+    print(f"{'series':<8} {'mechanism':<20} {'prior':>14} {'current':>14} "
+          f"{'delta':>8}")
+    for key in sorted(current):
+        series, name = key
+        if key not in prior:
+            print(f"{series:<8} {name:<20} {'(new)':>14} "
+                  f"{current[key]:>14.0f} {'':>8}")
+            continue
+        delta = current[key] / prior[key] - 1.0
+        print(f"{series:<8} {name:<20} {prior[key]:>14.0f} "
+              f"{current[key]:>14.0f} {delta:>+7.1%}")
+        if delta < -args.threshold:
+            regressions.append((series, name, delta))
+    for key in sorted(set(prior) - set(current)):
+        print(f"{key[0]:<8} {key[1]:<20} {prior[key]:>14.0f} "
+              f"{'(gone)':>14} {'':>8}")
+
+    for series, name, delta in regressions:
+        print(f"::warning::ops/sec regression: {name} ({series}) "
+              f"dropped {-delta:.1%} vs the previous run "
+              f"(threshold {args.threshold:.0%})")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}")
+        return 1 if args.strict else 0
+    print("\nno ops/sec regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
