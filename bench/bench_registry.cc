@@ -46,11 +46,67 @@ struct ScalingRun {
   double build_ms = 0.0;
 };
 
+/// One accounting policy's certified total for the R2b ledger.
+struct PolicyTotal {
+  AccountingPolicy policy = AccountingPolicy::kBasic;
+  bool ok = false;
+  double epsilon = 0.0;
+  double delta = 0.0;
+};
+
+/// The R2b comparison: N identical releases composed under every policy.
+struct AccountingSweep {
+  int releases = 0;
+  const char* release_kind = "";
+  double per_release_epsilon = 0.0;
+  double per_release_delta = 0.0;
+  double delta_slack = 0.0;
+  std::vector<PolicyTotal> totals;
+  const char* best_policy = "";
+  double best_epsilon = 0.0;
+};
+
+/// Composes `releases` copies of `loss` under each accounting policy and
+/// reports every certified total plus the best (smallest-epsilon) one —
+/// the number a deployment would quote for the whole ledger.
+AccountingSweep SweepAccountingPolicies(int releases, const char* kind,
+                                        const PrivacyLoss& loss,
+                                        double delta_slack) {
+  AccountingSweep sweep;
+  sweep.releases = releases;
+  sweep.release_kind = kind;
+  sweep.per_release_epsilon = loss.epsilon;
+  sweep.per_release_delta = loss.delta;
+  sweep.delta_slack = delta_slack;
+  for (AccountingPolicy policy :
+       {AccountingPolicy::kBasic, AccountingPolicy::kAdvanced,
+        AccountingPolicy::kZcdp}) {
+    PolicyTotal& total = sweep.totals.emplace_back();
+    total.policy = policy;
+    std::unique_ptr<Accountant> accountant = Accountant::Create(policy);
+    bool recorded = true;
+    for (int i = 0; i < releases && recorded; ++i) {
+      recorded = accountant->Record("release", loss).ok();
+    }
+    if (!recorded) continue;  // policy cannot compose this loss kind
+    PrivacyParams certified = accountant->Total(delta_slack);
+    total.ok = true;
+    total.epsilon = certified.epsilon;
+    total.delta = certified.delta;
+    if (sweep.best_policy[0] == '\0' || total.epsilon < sweep.best_epsilon) {
+      sweep.best_policy = AccountingPolicyName(policy);
+      sweep.best_epsilon = total.epsilon;
+    }
+  }
+  return sweep;
+}
+
 void WriteJson(const char* path, int sweep_v, size_t sweep_queries,
                const std::vector<SweepRowStats>& sweep, int big_v,
                size_t big_queries, const std::vector<ThroughputRow>& rows,
                int scaling_v, int scaling_k,
-               const std::vector<ScalingRun>& scaling) {
+               const std::vector<ScalingRun>& scaling,
+               const std::vector<AccountingSweep>& accounting) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "could not write JSON to %s\n", path);
@@ -97,7 +153,38 @@ void WriteJson(const char* path, int sweep_v, size_t sweep_queries,
                  scaling[i].threads, scaling[i].build_ms,
                  i + 1 < scaling.size() ? "," : "");
   }
-  std::fprintf(f, "  ]}\n}\n");
+  std::fprintf(f, "  ]},\n");
+  // R2b: each ledger's certified total under every accounting policy plus
+  // the best-of-policies number a deployment would quote.
+  std::fprintf(f, "  \"accounting\": [\n");
+  for (size_t i = 0; i < accounting.size(); ++i) {
+    const AccountingSweep& a = accounting[i];
+    std::fprintf(f,
+                 "    {\"release_kind\": \"%s\", \"releases\": %d, "
+                 "\"per_release_eps\": %g, \"per_release_delta\": %g, "
+                 "\"delta_slack\": %g, \"policies\": [\n",
+                 a.release_kind, a.releases, a.per_release_epsilon,
+                 a.per_release_delta, a.delta_slack);
+    for (size_t j = 0; j < a.totals.size(); ++j) {
+      const PolicyTotal& t = a.totals[j];
+      if (t.ok) {
+        std::fprintf(f,
+                     "      {\"policy\": \"%s\", \"epsilon\": %.6f, "
+                     "\"delta\": %g}%s\n",
+                     AccountingPolicyName(t.policy), t.epsilon, t.delta,
+                     j + 1 < a.totals.size() ? "," : "");
+      } else {
+        std::fprintf(f, "      {\"policy\": \"%s\", \"inapplicable\": true}%s\n",
+                     AccountingPolicyName(t.policy),
+                     j + 1 < a.totals.size() ? "," : "");
+      }
+    }
+    std::fprintf(f,
+                 "    ], \"best_policy\": \"%s\", \"best_epsilon\": %.6f}%s\n",
+                 a.best_policy, a.best_epsilon,
+                 i + 1 < accounting.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("\nJSON written to %s\n", path);
 }
@@ -144,6 +231,36 @@ void Run(const char* csv_path, const char* json_path) {
   std::printf("third release within eps=2.5 budget: %s\n",
               third.ok() ? "allowed (unexpected!)"
                          : third.status().ToString().c_str());
+
+  // R2b: the same ledger composed under every accounting policy. A
+  // Laplace refresh schedule (96 pure releases) and a Gaussian one (32
+  // releases metered at their natural zCDP rate) — the best-of-policies
+  // epsilon is the number a deployment would quote.
+  const double kSlack = 1e-6;
+  std::vector<AccountingSweep> accounting;
+  accounting.push_back(SweepAccountingPolicies(
+      96, "laplace-pure", PrivacyLoss::Pure(0.05), kSlack));
+  accounting.push_back(SweepAccountingPolicies(
+      32, "gaussian",
+      OrDie(PrivacyLoss::GaussianFromParams(PrivacyParams{0.5, 1e-6, 1.0})),
+      kSlack));
+  Table accounting_table(
+      "R2b: certified total epsilon by accounting policy (delta'=1e-6)",
+      {"ledger", "basic", "advanced", "zcdp", "best"});
+  for (const AccountingSweep& a : accounting) {
+    Table& row = accounting_table.Row().Add(
+        StrFormat("%dx %s eps=%g", a.releases, a.release_kind,
+                  a.per_release_epsilon));
+    for (const PolicyTotal& t : a.totals) {
+      if (t.ok) {
+        row.Add(t.epsilon, 4);
+      } else {
+        row.Add("-");
+      }
+    }
+    row.Add(a.best_policy);
+  }
+  accounting_table.Print();
 
   // R3a: serving throughput at scale, restricted to the sub-quadratic
   // mechanisms (the dense-matrix baselines would need V^2 memory here).
@@ -225,7 +342,7 @@ void Run(const char* csv_path, const char* json_path) {
   if (json_path != nullptr) {
     WriteJson(json_path, n, pairs.size(), sweep_stats, big_n,
               big_pairs.size(), rows, grid_side * grid_side, scaling_k,
-              scaling);
+              scaling, accounting);
   }
 
   std::puts(

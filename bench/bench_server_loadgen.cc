@@ -185,6 +185,13 @@ void Run(const char* json_path) {
               static_cast<unsigned long long>(stats.pairs_served),
               static_cast<unsigned long long>(stats.releases_granted),
               static_cast<unsigned long long>(stats.overload_rejected));
+  if (stats.has_accounting) {
+    std::printf("budget position (%s policy): spent eps=%.3f, remaining "
+                "eps=%.3f\n",
+                AccountingPolicyName(static_cast<AccountingPolicy>(
+                    stats.accounting_policy)),
+                stats.spent_epsilon, stats.remaining_epsilon);
+  }
 
   if (json_path != nullptr) WriteJson(json_path, rows);
   server.Stop();

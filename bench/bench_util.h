@@ -169,6 +169,14 @@ inline std::vector<SweepRowStats> AppendSweepRows(
   const OracleRegistry& registry = OracleRegistry::Global();
   for (const std::string& name :
        registry.NamesForInput(options.input, options.has_perfect_matching)) {
+    // The sweep params cannot fund a zCDP-metered (Gaussian-calibrated)
+    // mechanism unless they are approximate with eps < 1; skip instead of
+    // emitting a guaranteed error row.
+    const OracleSpec* spec = registry.Find(name);
+    if (spec != nullptr && spec->loss == LossKind::kZcdp &&
+        (options.params.pure() || options.params.epsilon >= 1.0)) {
+      continue;
+    }
     // Per-mechanism seed: same-seed contexts would replay identical noise
     // across rows, making distinct mechanisms spuriously agree.
     uint64_t seed = options.seed ^ std::hash<std::string>{}(name);

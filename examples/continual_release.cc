@@ -11,6 +11,7 @@
 // of releases exceeds ~2 ln(1/delta'); at 96 releases it clearly does.)
 
 #include <cstdio>
+#include <memory>
 
 #include "common/random.h"
 #include "common/table.h"
@@ -76,5 +77,21 @@ int main() {
       "eps=%.2f.\n",
       ctx.accountant().BasicTotal().epsilon,
       ctx.accountant().AdvancedTotal(1e-6).value().epsilon);
+
+  // The same ledger under the pluggable zCDP policy: every pure eps-DP
+  // refresh is exactly (eps^2/2)-zCDP, and rho-sum composition certifies
+  // a slightly tighter total than Lemma 3.4 at the same target delta.
+  std::unique_ptr<Accountant> zcdp =
+      Accountant::Create(AccountingPolicy::kZcdp);
+  for (const AccountantEntry& entry : ctx.accountant().entries()) {
+    if (!zcdp->Record(entry.label, entry.loss).ok()) {
+      std::puts("zCDP accounting inapplicable to this ledger");
+      return 0;
+    }
+  }
+  std::printf(
+      "zCDP accounting (rho-sum, converted at delta=1e-6) certifies "
+      "eps=%.2f.\n",
+      zcdp->Total(1e-6).epsilon);
   return 0;
 }

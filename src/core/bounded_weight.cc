@@ -53,12 +53,28 @@ Result<std::unique_ptr<BoundedWeightOracle>> BoundedWeightOracle::Build(
     const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx,
     BoundedWeightOptions options) {
   options.params = ctx.params();
+  bool gaussian =
+      options.noise == BoundedWeightOptions::NoiseKind::kGaussian;
+  // A Gaussian release spends its natural zCDP rate rho = eps^2 /
+  // (4 ln(1.25/delta)) — sensitivity-free, so the budget check runs
+  // BEFORE the covering (and the released vector's size) is known.
+  PrivacyLoss loss = ctx.ReleaseLoss();
+  if (gaussian) {
+    DPSP_ASSIGN_OR_RETURN(loss,
+                          PrivacyLoss::GaussianFromParams(ctx.params()));
+  }
   return ctx.MeteredBuild(
-      kName, [&] { return Build(graph, w, options, ctx.rng()); },
+      gaussian ? kGaussianName : kName, loss,
+      [&] { return Build(graph, w, options, ctx.rng()); },
       [](const BoundedWeightOracle& oracle, ReleaseTelemetry& t) {
-        // The released vector of Z(Z-1)/2 sensitivity-1 queries has joint
-        // l1 sensitivity equal to the query count under basic composition.
-        t.sensitivity = oracle.num_noisy_values();
+        // The released vector of Z(Z-1)/2 sensitivity-1 queries: joint l1
+        // sensitivity equal to the query count under basic composition
+        // (Laplace), joint l2 sensitivity sqrt(count) for the Gaussian
+        // variant — the sensitivity its sigma was actually calibrated to.
+        t.sensitivity =
+            oracle.gaussian()
+                ? DistanceVectorL2Sensitivity(oracle.num_noisy_values())
+                : oracle.num_noisy_values();
         t.noise_scale = oracle.noise_scale();
         t.noise_draws = oracle.num_noisy_values();
       });
@@ -178,7 +194,7 @@ Status BoundedWeightOracle::DistanceInto(std::span<const VertexPair> pairs,
 }
 
 std::string BoundedWeightOracle::Name() const {
-  if (gaussian_) return "bounded-weight(gaussian)";
+  if (gaussian_) return kGaussianName;
   return pure_ ? "bounded-weight(pure)" : "bounded-weight(approx)";
 }
 

@@ -63,6 +63,10 @@ class BoundedWeightOracle final : public DistanceOracle {
  public:
   /// Registry name of this mechanism.
   static constexpr const char* kName = "bounded-weight";
+  /// Registry name of the Gaussian-noise variant, which is metered at its
+  /// natural zCDP rate (dp/privacy_loss.h) instead of the context's
+  /// (eps, delta) and requires approximate params (delta > 0, eps < 1).
+  static constexpr const char* kGaussianName = "bounded-weight-gaussian";
 
   /// Builds through the release pipeline: `options.params` is overridden
   /// by ctx.params(), the release is drawn from the accountant, and
@@ -94,6 +98,8 @@ class BoundedWeightOracle final : public DistanceOracle {
 
   const Covering& covering() const { return covering_; }
   double noise_scale() const { return noise_scale_; }
+  /// True when the table noise is Gaussian (the zCDP-metered variant).
+  bool gaussian() const { return gaussian_; }
   /// Number of released noisy table entries, for telemetry.
   int num_noisy_values() const { return num_centers_ * (num_centers_ - 1) / 2; }
 

@@ -53,6 +53,13 @@ struct OracleSpec {
   OracleInput input = OracleInput::kAnyConnected;
   /// False only for the exact (non-private) oracle.
   bool consumes_budget = true;
+  /// The privacy-loss type one release consumes (dp/privacy_loss.h).
+  /// Laplace-calibrated mechanisms spend the context's params — kPure
+  /// here, metered as approximate when ctx.params().delta > 0; a
+  /// Gaussian-calibrated mechanism declares kZcdp and spends its natural
+  /// rho rate (it requires delta > 0 and eps < 1 to build). Sweeps and
+  /// conformance suites use the declaration to pick compatible params.
+  LossKind loss = LossKind::kPure;
   OracleFactory factory;
 };
 
@@ -62,7 +69,7 @@ class OracleRegistry {
   /// The process-wide registry, pre-populated with every mechanism family
   /// in the library (exact, per-pair-laplace, synthetic-graph,
   /// tree-recursive, tree-hld, path-hierarchy, bounded-weight,
-  /// private-mst, private-matching).
+  /// private-mst, private-matching, bounded-weight-gaussian).
   static OracleRegistry& Global();
 
   /// Registers a mechanism. Fails on an empty or duplicate name or a null

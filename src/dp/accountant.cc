@@ -2,45 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/table.h"
 #include "dp/composition.h"
 
 namespace dpsp {
 
-Status PrivacyAccountant::Record(std::string label, double epsilon,
-                                 double delta) {
-  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
-    return Status::InvalidArgument("epsilon must be positive and finite");
-  }
-  if (delta < 0.0 || delta >= 1.0) {
-    return Status::InvalidArgument("delta must be in [0, 1)");
-  }
-  entries_.push_back({std::move(label), epsilon, delta});
-  return Status::Ok();
+namespace {
+
+constexpr double kBudgetTolerance = 1e-12;
+
+bool Fits(const PrivacyParams& total, const PrivacyParams& budget) {
+  return total.epsilon <= budget.epsilon + kBudgetTolerance &&
+         total.delta <= budget.delta + kBudgetTolerance;
 }
 
-Status PrivacyAccountant::Record(std::string label,
-                                 const PrivacyParams& params) {
-  DPSP_RETURN_IF_ERROR(params.Validate());
-  return Record(std::move(label), params.epsilon, params.delta);
-}
-
-PrivacyParams PrivacyAccountant::BasicTotal() const {
-  PrivacyParams total;
-  total.epsilon = 0.0;
-  total.delta = 0.0;
-  for (const AccountantEntry& entry : entries_) {
-    total.epsilon += entry.epsilon;
-    total.delta += entry.delta;
-  }
-  total.delta = std::min(total.delta, 1.0 - 1e-12);
-  return total;
-}
-
-Result<PrivacyParams> PrivacyAccountant::AdvancedTotal(
-    double delta_prime) const {
-  if (entries_.empty()) {
+/// Lemma 3.4 over the ledger uniformized to (eps_max, delta_max) — a
+/// sound upper bound for ANY ledger (each release is also (eps_max,
+/// delta_max)-DP), so admission may use it even where the strict
+/// AdvancedTotal refuses to REPORT it as the certified total.
+Result<PrivacyParams> UniformizedAdvancedTotal(const Accountant& ledger,
+                                               double delta_prime) {
+  if (ledger.num_releases() == 0) {
     return Status::FailedPrecondition("no releases recorded");
   }
   if (!(delta_prime > 0.0 && delta_prime < 1.0)) {
@@ -48,41 +32,257 @@ Result<PrivacyParams> PrivacyAccountant::AdvancedTotal(
   }
   double eps_max = 0.0;
   double delta_sum = 0.0;
-  for (const AccountantEntry& entry : entries_) {
-    eps_max = std::max(eps_max, entry.epsilon);
-    delta_sum += entry.delta;
+  for (const AccountantEntry& entry : ledger.entries()) {
+    eps_max = std::max(eps_max, entry.loss.epsilon);
+    delta_sum += entry.loss.delta;
   }
-  int k = num_releases();
   PrivacyParams total;
-  total.epsilon = AdvancedCompositionEpsilon(k, eps_max, delta_prime);
+  total.epsilon =
+      AdvancedCompositionEpsilon(ledger.num_releases(), eps_max, delta_prime);
   total.delta = std::min(delta_sum + delta_prime, 1.0 - 1e-12);
   return total;
 }
 
-PrivacyParams PrivacyAccountant::BestTotal(double delta_prime) const {
+/// The historical admission rule: a ledger fits when EITHER basic or
+/// (uniformized) advanced composition certifies it — a pure (delta = 0)
+/// budget is satisfiable by the basic total even when the smaller-epsilon
+/// advanced total carries the delta_slack, and a heterogeneous ledger
+/// still admits through the uniformized bound exactly as it always has.
+bool FitsEitherComposition(const Accountant& ledger,
+                           const PrivacyParams& budget, double delta_slack) {
+  if (Fits(ledger.BasicTotal(), budget)) return true;
+  Result<PrivacyParams> advanced =
+      UniformizedAdvancedTotal(ledger, delta_slack);
+  return advanced.ok() && Fits(*advanced, budget);
+}
+
+}  // namespace
+
+const char* AccountingPolicyName(AccountingPolicy policy) {
+  switch (policy) {
+    case AccountingPolicy::kBasic:
+      return "basic";
+    case AccountingPolicy::kAdvanced:
+      return "advanced";
+    case AccountingPolicy::kZcdp:
+      return "zcdp";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Accountant> Accountant::Create(AccountingPolicy policy) {
+  switch (policy) {
+    case AccountingPolicy::kBasic:
+      return std::make_unique<BasicAccountant>();
+    case AccountingPolicy::kAdvanced:
+      return std::make_unique<AdvancedAccountant>();
+    case AccountingPolicy::kZcdp:
+      return std::make_unique<ZcdpAccountant>();
+  }
+  return nullptr;
+}
+
+Status Accountant::CheckLoss(const PrivacyLoss&) const { return Status::Ok(); }
+
+Status Accountant::CanRecord(const PrivacyLoss& loss) const {
+  DPSP_RETURN_IF_ERROR(loss.Validate());
+  return CheckLoss(loss);
+}
+
+Status Accountant::Record(std::string label, PrivacyLoss loss) {
+  DPSP_RETURN_IF_ERROR(CanRecord(loss));
+  entries_.push_back({std::move(label), loss});
+  return Status::Ok();
+}
+
+Status Accountant::Record(std::string label, double epsilon, double delta) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("epsilon must be positive and finite");
+  }
+  if (delta < 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in [0, 1)");
+  }
+  return Record(std::move(label),
+                delta == 0.0 ? PrivacyLoss::Pure(epsilon)
+                             : PrivacyLoss::Approximate(epsilon, delta));
+}
+
+Status Accountant::Record(std::string label, const PrivacyParams& params) {
+  DPSP_RETURN_IF_ERROR(params.Validate());
+  return Record(std::move(label), params.epsilon, params.delta);
+}
+
+PrivacyParams Accountant::BasicTotal() const {
+  PrivacyParams total;
+  total.epsilon = 0.0;
+  total.delta = 0.0;
+  for (const AccountantEntry& entry : entries_) {
+    total.epsilon += entry.loss.epsilon;
+    total.delta += entry.loss.delta;
+  }
+  total.delta = std::min(total.delta, 1.0 - 1e-12);
+  return total;
+}
+
+Result<PrivacyParams> Accountant::AdvancedTotal(double delta_prime) const {
+  DPSP_ASSIGN_OR_RETURN(PrivacyParams total,
+                        UniformizedAdvancedTotal(*this, delta_prime));
+  // Lemma 3.4 requires a uniform per-mechanism guarantee. Refuse to
+  // REPORT a heterogeneous ledger's uniformized total as "the" advanced
+  // total — with a trace naming the maximal entry the uniformization
+  // would have used — instead of silently certifying a misleadingly
+  // loose number. (Admission still uses the uniformized bound, which is
+  // sound; see FitsEitherComposition.)
+  const AccountantEntry* max_entry = &entries_.front();
+  for (const AccountantEntry& entry : entries_) {
+    if (entry.loss.epsilon > max_entry->loss.epsilon ||
+        (entry.loss.epsilon == max_entry->loss.epsilon &&
+         entry.loss.delta > max_entry->loss.delta)) {
+      max_entry = &entry;
+    }
+  }
+  for (const AccountantEntry& entry : entries_) {
+    if (entry.loss.epsilon != max_entry->loss.epsilon ||
+        entry.loss.delta != max_entry->loss.delta) {
+      return Status::FailedPrecondition(StrFormat(
+          "advanced composition (Lemma 3.4) requires a homogeneous ledger: "
+          "uniformizing to the maximal entry '%s' (eps=%g, delta=%g) would "
+          "certify a misleadingly loose total for entry '%s' (eps=%g, "
+          "delta=%g); use BasicTotal or a per-release homogeneous ledger",
+          max_entry->label.c_str(), max_entry->loss.epsilon,
+          max_entry->loss.delta, entry.label.c_str(), entry.loss.epsilon,
+          entry.loss.delta));
+    }
+  }
+  return total;
+}
+
+PrivacyParams Accountant::BestTotal(double delta_prime) const {
   PrivacyParams basic = BasicTotal();
   Result<PrivacyParams> advanced = AdvancedTotal(delta_prime);
   if (!advanced.ok()) return basic;
   return advanced->epsilon < basic.epsilon ? *advanced : basic;
 }
 
-bool PrivacyAccountant::WithinBudget(const PrivacyParams& budget,
-                                     double delta_prime) const {
-  PrivacyParams total = BestTotal(delta_prime);
-  return total.epsilon <= budget.epsilon + 1e-12 &&
-         total.delta <= budget.delta + 1e-12;
+PrivacyParams Accountant::AdmissionTotal(const PrivacyParams& budget,
+                                         double delta_slack) const {
+  // Only bounds whose delta fits the budget can ever admit: a pure
+  // (delta = 0) budget admits through Lemma 3.3 alone, and headroom
+  // reported off an unfundable bound's epsilon would overstate what
+  // admission will actually grant.
+  PrivacyParams basic = BasicTotal();
+  bool basic_fundable = basic.delta <= budget.delta + kBudgetTolerance;
+  Result<PrivacyParams> advanced =
+      UniformizedAdvancedTotal(*this, delta_slack);
+  bool advanced_fundable =
+      advanced.ok() && advanced->delta <= budget.delta + kBudgetTolerance;
+  if (advanced_fundable &&
+      (!basic_fundable || advanced->epsilon < basic.epsilon)) {
+    return *advanced;
+  }
+  if (basic_fundable) return basic;
+  // The ledger's delta already exceeds the budget under every bound, so
+  // every further release will be refused: infinite spend, zero
+  // headroom, matching the zCDP policy's unfundable-slack case.
+  basic.epsilon = std::numeric_limits<double>::infinity();
+  return basic;
 }
 
-std::string PrivacyAccountant::ToString() const {
-  std::string out = "PrivacyAccountant(\n";
+Result<double> Accountant::TotalRho() const {
+  double total = 0.0;
   for (const AccountantEntry& entry : entries_) {
-    out += StrFormat("  %s: eps=%g delta=%g\n", entry.label.c_str(),
-                     entry.epsilon, entry.delta);
+    DPSP_ASSIGN_OR_RETURN(double rho, entry.loss.Rho());
+    total += rho;
   }
-  PrivacyParams basic = BasicTotal();
-  out += StrFormat("  basic total: eps=%g delta=%g\n)", basic.epsilon,
-                   basic.delta);
+  return total;
+}
+
+std::string Accountant::ToString() const {
+  std::string out =
+      StrFormat("PrivacyAccountant(policy=%s\n", AccountingPolicyName(policy()));
+  for (const AccountantEntry& entry : entries_) {
+    out += StrFormat("  %s: %s\n", entry.label.c_str(),
+                     entry.loss.ToString().c_str());
+  }
+  out += "  " + TotalLine() + "\n)";
   return out;
+}
+
+std::string Accountant::TotalLine() const {
+  PrivacyParams basic = BasicTotal();
+  return StrFormat("basic total: eps=%g delta=%g", basic.epsilon,
+                   basic.delta);
+}
+
+// ------------------------------------------------------------- policies --
+
+PrivacyParams BasicAccountant::Total(double) const { return BasicTotal(); }
+
+bool BasicAccountant::WithinBudget(const PrivacyParams& budget,
+                                   double delta_slack) const {
+  return FitsEitherComposition(*this, budget, delta_slack);
+}
+
+PrivacyParams AdvancedAccountant::Total(double delta_slack) const {
+  return BestTotal(delta_slack);
+}
+
+bool AdvancedAccountant::WithinBudget(const PrivacyParams& budget,
+                                      double delta_slack) const {
+  return FitsEitherComposition(*this, budget, delta_slack);
+}
+
+Status ZcdpAccountant::CheckLoss(const PrivacyLoss& loss) const {
+  if (!loss.has_rho()) {
+    return Status::InvalidArgument(
+        "zCDP accounting cannot compose an approximate-DP release (no "
+        "exact rho exists); record it as pure DP, at its Gaussian rho, or "
+        "use the basic/advanced policy");
+  }
+  return Status::Ok();
+}
+
+PrivacyParams ZcdpAccountant::AdmissionTotal(const PrivacyParams& budget,
+                                             double delta_slack) const {
+  // Any nonempty ledger's converted total carries delta = delta_slack; a
+  // budget that cannot fit it will refuse every release, so reporting
+  // the (empty-ledger) zero spend as full headroom would tell remote
+  // clients to retry forever. No admissible bound exists: infinite
+  // spend, zero headroom.
+  if (budget.delta + kBudgetTolerance < delta_slack) {
+    PrivacyParams total;
+    total.epsilon = std::numeric_limits<double>::infinity();
+    total.delta = delta_slack;
+    return total;
+  }
+  return Total(delta_slack);
+}
+
+PrivacyParams ZcdpAccountant::Total(double delta_slack) const {
+  PrivacyParams total;
+  total.epsilon = 0.0;
+  total.delta = 0.0;
+  if (entries_.empty()) return total;
+  if (!(delta_slack > 0.0 && delta_slack < 1.0)) {
+    // No valid target delta => no finite (eps, delta) certificate.
+    total.epsilon = std::numeric_limits<double>::infinity();
+    return total;
+  }
+  // CheckLoss guarantees every entry carries a rho.
+  double rho = TotalRho().value();
+  total.epsilon = ZcdpEpsilon(rho, delta_slack);
+  total.delta = delta_slack;
+  return total;
+}
+
+bool ZcdpAccountant::WithinBudget(const PrivacyParams& budget,
+                                  double delta_slack) const {
+  return Fits(Total(delta_slack), budget);
+}
+
+std::string ZcdpAccountant::TotalLine() const {
+  double rho = entries_.empty() ? 0.0 : TotalRho().value();
+  return StrFormat("total rho: %g", rho);
 }
 
 }  // namespace dpsp

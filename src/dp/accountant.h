@@ -1,35 +1,84 @@
-// Privacy budget accounting across multiple releases.
+// Pluggable privacy-loss accounting across multiple releases.
 //
 // A deployment rarely runs one mechanism once: the navigation example
-// releases a weight map every refresh interval. The accountant tracks the
-// (eps_i, delta_i) of each registered release and reports the tightest
-// total guarantee this library can certify: the better of basic
-// composition (Lemma 3.3) and — for homogeneous pure-DP releases —
-// advanced composition (Lemma 3.4) at a caller-chosen slack delta'.
+// releases a weight map every refresh interval. The ledger records each
+// release as a PrivacyLoss (its natural currency: pure, approximate, or
+// zCDP — dp/privacy_loss.h) and an accounting POLICY decides which
+// composition theorem certifies the total:
+//
+//   kBasic     Lemma 3.3 totals (sum eps_i, sum delta_i) — the historical
+//              default, bit-compatible with what the pipeline has always
+//              reported. Admission still accepts a release when EITHER
+//              basic or advanced composition fits (the pipeline's
+//              historical behaviour), so switching policies never admits
+//              less than before.
+//   kAdvanced  the smaller-epsilon of basic and advanced composition
+//              (Lemma 3.4) at a caller-chosen slack delta'.
+//   kZcdp      rho-sum composition with the optimal-alpha conversion to
+//              (eps, delta) at a caller-chosen target delta. Requires
+//              every entry to carry an exact zCDP rate (pure or Gaussian
+//              releases; approximate-DP entries are refused at Record).
+//
+// The pipeline composes against the abstract Accountant interface;
+// ReleaseContext::Create(params, seed, policy) picks the implementation.
 
 #ifndef DPSP_DP_ACCOUNTANT_H_
 #define DPSP_DP_ACCOUNTANT_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "dp/privacy.h"
+#include "dp/privacy_loss.h"
 
 namespace dpsp {
+
+/// Which composition theorem certifies (and admits against) the total.
+enum class AccountingPolicy {
+  kBasic = 0,
+  kAdvanced = 1,
+  kZcdp = 2,
+};
+
+/// Human-readable policy name ("basic", "advanced", "zcdp").
+const char* AccountingPolicyName(AccountingPolicy policy);
 
 /// One registered release.
 struct AccountantEntry {
   std::string label;
-  double epsilon = 0.0;
-  double delta = 0.0;
+  PrivacyLoss loss;
 };
 
-/// Tracks spent budget; queries never consume anything.
-class PrivacyAccountant {
+/// The abstract accounting interface: a ledger of PrivacyLoss entries plus
+/// every composition rule the library knows. Queries never consume
+/// anything. Subclasses fix the POLICY: which total Total() certifies and
+/// which rule WithinBudget() admits by. PrivacyAccountant is the
+/// historical name for the interface and remains an alias.
+class Accountant {
  public:
-  /// Registers a release. Fails on non-positive epsilon or delta outside
-  /// [0, 1).
+  /// The implementation for `policy` with an empty ledger.
+  static std::unique_ptr<Accountant> Create(AccountingPolicy policy);
+
+  virtual ~Accountant() = default;
+
+  virtual AccountingPolicy policy() const = 0;
+
+  /// A deep copy (ledger included); used for prospective budget checks.
+  virtual std::unique_ptr<Accountant> Clone() const = 0;
+
+  /// Registers a release. Fails — with the ledger unchanged — on an
+  /// invalid loss or a loss kind this policy cannot compose (a zCDP
+  /// accountant refuses approximate-DP entries).
+  Status Record(std::string label, PrivacyLoss loss);
+
+  /// OK iff Record would accept `loss` (validity + policy check) —
+  /// without touching the ledger or copying anything.
+  Status CanRecord(const PrivacyLoss& loss) const;
+
+  /// Legacy (eps, delta) entry: pure when delta == 0, approximate
+  /// otherwise. Fails on non-positive epsilon or delta outside [0, 1).
   Status Record(std::string label, double epsilon, double delta);
 
   /// Convenience overload for PrivacyParams.
@@ -38,28 +87,117 @@ class PrivacyAccountant {
   int num_releases() const { return static_cast<int>(entries_.size()); }
   const std::vector<AccountantEntry>& entries() const { return entries_; }
 
-  /// Total guarantee under basic composition: (sum eps_i, sum delta_i).
+  /// Total guarantee under basic composition (Lemma 3.3) of every entry's
+  /// (eps, delta) certificate: (sum eps_i, sum delta_i). Defined for every
+  /// ledger — it is the baseline the tighter policies are compared to.
   PrivacyParams BasicTotal() const;
 
-  /// Total guarantee under advanced composition with slack delta_prime,
-  /// treating every release as (eps_max, delta_max)-DP where eps_max /
-  /// delta_max are the largest registered values (Lemma 3.4 requires a
-  /// uniform per-mechanism guarantee). Fails if nothing was recorded or
-  /// delta_prime is outside (0, 1).
+  /// Total guarantee under advanced composition (Lemma 3.4) with slack
+  /// delta_prime. Lemma 3.4 requires a uniform per-mechanism guarantee, so
+  /// a HETEROGENEOUS ledger fails with a detail naming the maximal entry
+  /// rather than silently uniformizing every release to (eps_max,
+  /// delta_max) and certifying a misleadingly loose total. Also fails if
+  /// nothing was recorded or delta_prime is outside (0, 1).
   Result<PrivacyParams> AdvancedTotal(double delta_prime) const;
 
   /// The smaller-epsilon of BasicTotal and AdvancedTotal(delta_prime);
   /// falls back to basic when advanced is inapplicable.
   PrivacyParams BestTotal(double delta_prime) const;
 
-  /// True iff BestTotal(delta_prime) fits within `budget`.
-  bool WithinBudget(const PrivacyParams& budget, double delta_prime) const;
+  /// Sum of the entries' exact zCDP rates; fails if any entry carries
+  /// none (kApproximate). An empty ledger sums to 0.
+  Result<double> TotalRho() const;
+
+  /// The total this accountant's policy certifies for the ledger, at
+  /// slack / target delta `delta_slack` (advanced composition's delta',
+  /// the zCDP conversion's target delta). Empty ledgers total (0, 0).
+  virtual PrivacyParams Total(double delta_slack) const = 0;
+
+  /// The smallest-epsilon total among the sound bounds this policy's
+  /// ADMISSION rule could certify `budget` through — what WithinBudget
+  /// effectively compares to it. For the basic and advanced policies this
+  /// takes the uniformized Lemma 3.4 bound into account where its delta
+  /// fits the budget (a pure budget only ever admits through Lemma 3.3),
+  /// so it can be smaller than the reported Total(); headroom derived
+  /// from it (ReleaseContext::RemainingBudget) predicts admission instead
+  /// of under- or over-reporting it.
+  virtual PrivacyParams AdmissionTotal(const PrivacyParams& budget,
+                                       double delta_slack) const;
+
+  /// True iff the composed spend fits within `budget` under this policy.
+  /// The basic and advanced policies admit when EITHER Lemma 3.3 or 3.4
+  /// certifies the fit — for heterogeneous ledgers the 3.4 bound is taken
+  /// over the ledger uniformized to (eps_max, delta_max), a sound upper
+  /// bound, so admission matches the pipeline's historical rule even
+  /// where AdvancedTotal refuses to report that number. The zCDP policy
+  /// requires its converted total to fit, so the budget must carry
+  /// delta >= delta_slack once anything was recorded.
+  virtual bool WithinBudget(const PrivacyParams& budget,
+                            double delta_slack) const = 0;
 
   /// Human-readable ledger.
   std::string ToString() const;
 
- private:
+ protected:
+  /// Policy-specific acceptance check for one (already-validated) loss.
+  virtual Status CheckLoss(const PrivacyLoss& loss) const;
+
+  /// The ledger-total line ToString ends with; policies override to show
+  /// their own currency.
+  virtual std::string TotalLine() const;
+
   std::vector<AccountantEntry> entries_;
+};
+
+/// Historical name of the accounting interface.
+using PrivacyAccountant = Accountant;
+
+/// Lemma 3.3 totals; historical admission (fits under either theorem).
+class BasicAccountant final : public Accountant {
+ public:
+  AccountingPolicy policy() const override { return AccountingPolicy::kBasic; }
+  std::unique_ptr<Accountant> Clone() const override {
+    return std::make_unique<BasicAccountant>(*this);
+  }
+  PrivacyParams Total(double delta_slack) const override;
+  bool WithinBudget(const PrivacyParams& budget,
+                    double delta_slack) const override;
+};
+
+/// Best-of basic/advanced totals; same admission rule as kBasic.
+class AdvancedAccountant final : public Accountant {
+ public:
+  AccountingPolicy policy() const override {
+    return AccountingPolicy::kAdvanced;
+  }
+  std::unique_ptr<Accountant> Clone() const override {
+    return std::make_unique<AdvancedAccountant>(*this);
+  }
+  PrivacyParams Total(double delta_slack) const override;
+  bool WithinBudget(const PrivacyParams& budget,
+                    double delta_slack) const override;
+};
+
+/// rho-sum composition: Total(delta_slack) = (ZcdpEpsilon(sum rho_i,
+/// delta_slack), delta_slack). Refuses approximate-DP entries at Record.
+class ZcdpAccountant final : public Accountant {
+ public:
+  AccountingPolicy policy() const override { return AccountingPolicy::kZcdp; }
+  std::unique_ptr<Accountant> Clone() const override {
+    return std::make_unique<ZcdpAccountant>(*this);
+  }
+  PrivacyParams Total(double delta_slack) const override;
+  /// zCDP admission compares exactly Total() to the budget — except that
+  /// a budget whose delta cannot carry the conversion's target delta will
+  /// refuse every admission, which is reported as no headroom at all.
+  PrivacyParams AdmissionTotal(const PrivacyParams& budget,
+                               double delta_slack) const override;
+  bool WithinBudget(const PrivacyParams& budget,
+                    double delta_slack) const override;
+
+ protected:
+  Status CheckLoss(const PrivacyLoss& loss) const override;
+  std::string TotalLine() const override;
 };
 
 }  // namespace dpsp

@@ -1,0 +1,196 @@
+#include "dp/privacy_loss.h"
+
+#include <cmath>
+
+#include "common/table.h"
+
+namespace dpsp {
+
+const char* LossKindName(LossKind kind) {
+  switch (kind) {
+    case LossKind::kPure:
+      return "pure";
+    case LossKind::kApproximate:
+      return "approximate";
+    case LossKind::kZcdp:
+      return "zcdp";
+  }
+  return "unknown";
+}
+
+double ZcdpEpsilon(double rho, double delta) {
+  DPSP_CHECK_MSG(rho >= 0.0 && std::isfinite(rho), "rho must be >= 0");
+  DPSP_CHECK_MSG(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  if (rho == 0.0) return 0.0;
+  return rho + 2.0 * std::sqrt(rho * std::log(1.0 / delta));
+}
+
+double GaussianRho(double l2_sensitivity, double sigma) {
+  DPSP_CHECK_MSG(l2_sensitivity > 0.0, "l2 sensitivity must be positive");
+  DPSP_CHECK_MSG(sigma > 0.0, "sigma must be positive");
+  return l2_sensitivity * l2_sensitivity / (2.0 * sigma * sigma);
+}
+
+PrivacyLoss PrivacyLoss::Pure(double epsilon) {
+  PrivacyLoss loss;
+  loss.kind = LossKind::kPure;
+  loss.epsilon = epsilon;
+  loss.delta = 0.0;
+  loss.rho = 0.5 * epsilon * epsilon;
+  return loss;
+}
+
+PrivacyLoss PrivacyLoss::Approximate(double epsilon, double delta) {
+  PrivacyLoss loss;
+  loss.kind = LossKind::kApproximate;
+  loss.epsilon = epsilon;
+  loss.delta = delta;
+  loss.rho = 0.0;
+  return loss;
+}
+
+Result<PrivacyLoss> PrivacyLoss::Zcdp(double rho, double certificate_delta) {
+  if (!(rho > 0.0) || !std::isfinite(rho)) {
+    return Status::InvalidArgument("rho must be positive and finite");
+  }
+  if (!(certificate_delta > 0.0 && certificate_delta < 1.0)) {
+    return Status::InvalidArgument("certificate delta must be in (0, 1)");
+  }
+  PrivacyLoss loss;
+  loss.kind = LossKind::kZcdp;
+  loss.rho = rho;
+  loss.epsilon = ZcdpEpsilon(rho, certificate_delta);
+  loss.delta = certificate_delta;
+  return loss;
+}
+
+Result<PrivacyLoss> PrivacyLoss::Gaussian(double l2_sensitivity, double sigma,
+                                          double certificate_epsilon,
+                                          double certificate_delta) {
+  if (!(l2_sensitivity > 0.0) || !std::isfinite(l2_sensitivity)) {
+    return Status::InvalidArgument("l2 sensitivity must be positive");
+  }
+  if (!(sigma > 0.0) || !std::isfinite(sigma)) {
+    return Status::InvalidArgument("sigma must be positive");
+  }
+  if (!(certificate_epsilon > 0.0) || !std::isfinite(certificate_epsilon)) {
+    return Status::InvalidArgument("certificate epsilon must be positive");
+  }
+  if (!(certificate_delta > 0.0 && certificate_delta < 1.0)) {
+    return Status::InvalidArgument("certificate delta must be in (0, 1)");
+  }
+  PrivacyLoss loss;
+  loss.kind = LossKind::kZcdp;
+  loss.rho = GaussianRho(l2_sensitivity, sigma);
+  loss.epsilon = certificate_epsilon;
+  loss.delta = certificate_delta;
+  return loss;
+}
+
+Result<PrivacyLoss> PrivacyLoss::GaussianFromParams(
+    const PrivacyParams& params) {
+  DPSP_RETURN_IF_ERROR(params.Validate());
+  if (params.epsilon >= 1.0) {
+    return Status::InvalidArgument(
+        "classic Gaussian calibration requires eps < 1");
+  }
+  if (params.delta <= 0.0) {
+    return Status::InvalidArgument(
+        "classic Gaussian calibration requires delta > 0");
+  }
+  // sigma = sqrt(2 ln(1.25/delta)) s / eps  =>  s^2 / (2 sigma^2)
+  //       = eps^2 / (4 ln(1.25/delta)), sensitivity-free.
+  PrivacyLoss loss;
+  loss.kind = LossKind::kZcdp;
+  loss.rho = params.epsilon * params.epsilon /
+             (4.0 * std::log(1.25 / params.delta));
+  loss.epsilon = params.epsilon;
+  loss.delta = params.delta;
+  return loss;
+}
+
+PrivacyLoss PrivacyLoss::FromParams(const PrivacyParams& params) {
+  return params.delta == 0.0 ? Pure(params.epsilon)
+                             : Approximate(params.epsilon, params.delta);
+}
+
+Result<double> PrivacyLoss::Rho() const {
+  if (!has_rho()) {
+    return Status::FailedPrecondition(
+        "approximate (eps, delta)-DP has no exact zCDP rate; record the "
+        "release as pure DP or at its Gaussian rho");
+  }
+  return rho;
+}
+
+Result<PrivacyParams> PrivacyLoss::ApproxDp(double delta) const {
+  DPSP_RETURN_IF_ERROR(Validate());
+  if (!(delta > 0.0 && delta < 1.0) && !(kind == LossKind::kPure)) {
+    return Status::InvalidArgument("target delta must be in (0, 1)");
+  }
+  PrivacyParams out;
+  switch (kind) {
+    case LossKind::kPure:
+      out.epsilon = epsilon;
+      out.delta = 0.0;
+      return out;
+    case LossKind::kApproximate:
+      if (this->delta > delta + 1e-18) {
+        return Status::InvalidArgument(StrFormat(
+            "loss carries delta=%g, looser than the target delta=%g",
+            this->delta, delta));
+      }
+      out.epsilon = epsilon;
+      out.delta = this->delta;
+      return out;
+    case LossKind::kZcdp:
+      out.epsilon = ZcdpEpsilon(rho, delta);
+      out.delta = delta;
+      return out;
+  }
+  return Status::Internal("unknown loss kind");
+}
+
+Status PrivacyLoss::Validate() const {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("loss epsilon must be positive and finite");
+  }
+  switch (kind) {
+    case LossKind::kPure:
+      if (delta != 0.0) {
+        return Status::InvalidArgument("pure loss must have delta == 0");
+      }
+      break;
+    case LossKind::kApproximate:
+      if (!(delta > 0.0 && delta < 1.0)) {
+        return Status::InvalidArgument(
+            "approximate loss delta must be in (0, 1)");
+      }
+      break;
+    case LossKind::kZcdp:
+      if (!(rho > 0.0) || !std::isfinite(rho)) {
+        return Status::InvalidArgument("zCDP loss rho must be positive");
+      }
+      if (!(delta > 0.0 && delta < 1.0)) {
+        return Status::InvalidArgument(
+            "zCDP certificate delta must be in (0, 1)");
+      }
+      break;
+  }
+  return Status::Ok();
+}
+
+std::string PrivacyLoss::ToString() const {
+  switch (kind) {
+    case LossKind::kPure:
+      return StrFormat("eps=%g (pure, rho=%g)", epsilon, rho);
+    case LossKind::kApproximate:
+      return StrFormat("eps=%g delta=%g (approximate)", epsilon, delta);
+    case LossKind::kZcdp:
+      return StrFormat("rho=%g (zcdp, cert eps=%g delta=%g)", rho, epsilon,
+                       delta);
+  }
+  return "invalid";
+}
+
+}  // namespace dpsp

@@ -1,0 +1,126 @@
+// The privacy-loss value type behind the pluggable accounting API.
+//
+// A release is not inherently an "(epsilon, delta) spend": a Laplace
+// release is pure eps-DP, a Gaussian release is most naturally
+// rho-zero-concentrated-DP (zCDP), and either can be certified in the
+// other currency at a known exchange rate. PrivacyLoss records a release
+// in its natural currency together with the certificates the accountants
+// consume:
+//
+//   * pure eps-DP          => exactly (eps^2 / 2)-zCDP  [BS16, Prop 1.4]
+//   * rho-zCDP             => (rho + 2 sqrt(rho ln(1/delta)), delta)-DP
+//                             for every delta in (0, 1)  [BS16, Prop 1.3;
+//                             the optimal-alpha closed form of the RDP
+//                             conversion]
+//   * Gaussian, stddev sigma on an l2-sensitivity-s query
+//                          => exactly (s^2 / (2 sigma^2))-zCDP
+//   * approximate (eps, delta)-DP has NO exact zCDP rate, so such a loss
+//     carries only its (eps, delta) certificate and a zCDP accountant
+//     refuses it.
+//
+// Accountants (dp/accountant.h) compose whole ledgers of these; mechanisms
+// charge the loss they actually consume instead of being flattened to
+// (eps, delta) at the door.
+
+#ifndef DPSP_DP_PRIVACY_LOSS_H_
+#define DPSP_DP_PRIVACY_LOSS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dp/privacy.h"
+
+namespace dpsp {
+
+/// The natural currency of one release.
+enum class LossKind {
+  /// Pure eps-DP (Laplace with delta == 0). Carries an exact zCDP rate.
+  kPure = 0,
+  /// Approximate (eps, delta)-DP (Laplace calibrated through advanced
+  /// composition). No exact zCDP rate exists.
+  kApproximate = 1,
+  /// rho-zCDP (the Gaussian mechanism's natural rate).
+  kZcdp = 2,
+};
+
+/// Human-readable kind name ("pure", "approximate", "zcdp").
+const char* LossKindName(LossKind kind);
+
+/// The (eps, delta)-DP guarantee certified by rho-zCDP at target delta:
+///   eps = rho + 2 sqrt(rho ln(1/delta))
+/// (the alpha* = 1 + sqrt(ln(1/delta)/rho) optimum of the Renyi-DP
+/// conversion). Requires rho >= 0 and delta in (0, 1); rho == 0 gives 0.
+double ZcdpEpsilon(double rho, double delta);
+
+/// The exact zCDP rate of a Gaussian release with noise stddev `sigma` on
+/// a query of l2 sensitivity `l2_sensitivity` (already including any
+/// neighbor-bound scaling): rho = l2_sensitivity^2 / (2 sigma^2).
+double GaussianRho(double l2_sensitivity, double sigma);
+
+/// One release's privacy loss: the natural currency plus the certificates
+/// every accounting policy can consume. Construct through the factories;
+/// a default-constructed PrivacyLoss is invalid (Validate() fails), which
+/// ReleaseContext uses as the "charge the context's params" sentinel.
+struct PrivacyLoss {
+  LossKind kind = LossKind::kPure;
+  /// The (eps, delta)-DP certificate (basic/advanced composition consume
+  /// this). Always present.
+  double epsilon = 0.0;
+  double delta = 0.0;
+  /// The zCDP certificate (rho-sum accountants consume this). Present for
+  /// every kind except kApproximate.
+  double rho = 0.0;
+
+  /// Pure eps-DP: certificate (eps, 0), exact rate rho = eps^2 / 2.
+  static PrivacyLoss Pure(double epsilon);
+
+  /// Approximate (eps, delta)-DP with delta > 0. Carries no zCDP rate.
+  static PrivacyLoss Approximate(double epsilon, double delta);
+
+  /// Raw rho-zCDP. The (eps, delta) certificate is the conversion at the
+  /// caller-chosen `certificate_delta` (defaults to 1e-9), so every loss
+  /// remains composable under basic composition too.
+  static Result<PrivacyLoss> Zcdp(double rho, double certificate_delta = 1e-9);
+
+  /// A Gaussian release: stddev `sigma` on effective l2 sensitivity
+  /// `l2_sensitivity`, with the classic-calibration (eps, delta) the noise
+  /// was sized for as its approximate-DP certificate. rho is the exact
+  /// rate l2_sensitivity^2 / (2 sigma^2).
+  static Result<PrivacyLoss> Gaussian(double l2_sensitivity, double sigma,
+                                      double certificate_epsilon,
+                                      double certificate_delta);
+
+  /// The loss of one classic-calibrated Gaussian release at `params`
+  /// (dp/gaussian_mechanism.h, sigma = sqrt(2 ln(1.25/delta)) s / eps):
+  /// rho = eps^2 / (4 ln(1.25/delta)), independent of the sensitivity —
+  /// which is what lets the release pipeline budget-check a Gaussian
+  /// build BEFORE the released vector's size is known. Requires
+  /// 0 < eps < 1 and delta > 0 (the classic calibration's domain).
+  static Result<PrivacyLoss> GaussianFromParams(const PrivacyParams& params);
+
+  /// The loss one release of `params` costs under the Laplace-family
+  /// calibration the mechanisms use: Pure(eps) when delta == 0, otherwise
+  /// Approximate(eps, delta).
+  static PrivacyLoss FromParams(const PrivacyParams& params);
+
+  /// True when this loss carries an exact zCDP rate.
+  bool has_rho() const { return kind != LossKind::kApproximate; }
+
+  /// The exact zCDP rate; fails for kApproximate (no exact conversion
+  /// from approximate DP to zCDP exists).
+  Result<double> Rho() const;
+
+  /// The (eps, delta)-DP guarantee at a caller-chosen delta: the exact
+  /// conversion ZcdpEpsilon(rho, delta) for kinds carrying a rho, and the
+  /// recorded certificate for kApproximate (whose own delta must not
+  /// exceed `delta`).
+  Result<PrivacyParams> ApproxDp(double delta) const;
+
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace dpsp
+
+#endif  // DPSP_DP_PRIVACY_LOSS_H_

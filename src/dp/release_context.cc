@@ -1,114 +1,151 @@
 #include "dp/release_context.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "common/table.h"
 
 namespace dpsp {
 
 std::string ReleaseTelemetry::ToString() const {
   return StrFormat(
-      "%s: eps=%g delta=%g sensitivity=%g scale=%g draws=%d wall=%.3fms",
-      mechanism.c_str(), epsilon, delta, sensitivity, noise_scale,
-      noise_draws, wall_ms);
+      "%s: %s sensitivity=%g scale=%g draws=%d wall=%.3fms",
+      mechanism.c_str(), loss.Validate().ok()
+                             ? loss.ToString().c_str()
+                             : StrFormat("eps=%g delta=%g", epsilon,
+                                         delta).c_str(),
+      sensitivity, noise_scale, noise_draws, wall_ms);
 }
 
-ReleaseContext::ReleaseContext(const PrivacyParams& params, uint64_t seed)
+ReleaseContext::ReleaseContext(const PrivacyParams& params, uint64_t seed,
+                               AccountingPolicy policy)
     : params_(params),
       rng_(std::make_unique<Rng>(seed)),
-      accountant_(std::make_unique<PrivacyAccountant>()) {}
+      accountant_(Accountant::Create(policy)) {}
 
 Result<ReleaseContext> ReleaseContext::Create(const PrivacyParams& params,
-                                              uint64_t seed) {
+                                              uint64_t seed,
+                                              AccountingPolicy policy) {
   DPSP_RETURN_IF_ERROR(params.Validate());
-  return ReleaseContext(params, seed);
+  return ReleaseContext(params, seed, policy);
 }
 
 void ReleaseContext::SetTotalBudget(const PrivacyParams& budget,
                                     double delta_slack) {
+  // A slack outside (0, 1) is a programming error: it would not fail
+  // here but as a permanent, misleading "budget exhausted" on every
+  // later charge (the zCDP conversion returns +inf epsilon).
+  DPSP_CHECK_MSG(delta_slack > 0.0 && delta_slack < 1.0,
+                 "delta_slack must be in (0, 1)");
   has_total_budget_ = true;
   total_budget_ = budget;
   delta_slack_ = delta_slack;
 }
 
-namespace {
-
-bool Fits(const PrivacyParams& total, const PrivacyParams& budget) {
-  return total.epsilon <= budget.epsilon + 1e-12 &&
-         total.delta <= budget.delta + 1e-12;
+PrivacyParams ReleaseContext::SpentTotal() const {
+  return accountant_->Total(delta_slack_);
 }
 
-}  // namespace
+PrivacyParams ReleaseContext::RemainingBudget() const {
+  PrivacyParams remaining;
+  if (!has_total_budget_) {
+    remaining.epsilon = std::numeric_limits<double>::infinity();
+    remaining.delta = std::numeric_limits<double>::infinity();
+    return remaining;
+  }
+  // Headroom must predict ADMISSION: on a heterogeneous basic-policy
+  // ledger the reported Total() can exceed the budget while the
+  // uniformized advanced bound still admits, and clients pacing their
+  // releases off this number must not stop while the server would grant.
+  PrivacyParams spent =
+      accountant_->AdmissionTotal(total_budget_, delta_slack_);
+  remaining.epsilon = std::max(0.0, total_budget_.epsilon - spent.epsilon);
+  remaining.delta = std::max(0.0, total_budget_.delta - spent.delta);
+  return remaining;
+}
 
 Status ReleaseContext::CheckProspective(const std::string& label,
-                                        double epsilon, double delta) const {
-  if (!has_total_budget_) return Status::Ok();
-  // Check against a scratch copy so nothing is recorded.
-  PrivacyAccountant prospective = *accountant_;
-  DPSP_RETURN_IF_ERROR(prospective.Record(label, epsilon, delta));
-  // The total fits if EITHER composition theorem certifies it: a pure
-  // (delta = 0) budget is satisfiable by the basic total even when the
-  // smaller-epsilon advanced total carries the delta_slack.
-  if (Fits(prospective.BasicTotal(), total_budget_)) return Status::Ok();
-  Result<PrivacyParams> advanced = prospective.AdvancedTotal(delta_slack_);
-  if (advanced.ok() && Fits(*advanced, total_budget_)) return Status::Ok();
-  PrivacyParams total = prospective.BestTotal(delta_slack_);
+                                        const PrivacyLoss& loss) const {
+  // Validate (and policy-check) the loss even without a ceiling, so a
+  // release the active accountant cannot compose fails BEFORE any noise
+  // is drawn rather than at the recording step. Only a budgeted context
+  // pays for the prospective ledger copy.
+  if (!has_total_budget_) return accountant_->CanRecord(loss);
+  std::unique_ptr<Accountant> prospective = accountant_->Clone();
+  DPSP_RETURN_IF_ERROR(prospective->Record(label, loss));
+  if (prospective->WithinBudget(total_budget_, delta_slack_)) {
+    return Status::Ok();
+  }
+  PrivacyParams total = prospective->Total(delta_slack_);
   return Status::FailedPrecondition(StrFormat(
-      "privacy budget exhausted: release '%s' would bring the total to "
-      "eps=%g delta=%g, over the budget eps=%g delta=%g",
-      label.c_str(), total.epsilon, total.delta, total_budget_.epsilon,
+      "privacy budget exhausted: release '%s' would bring the %s-composed "
+      "total to eps=%g delta=%g, over the budget eps=%g delta=%g",
+      label.c_str(), AccountingPolicyName(accountant_->policy()),
+      total.epsilon, total.delta, total_budget_.epsilon,
       total_budget_.delta));
 }
 
+Status ReleaseContext::CheckBudgetFor(const std::string& label,
+                                      const PrivacyLoss& loss) const {
+  return CheckProspective(label, loss);
+}
+
 Status ReleaseContext::CheckBudgetFor(const std::string& label) const {
-  return CheckProspective(label, params_.epsilon, params_.delta);
+  return CheckProspective(label, ReleaseLoss());
+}
+
+Status ReleaseContext::ChargeRelease(std::string label, PrivacyLoss loss) {
+  DPSP_RETURN_IF_ERROR(CheckProspective(label, loss));
+  return accountant_->Record(std::move(label), loss);
 }
 
 Status ReleaseContext::ChargeRelease(std::string label, double epsilon,
                                      double delta) {
-  DPSP_RETURN_IF_ERROR(CheckProspective(label, epsilon, delta));
-  return accountant_->Record(std::move(label), epsilon, delta);
+  // PrivacyLoss::Validate (via the budget check) rejects out-of-range
+  // (epsilon, delta) — no need to duplicate the bounds here.
+  return ChargeRelease(std::move(label),
+                       delta == 0.0
+                           ? PrivacyLoss::Pure(epsilon)
+                           : PrivacyLoss::Approximate(epsilon, delta));
 }
 
 Status ReleaseContext::ChargeRelease(std::string label) {
-  return ChargeRelease(std::move(label), params_.epsilon, params_.delta);
+  return ChargeRelease(std::move(label), ReleaseLoss());
 }
 
 Status ReleaseContext::CommitRelease(ReleaseTelemetry t) {
-  t.epsilon = params_.epsilon;
-  t.delta = params_.delta;
-  DPSP_RETURN_IF_ERROR(
-      ChargeRelease(t.mechanism, t.epsilon, t.delta));
+  if (!t.loss.Validate().ok()) t.loss = ReleaseLoss();
+  t.epsilon = t.loss.epsilon;
+  t.delta = t.loss.delta;
+  DPSP_RETURN_IF_ERROR(ChargeRelease(t.mechanism, t.loss));
   telemetry_.push_back(std::move(t));
   return Status::Ok();
 }
 
 ReleaseContext ReleaseContext::Fork() {
-  return ReleaseContext(params_, rng_->NextSeed());
+  return ReleaseContext(params_, rng_->NextSeed(), accountant_->policy());
 }
 
 Status ReleaseContext::AbsorbShard(const ReleaseContext& shard) {
-  // All-or-nothing: replay the shard's ledger onto a scratch accountant
-  // first so a budget failure leaves this context unchanged.
-  PrivacyAccountant prospective = *accountant_;
+  // All-or-nothing: replay the shard's ledger — each entry in its
+  // original PrivacyLoss currency — onto a scratch accountant first so a
+  // budget failure leaves this context unchanged.
+  std::unique_ptr<Accountant> prospective = accountant_->Clone();
   for (const AccountantEntry& e : shard.accountant().entries()) {
-    DPSP_RETURN_IF_ERROR(prospective.Record(e.label, e.epsilon, e.delta));
+    DPSP_RETURN_IF_ERROR(prospective->Record(e.label, e.loss));
   }
-  if (has_total_budget_) {
-    bool fits = Fits(prospective.BasicTotal(), total_budget_);
-    if (!fits) {
-      Result<PrivacyParams> advanced = prospective.AdvancedTotal(delta_slack_);
-      fits = advanced.ok() && Fits(*advanced, total_budget_);
-    }
-    if (!fits) {
-      PrivacyParams total = prospective.BestTotal(delta_slack_);
-      return Status::FailedPrecondition(StrFormat(
-          "privacy budget exhausted: absorbing a shard of %d releases "
-          "would bring the total to eps=%g delta=%g, over the budget "
-          "eps=%g delta=%g",
-          shard.accountant().num_releases(), total.epsilon, total.delta,
-          total_budget_.epsilon, total_budget_.delta));
-    }
+  if (has_total_budget_ &&
+      !prospective->WithinBudget(total_budget_, delta_slack_)) {
+    PrivacyParams total = prospective->Total(delta_slack_);
+    return Status::FailedPrecondition(StrFormat(
+        "privacy budget exhausted: absorbing a shard of %d releases "
+        "would bring the %s-composed total to eps=%g delta=%g, over the "
+        "budget eps=%g delta=%g",
+        shard.accountant().num_releases(),
+        AccountingPolicyName(accountant_->policy()), total.epsilon,
+        total.delta, total_budget_.epsilon, total_budget_.delta));
   }
-  *accountant_ = std::move(prospective);
+  accountant_ = std::move(prospective);
   telemetry_.insert(telemetry_.end(), shard.telemetry_.begin(),
                     shard.telemetry_.end());
   return Status::Ok();

@@ -6,6 +6,12 @@
 // release telemetry (sensitivity, noise scale, draw count, wall time) for
 // monitoring. ReleaseContext bundles all four; OracleRegistry factories
 // (core/oracle_registry.h) take one instead of raw (params, rng) pairs.
+//
+// Accounting is pluggable: Create(params, seed, policy) selects which
+// composition theorem the ledger certifies totals and admits releases by
+// (dp/accountant.h). Every release is metered as a PrivacyLoss — its
+// natural currency (pure / approximate / zCDP) — so a Gaussian release can
+// spend its exact rho rate instead of being flattened to (eps, delta).
 
 #ifndef DPSP_DP_RELEASE_CONTEXT_H_
 #define DPSP_DP_RELEASE_CONTEXT_H_
@@ -20,6 +26,7 @@
 #include "common/table.h"
 #include "dp/accountant.h"
 #include "dp/privacy.h"
+#include "dp/privacy_loss.h"
 
 namespace dpsp {
 
@@ -27,9 +34,12 @@ namespace dpsp {
 struct ReleaseTelemetry {
   /// Mechanism name as registered (e.g. "tree-recursive").
   std::string mechanism;
-  /// Budget drawn for the release.
+  /// Budget drawn for the release, as its (eps, delta) certificate.
   double epsilon = 0.0;
   double delta = 0.0;
+  /// The loss the release was metered at. Left default (invalid), the
+  /// committing context fills it with ReleaseLoss().
+  PrivacyLoss loss;
   /// The l1 sensitivity the noise was calibrated to (0 when exact).
   double sensitivity = 0.0;
   /// Per-value noise scale of the release (0 when exact).
@@ -49,9 +59,11 @@ class ReleaseContext {
  public:
   /// Validates `params` once; every release built through this context may
   /// rely on them being valid. The context owns a fresh Rng seeded with
-  /// `seed` and an empty accountant.
-  static Result<ReleaseContext> Create(const PrivacyParams& params,
-                                       uint64_t seed);
+  /// `seed` and an empty accountant for `policy` (kBasic preserves the
+  /// historical totals and admission bit-for-bit).
+  static Result<ReleaseContext> Create(
+      const PrivacyParams& params, uint64_t seed,
+      AccountingPolicy policy = AccountingPolicy::kBasic);
 
   ReleaseContext(ReleaseContext&&) = default;
   ReleaseContext& operator=(ReleaseContext&&) = default;
@@ -61,77 +73,116 @@ class ReleaseContext {
   /// The per-release budget mechanisms draw. Always valid.
   const PrivacyParams& params() const { return params_; }
   Rng* rng() { return rng_.get(); }
-  PrivacyAccountant& accountant() { return *accountant_; }
-  const PrivacyAccountant& accountant() const { return *accountant_; }
+  Accountant& accountant() { return *accountant_; }
+  const Accountant& accountant() const { return *accountant_; }
+  AccountingPolicy policy() const { return accountant_->policy(); }
+
+  /// The loss one release of params() costs under the Laplace-family
+  /// calibration: Pure(eps) when delta == 0, Approximate otherwise.
+  /// Gaussian-calibrated factories charge PrivacyLoss::GaussianFromParams
+  /// instead (their natural zCDP rate).
+  PrivacyLoss ReleaseLoss() const { return PrivacyLoss::FromParams(params_); }
 
   /// Installs a cross-release ceiling: subsequent ChargeRelease calls fail
-  /// (without recording) once the accountant's best composed total would
-  /// exceed `budget`. `delta_slack` is the advanced-composition slack.
+  /// (without recording) once the accountant's composed total would exceed
+  /// `budget` under the active policy. `delta_slack` is the advanced-
+  /// composition slack and the zCDP conversion's target delta.
   void SetTotalBudget(const PrivacyParams& budget, double delta_slack = 1e-9);
   bool has_total_budget() const { return has_total_budget_; }
+  const PrivacyParams& total_budget() const { return total_budget_; }
+  double delta_slack() const { return delta_slack_; }
 
-  /// Meters one release of (epsilon, delta) under `label`. With a total
-  /// budget installed, fails with FailedPrecondition when the ledger would
-  /// exceed it under BOTH basic and advanced composition, leaving the
-  /// ledger unchanged.
+  /// The policy-certified total of everything charged so far.
+  PrivacyParams SpentTotal() const;
+
+  /// Headroom left under the total budget before admission refuses:
+  /// budget minus the accountant's AdmissionTotal, clamped at zero —
+  /// which can exceed budget minus SpentTotal() on ledgers the admission
+  /// rule certifies through a tighter sound bound than the reported
+  /// total. Infinite in both coordinates when no total budget is
+  /// installed.
+  PrivacyParams RemainingBudget() const;
+
+  /// Meters one release of `loss` under `label`. With a total budget
+  /// installed, fails with FailedPrecondition when the ledger would exceed
+  /// it under the active policy, leaving the ledger unchanged.
+  Status ChargeRelease(std::string label, PrivacyLoss loss);
+
+  /// Legacy (eps, delta) metering (pure when delta == 0).
   Status ChargeRelease(std::string label, double epsilon, double delta);
-
-  /// The same budget check as ChargeRelease without recording anything:
-  /// OK iff one more release of params() would still fit. Factories call
-  /// this BEFORE building so an exhausted context refuses without paying
-  /// construction cost or drawing noise.
-  Status CheckBudgetFor(const std::string& label) const;
 
   /// Meters one release of the context's own params().
   Status ChargeRelease(std::string label);
 
-  /// Atomically meters and records one release of params() built by a
-  /// factory: fills t.epsilon/t.delta from params(), charges the
-  /// accountant under t.mechanism, and appends the telemetry — or, when
-  /// the total budget would be exceeded, records nothing and fails, in
-  /// which case the caller must discard the built object unreleased.
-  /// Factories call this AFTER a successful build so failed builds never
-  /// consume budget.
+  /// The same budget check as ChargeRelease without recording anything:
+  /// OK iff one more release of `loss` would still fit. Factories call
+  /// this BEFORE building so an exhausted context refuses without paying
+  /// construction cost or drawing noise.
+  Status CheckBudgetFor(const std::string& label, const PrivacyLoss& loss) const;
+
+  /// CheckBudgetFor one release of params() (ReleaseLoss()).
+  Status CheckBudgetFor(const std::string& label) const;
+
+  /// Atomically meters and records one release built by a factory: charges
+  /// t.loss (filling it with ReleaseLoss() when left default), mirrors its
+  /// (eps, delta) certificate into t.epsilon/t.delta, and appends the
+  /// telemetry — or, when the total budget would be exceeded, records
+  /// nothing and fails, in which case the caller must discard the built
+  /// object unreleased. Factories call this AFTER a successful build so
+  /// failed builds never consume budget.
   Status CommitRelease(ReleaseTelemetry t);
 
   /// The one metering protocol every factory runs: check the budget BEFORE
   /// building (an exhausted context refuses without paying construction
   /// cost or drawing noise), time the build, then atomically commit the
-  /// release — so a mechanism cannot mis-order the sequence. `build` is a
-  /// nullary callable returning Result<P> for some pointer-like P (the
-  /// factories return Result<std::unique_ptr<Oracle>>); `annotate` fills
-  /// the mechanism-specific telemetry fields (sensitivity, noise scale,
-  /// draw count) from the built object: annotate(*pointer, telemetry).
-  /// Wall time, epsilon and delta are filled here. When the commit fails
-  /// the built object is discarded unreleased and nothing is recorded.
+  /// release — so a mechanism cannot mis-order the sequence. `loss` is the
+  /// PrivacyLoss the release consumes (the context's ReleaseLoss() in the
+  /// three-argument overload; Gaussian-calibrated factories pass their
+  /// zCDP rate). `build` is a nullary callable returning Result<P> for
+  /// some pointer-like P (the factories return
+  /// Result<std::unique_ptr<Oracle>>); `annotate` fills the mechanism-
+  /// specific telemetry fields (sensitivity, noise scale, draw count) from
+  /// the built object: annotate(*pointer, telemetry). Wall time and the
+  /// charged loss are filled here. When the commit fails the built object
+  /// is discarded unreleased and nothing is recorded.
   template <typename Builder, typename Annotate>
-  auto MeteredBuild(const std::string& mechanism, Builder&& build,
-                    Annotate&& annotate) -> decltype(build()) {
+  auto MeteredBuild(const std::string& mechanism, const PrivacyLoss& loss,
+                    Builder&& build, Annotate&& annotate) -> decltype(build()) {
     WallTimer timer;
-    DPSP_RETURN_IF_ERROR(CheckBudgetFor(mechanism));
+    DPSP_RETURN_IF_ERROR(CheckBudgetFor(mechanism, loss));
     auto built = build();
     if (!built.ok()) return built.status();
     ReleaseTelemetry t;
     t.mechanism = mechanism;
+    t.loss = loss;
     annotate(*built.value(), t);
     t.wall_ms = timer.Ms();
     DPSP_RETURN_IF_ERROR(CommitRelease(std::move(t)));
     return built;
   }
 
+  template <typename Builder, typename Annotate>
+  auto MeteredBuild(const std::string& mechanism, Builder&& build,
+                    Annotate&& annotate) -> decltype(build()) {
+    return MeteredBuild(mechanism, ReleaseLoss(),
+                        std::forward<Builder>(build),
+                        std::forward<Annotate>(annotate));
+  }
+
   /// A shard-local child context for sharded build/serve pipelines: the
-  /// same validated params, a fresh Rng seeded from this context's stream,
-  /// an empty ledger, and no total budget (the parent's ceiling is
-  /// enforced when the shard is absorbed). Build per-shard releases
-  /// through the child, then compose the spend back with AbsorbShard.
+  /// same validated params and accounting policy, a fresh Rng seeded from
+  /// this context's stream, an empty ledger, and no total budget (the
+  /// parent's ceiling is enforced when the shard is absorbed). Build
+  /// per-shard releases through the child, then compose the spend back
+  /// with AbsorbShard.
   ReleaseContext Fork();
 
-  /// Composes a shard's ledger into this one atomically: every release
-  /// recorded by `shard` is re-charged here under the parent's total
-  /// budget — all of them, or (when the composed total would exceed the
-  /// budget) none, with FailedPrecondition — and the shard's telemetry is
-  /// appended. The resulting ledger is identical to having built the
-  /// shard's releases through this context directly.
+  /// Composes a shard's ledger into this one atomically: every PrivacyLoss
+  /// recorded by `shard` is re-charged here — in its original currency —
+  /// under the parent's total budget; all of them, or (when the composed
+  /// total would exceed the budget) none, with FailedPrecondition — and
+  /// the shard's telemetry is appended. The resulting ledger is identical
+  /// to having built the shard's releases through this context directly.
   Status AbsorbShard(const ReleaseContext& shard);
 
   /// Appends one telemetry record without charging (used by the exact,
@@ -147,14 +198,15 @@ class ReleaseContext {
   std::string ToString() const;
 
  private:
-  ReleaseContext(const PrivacyParams& params, uint64_t seed);
+  ReleaseContext(const PrivacyParams& params, uint64_t seed,
+                 AccountingPolicy policy);
 
-  Status CheckProspective(const std::string& label, double epsilon,
-                          double delta) const;
+  Status CheckProspective(const std::string& label,
+                          const PrivacyLoss& loss) const;
 
   PrivacyParams params_;
   std::unique_ptr<Rng> rng_;
-  std::unique_ptr<PrivacyAccountant> accountant_;
+  std::unique_ptr<Accountant> accountant_;
   std::vector<ReleaseTelemetry> telemetry_;
   bool has_total_budget_ = false;
   PrivacyParams total_budget_;

@@ -144,11 +144,11 @@ const char* ErrorKindName(ErrorKind kind) {
 // ------------------------------------------------------------- frame I/O --
 
 Status WriteFrame(Socket& socket, MessageType type,
-                  std::span<const uint8_t> body) {
+                  std::span<const uint8_t> body, uint16_t version) {
   WireWriter header;
   header.Reserve(12 + body.size());
   header.U32(kFrameMagic);
-  header.U16(kProtocolVersion);
+  header.U16(version);
   header.U16(static_cast<uint16_t>(type));
   header.U32(static_cast<uint32_t>(body.size()));
   // One send: header and body coalesce into as few packets as possible.
@@ -170,11 +170,11 @@ Result<Frame> ReadFrame(Socket& socket, uint32_t max_body_bytes) {
   if (magic != kFrameMagic) {
     return Status::InvalidArgument("bad frame magic (not a dpsp peer?)");
   }
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     return Status::InvalidArgument(
         StrFormat("protocol version mismatch: peer speaks %u, this build "
-                  "speaks %u",
-                  version, kProtocolVersion));
+                  "speaks %u-%u",
+                  version, kMinProtocolVersion, kProtocolVersion));
   }
   if (body_size > max_body_bytes) {
     return Status::OutOfRange(
@@ -183,6 +183,7 @@ Result<Frame> ReadFrame(Socket& socket, uint32_t max_body_bytes) {
   }
   Frame frame;
   frame.type = static_cast<MessageType>(type);
+  frame.version = version;
   frame.body.resize(body_size);
   if (body_size > 0) {
     DPSP_RETURN_IF_ERROR(socket.ReadAll(frame.body.data(), body_size));
@@ -287,7 +288,8 @@ Result<std::vector<double>> DecodeQueryResponse(
   return distances;
 }
 
-std::vector<uint8_t> EncodeServerStats(const ServerStats& stats) {
+std::vector<uint8_t> EncodeServerStats(const ServerStats& stats,
+                                       uint16_t version) {
   WireWriter w;
   w.U64(stats.connections_accepted);
   w.U64(stats.queries_served);
@@ -296,6 +298,15 @@ std::vector<uint8_t> EncodeServerStats(const ServerStats& stats) {
   w.U64(stats.budget_rejected);
   w.U64(stats.overload_rejected);
   w.U32(stats.open_handles);
+  // v2 accounting extension; a v1 peer gets the body shape its decoder
+  // expects (ExpectEnd would reject trailing bytes).
+  if (version >= 2) {
+    w.U16(stats.accounting_policy);
+    w.F64(stats.spent_epsilon);
+    w.F64(stats.spent_delta);
+    w.F64(stats.remaining_epsilon);
+    w.F64(stats.remaining_delta);
+  }
   return w.Take();
 }
 
@@ -309,7 +320,16 @@ Result<ServerStats> DecodeServerStats(std::span<const uint8_t> body) {
   DPSP_RETURN_IF_ERROR(r.U64(&stats.budget_rejected));
   DPSP_RETURN_IF_ERROR(r.U64(&stats.overload_rejected));
   DPSP_RETURN_IF_ERROR(r.U32(&stats.open_handles));
+  // A body that ends here is a v1 peer: the accounting extension stays at
+  // its defaults and has_accounting records its absence.
+  if (r.remaining() == 0) return stats;
+  DPSP_RETURN_IF_ERROR(r.U16(&stats.accounting_policy));
+  DPSP_RETURN_IF_ERROR(r.F64(&stats.spent_epsilon));
+  DPSP_RETURN_IF_ERROR(r.F64(&stats.spent_delta));
+  DPSP_RETURN_IF_ERROR(r.F64(&stats.remaining_epsilon));
+  DPSP_RETURN_IF_ERROR(r.F64(&stats.remaining_delta));
   DPSP_RETURN_IF_ERROR(r.ExpectEnd());
+  stats.has_accounting = true;
   return stats;
 }
 

@@ -16,9 +16,27 @@
 //   QueryRequest     u32 handle_id, u32 num_pairs, num_pairs x (i32 u, i32 v)
 //   QueryResponse    u32 num_pairs, num_pairs x f64 distance
 //   StatsRequest     (empty)
-//   StatsResponse    6 x u64 counters, u32 open_handles (ServerStats order)
+//   StatsResponse    6 x u64 counters, u32 open_handles (ServerStats order);
+//                    since v2, followed by the accounting extension:
+//                    u16 policy (AccountingPolicy), f64 spent_epsilon,
+//                    f64 spent_delta, f64 remaining_epsilon,
+//                    f64 remaining_delta (+inf when no total budget)
 //   Error            u16 kind (ErrorKind), u16 status code (StatusCode),
 //                    str message
+//
+// Versioning: v2 added the StatsResponse accounting extension. The bump
+// is backward compatible in both directions of a rolling upgrade where
+// servers are upgraded first:
+//   * decode: ReadFrame accepts any version in [kMinProtocolVersion,
+//     kProtocolVersion] and reports the peer's version on the Frame;
+//     DecodeServerStats treats a body that ends after the v1 fields as a
+//     v1 peer (has_accounting stays false).
+//   * encode: the server echoes each REQUEST's version on its responses
+//     (a v1 client never sees a v2 header, whose equality check it would
+//     reject) and encodes the v1 stats body for v1 peers.
+// A v2 client against a not-yet-upgraded v1 server is the one pairing
+// that still fails, at the v1 server's version check — upgrade servers
+// before clients.
 //
 // Strings are u32 length + raw bytes (no terminator). Every decoder
 // validates length prefixes against the remaining body and rejects
@@ -44,7 +62,10 @@ namespace dpsp {
 namespace net {
 
 inline constexpr uint32_t kFrameMagic = 0x44505350u;  // "DPSP"
-inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr uint16_t kProtocolVersion = 2;
+/// Oldest peer version this build still decodes (v1 lacked the
+/// StatsResponse accounting extension; everything else is identical).
+inline constexpr uint16_t kMinProtocolVersion = 1;
 /// Frames above this body size are rejected before allocation: 1M pairs.
 inline constexpr uint32_t kMaxBodyBytes = 16u << 20;
 
@@ -76,12 +97,17 @@ const char* ErrorKindName(ErrorKind kind);
 /// One decoded frame.
 struct Frame {
   MessageType type = MessageType::kError;
+  /// The protocol version the peer stamped on the header; responders echo
+  /// it so older peers never see a newer header.
+  uint16_t version = kProtocolVersion;
   std::vector<uint8_t> body;
 };
 
-/// Writes one frame (header + body).
+/// Writes one frame (header + body) at `version` (the responder passes
+/// the request's version through).
 Status WriteFrame(Socket& socket, MessageType type,
-                  std::span<const uint8_t> body);
+                  std::span<const uint8_t> body,
+                  uint16_t version = kProtocolVersion);
 
 /// Reads one frame, validating magic, version, and the body-size ceiling.
 /// A clean EOF before the header surfaces as kNotFound (peer hung up).
@@ -113,7 +139,10 @@ struct QueryRequest {
 };
 
 /// Server-side counters, exposed over StatsRequest for monitoring and the
-/// load generator's sanity checks.
+/// load generator's sanity checks. Since protocol v2 the frame also
+/// carries the budget position under the server's active accounting
+/// policy (dp/accountant.h), so remote clients can pace their releases
+/// without a server-side round trip per attempt.
 struct ServerStats {
   uint64_t connections_accepted = 0;
   uint64_t queries_served = 0;
@@ -122,6 +151,22 @@ struct ServerStats {
   uint64_t budget_rejected = 0;
   uint64_t overload_rejected = 0;
   uint32_t open_handles = 0;
+
+  /// False when decoded from a v1 peer (the fields below are defaults).
+  /// Not on the wire; set by the decoder.
+  bool has_accounting = false;
+  /// The server ledger's AccountingPolicy, as its wire value.
+  uint16_t accounting_policy = 0;
+  /// The policy-certified total spent so far (ReleaseContext::SpentTotal).
+  double spent_epsilon = 0.0;
+  double spent_delta = 0.0;
+  /// Headroom under the server's total budget before admission refuses
+  /// (ReleaseContext::RemainingBudget); +infinity when none is installed.
+  /// Derived from the admission rule's tightest sound bound, so
+  /// spent + remaining may exceed the budget on ledgers where the
+  /// reported total is looser than what admission certifies.
+  double remaining_epsilon = 0.0;
+  double remaining_delta = 0.0;
 };
 
 /// A decoded Error frame.
@@ -147,7 +192,10 @@ Result<QueryRequest> DecodeQueryRequest(std::span<const uint8_t> body);
 std::vector<uint8_t> EncodeQueryResponse(std::span<const double> distances);
 Result<std::vector<double>> DecodeQueryResponse(std::span<const uint8_t> body);
 
-std::vector<uint8_t> EncodeServerStats(const ServerStats& stats);
+/// Encodes the v1 counter fields, plus the accounting extension when
+/// `version` >= 2 (v1 peers get the body their decoder expects).
+std::vector<uint8_t> EncodeServerStats(const ServerStats& stats,
+                                       uint16_t version = kProtocolVersion);
 Result<ServerStats> DecodeServerStats(std::span<const uint8_t> body);
 
 std::vector<uint8_t> EncodeError(ErrorKind kind, const Status& status);

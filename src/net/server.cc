@@ -58,7 +58,17 @@ QueryServer::QueryServer(QueryServerOptions options, ReleaseContext context)
     : options_(std::move(options)),
       inflight_limit_(DeriveInflightLimit(options_.max_inflight_queries)),
       context_(std::move(context)),
-      executor_(options_.executor) {}
+      executor_(options_.executor) {
+  RefreshBudgetSnapshot();
+}
+
+void QueryServer::RefreshBudgetSnapshot() {
+  PrivacyParams spent = context_.SpentTotal();
+  PrivacyParams remaining = context_.RemainingBudget();
+  std::lock_guard<std::mutex> lock(budget_mutex_);
+  spent_snapshot_ = spent;
+  remaining_snapshot_ = remaining;
+}
 
 QueryServer::~QueryServer() { Stop(); }
 
@@ -183,6 +193,13 @@ void QueryServer::ReapFinishedConnections() {
 
 void QueryServer::ServeConnection(Connection* connection) {
   Socket& socket = connection->socket;
+  // The version the peer last spoke; best-effort errors for unreadable
+  // frames echo it so an older peer can still decode them. Before the
+  // first good frame, guess the OLDEST supported version: this build's
+  // decoder accepts the whole range, so a v1-stamped error is readable
+  // by every peer, where a v2 stamp would be rejected by a v1 client's
+  // equality check.
+  uint16_t peer_version = kMinProtocolVersion;
   while (!stopping_.load()) {
     Result<Frame> frame = ReadFrame(socket);
     if (!frame.ok()) {
@@ -191,10 +208,12 @@ void QueryServer::ServeConnection(Connection* connection) {
       // (the stream cannot be resynchronized either way).
       if (frame.status().code() != StatusCode::kNotFound &&
           !stopping_.load()) {
-        SendError(socket, ErrorKind::kMalformed, frame.status());
+        SendError(socket, ErrorKind::kMalformed, frame.status(),
+                  peer_version);
       }
       break;
     }
+    peer_version = frame->version;
     if (!DispatchFrame(socket, *frame)) break;
   }
   connection->done.store(true);
@@ -203,27 +222,29 @@ void QueryServer::ServeConnection(Connection* connection) {
 bool QueryServer::DispatchFrame(Socket& socket, const Frame& frame) {
   switch (frame.type) {
     case MessageType::kReleaseRequest:
-      HandleRelease(socket, frame.body);
+      HandleRelease(socket, frame.body, frame.version);
       return true;
     case MessageType::kQueryRequest:
-      HandleQuery(socket, frame.body);
+      HandleQuery(socket, frame.body, frame.version);
       return true;
     case MessageType::kStatsRequest:
-      HandleStats(socket);
+      HandleStats(socket, frame.version);
       return true;
     default:
       SendError(socket, ErrorKind::kMalformed,
                 Status::InvalidArgument(
-                    "unexpected message type for a request"));
+                    "unexpected message type for a request"),
+                frame.version);
       return false;
   }
 }
 
 void QueryServer::HandleRelease(Socket& socket,
-                                std::span<const uint8_t> body) {
+                                std::span<const uint8_t> body,
+                                uint16_t version) {
   Result<ReleaseRequest> request = DecodeReleaseRequest(body);
   if (!request.ok()) {
-    SendError(socket, ErrorKind::kMalformed, request.status());
+    SendError(socket, ErrorKind::kMalformed, request.status(), version);
     return;
   }
   const Workload* workload = nullptr;
@@ -233,19 +254,19 @@ void QueryServer::HandleRelease(Socket& socket,
   if (workload == nullptr) {
     SendError(socket, ErrorKind::kNotFound,
               Status::NotFound("no workload loaded under '" +
-                               request->workload + "'"));
+                               request->workload + "'"), version);
     return;
   }
   const OracleRegistry& registry = OracleRegistry::Global();
   if (!registry.Contains(request->mechanism)) {
     SendError(socket, ErrorKind::kNotFound,
               Status::NotFound("no oracle registered under '" +
-                               request->mechanism + "'"));
+                               request->mechanism + "'"), version);
     return;
   }
   if (request->handle_name.empty()) {
     SendError(socket, ErrorKind::kMalformed,
-              Status::InvalidArgument("handle name must not be empty"));
+              Status::InvalidArgument("handle name must not be empty"), version);
     return;
   }
   ReleaseInfo info;
@@ -265,7 +286,7 @@ void QueryServer::HandleRelease(Socket& socket,
           SendError(socket, ErrorKind::kMalformed,
                     Status::InvalidArgument("handle '" +
                                             request->handle_name +
-                                            "' already exists"));
+                                            "' already exists"), version);
           return;
         }
       }
@@ -280,7 +301,8 @@ void QueryServer::HandleRelease(Socket& socket,
       if (built.status().code() == StatusCode::kFailedPrecondition) {
         counters_.budget_rejected.fetch_add(1);
       }
-      SendError(socket, ReleaseErrorKind(built.status()), built.status());
+      SendError(socket, ReleaseErrorKind(built.status()), built.status(),
+                version);
       return;
     }
     if (const ReleaseTelemetry* t = context_.last_telemetry()) {
@@ -288,18 +310,22 @@ void QueryServer::HandleRelease(Socket& socket,
       info.delta = t->delta;
       info.wall_ms = t->wall_ms;
     }
-    std::lock_guard<std::mutex> lock(handles_mutex_);
-    info.handle_id = static_cast<uint32_t>(handles_.size());
-    handles_.push_back({request->handle_name, request->mechanism,
-                        std::shared_ptr<const DistanceOracle>(
-                            std::move(built).value())});
+    {
+      std::lock_guard<std::mutex> lock(handles_mutex_);
+      info.handle_id = static_cast<uint32_t>(handles_.size());
+      handles_.push_back({request->handle_name, request->mechanism,
+                          std::shared_ptr<const DistanceOracle>(
+                              std::move(built).value())});
+    }
+    RefreshBudgetSnapshot();  // still under the ledger lock
   }
   counters_.releases_granted.fetch_add(1);
   std::vector<uint8_t> response = EncodeReleaseInfo(info);
-  WriteFrame(socket, MessageType::kReleaseResponse, response);
+  WriteFrame(socket, MessageType::kReleaseResponse, response, version);
 }
 
-void QueryServer::HandleQuery(Socket& socket, std::span<const uint8_t> body) {
+void QueryServer::HandleQuery(Socket& socket, std::span<const uint8_t> body,
+                              uint16_t version) {
   // Queue-depth backpressure first: shedding happens before the body is
   // even decoded, so an overloaded server does the minimum work per
   // rejected request.
@@ -308,19 +334,19 @@ void QueryServer::HandleQuery(Socket& socket, std::span<const uint8_t> body) {
     counters_.overload_rejected.fetch_add(1);
     SendError(socket, ErrorKind::kOverloaded,
               Status::Unavailable("query queue depth limit reached, "
-                                  "retry later"));
+                                  "retry later"), version);
     return;
   }
   Result<QueryRequest> request = DecodeQueryRequest(body);
   if (!request.ok()) {
-    SendError(socket, ErrorKind::kMalformed, request.status());
+    SendError(socket, ErrorKind::kMalformed, request.status(), version);
     return;
   }
   if (request->pairs.size() > options_.max_pairs_per_query) {
     SendError(socket, ErrorKind::kTooLarge,
               Status::OutOfRange(StrFormat(
                   "batch of %zu pairs exceeds the per-request limit of %u",
-                  request->pairs.size(), options_.max_pairs_per_query)));
+                  request->pairs.size(), options_.max_pairs_per_query)), version);
     return;
   }
   std::shared_ptr<const DistanceOracle> oracle;
@@ -333,32 +359,45 @@ void QueryServer::HandleQuery(Socket& socket, std::span<const uint8_t> body) {
   if (oracle == nullptr) {
     SendError(socket, ErrorKind::kNotFound,
               Status::NotFound(StrFormat("no released oracle with handle %u",
-                                         request->handle_id)));
+                                         request->handle_id)), version);
     return;
   }
   Result<std::vector<double>> distances =
       executor_.Execute(*oracle, request->pairs);
   if (!distances.ok()) {
     // Out-of-range vertices and the like: the client's fault, typed so.
-    SendError(socket, ErrorKind::kMalformed, distances.status());
+    SendError(socket, ErrorKind::kMalformed, distances.status(), version);
     return;
   }
   counters_.queries_served.fetch_add(1);
   counters_.pairs_served.fetch_add(request->pairs.size());
   std::vector<uint8_t> response = EncodeQueryResponse(*distances);
-  WriteFrame(socket, MessageType::kQueryResponse, response);
+  WriteFrame(socket, MessageType::kQueryResponse, response, version);
 }
 
-void QueryServer::HandleStats(Socket& socket) {
-  std::vector<uint8_t> response = EncodeServerStats(stats());
-  WriteFrame(socket, MessageType::kStatsResponse, response);
+void QueryServer::HandleStats(Socket& socket, uint16_t version) {
+  ServerStats snapshot = stats();
+  snapshot.has_accounting = true;
+  // The policy never changes after construction; the budget position is
+  // served from the post-commit snapshot so a stats poll is O(1) even
+  // while a release build holds the ledger lock for seconds.
+  snapshot.accounting_policy = static_cast<uint16_t>(context_.policy());
+  {
+    std::lock_guard<std::mutex> lock(budget_mutex_);
+    snapshot.spent_epsilon = spent_snapshot_.epsilon;
+    snapshot.spent_delta = spent_snapshot_.delta;
+    snapshot.remaining_epsilon = remaining_snapshot_.epsilon;
+    snapshot.remaining_delta = remaining_snapshot_.delta;
+  }
+  std::vector<uint8_t> response = EncodeServerStats(snapshot, version);
+  WriteFrame(socket, MessageType::kStatsResponse, response, version);
 }
 
 void QueryServer::SendError(Socket& socket, ErrorKind kind,
-                            const Status& status) {
+                            const Status& status, uint16_t version) {
   std::vector<uint8_t> body = EncodeError(kind, status);
   // Best-effort: the peer may already be gone; its read loop will notice.
-  WriteFrame(socket, MessageType::kError, body);
+  WriteFrame(socket, MessageType::kError, body, version);
 }
 
 }  // namespace net

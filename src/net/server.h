@@ -89,6 +89,11 @@ class QueryServer {
   /// The bound port (useful with options.port = 0).
   uint16_t port() const { return listener_.port(); }
 
+  /// Counter snapshot. The wire-level StatsResponse additionally carries
+  /// the ledger's budget position (active AccountingPolicy, policy-
+  /// certified spend, remaining headroom), served from a snapshot
+  /// refreshed after every committed release so stats polls never wait
+  /// out an in-flight build.
   ServerStats stats() const;
 
   /// The ledger after whatever the remote clients did — telemetry rows,
@@ -116,14 +121,23 @@ class QueryServer {
 
   void AcceptLoop();
   void ReapFinishedConnections();
+  /// Recomputes the cached budget position from the ledger. Call with
+  /// ledger_mutex_ held (or before Start): HandleStats serves the cache
+  /// so a stats poll never waits out a multi-second release build.
+  void RefreshBudgetSnapshot();
   void ServeConnection(Connection* connection);
   /// Dispatches one frame; returns false when the connection must close
-  /// (framing is broken and the stream cannot be resynchronized).
+  /// (framing is broken and the stream cannot be resynchronized). Every
+  /// response (errors included) echoes the request frame's protocol
+  /// version so a v1 peer never sees a v2 header.
   bool DispatchFrame(Socket& socket, const Frame& frame);
-  void HandleRelease(Socket& socket, std::span<const uint8_t> body);
-  void HandleQuery(Socket& socket, std::span<const uint8_t> body);
-  void HandleStats(Socket& socket);
-  void SendError(Socket& socket, ErrorKind kind, const Status& status);
+  void HandleRelease(Socket& socket, std::span<const uint8_t> body,
+                     uint16_t version);
+  void HandleQuery(Socket& socket, std::span<const uint8_t> body,
+                   uint16_t version);
+  void HandleStats(Socket& socket, uint16_t version);
+  void SendError(Socket& socket, ErrorKind kind, const Status& status,
+                 uint16_t version = kProtocolVersion);
 
   const QueryServerOptions options_;
   const int inflight_limit_;
@@ -131,6 +145,13 @@ class QueryServer {
   // Releases serialize on this mutex: one ledger, one noise stream.
   std::mutex ledger_mutex_;
   ReleaseContext context_;
+
+  // The ledger's budget position, snapshotted after every committed
+  // release. ledger_mutex_ is held across whole oracle builds, so stats
+  // must not read context_ directly — they serve this cache instead.
+  mutable std::mutex budget_mutex_;
+  PrivacyParams spent_snapshot_;
+  PrivacyParams remaining_snapshot_;
 
   std::vector<Workload> workloads_;  // fixed after Start
 

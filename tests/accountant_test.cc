@@ -2,14 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "dp/composition.h"
+#include "dp/gaussian_mechanism.h"
 #include "test_util.h"
 
 namespace dpsp {
 namespace {
 
 TEST(AccountantTest, EmptyTotalsAreZero) {
-  PrivacyAccountant accountant;
+  BasicAccountant accountant;
   EXPECT_EQ(accountant.num_releases(), 0);
   PrivacyParams total = accountant.BasicTotal();
   EXPECT_DOUBLE_EQ(total.epsilon, 0.0);
@@ -18,7 +21,7 @@ TEST(AccountantTest, EmptyTotalsAreZero) {
 }
 
 TEST(AccountantTest, BasicTotalSums) {
-  PrivacyAccountant accountant;
+  BasicAccountant accountant;
   ASSERT_OK(accountant.Record("tree release", 0.5, 0.0));
   ASSERT_OK(accountant.Record("path release", 0.25, 1e-6));
   PrivacyParams total = accountant.BasicTotal();
@@ -28,7 +31,7 @@ TEST(AccountantTest, BasicTotalSums) {
 }
 
 TEST(AccountantTest, RejectsInvalidEntries) {
-  PrivacyAccountant accountant;
+  BasicAccountant accountant;
   EXPECT_FALSE(accountant.Record("bad", 0.0, 0.0).ok());
   EXPECT_FALSE(accountant.Record("bad", 1.0, 1.0).ok());
   EXPECT_FALSE(accountant.Record("bad", -1.0, 0.0).ok());
@@ -36,7 +39,7 @@ TEST(AccountantTest, RejectsInvalidEntries) {
 }
 
 TEST(AccountantTest, AdvancedTotalMatchesLemma34) {
-  PrivacyAccountant accountant;
+  BasicAccountant accountant;
   for (int i = 0; i < 50; ++i) {
     ASSERT_OK(accountant.Record("release", 0.05, 0.0));
   }
@@ -47,14 +50,56 @@ TEST(AccountantTest, AdvancedTotalMatchesLemma34) {
   EXPECT_DOUBLE_EQ(advanced.delta, 1e-6);
 }
 
+TEST(AccountantTest, AdvancedTotalRefusesHeterogeneousLedgerWithTrace) {
+  // The old behaviour silently uniformized every release to (eps_max,
+  // delta_max), certifying a valid but misleadingly loose total. Now a
+  // heterogeneous ledger is an error whose detail names the maximal entry
+  // so the caller can see what uniformization would have used.
+  BasicAccountant accountant;
+  ASSERT_OK(accountant.Record("big release", 0.5, 0.0));
+  ASSERT_OK(accountant.Record("small release", 0.1, 0.0));
+  Result<PrivacyParams> advanced = accountant.AdvancedTotal(1e-6);
+  ASSERT_FALSE(advanced.ok());
+  EXPECT_EQ(advanced.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(advanced.status().message().find("big release"),
+            std::string::npos)
+      << advanced.status().message();
+  EXPECT_NE(advanced.status().message().find("small release"),
+            std::string::npos)
+      << advanced.status().message();
+
+  // BestTotal falls back to the (always valid) basic total.
+  EXPECT_DOUBLE_EQ(accountant.BestTotal(1e-6).epsilon, 0.6);
+}
+
+TEST(AccountantTest, HeterogeneousLedgerStillAdmitsThroughUniformizedBound) {
+  // The strict AdvancedTotal refuses to REPORT a heterogeneous ledger's
+  // uniformized total, but admission must keep the historical rule: the
+  // (eps_max, delta_max) uniformization is a sound upper bound, so a
+  // budget it fits is still admitted even when the basic total does not.
+  BasicAccountant accountant;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(accountant.Record("small", 0.05, 0.0));
+  }
+  ASSERT_OK(accountant.Record("slightly bigger", 0.06, 0.0));
+  EXPECT_FALSE(accountant.AdvancedTotal(1e-6).ok());  // strict reporting
+  PrivacyParams budget{4.0, 1e-5, 1.0};
+  // Basic total is 5.06 > 4; uniformized advanced at eps_max=0.06 is
+  // ~3.5 < 4 — the ledger fits exactly as it did before the strictness
+  // fix.
+  EXPECT_GT(accountant.BasicTotal().epsilon, budget.epsilon);
+  EXPECT_LT(AdvancedCompositionEpsilon(101, 0.06, 1e-6), budget.epsilon);
+  EXPECT_TRUE(accountant.WithinBudget(budget, 1e-6));
+}
+
 TEST(AccountantTest, BestTotalPicksSmallerEpsilon) {
   // 2 releases: basic wins. 200 releases: advanced wins.
-  PrivacyAccountant small;
+  BasicAccountant small;
   ASSERT_OK(small.Record("a", 0.1, 0.0));
   ASSERT_OK(small.Record("b", 0.1, 0.0));
   EXPECT_DOUBLE_EQ(small.BestTotal(1e-6).epsilon, 0.2);
 
-  PrivacyAccountant large;
+  BasicAccountant large;
   for (int i = 0; i < 200; ++i) ASSERT_OK(large.Record("r", 0.1, 0.0));
   EXPECT_LT(large.BestTotal(1e-6).epsilon, 20.0);
   EXPECT_NEAR(large.BestTotal(1e-6).epsilon,
@@ -62,7 +107,7 @@ TEST(AccountantTest, BestTotalPicksSmallerEpsilon) {
 }
 
 TEST(AccountantTest, WithinBudget) {
-  PrivacyAccountant accountant;
+  BasicAccountant accountant;
   ASSERT_OK(accountant.Record("a", 0.4, 0.0));
   ASSERT_OK(accountant.Record("b", 0.4, 0.0));
   PrivacyParams budget{1.0, 1e-5, 1.0};
@@ -72,18 +117,140 @@ TEST(AccountantTest, WithinBudget) {
 }
 
 TEST(AccountantTest, RecordFromPrivacyParams) {
-  PrivacyAccountant accountant;
+  BasicAccountant accountant;
   PrivacyParams params{0.7, 1e-8, 1.0};
   ASSERT_OK(accountant.Record("mechanism", params));
   EXPECT_DOUBLE_EQ(accountant.BasicTotal().epsilon, 0.7);
 }
 
 TEST(AccountantTest, ToStringListsEntries) {
-  PrivacyAccountant accountant;
+  BasicAccountant accountant;
   ASSERT_OK(accountant.Record("morning refresh", 0.5, 0.0));
   std::string s = accountant.ToString();
   EXPECT_NE(s.find("morning refresh"), std::string::npos);
   EXPECT_NE(s.find("0.5"), std::string::npos);
+}
+
+// ----------------------------------------------------- pluggable policies --
+
+TEST(AccountantTest, CreateReturnsTheRequestedPolicy) {
+  for (AccountingPolicy policy :
+       {AccountingPolicy::kBasic, AccountingPolicy::kAdvanced,
+        AccountingPolicy::kZcdp}) {
+    std::unique_ptr<Accountant> accountant = Accountant::Create(policy);
+    ASSERT_NE(accountant, nullptr);
+    EXPECT_EQ(accountant->policy(), policy);
+    EXPECT_EQ(accountant->num_releases(), 0);
+  }
+  EXPECT_STREQ(AccountingPolicyName(AccountingPolicy::kBasic), "basic");
+  EXPECT_STREQ(AccountingPolicyName(AccountingPolicy::kAdvanced), "advanced");
+  EXPECT_STREQ(AccountingPolicyName(AccountingPolicy::kZcdp), "zcdp");
+}
+
+TEST(AccountantTest, CloneCopiesTheLedger) {
+  std::unique_ptr<Accountant> accountant =
+      Accountant::Create(AccountingPolicy::kAdvanced);
+  ASSERT_OK(accountant->Record("a", 0.5, 0.0));
+  std::unique_ptr<Accountant> clone = accountant->Clone();
+  ASSERT_OK(clone->Record("b", 0.5, 0.0));
+  EXPECT_EQ(accountant->num_releases(), 1);
+  EXPECT_EQ(clone->num_releases(), 2);
+  EXPECT_EQ(clone->policy(), AccountingPolicy::kAdvanced);
+}
+
+TEST(AccountantTest, AdvancedPolicyTotalIsBestOfBasicAndAdvanced) {
+  AdvancedAccountant accountant;
+  for (int i = 0; i < 200; ++i) ASSERT_OK(accountant.Record("r", 0.1, 0.0));
+  EXPECT_DOUBLE_EQ(accountant.Total(1e-6).epsilon,
+                   accountant.BestTotal(1e-6).epsilon);
+  EXPECT_LT(accountant.Total(1e-6).epsilon,
+            accountant.BasicTotal().epsilon);
+}
+
+TEST(AccountantTest, ZcdpAccountantSumsRho) {
+  ZcdpAccountant accountant;
+  ASSERT_OK_AND_ASSIGN(PrivacyLoss loss, PrivacyLoss::Zcdp(0.01));
+  ASSERT_OK(accountant.Record("g1", loss));
+  ASSERT_OK(accountant.Record("g2", loss));
+  ASSERT_OK_AND_ASSIGN(double rho, accountant.TotalRho());
+  EXPECT_DOUBLE_EQ(rho, 0.02);
+  PrivacyParams total = accountant.Total(1e-6);
+  EXPECT_NEAR(total.epsilon, ZcdpEpsilon(0.02, 1e-6), 1e-12);
+  EXPECT_DOUBLE_EQ(total.delta, 1e-6);
+}
+
+TEST(AccountantTest, ZcdpAccountantComposesPureReleasesAtHalfEpsSquared) {
+  // eps-DP is exactly (eps^2/2)-zCDP, so pure entries compose too.
+  ZcdpAccountant accountant;
+  ASSERT_OK(accountant.Record("laplace", 0.2, 0.0));
+  ASSERT_OK_AND_ASSIGN(double rho, accountant.TotalRho());
+  EXPECT_DOUBLE_EQ(rho, 0.5 * 0.2 * 0.2);
+}
+
+TEST(AccountantTest, ZcdpAccountantRefusesApproximateEntries) {
+  ZcdpAccountant accountant;
+  Status status = accountant.Record("approx", 0.5, 1e-6);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(accountant.num_releases(), 0);
+  // A Basic ledger takes the same entry without complaint.
+  BasicAccountant basic;
+  EXPECT_OK(basic.Record("approx", 0.5, 1e-6));
+}
+
+TEST(AccountantTest, ZcdpGaussianLedgerTighterThanBasicForTwoPlusReleases) {
+  // Acceptance: a ledger of N identical Gaussian releases certifies a
+  // strictly smaller epsilon under zCDP accounting than basic composition
+  // for every N >= 2.
+  PrivacyParams per_release{0.5, 1e-6, 1.0};
+  ASSERT_OK_AND_ASSIGN(PrivacyLoss loss,
+                       PrivacyLoss::GaussianFromParams(per_release));
+  ZcdpAccountant accountant;
+  for (int n = 1; n <= 32; ++n) {
+    ASSERT_OK(accountant.Record("gaussian-refresh", loss));
+    PrivacyParams zcdp = accountant.Total(per_release.delta);
+    PrivacyParams basic = accountant.BasicTotal();
+    if (n >= 2) {
+      EXPECT_LT(zcdp.epsilon, basic.epsilon) << "N=" << n;
+    }
+  }
+}
+
+TEST(AccountantTest, ZcdpNeverLooserThanBasicForHomogeneousGaussianLedgers) {
+  // Property sweep: for every (eps, delta) calibration and every ledger
+  // size N >= 2, the zCDP total at target delta never exceeds the basic
+  // (eps, delta)-sum.
+  for (double eps : {0.1, 0.3, 0.5, 0.9}) {
+    for (double delta : {1e-8, 1e-6, 1e-4}) {
+      ASSERT_OK_AND_ASSIGN(
+          PrivacyLoss loss,
+          PrivacyLoss::GaussianFromParams(PrivacyParams{eps, delta, 1.0}));
+      ZcdpAccountant accountant;
+      ASSERT_OK(accountant.Record("g", loss));
+      for (int n = 2; n <= 64; n *= 2) {
+        while (accountant.num_releases() < n) {
+          ASSERT_OK(accountant.Record("g", loss));
+        }
+        PrivacyParams zcdp = accountant.Total(delta);
+        PrivacyParams basic = accountant.BasicTotal();
+        EXPECT_LE(zcdp.epsilon, basic.epsilon)
+            << "eps=" << eps << " delta=" << delta << " N=" << n;
+        EXPECT_LE(zcdp.delta, basic.delta + 1e-18);
+      }
+    }
+  }
+}
+
+TEST(AccountantTest, BasicPolicyStillComposesZcdpCertificates) {
+  // A zCDP loss carries an (eps, delta) certificate, so the basic ledger
+  // accepts it and sums the certificate.
+  BasicAccountant accountant;
+  ASSERT_OK_AND_ASSIGN(
+      PrivacyLoss loss,
+      PrivacyLoss::GaussianFromParams(PrivacyParams{0.5, 1e-6, 1.0}));
+  ASSERT_OK(accountant.Record("gaussian", loss));
+  EXPECT_DOUBLE_EQ(accountant.BasicTotal().epsilon, 0.5);
+  EXPECT_DOUBLE_EQ(accountant.BasicTotal().delta, 1e-6);
 }
 
 }  // namespace

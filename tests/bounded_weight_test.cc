@@ -163,7 +163,7 @@ TEST(BoundedWeightOracleTest, GaussianNoiseOptionWorks) {
   options.noise = BoundedWeightOptions::NoiseKind::kGaussian;
   ASSERT_OK_AND_ASSIGN(auto oracle,
                        BoundedWeightOracle::Build(g, w, options, &rng));
-  EXPECT_EQ(oracle->Name(), "bounded-weight(gaussian)");
+  EXPECT_EQ(oracle->Name(), "bounded-weight-gaussian");
   ASSERT_OK_AND_ASSIGN(DistanceMatrix exact, AllPairsDijkstra(g, w));
   ASSERT_OK_AND_ASSIGN(OracleErrorReport report,
                        EvaluateOracleAllPairs(g, exact, *oracle));

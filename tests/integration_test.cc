@@ -181,7 +181,7 @@ TEST(IntegrationTest, AccountantTracksWholePipeline) {
   Rng rng(kTestSeed);
   ASSERT_OK_AND_ASSIGN(Graph g, MakeRandomTree(64, &rng));
   EdgeWeights w = MakeUniformWeights(g, 0.0, 2.0, &rng);
-  PrivacyAccountant accountant;
+  BasicAccountant accountant;
   PrivacyParams slice{0.25, 0.0, 1.0};
   ASSERT_OK_AND_ASSIGN(auto oracle,
                        TreeAllPairsOracle::Build(g, w, slice, &rng));

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <thread>
 #include <vector>
@@ -317,6 +318,138 @@ TEST(NetServerTest, MalformedFrameGetsTypedErrorAndCloses) {
   // The stream cannot be resynchronized: the server hangs up.
   Status closed = net::ReadFrame(raw).status();
   EXPECT_FALSE(closed.ok());
+}
+
+TEST(NetProtocolTest, ServerStatsV1BodyDecodesWithoutAccounting) {
+  // Backward-compatible decode: a v1 peer's StatsResponse body ends after
+  // the counters; the accounting extension stays at its defaults.
+  net::ServerStats stats;
+  stats.queries_served = 7;
+  stats.open_handles = 2;
+  stats.accounting_policy =
+      static_cast<uint16_t>(AccountingPolicy::kZcdp);
+  stats.spent_epsilon = 1.25;
+  std::vector<uint8_t> body = net::EncodeServerStats(stats);
+  constexpr size_t kV1BodyBytes = 6 * 8 + 4;
+  body.resize(kV1BodyBytes);  // what a v1 peer would have sent
+  ASSERT_OK_AND_ASSIGN(net::ServerStats decoded,
+                       net::DecodeServerStats(body));
+  EXPECT_EQ(decoded.queries_served, 7u);
+  EXPECT_EQ(decoded.open_handles, 2u);
+  EXPECT_FALSE(decoded.has_accounting);
+  EXPECT_EQ(decoded.accounting_policy, 0u);
+  EXPECT_DOUBLE_EQ(decoded.spent_epsilon, 0.0);
+
+  // A truncated extension is still a malformed body, not a v1 peer.
+  std::vector<uint8_t> torn = net::EncodeServerStats(stats);
+  torn.pop_back();
+  EXPECT_FALSE(net::DecodeServerStats(torn).ok());
+}
+
+TEST(NetProtocolTest, ServerStatsV2RoundTripsAccounting) {
+  net::ServerStats stats;
+  stats.releases_granted = 3;
+  stats.has_accounting = true;
+  stats.accounting_policy =
+      static_cast<uint16_t>(AccountingPolicy::kAdvanced);
+  stats.spent_epsilon = 0.75;
+  stats.spent_delta = 1e-7;
+  stats.remaining_epsilon = 1.25;
+  stats.remaining_delta = 1e-5;
+  std::vector<uint8_t> body = net::EncodeServerStats(stats);
+  ASSERT_OK_AND_ASSIGN(net::ServerStats decoded,
+                       net::DecodeServerStats(body));
+  EXPECT_TRUE(decoded.has_accounting);
+  EXPECT_EQ(decoded.accounting_policy,
+            static_cast<uint16_t>(AccountingPolicy::kAdvanced));
+  EXPECT_DOUBLE_EQ(decoded.spent_epsilon, 0.75);
+  EXPECT_DOUBLE_EQ(decoded.spent_delta, 1e-7);
+  EXPECT_DOUBLE_EQ(decoded.remaining_epsilon, 1.25);
+  EXPECT_DOUBLE_EQ(decoded.remaining_delta, 1e-5);
+}
+
+TEST(NetServerTest, StatsRoundTripRemainingBudgetUnderActivePolicy) {
+  // Acceptance: the Stats frame reports the remaining budget under the
+  // server ledger's active policy, through net::Client.
+  Workload workload = MakeWorkload();
+  PrivacyParams per_release{0.5, 1e-6, 1.0};
+  PrivacyParams budget{3.0, 1e-4, 1.0};
+  const double kDeltaSlack = 1e-5;
+  ReleaseContext ctx =
+      ReleaseContext::Create(per_release, kServerSeed,
+                             AccountingPolicy::kZcdp)
+          .value();
+  ctx.SetTotalBudget(budget, kDeltaSlack);
+  net::QueryServer server({}, std::move(ctx));
+  ASSERT_OK(server.AddWorkload("path", workload.graph, workload.weights));
+  ASSERT_OK(server.Start());
+  net::Client client = net::Client::Connect("127.0.0.1",
+                                            server.port()).value();
+
+  // Two Gaussian-calibrated releases, charged at their natural zCDP rate.
+  ASSERT_OK(client.Release("path", "bounded-weight-gaussian", "g1").status());
+  ASSERT_OK(client.Release("path", "bounded-weight-gaussian", "g2").status());
+
+  ASSERT_OK_AND_ASSIGN(net::ServerStats stats, client.Stats());
+  ASSERT_TRUE(stats.has_accounting);
+  EXPECT_EQ(stats.accounting_policy,
+            static_cast<uint16_t>(AccountingPolicy::kZcdp));
+  // Reproduce the expected position: two GaussianFromParams charges under
+  // rho-sum composition, converted at the server's delta slack.
+  PrivacyLoss loss = PrivacyLoss::GaussianFromParams(per_release).value();
+  double expected_eps = ZcdpEpsilon(2.0 * loss.rho, kDeltaSlack);
+  EXPECT_DOUBLE_EQ(stats.spent_epsilon, expected_eps);
+  EXPECT_DOUBLE_EQ(stats.spent_delta, kDeltaSlack);
+  EXPECT_DOUBLE_EQ(stats.remaining_epsilon, budget.epsilon - expected_eps);
+  EXPECT_DOUBLE_EQ(stats.remaining_delta, budget.delta - kDeltaSlack);
+  server.Stop();
+}
+
+TEST(NetServerTest, V1PeerGetsV1HeaderAndV1StatsBody) {
+  // Rolling-upgrade compatibility: a v1 client's frames carry version 1,
+  // and its ReadFrame rejects anything but version 1 — so the server must
+  // echo the request's version and encode the v1 stats body shape.
+  ServerFixture fixture;
+  ASSERT_OK_AND_ASSIGN(
+      net::Socket socket,
+      net::Connect("127.0.0.1", fixture.server().port()));
+  ASSERT_OK(net::WriteFrame(socket, net::MessageType::kStatsRequest, {},
+                            /*version=*/1));
+  ASSERT_OK_AND_ASSIGN(net::Frame response, net::ReadFrame(socket));
+  EXPECT_EQ(response.version, 1u);
+  EXPECT_EQ(response.type, net::MessageType::kStatsResponse);
+  EXPECT_EQ(response.body.size(), 6u * 8u + 4u);  // counters only
+  ASSERT_OK_AND_ASSIGN(net::ServerStats stats,
+                       net::DecodeServerStats(response.body));
+  EXPECT_FALSE(stats.has_accounting);
+
+  // The same request at v2 gets the extension on the same server.
+  ASSERT_OK(net::WriteFrame(socket, net::MessageType::kStatsRequest, {}));
+  ASSERT_OK_AND_ASSIGN(net::Frame v2_response, net::ReadFrame(socket));
+  EXPECT_EQ(v2_response.version, net::kProtocolVersion);
+  ASSERT_OK_AND_ASSIGN(net::ServerStats v2_stats,
+                       net::DecodeServerStats(v2_response.body));
+  EXPECT_TRUE(v2_stats.has_accounting);
+}
+
+TEST(NetServerTest, StatsReportInfiniteHeadroomWithoutBudget) {
+  ServerFixture fixture;  // fixture budget is huge but installed...
+  Workload workload = MakeWorkload();
+  ReleaseContext ctx =
+      ReleaseContext::Create(PrivacyParams{1.0, 0.0, 1.0}, kServerSeed)
+          .value();  // ...this one has none at all
+  net::QueryServer server({}, std::move(ctx));
+  ASSERT_OK(server.AddWorkload("path", workload.graph, workload.weights));
+  ASSERT_OK(server.Start());
+  net::Client client = net::Client::Connect("127.0.0.1",
+                                            server.port()).value();
+  ASSERT_OK_AND_ASSIGN(net::ServerStats stats, client.Stats());
+  ASSERT_TRUE(stats.has_accounting);
+  EXPECT_EQ(stats.accounting_policy,
+            static_cast<uint16_t>(AccountingPolicy::kBasic));
+  EXPECT_TRUE(std::isinf(stats.remaining_epsilon));
+  EXPECT_TRUE(std::isinf(stats.remaining_delta));
+  server.Stop();
 }
 
 TEST(NetServerTest, Survives8ConcurrentClientConnections) {

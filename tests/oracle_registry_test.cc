@@ -40,8 +40,12 @@ TEST_P(RegistryConformanceTest, BuildsAndSatisfiesOracleContract) {
   const OracleSpec* spec = OracleRegistry::Global().Find(name);
   ASSERT_NE(spec, nullptr);
 
-  PrivacyParams params{/*epsilon=*/1.0, /*delta=*/0.0,
-                       /*neighbor_l1_bound=*/1.0};
+  // The declared loss type picks compatible params: a zCDP-metered
+  // (Gaussian-calibrated) mechanism needs approximate params with
+  // eps < 1; everything else runs at the pure default.
+  PrivacyParams params = spec->loss == LossKind::kZcdp
+                             ? PrivacyParams{0.5, 1e-6, 1.0}
+                             : PrivacyParams{1.0, 0.0, 1.0};
   ASSERT_OK_AND_ASSIGN(ReleaseContext ctx,
                        ReleaseContext::Create(params, kTestSeed));
   ASSERT_OK_AND_ASSIGN(
@@ -138,10 +142,49 @@ TEST(OracleRegistryTest, AllSevenMechanismFamiliesRegistered) {
   for (const char* name :
        {"exact", "per-pair-laplace", "synthetic-graph", "tree-recursive",
         "tree-hld", "path-hierarchy", "bounded-weight", "private-mst",
-        "private-matching"}) {
+        "private-matching", "bounded-weight-gaussian"}) {
     EXPECT_TRUE(registry.Contains(name)) << name;
   }
-  EXPECT_GE(registry.size(), 9);
+  EXPECT_GE(registry.size(), 10);
+}
+
+TEST(OracleRegistryTest, EverySpecDeclaresItsLossType) {
+  const OracleRegistry& registry = OracleRegistry::Global();
+  for (const std::string& name : registry.Names()) {
+    const OracleSpec* spec = registry.Find(name);
+    ASSERT_NE(spec, nullptr);
+    // Laplace-calibrated mechanisms consume the context's params (kPure
+    // declaration); only the Gaussian-calibrated variant is zCDP-metered.
+    if (name == "bounded-weight-gaussian") {
+      EXPECT_EQ(spec->loss, LossKind::kZcdp) << name;
+    } else {
+      EXPECT_EQ(spec->loss, LossKind::kPure) << name;
+    }
+  }
+}
+
+TEST(OracleRegistryTest, GaussianVariantIsMeteredAtItsZcdpRate) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(16));
+  EdgeWeights w = MakeUniformWeights(g, 0.1, 0.9, &rng);
+  PrivacyParams params{0.5, 1e-6, 1.0};
+  ASSERT_OK_AND_ASSIGN(
+      ReleaseContext ctx,
+      ReleaseContext::Create(params, kTestSeed, AccountingPolicy::kZcdp));
+  ASSERT_OK_AND_ASSIGN(auto oracle,
+                       OracleRegistry::Global().Create(
+                           "bounded-weight-gaussian", g, w, ctx));
+  (void)oracle;
+  ASSERT_EQ(ctx.accountant().num_releases(), 1);
+  const AccountantEntry& entry = ctx.accountant().entries()[0];
+  EXPECT_EQ(entry.loss.kind, LossKind::kZcdp);
+  ASSERT_OK_AND_ASSIGN(PrivacyLoss expected,
+                       PrivacyLoss::GaussianFromParams(params));
+  EXPECT_DOUBLE_EQ(entry.loss.rho, expected.rho);
+  // The telemetry mirrors the charged loss.
+  ASSERT_EQ(ctx.telemetry().size(), 1u);
+  EXPECT_EQ(ctx.telemetry()[0].loss.kind, LossKind::kZcdp);
+  EXPECT_DOUBLE_EQ(ctx.telemetry()[0].epsilon, params.epsilon);
 }
 
 TEST(OracleRegistryTest, UnknownNameIsNotFound) {

@@ -1,0 +1,127 @@
+// Tests for the PrivacyLoss value type and its exact conversions: pure-DP
+// to zCDP, zCDP to (eps, delta) at a caller-chosen delta, and the Gaussian
+// mechanism's natural rho rate.
+
+#include "dp/privacy_loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/gaussian_mechanism.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(PrivacyLossTest, PureCarriesExactZcdpRate) {
+  PrivacyLoss loss = PrivacyLoss::Pure(0.4);
+  EXPECT_EQ(loss.kind, LossKind::kPure);
+  EXPECT_DOUBLE_EQ(loss.epsilon, 0.4);
+  EXPECT_DOUBLE_EQ(loss.delta, 0.0);
+  ASSERT_OK_AND_ASSIGN(double rho, loss.Rho());
+  EXPECT_DOUBLE_EQ(rho, 0.5 * 0.4 * 0.4);
+  ASSERT_OK_AND_ASSIGN(PrivacyParams view, loss.ApproxDp(1e-6));
+  EXPECT_DOUBLE_EQ(view.epsilon, 0.4);
+  EXPECT_DOUBLE_EQ(view.delta, 0.0);
+}
+
+TEST(PrivacyLossTest, ApproximateHasNoZcdpRate) {
+  PrivacyLoss loss = PrivacyLoss::Approximate(0.4, 1e-6);
+  EXPECT_EQ(loss.kind, LossKind::kApproximate);
+  EXPECT_FALSE(loss.has_rho());
+  EXPECT_FALSE(loss.Rho().ok());
+  ASSERT_OK_AND_ASSIGN(PrivacyParams view, loss.ApproxDp(1e-5));
+  EXPECT_DOUBLE_EQ(view.epsilon, 0.4);
+  EXPECT_DOUBLE_EQ(view.delta, 1e-6);
+  // A target delta tighter than the recorded certificate is refused.
+  EXPECT_FALSE(loss.ApproxDp(1e-9).ok());
+}
+
+TEST(PrivacyLossTest, ZcdpConversionMatchesClosedForm) {
+  const double rho = 0.02;
+  const double delta = 1e-7;
+  ASSERT_OK_AND_ASSIGN(PrivacyLoss loss, PrivacyLoss::Zcdp(rho, delta));
+  ASSERT_OK_AND_ASSIGN(PrivacyParams view, loss.ApproxDp(delta));
+  EXPECT_NEAR(view.epsilon, rho + 2.0 * std::sqrt(rho * std::log(1.0 / delta)),
+              1e-15);
+  EXPECT_DOUBLE_EQ(view.delta, delta);
+  EXPECT_DOUBLE_EQ(loss.epsilon, view.epsilon);  // certificate at delta
+}
+
+TEST(PrivacyLossTest, ZcdpEpsilonMonotoneInRho) {
+  // Satellite property: the zCDP -> (eps, delta) conversion is strictly
+  // increasing in rho at every target delta.
+  for (double delta : {1e-9, 1e-6, 1e-3, 0.1}) {
+    double prev = 0.0;
+    for (double rho = 1e-6; rho < 1e3; rho *= 2.0) {
+      double eps = ZcdpEpsilon(rho, delta);
+      EXPECT_GT(eps, prev) << "rho=" << rho << " delta=" << delta;
+      prev = eps;
+    }
+  }
+}
+
+TEST(PrivacyLossTest, ZcdpEpsilonMonotoneDecreasingInDelta) {
+  // Loosening the target delta can only shrink the certified epsilon.
+  double prev = ZcdpEpsilon(0.05, 1e-12);
+  for (double delta : {1e-9, 1e-6, 1e-3, 0.1}) {
+    double eps = ZcdpEpsilon(0.05, delta);
+    EXPECT_LT(eps, prev) << "delta=" << delta;
+    prev = eps;
+  }
+}
+
+TEST(PrivacyLossTest, GaussianRhoIsSensitivitySquaredOverTwoSigmaSquared) {
+  EXPECT_DOUBLE_EQ(GaussianRho(2.0, 4.0), 4.0 / 32.0);
+  ASSERT_OK_AND_ASSIGN(PrivacyLoss loss,
+                       PrivacyLoss::Gaussian(2.0, 4.0, 0.5, 1e-6));
+  EXPECT_EQ(loss.kind, LossKind::kZcdp);
+  ASSERT_OK_AND_ASSIGN(double rho, loss.Rho());
+  EXPECT_DOUBLE_EQ(rho, 0.125);
+  EXPECT_DOUBLE_EQ(loss.epsilon, 0.5);
+  EXPECT_DOUBLE_EQ(loss.delta, 1e-6);
+}
+
+TEST(PrivacyLossTest, GaussianFromParamsMatchesClassicCalibration) {
+  // rho must equal s^2 / (2 sigma^2) for the sigma GaussianSigma picks —
+  // at ANY sensitivity, because both scale together.
+  PrivacyParams params{0.5, 1e-6, 1.0};
+  ASSERT_OK_AND_ASSIGN(PrivacyLoss loss,
+                       PrivacyLoss::GaussianFromParams(params));
+  for (double s : {1.0, 3.0, 17.5}) {
+    ASSERT_OK_AND_ASSIGN(double sigma, GaussianSigma(s, params));
+    EXPECT_NEAR(loss.rho, GaussianRho(s * params.neighbor_l1_bound, sigma),
+                1e-15)
+        << "s=" << s;
+  }
+  // The classic calibration's domain is enforced.
+  EXPECT_FALSE(
+      PrivacyLoss::GaussianFromParams(PrivacyParams{1.5, 1e-6, 1.0}).ok());
+  EXPECT_FALSE(
+      PrivacyLoss::GaussianFromParams(PrivacyParams{0.5, 0.0, 1.0}).ok());
+}
+
+TEST(PrivacyLossTest, FactoriesValidateArguments) {
+  EXPECT_FALSE(PrivacyLoss::Zcdp(0.0).ok());
+  EXPECT_FALSE(PrivacyLoss::Zcdp(-1.0).ok());
+  EXPECT_FALSE(PrivacyLoss::Zcdp(0.1, 0.0).ok());
+  EXPECT_FALSE(PrivacyLoss::Zcdp(0.1, 1.0).ok());
+  EXPECT_FALSE(PrivacyLoss::Gaussian(0.0, 1.0, 0.5, 1e-6).ok());
+  EXPECT_FALSE(PrivacyLoss::Gaussian(1.0, 0.0, 0.5, 1e-6).ok());
+  EXPECT_FALSE(PrivacyLoss::Gaussian(1.0, 1.0, 0.5, 0.0).ok());
+  // A default-constructed loss is invalid (the ReleaseContext sentinel).
+  EXPECT_FALSE(PrivacyLoss{}.Validate().ok());
+  EXPECT_OK(PrivacyLoss::Pure(1.0).Validate());
+  EXPECT_OK(PrivacyLoss::Approximate(1.0, 1e-6).Validate());
+}
+
+TEST(PrivacyLossTest, FromParamsPicksTheNaturalKind) {
+  EXPECT_EQ(PrivacyLoss::FromParams(PrivacyParams{1.0, 0.0, 1.0}).kind,
+            LossKind::kPure);
+  EXPECT_EQ(PrivacyLoss::FromParams(PrivacyParams{1.0, 1e-6, 1.0}).kind,
+            LossKind::kApproximate);
+}
+
+}  // namespace
+}  // namespace dpsp

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -186,6 +187,175 @@ TEST(ReleaseContextTest, AbsorbAfterRollbackStillComposes) {
   ASSERT_OK(parent.ChargeRelease("direct"));
   EXPECT_FALSE(parent.ChargeRelease("over").ok());
   EXPECT_EQ(parent.accountant().num_releases(), 2);
+}
+
+TEST(ReleaseContextTest, DefaultPolicyIsBasic) {
+  ASSERT_OK_AND_ASSIGN(ReleaseContext ctx,
+                       ReleaseContext::Create(PrivacyParams{}, kTestSeed));
+  EXPECT_EQ(ctx.policy(), AccountingPolicy::kBasic);
+  EXPECT_EQ(ctx.accountant().policy(), AccountingPolicy::kBasic);
+}
+
+TEST(ReleaseContextTest, PolicySelectsTheAccountant) {
+  for (AccountingPolicy policy :
+       {AccountingPolicy::kBasic, AccountingPolicy::kAdvanced,
+        AccountingPolicy::kZcdp}) {
+    ASSERT_OK_AND_ASSIGN(
+        ReleaseContext ctx,
+        ReleaseContext::Create(PrivacyParams{0.5, 1e-6, 1.0}, kTestSeed,
+                               policy));
+    EXPECT_EQ(ctx.policy(), policy);
+    // Forked shards inherit the parent's policy.
+    EXPECT_EQ(ctx.Fork().policy(), policy);
+  }
+}
+
+TEST(ReleaseContextTest, ZcdpPolicyRefusesApproximateLaplaceReleases) {
+  // Approximate params charge an approximate-DP loss, which has no exact
+  // zCDP rate; the zCDP context refuses BEFORE any noise would be drawn.
+  ASSERT_OK_AND_ASSIGN(
+      ReleaseContext ctx,
+      ReleaseContext::Create(PrivacyParams{0.5, 1e-6, 1.0}, kTestSeed,
+                             AccountingPolicy::kZcdp));
+  Status status = ctx.ChargeRelease("laplace-approx");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ctx.accountant().num_releases(), 0);
+  // A Gaussian loss at the same params is its natural currency.
+  ASSERT_OK_AND_ASSIGN(PrivacyLoss gaussian,
+                       PrivacyLoss::GaussianFromParams(ctx.params()));
+  EXPECT_OK(ctx.ChargeRelease("gaussian", gaussian));
+}
+
+TEST(ReleaseContextTest, ZcdpBudgetAdmitsMoreGaussianReleasesThanBasic) {
+  // The point of the policy: under the same ceiling, rho-sum accounting
+  // admits strictly more identical Gaussian releases than summing each
+  // release's (eps, delta) certificate.
+  PrivacyParams per_release{0.5, 1e-6, 1.0};
+  PrivacyParams budget{2.0, 1e-4, 1.0};
+  auto count_admitted = [&](AccountingPolicy policy) {
+    ReleaseContext ctx =
+        ReleaseContext::Create(per_release, kTestSeed, policy).value();
+    ctx.SetTotalBudget(budget, /*delta_slack=*/1e-5);
+    PrivacyLoss loss = PrivacyLoss::GaussianFromParams(per_release).value();
+    int admitted = 0;
+    while (ctx.ChargeRelease("gaussian-refresh", loss).ok()) ++admitted;
+    return admitted;
+  };
+  int basic = count_admitted(AccountingPolicy::kBasic);
+  int zcdp = count_admitted(AccountingPolicy::kZcdp);
+  EXPECT_GT(zcdp, basic);
+  EXPECT_EQ(basic, 4);  // floor(2.0 / 0.5) under Lemma 3.3
+}
+
+TEST(ReleaseContextTest, SpentAndRemainingBudgetTrackThePolicy) {
+  ASSERT_OK_AND_ASSIGN(
+      ReleaseContext ctx,
+      ReleaseContext::Create(PrivacyParams{0.5, 0.0, 1.0}, kTestSeed));
+  // No budget installed: infinite headroom.
+  EXPECT_TRUE(std::isinf(ctx.RemainingBudget().epsilon));
+  ctx.SetTotalBudget(PrivacyParams{2.0, 0.0, 1.0});
+  ASSERT_OK(ctx.ChargeRelease("one"));
+  ASSERT_OK(ctx.ChargeRelease("two"));
+  EXPECT_DOUBLE_EQ(ctx.SpentTotal().epsilon, 1.0);
+  EXPECT_DOUBLE_EQ(ctx.RemainingBudget().epsilon, 1.0);
+  EXPECT_DOUBLE_EQ(ctx.RemainingBudget().delta, 0.0);
+}
+
+TEST(ReleaseContextTest, DeltaExhaustedLedgerReportsZeroHeadroom) {
+  // A ledger whose summed delta already exceeds a later-installed
+  // budget's delta can never admit again under any bound; epsilon
+  // headroom must read zero, not budget-minus-basic-epsilon.
+  ASSERT_OK_AND_ASSIGN(
+      ReleaseContext ctx,
+      ReleaseContext::Create(PrivacyParams{0.1, 1e-4, 1.0}, kTestSeed));
+  for (int i = 0; i < 5; ++i) ASSERT_OK(ctx.ChargeRelease("early"));
+  ctx.SetTotalBudget(PrivacyParams{4.0, 1e-4, 1.0});  // delta < 5e-4 spent
+  EXPECT_DOUBLE_EQ(ctx.RemainingBudget().epsilon, 0.0);
+  EXPECT_FALSE(ctx.ChargeRelease("late").ok());
+}
+
+TEST(ReleaseContextTest, ZcdpHeadroomIsZeroWhenBudgetCannotFundTheSlack) {
+  // A zCDP context whose budget delta is below the conversion's target
+  // delta will refuse every release; reporting the untouched budget as
+  // headroom would tell remote clients to retry forever.
+  ASSERT_OK_AND_ASSIGN(
+      ReleaseContext ctx,
+      ReleaseContext::Create(PrivacyParams{0.5, 1e-6, 1.0}, kTestSeed,
+                             AccountingPolicy::kZcdp));
+  ctx.SetTotalBudget(PrivacyParams{2.0, 0.0, 1.0}, /*delta_slack=*/1e-9);
+  EXPECT_DOUBLE_EQ(ctx.RemainingBudget().epsilon, 0.0);
+  ASSERT_OK_AND_ASSIGN(PrivacyLoss loss,
+                       PrivacyLoss::GaussianFromParams(ctx.params()));
+  EXPECT_FALSE(ctx.ChargeRelease("never-admitted", loss).ok());
+}
+
+TEST(ReleaseContextTest, PureBudgetHeadroomIgnoresAdvancedBound) {
+  // A pure (delta = 0) budget only ever admits through basic
+  // composition, so headroom must come off the basic total even where
+  // the (delta-carrying) advanced bound has a smaller epsilon.
+  ASSERT_OK_AND_ASSIGN(
+      ReleaseContext ctx,
+      ReleaseContext::Create(PrivacyParams{0.01, 0.0, 1.0}, kTestSeed));
+  ctx.SetTotalBudget(PrivacyParams{4.0, 0.0, 1.0});
+  for (int i = 0; i < 200; ++i) ASSERT_OK(ctx.ChargeRelease("r"));
+  EXPECT_NEAR(ctx.RemainingBudget().epsilon, 2.0, 1e-9);
+
+  // The same ledger under an approximate budget may use the tighter
+  // advanced bound for headroom.
+  ASSERT_OK_AND_ASSIGN(
+      ReleaseContext approx,
+      ReleaseContext::Create(PrivacyParams{0.01, 0.0, 1.0}, kTestSeed));
+  approx.SetTotalBudget(PrivacyParams{4.0, 1e-5, 1.0});
+  for (int i = 0; i < 200; ++i) ASSERT_OK(approx.ChargeRelease("r"));
+  EXPECT_GT(approx.RemainingBudget().epsilon, 2.0);
+}
+
+TEST(ReleaseContextTest, ForkAbsorbEqualsDirectChargesUnderZcdp) {
+  // Satellite: shards must merge PrivacyLoss, not (eps, delta) pairs —
+  // absorbing zCDP shards composes to exactly the ledger direct charges
+  // would have produced (same rho total, same certified epsilon).
+  PrivacyParams per_release{0.5, 1e-6, 1.0};
+  ASSERT_OK_AND_ASSIGN(
+      ReleaseContext parent,
+      ReleaseContext::Create(per_release, kTestSeed,
+                             AccountingPolicy::kZcdp));
+  parent.SetTotalBudget(PrivacyParams{3.0, 1e-4, 1.0},
+                        /*delta_slack=*/1e-5);
+  ASSERT_OK_AND_ASSIGN(PrivacyLoss loss,
+                       PrivacyLoss::GaussianFromParams(per_release));
+
+  constexpr int kShards = 4;
+  constexpr int kPerShard = 3;
+  std::vector<ReleaseContext> shards;
+  shards.reserve(kShards);
+  for (int s = 0; s < kShards; ++s) shards.push_back(parent.Fork());
+  for (int s = 0; s < kShards; ++s) {
+    for (int r = 0; r < kPerShard; ++r) {
+      ASSERT_OK(shards[static_cast<size_t>(s)].ChargeRelease(
+          StrFormat("shard-%d-release-%d", s, r), loss));
+    }
+  }
+  for (int s = 0; s < kShards; ++s) {
+    ASSERT_OK(parent.AbsorbShard(shards[static_cast<size_t>(s)]));
+  }
+
+  ASSERT_OK_AND_ASSIGN(
+      ReleaseContext direct,
+      ReleaseContext::Create(per_release, kTestSeed,
+                             AccountingPolicy::kZcdp));
+  for (int i = 0; i < kShards * kPerShard; ++i) {
+    ASSERT_OK(direct.ChargeRelease("direct", loss));
+  }
+  EXPECT_EQ(parent.accountant().num_releases(), kShards * kPerShard);
+  ASSERT_OK_AND_ASSIGN(double parent_rho, parent.accountant().TotalRho());
+  ASSERT_OK_AND_ASSIGN(double direct_rho, direct.accountant().TotalRho());
+  EXPECT_DOUBLE_EQ(parent_rho, direct_rho);
+  EXPECT_DOUBLE_EQ(parent.accountant().Total(1e-5).epsilon,
+                   direct.accountant().Total(1e-5).epsilon);
+  // Every absorbed entry kept its zCDP currency.
+  for (const AccountantEntry& entry : parent.accountant().entries()) {
+    EXPECT_EQ(entry.loss.kind, LossKind::kZcdp);
+  }
 }
 
 TEST(ReleaseContextTest, ConcurrentAbsorbOrderingComposesIdentically) {
