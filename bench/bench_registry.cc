@@ -12,6 +12,9 @@
 //      vs the sharded BatchExecutor for the sub-quadratic mechanisms, and
 //      bounded-weight build-time scaling with the multi-source Dijkstra
 //      thread count.
+//  R4  incremental update epochs vs full rebuild (tree-hld, random tree
+//      V=65536): wall clock and charged epsilon at 1% / 5% / 25% dirty
+//      fractions — the continual-release economics in one table.
 //
 // Usage: bench_registry [out.csv] [out.json]
 //   out.csv   the R1 rows as CSV
@@ -26,6 +29,7 @@
 #include "bench_util.h"
 #include "core/baselines.h"
 #include "core/bounded_weight.h"
+#include "core/hld_oracle.h"
 #include "core/tree_distance.h"
 #include "graph/all_pairs.h"
 #include "graph/generators.h"
@@ -101,12 +105,33 @@ AccountingSweep SweepAccountingPolicies(int releases, const char* kind,
   return sweep;
 }
 
+/// One R4 row: an update epoch at a given dirty fraction vs a full
+/// rebuild of the same release.
+struct UpdateEpochRun {
+  /// How the dirty set is drawn: "uniform" (random edges of a random
+  /// tree) or "leaf" (access-link edges of a caterpillar backbone, the
+  /// localized-drift regime where the epoch's sensitivity collapses).
+  const char* drift = "uniform";
+  /// The workload the epoch ran on ("random-tree" / "caterpillar") —
+  /// per-row because the two drift modes use different graphs.
+  const char* graph = "random-tree";
+  double dirty_fraction = 0.0;
+  int dirty_edges = 0;
+  int dirty_blocks = 0;
+  double update_ms = 0.0;   // best epoch wall time
+  double rebuild_ms = 0.0;  // best full MeteredBuild wall time
+  double charged_eps = 0.0;
+  double full_eps = 0.0;
+  double deltas_per_sec = 0.0;
+};
+
 void WriteJson(const char* path, int sweep_v, size_t sweep_queries,
                const std::vector<SweepRowStats>& sweep, int big_v,
                size_t big_queries, const std::vector<ThroughputRow>& rows,
                int scaling_v, int scaling_k,
                const std::vector<ScalingRun>& scaling,
-               const std::vector<AccountingSweep>& accounting) {
+               const std::vector<AccountingSweep>& accounting,
+               int update_v, const std::vector<UpdateEpochRun>& updates) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "could not write JSON to %s\n", path);
@@ -184,7 +209,31 @@ void WriteJson(const char* path, int sweep_v, size_t sweep_queries,
                  a.best_policy, a.best_epsilon,
                  i + 1 < accounting.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  // R4: incremental update epochs vs full rebuild. deltas_per_sec is the
+  // ops/sec series the perf-trajectory tracker watches.
+  std::fprintf(f,
+               "  \"updates\": {\"name\": \"tree-hld\", \"V\": %d, "
+               "\"epochs\": [\n",
+               update_v);
+  for (size_t i = 0; i < updates.size(); ++i) {
+    const UpdateEpochRun& u = updates[i];
+    std::fprintf(f,
+                 "    {\"drift\": \"%s\", \"graph\": \"%s\", "
+                 "\"dirty_fraction\": %g, "
+                 "\"dirty_edges\": %d, "
+                 "\"dirty_blocks\": %d, \"update_ms\": %.3f, "
+                 "\"rebuild_ms\": %.3f, \"speedup\": %.2f, "
+                 "\"charged_eps\": %.6f, \"full_eps\": %.6f, "
+                 "\"deltas_per_sec\": %.0f}%s\n",
+                 u.drift, u.graph, u.dirty_fraction, u.dirty_edges,
+                 u.dirty_blocks,
+                 u.update_ms, u.rebuild_ms,
+                 u.update_ms > 0.0 ? u.rebuild_ms / u.update_ms : 0.0,
+                 u.charged_eps, u.full_eps, u.deltas_per_sec,
+                 i + 1 < updates.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]}\n}\n");
   std::fclose(f);
   std::printf("\nJSON written to %s\n", path);
 }
@@ -339,10 +388,106 @@ void Run(const char* csv_path, const char* json_path) {
   }
   scaling_table.Print();
 
+  // R4: incremental update epochs vs full rebuild. A random tree (not a
+  // path) so the heavy-light decomposition has many chains of varying
+  // depth — the regime where a small dirty set hits a shallower stack
+  // than the full release's sensitivity and the epoch charge drops below
+  // the full epsilon, not just the wall clock.
+  const int update_v = 65536;
+  const double full_eps = 1.0;
+  Table update_table(
+      "R4: incremental update epoch vs full rebuild (tree-hld, V=65536, "
+      "eps=1)",
+      {"drift", "dirty %", "edges", "dirty blocks", "update_ms",
+       "rebuild_ms", "speedup", "charged eps", "full eps"});
+  std::vector<UpdateEpochRun> updates;
+  // Epoch harness: builds one release, times the best full rebuild, then
+  // runs 3 epochs per dirty fraction with edges drawn from [lo, hi).
+  auto run_epochs = [&](const char* drift, const char* graph_label,
+                        const Graph& tree, const EdgeWeights& weights,
+                        EdgeId edge_lo, EdgeId edge_hi,
+                        std::span<const double> fractions) {
+    ReleaseContext ctx = OrDie(ReleaseContext::Create(
+        PrivacyParams{full_eps, 0.0, 1.0}, rng.NextSeed()));
+    auto oracle = OrDie(OracleRegistry::Global().Create(
+        HldTreeOracle::kName, tree, weights, ctx));
+    UpdatableDistanceOracle* updatable = oracle->AsUpdatable();
+    double rebuild_ms = 0.0;
+    for (int run = 0; run < 3; ++run) {
+      ReleaseContext rebuild_ctx = OrDie(ReleaseContext::Create(
+          PrivacyParams{full_eps, 0.0, 1.0}, rng.NextSeed()));
+      WallTimer timer;
+      OrDie(OracleRegistry::Global().Create(HldTreeOracle::kName, tree,
+                                            weights, rebuild_ctx));
+      double ms = timer.Ms();
+      if (run == 0 || ms < rebuild_ms) rebuild_ms = ms;
+    }
+    for (double fraction : fractions) {
+      int k = std::max(1, static_cast<int>(fraction * tree.num_edges()));
+      UpdateEpochRun run;
+      run.drift = drift;
+      run.graph = graph_label;
+      run.dirty_fraction = fraction;
+      run.dirty_edges = k;
+      run.full_eps = full_eps;
+      run.rebuild_ms = rebuild_ms;
+      for (int epoch = 0; epoch < 3; ++epoch) {
+        std::vector<EdgeWeightDelta> deltas;
+        deltas.reserve(static_cast<size_t>(k));
+        for (int i = 0; i < k; ++i) {
+          deltas.push_back(
+              {static_cast<EdgeId>(rng.UniformInt(edge_lo, edge_hi - 1)),
+               rng.Uniform(0.1, 0.9)});
+        }
+        WallTimer timer;
+        OrDie(updatable->ApplyWeightUpdates(deltas, ctx));
+        double ms = timer.Ms();
+        if (epoch == 0 || ms < run.update_ms) run.update_ms = ms;
+        run.dirty_blocks = updatable->last_update().dirty_blocks;
+        run.charged_eps = updatable->last_update().charged_epsilon;
+      }
+      run.deltas_per_sec = k / (run.update_ms * 1e-3);
+      updates.push_back(run);
+      update_table.Row()
+          .Add(drift)
+          .Add(StrFormat("%.0f%%", fraction * 100))
+          .Add(run.dirty_edges)
+          .Add(run.dirty_blocks)
+          .Add(run.update_ms, 3)
+          .Add(run.rebuild_ms, 3)
+          .Add(run.rebuild_ms / run.update_ms, 2)
+          .Add(run.charged_eps, 4)
+          .Add(run.full_eps, 4);
+    }
+  };
+  // Uniform drift over a random tree: the wall-clock economics. A random
+  // dirty set almost surely touches the deepest chain, so the charge
+  // stays at the full epsilon — the honest worst case.
+  Graph random_tree = OrDie(MakeRandomTree(update_v, &rng));
+  EdgeWeights random_w = MakeUniformWeights(random_tree, 0.1, 0.9, &rng);
+  const double all_fractions[] = {0.01, 0.05, 0.25};
+  run_epochs("uniform", "random-tree", random_tree, random_w, 0,
+             random_tree.num_edges(), all_fractions);
+  // Leaf-local drift over a caterpillar backbone: only access-link (leg)
+  // edges drift. Legs are light edges of the decomposition — the epoch's
+  // sensitivity collapses to 1 and the charge to eps / sensitivity, the
+  // privacy economics of localized continual release.
+  const int spine = update_v / 8;
+  Graph caterpillar = OrDie(MakeCaterpillarTree(spine, /*legs=*/7));
+  EdgeWeights caterpillar_w = MakeUniformWeights(caterpillar, 0.1, 0.9, &rng);
+  // Excludes the last spine vertex's legs: with no further spine vertex,
+  // its heaviest child IS a leg, which extends the deepest chain — the
+  // one leg whose drift would reinstate the full sensitivity.
+  const double leaf_fractions[] = {0.01, 0.05};
+  run_epochs("leaf", "caterpillar", caterpillar, caterpillar_w,
+             /*edge_lo=*/static_cast<EdgeId>(spine - 1),
+             /*edge_hi=*/caterpillar.num_edges() - 7, leaf_fractions);
+  update_table.Print();
+
   if (json_path != nullptr) {
     WriteJson(json_path, n, pairs.size(), sweep_stats, big_n,
               big_pairs.size(), rows, grid_side * grid_side, scaling_k,
-              scaling, accounting);
+              scaling, accounting, update_v, updates);
   }
 
   std::puts(

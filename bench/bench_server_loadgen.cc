@@ -7,10 +7,17 @@
 // BatchExecutor ops/sec on the identical release, so the wire overhead is
 // one column, not a guess.
 //
+// A second phase (S2) runs the mixed continual-release workload: the same
+// closed-loop query clients hammer an UPDATABLE release while one updater
+// connection applies weight-update epochs through the protocol-v3
+// UpdateWeights frame — serving throughput under live incremental
+// re-releases, plus the epoch rate the single-ledger update path sustains.
+//
 // Usage: bench_server_loadgen [out.json]
 //   out.json  machine-readable per-mechanism numbers (ops/sec over the
 //             wire and direct) — BENCH_server.json, the CI perf artifact.
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -60,7 +67,18 @@ bool RunClient(uint16_t port, uint32_t handle_id,
   return true;
 }
 
-void WriteJson(const char* path, const std::vector<LoadgenRow>& rows) {
+/// The S2 mixed query/update phase's numbers.
+struct MixedRow {
+  std::string mechanism;
+  double query_ops_per_sec = 0.0;
+  uint64_t update_epochs = 0;
+  double update_epochs_per_sec = 0.0;
+  int deltas_per_epoch = 0;
+  double charged_eps_per_epoch = 0.0;
+};
+
+void WriteJson(const char* path, const std::vector<LoadgenRow>& rows,
+               const MixedRow& mixed) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "could not write JSON to %s\n", path);
@@ -82,7 +100,16 @@ void WriteJson(const char* path, const std::vector<LoadgenRow>& rows) {
                  r.net_round_trip_ms, r.direct_ops_per_sec,
                  i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"mixed\": {\"name\": \"%s\", \"ops_per_sec\": %.0f, "
+               "\"update_epochs\": %llu, \"update_epochs_per_sec\": %.2f, "
+               "\"deltas_per_epoch\": %d, \"charged_eps_per_epoch\": %g}\n",
+               mixed.mechanism.c_str(), mixed.query_ops_per_sec,
+               static_cast<unsigned long long>(mixed.update_epochs),
+               mixed.update_epochs_per_sec, mixed.deltas_per_epoch,
+               mixed.charged_eps_per_epoch);
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nJSON written to %s\n", path);
 }
@@ -178,6 +205,96 @@ void Run(const char* json_path) {
   }
   table.Print();
 
+  // S2: the mixed continual-release workload. The query fleet hammers an
+  // updatable tree-hld release while one updater connection applies
+  // weight-update epochs; the server interleaves them under the handle's
+  // reader/writer guard and the single ledger. The updater stops cleanly
+  // on kBudgetExhausted — on this single-chain path workload every epoch
+  // charges the full per-release epsilon, so admission is part of the
+  // scenario, not a failure.
+  const int kDeltasPerEpoch = 64;
+  MixedRow mixed;
+  mixed.mechanism = "tree-hld";
+  mixed.deltas_per_epoch = kDeltasPerEpoch;
+  {
+    net::ReleaseInfo info =
+        OrDie(admin.Release("path", "tree-hld", "mixed-tree-hld"));
+    std::atomic<bool> queries_done{false};
+    std::atomic<uint64_t> epochs{0};
+    std::string update_error;
+    std::thread updater([&] {
+      Result<net::Client> client =
+          net::Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        update_error = client.status().ToString();
+        return;
+      }
+      Rng delta_rng(kBenchNoiseSeed ^ 0x0dd5);
+      std::vector<EdgeWeightDelta> deltas(kDeltasPerEpoch);
+      while (!queries_done.load()) {
+        for (EdgeWeightDelta& d : deltas) {
+          d.edge = static_cast<EdgeId>(
+              delta_rng.UniformInt(0, g.num_edges() - 1));
+          d.new_weight = delta_rng.Uniform(0.1, 0.9);
+        }
+        Result<net::UpdateInfo> applied =
+            client->UpdateWeights(info.handle_id, deltas);
+        if (!applied.ok()) {
+          if (client->last_error() &&
+              client->last_error()->kind ==
+                  net::ErrorKind::kBudgetExhausted) {
+            break;  // ledger ceiling reached: the clean stop signal
+          }
+          update_error = applied.status().ToString();
+          break;
+        }
+        mixed.charged_eps_per_epoch = applied->charged_epsilon;
+        epochs.fetch_add(1);
+      }
+    });
+    std::vector<std::string> errors(kClients);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    WallTimer timer;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        RunClient(server.port(), info.handle_id, pairs, kBatchesPerClient,
+                  &errors[static_cast<size_t>(c)]);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    double wall_s = timer.Ms() * 1e-3;
+    queries_done.store(true);
+    updater.join();
+    for (const std::string& error : errors) {
+      if (!error.empty()) {
+        std::fprintf(stderr, "mixed loadgen client failed: %s\n",
+                     error.c_str());
+        std::exit(1);
+      }
+    }
+    if (!update_error.empty()) {
+      std::fprintf(stderr, "mixed loadgen updater failed: %s\n",
+                   update_error.c_str());
+      std::exit(1);
+    }
+    double total_pairs =
+        static_cast<double>(kClients) *
+        (kBatchesPerClient + kWarmupBatchesPerClient) * kPairsPerBatch;
+    mixed.query_ops_per_sec = total_pairs / wall_s;
+    mixed.update_epochs = epochs.load();
+    mixed.update_epochs_per_sec =
+        static_cast<double>(mixed.update_epochs) / wall_s;
+    std::printf(
+        "\nS2: mixed workload (tree-hld): %.3f query Mops/s under "
+        "%llu update epochs (%.1f epochs/s, %d deltas each, eps=%g per "
+        "epoch)\n",
+        mixed.query_ops_per_sec / 1e6,
+        static_cast<unsigned long long>(mixed.update_epochs),
+        mixed.update_epochs_per_sec, kDeltasPerEpoch,
+        mixed.charged_eps_per_epoch);
+  }
+
   net::ServerStats stats = OrDie(admin.Stats());
   std::printf("\nserver counters: %llu queries, %llu pairs, %llu releases, "
               "%llu overload-rejected\n",
@@ -193,7 +310,7 @@ void Run(const char* json_path) {
                 stats.spent_epsilon, stats.remaining_epsilon);
   }
 
-  if (json_path != nullptr) WriteJson(json_path, rows);
+  if (json_path != nullptr) WriteJson(json_path, rows, mixed);
   server.Stop();
 
   std::puts(

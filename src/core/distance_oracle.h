@@ -20,8 +20,19 @@
 
 namespace dpsp {
 
+class ReleaseContext;
+class UpdatableDistanceOracle;
+
 /// One (u, v) distance query.
 using VertexPair = std::pair<VertexId, VertexId>;
+
+/// One edge of the private weight map drifting to a new value — the unit
+/// of a continual-release update epoch. The topology is public and never
+/// changes; only the private weights do.
+struct EdgeWeightDelta {
+  EdgeId edge = 0;
+  double new_weight = 0.0;
+};
 
 /// A released all-pairs distance estimator. Queries are post-processing of
 /// an already-released private object, so calling Distance() or
@@ -55,6 +66,64 @@ class DistanceOracle {
 
   /// Mechanism name for reports.
   virtual std::string Name() const = 0;
+
+  /// The incremental-update capability, or nullptr for build-once
+  /// mechanisms. Callers route through this instead of dynamic_cast so
+  /// the serving layers (executor, network server) can advertise and
+  /// dispatch updatability uniformly.
+  virtual UpdatableDistanceOracle* AsUpdatable() { return nullptr; }
+  virtual const UpdatableDistanceOracle* AsUpdatable() const {
+    return nullptr;
+  }
+};
+
+/// A released oracle that supports incremental weight-update epochs: when
+/// few edges drift between epochs, only the released blocks covering the
+/// dirty edges are redrawn and only their share of the budget is charged,
+/// instead of re-releasing the whole structure at full cost.
+///
+/// Concurrency: ApplyWeightUpdates mutates the released structure and is
+/// NOT safe against concurrent queries — callers must exclude queries for
+/// the duration of an update (the network server holds a per-handle
+/// writer lock). Queries remain const and concurrency-safe between
+/// updates, per the DistanceOracle contract.
+class UpdatableDistanceOracle : public DistanceOracle {
+ public:
+  /// What the last ApplyWeightUpdates epoch did, for telemetry, wire
+  /// responses, and the ledger-equality tests. Zeroed at the start of
+  /// every epoch (an empty epoch reports all zeros).
+  struct UpdateStats {
+    /// Distinct edges whose weight changed this epoch.
+    int dirty_edges = 0;
+    /// Noisy values redrawn (dirty dyadic blocks plus dirty scalars).
+    int dirty_blocks = 0;
+    /// The epoch's sensitivity multiplier: the largest number of redrawn
+    /// blocks any single dirty edge appears in. The epoch charges
+    /// loss = (sensitivity / full-release sensitivity) x one release of
+    /// the context's params — the dirty fraction in the release's own
+    /// sensitivity currency.
+    int sensitivity = 0;
+    /// The PrivacyLoss epsilon actually charged to the ledger.
+    double charged_epsilon = 0.0;
+  };
+
+  /// Applies one epoch of weight updates in place through the release
+  /// pipeline: plans the dirty-block set, meters the partial release
+  /// (check-before-apply — an exhausted budget refuses BEFORE any block
+  /// is touched, leaving the oracle unchanged), redraws fresh noise for
+  /// only the dirty blocks, and commits the charge plus telemetry.
+  /// Duplicate edges in one epoch: the last delta wins. An empty epoch is
+  /// a no-op that charges nothing.
+  virtual Status ApplyWeightUpdates(std::span<const EdgeWeightDelta> deltas,
+                                    ReleaseContext& ctx) = 0;
+
+  const UpdateStats& last_update() const { return update_stats_; }
+
+  UpdatableDistanceOracle* AsUpdatable() final { return this; }
+  const UpdatableDistanceOracle* AsUpdatable() const final { return this; }
+
+ protected:
+  UpdateStats update_stats_;
 };
 
 /// Answers `pairs` by running oracle.DistanceInto() chunk-wise across

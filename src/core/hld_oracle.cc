@@ -1,6 +1,9 @@
 #include "core/hld_oracle.h"
 
 #include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
 
 #include "common/table.h"
 #include "dp/laplace_mechanism.h"
@@ -65,6 +68,7 @@ Result<std::unique_ptr<HldTreeOracle>> HldTreeOracle::Build(
       LaplaceScale(static_cast<double>(max_levels), params));
   oracle->noise_scale_ = scale;
   oracle->sensitivity_ = max_levels;
+  oracle->release_epsilon_ = params.epsilon;
 
   // Released structures: per-chain dyadic sums over the heavy edges, plus
   // one noisy scalar per light (chain-head parent) edge.
@@ -98,6 +102,25 @@ Result<std::unique_ptr<HldTreeOracle>> HldTreeOracle::Build(
   oracle->tree_ = std::make_unique<RootedTree>(std::move(tree));
   oracle->lca_ = std::make_unique<EulerTourLca>(*oracle->tree_);
 
+  // Update-path indexes: dirty edge -> child endpoint, and flat chain
+  // membership (for recomputing ascent caches of dirty chains).
+  oracle->edge_child_.assign(static_cast<size_t>(graph.num_edges()), -1);
+  for (VertexId v = 0; v < n; ++v) {
+    EdgeId e = oracle->tree_->parent_edge(v);
+    if (e != -1) oracle->edge_child_[static_cast<size_t>(e)] = v;
+  }
+  oracle->chain_member_offset_.assign(members.size() + 1, 0);
+  for (size_t c = 0; c < members.size(); ++c) {
+    oracle->chain_member_offset_[c + 1] =
+        oracle->chain_member_offset_[c] +
+        static_cast<uint32_t>(members[c].size());
+  }
+  oracle->chain_member_list_.reserve(static_cast<size_t>(n));
+  for (const std::vector<VertexId>& chain : members) {
+    oracle->chain_member_list_.insert(oracle->chain_member_list_.end(),
+                                      chain.begin(), chain.end());
+  }
+
   // Ascent caches (post-processing of the released blocks, no new noise):
   // climbing off the top of v's chain costs the chain prefix up to v plus
   // the light edge above the head, and lands on the head's parent.
@@ -126,6 +149,106 @@ Result<std::unique_ptr<HldTreeOracle>> HldTreeOracle::Build(
         t.noise_scale = oracle.noise_scale();
         t.noise_draws = oracle.num_noisy_values();
       });
+}
+
+Status HldTreeOracle::ApplyWeightUpdates(
+    std::span<const EdgeWeightDelta> deltas, ReleaseContext& ctx) {
+  update_stats_ = UpdateStats{};
+  if (deltas.empty()) return Status::Ok();
+  const int num_edges = tree_->num_vertices() - 1;
+
+  // Final weight per dirty edge (last delta wins), then grouped by chain
+  // in ascending (chain, position) order so the redraw walk — and with it
+  // the noise stream — is deterministic for a given epoch.
+  std::map<EdgeId, double> final_weight;
+  for (const EdgeWeightDelta& d : deltas) {
+    if (d.edge < 0 || d.edge >= num_edges) {
+      return Status::InvalidArgument(StrFormat(
+          "update edge %d out of range [0, %d)", d.edge, num_edges));
+    }
+    if (!(d.new_weight >= 0.0) || std::isinf(d.new_weight)) {
+      return Status::InvalidArgument(
+          "updated edge weights must be finite and non-negative");
+    }
+    final_weight[d.edge] = d.new_weight;
+  }
+
+  std::map<int, std::vector<std::pair<int, double>>> heavy;  // chain -> ups
+  std::map<int, double> light;  // chain -> new light-edge weight
+  for (const auto& [edge, weight] : final_weight) {
+    VertexId v = edge_child_[static_cast<size_t>(edge)];
+    int c = chain_of_[static_cast<size_t>(v)];
+    int pos = pos_in_chain_[static_cast<size_t>(v)];
+    if (pos == 0) {
+      light[c] = weight;  // the edge above the chain head: one scalar
+    } else {
+      heavy[c].emplace_back(pos - 1, weight);
+    }
+  }
+
+  // Planning pass (no mutation): the epoch's sensitivity g is the deepest
+  // dirty stack — every dirty heavy edge sits in one block per level of
+  // its chain, a dirty light edge in exactly one scalar — and the dirty
+  // block count prices the redraw. Charged in the release's natural
+  // currency: the redraw at the build-time Laplace scale L*l1/eps is
+  // exactly (eps * g / L)-DP.
+  int g = light.empty() ? 0 : 1;
+  int dirty_blocks = static_cast<int>(light.size());
+  for (const auto& [c, updates] : heavy) {
+    const NoisyDyadicRangeSums& chain = chains_[static_cast<size_t>(c)];
+    g = std::max(g, chain.num_levels());
+    std::vector<int> indices;
+    indices.reserve(updates.size());
+    for (const auto& [index, weight] : updates) indices.push_back(index);
+    dirty_blocks += chain.DirtyBlockCount(indices);
+  }
+  double charged_epsilon =
+      release_epsilon_ * static_cast<double>(g) / sensitivity_;
+  PrivacyLoss loss = PrivacyLoss::Pure(charged_epsilon);
+
+  Status metered = ctx.MeteredUpdate(
+      std::string(kName) + "-update", loss,
+      [&] {
+        for (const auto& [c, updates] : heavy) {
+          chains_[static_cast<size_t>(c)].ApplyPointUpdates(updates,
+                                                            ctx.rng());
+        }
+        for (const auto& [c, weight] : light) {
+          light_noisy_[static_cast<size_t>(c)] =
+              weight + ctx.rng()->Laplace(noise_scale_);
+        }
+        // Ascent caches of the dirty chains: post-processing of the
+        // redrawn blocks, no new noise. (std::map iteration keeps the
+        // chain walk ordered; a chain dirty in both ways is recomputed
+        // once — the second pass overwrites with identical values.)
+        for (const auto& [c, updates] : heavy) RecomputeAscentCosts(c);
+        for (const auto& [c, weight] : light) {
+          if (heavy.find(c) == heavy.end()) RecomputeAscentCosts(c);
+        }
+        return Status::Ok();
+      },
+      [&](ReleaseTelemetry& t) {
+        t.sensitivity = g;
+        t.noise_scale = noise_scale_;
+        t.noise_draws = dirty_blocks;
+      });
+  DPSP_RETURN_IF_ERROR(metered);
+  update_stats_.dirty_edges = static_cast<int>(final_weight.size());
+  update_stats_.dirty_blocks = dirty_blocks;
+  update_stats_.sensitivity = g;
+  update_stats_.charged_epsilon = charged_epsilon;
+  return Status::Ok();
+}
+
+void HldTreeOracle::RecomputeAscentCosts(int c) {
+  for (uint32_t k = chain_member_offset_[static_cast<size_t>(c)];
+       k < chain_member_offset_[static_cast<size_t>(c) + 1]; ++k) {
+    VertexId v = chain_member_list_[k];
+    ascent_cost_[static_cast<size_t>(v)] =
+        chains_[static_cast<size_t>(c)].PrefixSumUnchecked(
+            pos_in_chain_[static_cast<size_t>(v)]) +
+        light_noisy_[static_cast<size_t>(c)];
+  }
 }
 
 Status HldTreeOracle::DistanceInto(std::span<const VertexPair> pairs,

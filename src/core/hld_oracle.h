@@ -32,10 +32,23 @@
 #include "dp/release_context.h"
 #include "graph/tree.h"
 
+// Incremental release (continual weight updates): every edge lives in one
+// heavy-chain dyadic structure (one block per level of that chain) or in
+// one released light scalar. When an epoch drifts k edges, only the
+// blocks containing those edges are invalidated and redrawn — the
+// Theorem 4.2 / Appendix-A recursion rebuilt on just the dirty subtrees.
+// The epoch's sensitivity is g = the deepest dirty stack (max levels over
+// dirty chains, 1 if only light edges drifted), so the partial release is
+// (g/L) x one full release in the calibration's own currency, where L is
+// the build-time sensitivity. ApplyWeightUpdates charges exactly that
+// fraction through ReleaseContext::MeteredUpdate.
+
 namespace dpsp {
 
 /// eps-DP all-pairs tree distance oracle via heavy-light decomposition.
-class HldTreeOracle final : public DistanceOracle {
+/// The first updatable mechanism in the registry: supports incremental
+/// weight-update epochs through ApplyWeightUpdates.
+class HldTreeOracle final : public UpdatableDistanceOracle {
  public:
   /// Registry name of this mechanism.
   static constexpr const char* kName = "tree-hld";
@@ -61,6 +74,15 @@ class HldTreeOracle final : public DistanceOracle {
                       double* out) const override;
   std::string Name() const override { return kName; }
 
+  /// One incremental update epoch: maps each dirty edge to its heavy-
+  /// chain block stack (or light scalar), redraws fresh noise for only
+  /// those blocks at the build-time scale, recomputes the ascent caches
+  /// of the dirty chains, and charges Pure(build_eps * g / sensitivity())
+  /// where g is the epoch's own sensitivity (see the header comment).
+  /// Budget-exhausted epochs refuse before touching any block.
+  Status ApplyWeightUpdates(std::span<const EdgeWeightDelta> deltas,
+                            ReleaseContext& ctx) override;
+
   int num_chains() const { return static_cast<int>(chains_.size()); }
   double noise_scale() const { return noise_scale_; }
   /// Release sensitivity (max chain levels) and total noise draws, for
@@ -80,15 +102,29 @@ class HldTreeOracle final : public DistanceOracle {
   // Both must be valid vertices with z an ancestor of v.
   double DistanceToAncestor(VertexId v, VertexId z) const;
 
+  // Rebuilds the ascent caches of chain `c` from its (possibly redrawn)
+  // released blocks.
+  void RecomputeAscentCosts(int c);
+
   std::unique_ptr<RootedTree> tree_;
   std::unique_ptr<EulerTourLca> lca_;
   double noise_scale_ = 0.0;
   int sensitivity_ = 0;
   int num_noisy_values_ = 0;
+  // The per-release epsilon the noise scale was calibrated to at build;
+  // incremental epochs charge their dirty fraction of it.
+  double release_epsilon_ = 0.0;
   // Heavy-chain bookkeeping.
   std::vector<int> chain_of_;      // vertex -> chain index
   std::vector<int> pos_in_chain_;  // vertex -> position along its chain
   std::vector<VertexId> chain_head_;  // chain -> shallowest vertex
+  // edge id -> the child endpoint whose parent edge it is; the update
+  // path's dirty-edge -> (chain, position) map.
+  std::vector<VertexId> edge_child_;
+  // Flat CSR chain membership (chain -> vertices by position), for
+  // recomputing the ascent caches of dirty chains.
+  std::vector<uint32_t> chain_member_offset_;
+  std::vector<VertexId> chain_member_list_;
   std::vector<NoisyDyadicRangeSums> chains_;  // chain -> released structure
   // chain -> noisy weight of the light edge above its head (0 at the root
   // chain).

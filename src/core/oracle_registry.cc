@@ -34,7 +34,7 @@ void RegisterBuiltins(OracleRegistry& registry) {
 
   must({kExactOracleName, "non-private ground truth for evaluation",
         OracleInput::kAnyConnected, /*consumes_budget=*/false,
-        LossKind::kPure,
+        LossKind::kPure, /*updatable=*/false,
         [](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
           return MakeExactOracle(g, w, ctx);
         }});
@@ -42,48 +42,54 @@ void RegisterBuiltins(OracleRegistry& registry) {
         "Section 4 baseline: Laplace noise per pair, basic/advanced "
         "composition",
         OracleInput::kAnyConnected, true, LossKind::kPure,
+        /*updatable=*/false,
         [](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
           return MakePerPairLaplaceOracle(g, w, ctx);
         }});
   must({kSyntheticGraphOracleName,
         "Section 4 baseline: release noisy weights, answer by Dijkstra",
         OracleInput::kAnyConnected, true, LossKind::kPure,
+        /*updatable=*/false,
         [](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
           return MakeSyntheticGraphOracle(g, w, ctx);
         }});
   must({TreeAllPairsOracle::kName,
         "Theorem 4.2: balanced-separator recursion + LCA combination",
-        OracleInput::kTree, true, LossKind::kPure,
+        OracleInput::kTree, true, LossKind::kPure, /*updatable=*/false,
         Erase([](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
           return TreeAllPairsOracle::Build(g, w, ctx);
         })});
   must({HldTreeOracle::kName,
-        "heavy-light chains over the Appendix-A dyadic structure",
-        OracleInput::kTree, true, LossKind::kPure,
+        "heavy-light chains over the Appendix-A dyadic structure; "
+        "supports incremental weight-update epochs",
+        OracleInput::kTree, true, LossKind::kPure, /*updatable=*/true,
         Erase([](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
           return HldTreeOracle::Build(g, w, ctx);
         })});
   must({PathGraphOracle::kName,
         "Theorem A.1: binary hub hierarchy on the path graph",
-        OracleInput::kPath, true, LossKind::kPure,
+        OracleInput::kPath, true, LossKind::kPure, /*updatable=*/false,
         Erase([](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
           return PathGraphOracle::Build(g, w, ctx);
         })});
   must({BoundedWeightOracle::kName,
         "Algorithm 2: noisy distances between covering centers",
         OracleInput::kAnyConnected, true, LossKind::kPure,
+        /*updatable=*/false,
         Erase([](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
           return BoundedWeightOracle::Build(g, w, ctx);
         })});
   must({MstDistanceOracle::kName,
         "Theorem B.3 release: distances within the released spanning tree",
         OracleInput::kAnyConnected, true, LossKind::kPure,
+        /*updatable=*/false,
         Erase([](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
           return MstDistanceOracle::Build(g, w, ctx);
         })});
   must({MatchingDistanceOracle::kName,
         "Theorem B.6 release: matching + distances on the noisy graph",
         OracleInput::kPerfectMatching, true, LossKind::kPure,
+        /*updatable=*/false,
         Erase([](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
           return MatchingDistanceOracle::Build(g, w, ctx);
         })});
@@ -91,6 +97,7 @@ void RegisterBuiltins(OracleRegistry& registry) {
         "Algorithm 2 ablation: Gaussian noise between covering centers, "
         "metered at its natural zCDP rate",
         OracleInput::kAnyConnected, true, LossKind::kZcdp,
+        /*updatable=*/false,
         Erase([](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
           BoundedWeightOptions options;
           options.noise = BoundedWeightOptions::NoiseKind::kGaussian;

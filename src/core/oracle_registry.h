@@ -60,6 +60,11 @@ struct OracleSpec {
   /// rho rate (it requires delta > 0 and eps < 1 to build). Sweeps and
   /// conformance suites use the declaration to pick compatible params.
   LossKind loss = LossKind::kPure;
+  /// True when the built oracle supports incremental weight-update epochs
+  /// (DistanceOracle::AsUpdatable() returns non-null) — the routing bit
+  /// the serving layers consult before accepting UpdateWeights traffic
+  /// for a release of this mechanism.
+  bool updatable = false;
   OracleFactory factory;
 };
 

@@ -17,7 +17,9 @@ int NoisyDyadicRangeSums::LevelsForSize(int size) {
 
 NoisyDyadicRangeSums::NoisyDyadicRangeSums(const std::vector<double>& values,
                                            double noise_scale, Rng* rng)
-    : size_(static_cast<int>(values.size())) {
+    : size_(static_cast<int>(values.size())),
+      noise_scale_(noise_scale),
+      values_(values) {
   if (size_ == 0) return;
   DPSP_CHECK_MSG(noise_scale > 0.0, "noise scale must be positive");
 
@@ -41,6 +43,69 @@ NoisyDyadicRangeSums::NoisyDyadicRangeSums(const std::vector<double>& values,
           rng->Laplace(noise_scale);
     }
   }
+}
+
+namespace {
+
+// Distinct block ids `i >> level` of the (sorted, deduplicated) dirty
+// indices, ascending.
+std::vector<int> DirtyBlocksAtLevel(const std::vector<int>& indices,
+                                    int level) {
+  std::vector<int> blocks;
+  blocks.reserve(indices.size());
+  for (int i : indices) {
+    int j = i >> level;
+    if (blocks.empty() || blocks.back() != j) blocks.push_back(j);
+  }
+  return blocks;
+}
+
+}  // namespace
+
+int NoisyDyadicRangeSums::ApplyPointUpdates(
+    std::span<const std::pair<int, double>> updates, Rng* rng) {
+  if (updates.empty()) return 0;
+  DPSP_CHECK_MSG(size_ > 0, "cannot update an empty structure");
+  std::vector<int> indices;
+  indices.reserve(updates.size());
+  for (const auto& [i, v] : updates) {
+    DPSP_CHECK_MSG(i >= 0 && i < size_, "update index out of range");
+    values_[static_cast<size_t>(i)] = v;  // duplicates: last value wins
+    indices.push_back(i);
+  }
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+
+  // Redraw in (level, block) order — the deterministic walk the planning
+  // pass counts, so a fixed Rng stream replays to an identical structure.
+  int redrawn = 0;
+  for (int l = 0; l < num_levels(); ++l) {
+    int width = 1 << l;
+    auto& row = levels_[static_cast<size_t>(l)];
+    for (int j : DirtyBlocksAtLevel(indices, l)) {
+      int lo = j * width;
+      int hi = std::min(size_, lo + width);
+      double sum = 0.0;
+      for (int i = lo; i < hi; ++i) sum += values_[static_cast<size_t>(i)];
+      row[static_cast<size_t>(j)] = sum + rng->Laplace(noise_scale_);
+      ++redrawn;
+    }
+  }
+  return redrawn;
+}
+
+int NoisyDyadicRangeSums::DirtyBlockCount(std::span<const int> indices) const {
+  if (indices.empty() || size_ == 0) return 0;
+  std::vector<int> sorted(indices.begin(), indices.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  DPSP_CHECK_MSG(sorted.front() >= 0 && sorted.back() < size_,
+                 "dirty index out of range");
+  int count = 0;
+  for (int l = 0; l < num_levels(); ++l) {
+    count += static_cast<int>(DirtyBlocksAtLevel(sorted, l).size());
+  }
+  return count;
 }
 
 int NoisyDyadicRangeSums::num_blocks() const {

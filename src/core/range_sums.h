@@ -9,10 +9,22 @@
 // invocation with l1 sensitivity (#levels) * (per-index sensitivity of x).
 // Any range sum over [lo, hi) is answered from at most 2 #levels noisy
 // blocks.
+//
+// The structure is incrementally releasable: a point update x[i] = v
+// invalidates exactly one block per level (the #levels blocks containing
+// i), and ApplyPointUpdates redraws fresh noise for only those blocks.
+// Because each dirty index re-releases at most #levels blocks — the same
+// stack the sensitivity argument counts — an update epoch is itself one
+// Laplace invocation over the dirty blocks, at the same per-block cost as
+// the original release. The raw value vector is retained internally to
+// recompute dirty block sums; it is PRIVATE state of the holder, never
+// part of the released object.
 
 #ifndef DPSP_CORE_RANGE_SUMS_H_
 #define DPSP_CORE_RANGE_SUMS_H_
 
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -52,6 +64,25 @@ class NoisyDyadicRangeSums {
   /// guarantee 0 <= hi <= size.
   double PrefixSumUnchecked(int hi) const;
 
+  /// Number of stored values.
+  int size() const { return size_; }
+
+  /// Point updates (index, new value): sets each value, then recomputes
+  /// and redraws Lap(noise_scale) for every dyadic block containing a
+  /// dirty index — one block per level per distinct index, deduplicated,
+  /// redrawn in (level, block) order so a fixed Rng stream gives a
+  /// deterministic result. Blocks containing no dirty index keep their
+  /// original noisy sums bit-for-bit. Duplicate indices: the last value
+  /// wins. Indices must lie in [0, size()). Returns the number of blocks
+  /// redrawn (== DirtyBlockCount of the distinct indices).
+  int ApplyPointUpdates(std::span<const std::pair<int, double>> updates,
+                        Rng* rng);
+
+  /// How many blocks ApplyPointUpdates would redraw for these indices —
+  /// the per-block privacy planning pass, with no mutation. Duplicates
+  /// are deduplicated; indices must lie in [0, size()).
+  int DirtyBlockCount(std::span<const int> indices) const;
+
   /// How many dyadic levels a vector of `size` values needs.
   static int LevelsForSize(int size);
 
@@ -60,6 +91,10 @@ class NoisyDyadicRangeSums {
   double SumRange(int lo, int hi, int* segments) const;
 
   int size_ = 0;
+  double noise_scale_ = 0.0;
+  // The private value vector, retained to recompute dirty block sums on
+  // updates. Not part of the released structure.
+  std::vector<double> values_;
   // levels_[l][j]: noisy sum of [j 2^l, min(size, (j+1) 2^l)).
   std::vector<std::vector<double>> levels_;
 };

@@ -169,6 +169,31 @@ class ReleaseContext {
                         std::forward<Annotate>(annotate));
   }
 
+  /// The metering protocol for PARTIAL releases — an updatable oracle
+  /// redrawing only its dirty blocks. Same discipline as MeteredBuild,
+  /// adapted to in-place mutation: the budget is checked for `loss` (the
+  /// dirty fraction of a full release, planned by the caller BEFORE any
+  /// mutation) first, so an exhausted context refuses with the released
+  /// structure untouched; then `apply` (a nullary callable returning
+  /// Status) mutates the structure; then the charge and telemetry commit
+  /// atomically. `annotate` fills the update-specific telemetry fields:
+  /// annotate(telemetry). The commit re-runs the same deterministic check
+  /// the protocol opened with, so on a single-threaded ledger it cannot
+  /// fail after apply succeeded.
+  template <typename Apply, typename Annotate>
+  Status MeteredUpdate(const std::string& mechanism, const PrivacyLoss& loss,
+                       Apply&& apply, Annotate&& annotate) {
+    WallTimer timer;
+    DPSP_RETURN_IF_ERROR(CheckBudgetFor(mechanism, loss));
+    DPSP_RETURN_IF_ERROR(apply());
+    ReleaseTelemetry t;
+    t.mechanism = mechanism;
+    t.loss = loss;
+    annotate(t);
+    t.wall_ms = timer.Ms();
+    return CommitRelease(std::move(t));
+  }
+
   /// A shard-local child context for sharded build/serve pipelines: the
   /// same validated params and accounting policy, a fresh Rng seeded from
   /// this context's stream, an empty ledger, and no total budget (the

@@ -62,6 +62,16 @@ Result<std::vector<double>> Client::Query(uint32_t handle_id,
   return distances;
 }
 
+Result<UpdateInfo> Client::UpdateWeights(
+    uint32_t handle_id, std::span<const EdgeWeightDelta> deltas) {
+  std::vector<uint8_t> body = EncodeUpdateRequest(handle_id, deltas);
+  DPSP_ASSIGN_OR_RETURN(
+      Frame response,
+      RoundTrip(MessageType::kUpdateRequest, body,
+                MessageType::kUpdateResponse));
+  return DecodeUpdateInfo(response.body);
+}
+
 Result<ServerStats> Client::Stats() {
   DPSP_ASSIGN_OR_RETURN(
       Frame response,

@@ -137,6 +137,8 @@ const char* ErrorKindName(ErrorKind kind) {
       return "too-large";
     case ErrorKind::kInternal:
       return "internal";
+    case ErrorKind::kUnsupported:
+      return "unsupported";
   }
   return "unknown";
 }
@@ -288,6 +290,62 @@ Result<std::vector<double>> DecodeQueryResponse(
   return distances;
 }
 
+std::vector<uint8_t> EncodeUpdateRequest(
+    uint32_t handle_id, std::span<const EdgeWeightDelta> deltas) {
+  WireWriter w;
+  w.Reserve(8 + deltas.size() * 12);
+  w.U32(handle_id);
+  w.U32(static_cast<uint32_t>(deltas.size()));
+  for (const EdgeWeightDelta& d : deltas) {
+    w.I32(d.edge);
+    w.F64(d.new_weight);
+  }
+  return w.Take();
+}
+
+Result<UpdateRequest> DecodeUpdateRequest(std::span<const uint8_t> body) {
+  WireReader r(body);
+  UpdateRequest request;
+  uint32_t count = 0;
+  DPSP_RETURN_IF_ERROR(r.U32(&request.handle_id));
+  DPSP_RETURN_IF_ERROR(r.U32(&count));
+  if (static_cast<size_t>(count) * 12 != r.remaining()) {
+    return Status::InvalidArgument(
+        "update delta count disagrees with body size");
+  }
+  request.deltas.resize(count);
+  for (EdgeWeightDelta& d : request.deltas) {
+    DPSP_RETURN_IF_ERROR(r.I32(&d.edge));
+    DPSP_RETURN_IF_ERROR(r.F64(&d.new_weight));
+  }
+  DPSP_RETURN_IF_ERROR(r.ExpectEnd());
+  return request;
+}
+
+std::vector<uint8_t> EncodeUpdateInfo(const UpdateInfo& info) {
+  WireWriter w;
+  w.F64(info.charged_epsilon);
+  w.F64(info.charged_delta);
+  w.F64(info.remaining_epsilon);
+  w.F64(info.remaining_delta);
+  w.U32(info.dirty_blocks);
+  w.F64(info.wall_ms);
+  return w.Take();
+}
+
+Result<UpdateInfo> DecodeUpdateInfo(std::span<const uint8_t> body) {
+  WireReader r(body);
+  UpdateInfo info;
+  DPSP_RETURN_IF_ERROR(r.F64(&info.charged_epsilon));
+  DPSP_RETURN_IF_ERROR(r.F64(&info.charged_delta));
+  DPSP_RETURN_IF_ERROR(r.F64(&info.remaining_epsilon));
+  DPSP_RETURN_IF_ERROR(r.F64(&info.remaining_delta));
+  DPSP_RETURN_IF_ERROR(r.U32(&info.dirty_blocks));
+  DPSP_RETURN_IF_ERROR(r.F64(&info.wall_ms));
+  DPSP_RETURN_IF_ERROR(r.ExpectEnd());
+  return info;
+}
+
 std::vector<uint8_t> EncodeServerStats(const ServerStats& stats,
                                        uint16_t version) {
   WireWriter w;
@@ -349,7 +407,7 @@ Result<WireError> DecodeError(std::span<const uint8_t> body) {
   DPSP_RETURN_IF_ERROR(r.U16(&code));
   DPSP_RETURN_IF_ERROR(r.Str(&error.message));
   DPSP_RETURN_IF_ERROR(r.ExpectEnd());
-  if (kind > static_cast<uint16_t>(ErrorKind::kInternal)) {
+  if (kind > static_cast<uint16_t>(ErrorKind::kUnsupported)) {
     kind = static_cast<uint16_t>(ErrorKind::kInternal);
   }
   error.kind = static_cast<ErrorKind>(kind);

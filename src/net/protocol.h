@@ -21,22 +21,31 @@
 //                    u16 policy (AccountingPolicy), f64 spent_epsilon,
 //                    f64 spent_delta, f64 remaining_epsilon,
 //                    f64 remaining_delta (+inf when no total budget)
+//   UpdateRequest    u32 handle_id, u32 num_deltas,
+//                    num_deltas x (i32 edge, f64 new_weight)   [since v3]
+//   UpdateResponse   f64 charged_epsilon, f64 charged_delta,
+//                    f64 remaining_epsilon, f64 remaining_delta,
+//                    u32 dirty_blocks, f64 wall_ms             [since v3]
 //   Error            u16 kind (ErrorKind), u16 status code (StatusCode),
 //                    str message
 //
-// Versioning: v2 added the StatsResponse accounting extension. The bump
-// is backward compatible in both directions of a rolling upgrade where
+// Versioning: v2 added the StatsResponse accounting extension; v3 added
+// the UpdateWeights exchange (incremental weight-update epochs against an
+// updatable release) and the kUnsupported error kind. Each bump is
+// backward compatible in both directions of a rolling upgrade where
 // servers are upgraded first:
 //   * decode: ReadFrame accepts any version in [kMinProtocolVersion,
 //     kProtocolVersion] and reports the peer's version on the Frame;
 //     DecodeServerStats treats a body that ends after the v1 fields as a
 //     v1 peer (has_accounting stays false).
 //   * encode: the server echoes each REQUEST's version on its responses
-//     (a v1 client never sees a v2 header, whose equality check it would
+//     (a v1 client never sees a v2+ header, whose equality check it would
 //     reject) and encodes the v1 stats body for v1 peers.
-// A v2 client against a not-yet-upgraded v1 server is the one pairing
-// that still fails, at the v1 server's version check — upgrade servers
-// before clients.
+//   * v3 requests from older peers: a server answers an UpdateRequest
+//     stamped v1/v2 with a typed kMalformed error instead of acting on a
+//     frame the peer's own protocol does not define.
+// A v3 client against a not-yet-upgraded server still fails at the old
+// server's version check — upgrade servers before clients.
 //
 // Strings are u32 length + raw bytes (no terminator). Every decoder
 // validates length prefixes against the remaining body and rejects
@@ -62,10 +71,13 @@ namespace dpsp {
 namespace net {
 
 inline constexpr uint32_t kFrameMagic = 0x44505350u;  // "DPSP"
-inline constexpr uint16_t kProtocolVersion = 2;
+inline constexpr uint16_t kProtocolVersion = 3;
 /// Oldest peer version this build still decodes (v1 lacked the
-/// StatsResponse accounting extension; everything else is identical).
+/// StatsResponse accounting extension, v2 the UpdateWeights exchange;
+/// everything else is identical).
 inline constexpr uint16_t kMinProtocolVersion = 1;
+/// First version that defines the UpdateWeights exchange.
+inline constexpr uint16_t kUpdateProtocolVersion = 3;
 /// Frames above this body size are rejected before allocation: 1M pairs.
 inline constexpr uint32_t kMaxBodyBytes = 16u << 20;
 
@@ -77,6 +89,8 @@ enum class MessageType : uint16_t {
   kStatsRequest = 5,
   kStatsResponse = 6,
   kError = 7,
+  kUpdateRequest = 8,   // since v3
+  kUpdateResponse = 9,  // since v3
 };
 
 /// Machine-readable reason an Error frame was sent. The admission
@@ -90,6 +104,10 @@ enum class ErrorKind : uint16_t {
   kOverloaded = 3,
   kTooLarge = 4,
   kInternal = 5,
+  /// The addressed release exists but does not support the requested
+  /// operation (an UpdateRequest against a build-once mechanism). Since
+  /// v3; older peers decode it as kInternal.
+  kUnsupported = 6,
 };
 
 const char* ErrorKindName(ErrorKind kind);
@@ -136,6 +154,27 @@ struct ReleaseInfo {
 struct QueryRequest {
   uint32_t handle_id = 0;
   std::vector<VertexPair> pairs;
+};
+
+/// One incremental weight-update epoch against a released handle
+/// (protocol v3). The deltas are the continual-release drift: edge ids
+/// into the workload's public topology plus their new private weights.
+struct UpdateRequest {
+  uint32_t handle_id = 0;
+  std::vector<EdgeWeightDelta> deltas;
+};
+
+/// What the server returns for an applied update epoch: the partial-
+/// release loss actually charged plus the ledger's remaining headroom, so
+/// a remote updater can pace its epochs without a stats round trip.
+struct UpdateInfo {
+  double charged_epsilon = 0.0;
+  double charged_delta = 0.0;
+  double remaining_epsilon = 0.0;
+  double remaining_delta = 0.0;
+  /// Noisy values the epoch redrew (dirty dyadic blocks + scalars).
+  uint32_t dirty_blocks = 0;
+  double wall_ms = 0.0;
 };
 
 /// Server-side counters, exposed over StatsRequest for monitoring and the
@@ -191,6 +230,13 @@ Result<QueryRequest> DecodeQueryRequest(std::span<const uint8_t> body);
 
 std::vector<uint8_t> EncodeQueryResponse(std::span<const double> distances);
 Result<std::vector<double>> DecodeQueryResponse(std::span<const uint8_t> body);
+
+std::vector<uint8_t> EncodeUpdateRequest(uint32_t handle_id,
+                                         std::span<const EdgeWeightDelta> deltas);
+Result<UpdateRequest> DecodeUpdateRequest(std::span<const uint8_t> body);
+
+std::vector<uint8_t> EncodeUpdateInfo(const UpdateInfo& info);
+Result<UpdateInfo> DecodeUpdateInfo(std::span<const uint8_t> body);
 
 /// Encodes the v1 counter fields, plus the accounting extension when
 /// `version` >= 2 (v1 peers get the body their decoder expects).

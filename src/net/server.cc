@@ -227,6 +227,9 @@ bool QueryServer::DispatchFrame(Socket& socket, const Frame& frame) {
     case MessageType::kQueryRequest:
       HandleQuery(socket, frame.body, frame.version);
       return true;
+    case MessageType::kUpdateRequest:
+      HandleUpdate(socket, frame.body, frame.version);
+      return true;
     case MessageType::kStatsRequest:
       HandleStats(socket, frame.version);
       return true;
@@ -314,14 +317,25 @@ void QueryServer::HandleRelease(Socket& socket,
       std::lock_guard<std::mutex> lock(handles_mutex_);
       info.handle_id = static_cast<uint32_t>(handles_.size());
       handles_.push_back({request->handle_name, request->mechanism,
-                          std::shared_ptr<const DistanceOracle>(
-                              std::move(built).value())});
+                          std::shared_ptr<DistanceOracle>(
+                              std::move(built).value()),
+                          std::make_shared<std::shared_mutex>()});
     }
     RefreshBudgetSnapshot();  // still under the ledger lock
   }
   counters_.releases_granted.fetch_add(1);
   std::vector<uint8_t> response = EncodeReleaseInfo(info);
   WriteFrame(socket, MessageType::kReleaseResponse, response, version);
+}
+
+void QueryServer::LookupHandle(
+    uint32_t handle_id, std::shared_ptr<DistanceOracle>* oracle,
+    std::shared_ptr<std::shared_mutex>* guard) const {
+  std::lock_guard<std::mutex> lock(handles_mutex_);
+  if (handle_id < handles_.size()) {
+    *oracle = handles_[handle_id].oracle;
+    *guard = handles_[handle_id].guard;
+  }
 }
 
 void QueryServer::HandleQuery(Socket& socket, std::span<const uint8_t> body,
@@ -349,19 +363,18 @@ void QueryServer::HandleQuery(Socket& socket, std::span<const uint8_t> body,
                   request->pairs.size(), options_.max_pairs_per_query)), version);
     return;
   }
-  std::shared_ptr<const DistanceOracle> oracle;
-  {
-    std::lock_guard<std::mutex> lock(handles_mutex_);
-    if (request->handle_id < handles_.size()) {
-      oracle = handles_[request->handle_id].oracle;
-    }
-  }
+  std::shared_ptr<DistanceOracle> oracle;
+  std::shared_ptr<std::shared_mutex> guard;
+  LookupHandle(request->handle_id, &oracle, &guard);
   if (oracle == nullptr) {
     SendError(socket, ErrorKind::kNotFound,
               Status::NotFound(StrFormat("no released oracle with handle %u",
                                          request->handle_id)), version);
     return;
   }
+  // Reader side of the handle guard: any number of query batches run
+  // concurrently, but never across an in-flight update epoch.
+  std::shared_lock<std::shared_mutex> read_lock(*guard);
   Result<std::vector<double>> distances =
       executor_.Execute(*oracle, request->pairs);
   if (!distances.ok()) {
@@ -373,6 +386,82 @@ void QueryServer::HandleQuery(Socket& socket, std::span<const uint8_t> body,
   counters_.pairs_served.fetch_add(request->pairs.size());
   std::vector<uint8_t> response = EncodeQueryResponse(*distances);
   WriteFrame(socket, MessageType::kQueryResponse, response, version);
+}
+
+void QueryServer::HandleUpdate(Socket& socket, std::span<const uint8_t> body,
+                               uint16_t version) {
+  if (version < kUpdateProtocolVersion) {
+    // The peer's own protocol does not define this exchange; acting on it
+    // would be guessing at semantics the peer never agreed to.
+    SendError(socket, ErrorKind::kMalformed,
+              Status::InvalidArgument(StrFormat(
+                  "UpdateWeights requires protocol v%u (peer spoke v%u)",
+                  kUpdateProtocolVersion, version)), version);
+    return;
+  }
+  Result<UpdateRequest> request = DecodeUpdateRequest(body);
+  if (!request.ok()) {
+    SendError(socket, ErrorKind::kMalformed, request.status(), version);
+    return;
+  }
+  if (request->deltas.size() > options_.max_pairs_per_query) {
+    SendError(socket, ErrorKind::kTooLarge,
+              Status::OutOfRange(StrFormat(
+                  "epoch of %zu deltas exceeds the per-request limit of %u",
+                  request->deltas.size(), options_.max_pairs_per_query)),
+              version);
+    return;
+  }
+  std::shared_ptr<DistanceOracle> oracle;
+  std::shared_ptr<std::shared_mutex> guard;
+  LookupHandle(request->handle_id, &oracle, &guard);
+  if (oracle == nullptr) {
+    SendError(socket, ErrorKind::kNotFound,
+              Status::NotFound(StrFormat("no released oracle with handle %u",
+                                         request->handle_id)), version);
+    return;
+  }
+  UpdatableDistanceOracle* updatable = oracle->AsUpdatable();
+  if (updatable == nullptr) {
+    SendError(socket, ErrorKind::kUnsupported,
+              Status::FailedPrecondition(
+                  "release '" + oracle->Name() +
+                  "' is build-once: it does not support incremental "
+                  "weight updates"), version);
+    return;
+  }
+  UpdateInfo info;
+  {
+    // Updates serialize with releases on the ledger (one noise stream,
+    // one budget) and exclude this handle's queries for the duration of
+    // the in-place redraw. Lock order: ledger before handle guard,
+    // matching HandleRelease's ledger-then-handles discipline.
+    std::lock_guard<std::mutex> ledger_lock(ledger_mutex_);
+    std::unique_lock<std::shared_mutex> write_lock(*guard);
+    Status applied = updatable->ApplyWeightUpdates(request->deltas, context_);
+    if (!applied.ok()) {
+      if (applied.code() == StatusCode::kFailedPrecondition) {
+        counters_.budget_rejected.fetch_add(1);
+      }
+      SendError(socket, ReleaseErrorKind(applied), applied, version);
+      return;
+    }
+    const UpdatableDistanceOracle::UpdateStats& stats =
+        updatable->last_update();
+    info.charged_epsilon = stats.charged_epsilon;
+    info.charged_delta = 0.0;  // partial releases charge in pure currency
+    info.dirty_blocks = static_cast<uint32_t>(stats.dirty_blocks);
+    if (const ReleaseTelemetry* t = context_.last_telemetry();
+        t != nullptr && stats.dirty_edges > 0) {
+      info.wall_ms = t->wall_ms;
+    }
+    PrivacyParams remaining = context_.RemainingBudget();
+    info.remaining_epsilon = remaining.epsilon;
+    info.remaining_delta = remaining.delta;
+    RefreshBudgetSnapshot();  // still under the ledger lock
+  }
+  std::vector<uint8_t> response = EncodeUpdateInfo(info);
+  WriteFrame(socket, MessageType::kUpdateResponse, response, version);
 }
 
 void QueryServer::HandleStats(Socket& socket, uint16_t version) {

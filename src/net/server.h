@@ -10,7 +10,13 @@
 // QUERY is free post-processing of an already-released structure, so
 // query requests are only subject to queue-depth backpressure (a bounded
 // in-flight gauge) and oversized-batch limits — the server sheds load with
-// typed kOverloaded errors instead of queueing unboundedly.
+// typed kOverloaded errors instead of queueing unboundedly. An UPDATE
+// (protocol v3) sits in between: a partial re-release of one handle's
+// dirty blocks, budget-checked like a release (at its dirty-fraction
+// price) and applied under the handle's writer lock so concurrent query
+// batches never observe a half-updated structure. Updates are
+// handle-scoped: they mutate the addressed release, not the workload
+// table (which stays the load-time snapshot other releases build from).
 //
 // Threading model: one acceptor thread polls the listener; each accepted
 // connection gets a reader/writer thread running the frame dispatch loop.
@@ -26,6 +32,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -108,10 +115,14 @@ class QueryServer {
     EdgeWeights weights;
   };
   /// One granted release: the handle id is the index into this table.
+  /// `guard` arbitrates queries (shared) against weight-update epochs
+  /// (exclusive): the DistanceOracle contract only makes const queries
+  /// concurrency-safe BETWEEN updates, never during one.
   struct HandleEntry {
     std::string name;
     std::string mechanism;
-    std::shared_ptr<const DistanceOracle> oracle;
+    std::shared_ptr<DistanceOracle> oracle;
+    std::shared_ptr<std::shared_mutex> guard;
   };
   struct Connection {
     Socket socket;
@@ -121,6 +132,11 @@ class QueryServer {
 
   void AcceptLoop();
   void ReapFinishedConnections();
+  /// Resolves a handle id to its oracle + guard (both null when the id
+  /// is unknown) — the one lookup the query and update paths share.
+  void LookupHandle(uint32_t handle_id,
+                    std::shared_ptr<DistanceOracle>* oracle,
+                    std::shared_ptr<std::shared_mutex>* guard) const;
   /// Recomputes the cached budget position from the ledger. Call with
   /// ledger_mutex_ held (or before Start): HandleStats serves the cache
   /// so a stats poll never waits out a multi-second release build.
@@ -135,6 +151,12 @@ class QueryServer {
                      uint16_t version);
   void HandleQuery(Socket& socket, std::span<const uint8_t> body,
                    uint16_t version);
+  /// One incremental update epoch (v3): validated, budget-checked at its
+  /// dirty-fraction price, applied under the handle's writer lock and the
+  /// ledger lock (one noise stream), answered with the charged loss and
+  /// remaining headroom.
+  void HandleUpdate(Socket& socket, std::span<const uint8_t> body,
+                    uint16_t version);
   void HandleStats(Socket& socket, uint16_t version);
   void SendError(Socket& socket, ErrorKind kind, const Status& status,
                  uint16_t version = kProtocolVersion);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/parallel.h"
+#include "common/table.h"
 #include "graph/connectivity.h"
 
 namespace dpsp {
@@ -155,6 +156,51 @@ Result<std::vector<double>> BatchExecutor::Execute(
         return Status::Ok();
       }));
   return out;
+}
+
+Result<BatchExecutor::UpdateReport> BatchExecutor::ApplyUpdates(
+    DistanceOracle& oracle, const Graph& graph,
+    std::span<const EdgeWeightDelta> deltas, ReleaseContext& ctx) const {
+  UpdatableDistanceOracle* updatable = oracle.AsUpdatable();
+  if (updatable == nullptr) {
+    return Status::FailedPrecondition(
+        "oracle '" + oracle.Name() +
+        "' is build-once: it does not support incremental weight updates");
+  }
+  // Dirty-cell routing: the same per-vertex keys the query path shards by
+  // decide which shard regions this epoch touches. An edge belongs to the
+  // cell of its first endpoint (matching the query-side bucket rule); the
+  // cell map itself never changes — the topology is public and static, so
+  // no re-shard happens.
+  UpdateReport report;
+  if (!cells_.empty()) {
+    std::vector<uint8_t> dirty(static_cast<size_t>(num_cells_) + 1, 0);
+    for (const EdgeWeightDelta& d : deltas) {
+      if (d.edge < 0 || d.edge >= graph.num_edges()) {
+        return Status::InvalidArgument(
+            StrFormat("update edge %d out of range [0, %d)", d.edge,
+                      graph.num_edges()));
+      }
+      VertexId u = graph.edge(d.edge).u;
+      size_t cell = u >= 0 && static_cast<size_t>(u) < cells_.size()
+                        ? static_cast<size_t>(cells_[static_cast<size_t>(u)])
+                        : static_cast<size_t>(num_cells_);  // catch-all
+      if (!dirty[cell]) {
+        dirty[cell] = 1;
+        ++report.dirty_cells;
+      }
+    }
+  }
+  // One input-ordered application: the epoch draws from ctx's single
+  // noise stream, so serialized application here is what keeps sharded
+  // and serial query execution bit-identical across epochs.
+  DPSP_RETURN_IF_ERROR(updatable->ApplyWeightUpdates(deltas, ctx));
+  const UpdatableDistanceOracle::UpdateStats& stats =
+      updatable->last_update();
+  report.dirty_blocks = stats.dirty_blocks;
+  report.update_sensitivity = stats.sensitivity;
+  report.charged_epsilon = stats.charged_epsilon;
+  return report;
 }
 
 std::vector<int> ComponentCells(const Graph& graph) {

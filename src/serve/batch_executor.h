@@ -20,6 +20,16 @@
 // post-processing), but a sharded *build* pipeline constructs per-shard
 // oracles through ReleaseContext::Fork children and composes their spend
 // into the single parent ledger with ReleaseContext::AbsorbShard.
+//
+// Continual updates: ApplyUpdates propagates a weight-update epoch into a
+// released updatable oracle WITHOUT re-sharding — the topology is public
+// and static, so the installed per-vertex cells stay valid across epochs.
+// The executor routes each delta to its covering cell (the same keys the
+// query path shards by) to report which shard regions were dirtied, and
+// applies the whole epoch through the oracle in one input-ordered call:
+// the update draws from the single ledger's noise stream, so serialized
+// application is exactly what keeps sharded and serial query execution
+// bit-identical before and after every epoch.
 
 #ifndef DPSP_SERVE_BATCH_EXECUTOR_H_
 #define DPSP_SERVE_BATCH_EXECUTOR_H_
@@ -65,6 +75,33 @@ class BatchExecutor {
   /// input order. Bit-identical to DistanceBatchOf(oracle, pairs, 1).
   Result<std::vector<double>> Execute(const DistanceOracle& oracle,
                                       std::span<const VertexPair> pairs) const;
+
+  /// What one propagated update epoch touched, for telemetry and the
+  /// serving dashboards.
+  struct UpdateReport {
+    /// Distinct installed shard cells containing a dirty edge (0 when the
+    /// executor shards contiguously — there is no cell map to consult).
+    int dirty_cells = 0;
+    /// Noisy values the oracle redrew for the epoch.
+    int dirty_blocks = 0;
+    /// The epoch's sensitivity multiplier (UpdateStats::sensitivity).
+    int update_sensitivity = 0;
+    /// Privacy loss the epoch charged to the ledger.
+    double charged_epsilon = 0.0;
+  };
+
+  /// Propagates one weight-update epoch into a released oracle: routes
+  /// each delta to its shard cell via the installed per-vertex keys (the
+  /// edge's `graph` endpoints pick the cell; no re-shard happens — the
+  /// public topology is unchanged), then applies the epoch through the
+  /// oracle's update capability in input order under `ctx`'s ledger.
+  /// Fails with FailedPrecondition for a build-once oracle and passes
+  /// through the oracle's own budget/validation errors; on failure the
+  /// released structure is untouched.
+  Result<UpdateReport> ApplyUpdates(DistanceOracle& oracle,
+                                    const Graph& graph,
+                                    std::span<const EdgeWeightDelta> deltas,
+                                    ReleaseContext& ctx) const;
 
   /// Shards Execute would use for a batch of `num_pairs` (for reports).
   int PlannedShardCount(size_t num_pairs) const;

@@ -1,0 +1,306 @@
+// Malformed / truncated / wrong-version frame handling, protocol v1-v3:
+// a fuzz-ish table of short, oversized, and mis-stamped bodies against
+// every wire decoder, plus raw-socket abuse of a live server — which must
+// answer a typed Error (or hang up cleanly) and keep serving, never hang
+// or crash. The wire decoders parse untrusted bytes; this file is their
+// adversarial suite.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+// --------------------------------------------------- decoder fuzz table --
+
+/// One decoder under test: a name, a valid body, and an adapter that
+/// returns the decode Status. Valid-prefix lengths (e.g. the v1 stats
+/// body inside a v2 one) are listed explicitly.
+struct DecoderCase {
+  std::string name;
+  std::vector<uint8_t> valid;
+  std::function<Status(std::span<const uint8_t>)> decode;
+  std::vector<size_t> valid_prefixes;  // lengths that legally decode
+};
+
+std::vector<DecoderCase> AllDecoderCases() {
+  std::vector<DecoderCase> cases;
+  cases.push_back(
+      {"release-request",
+       net::EncodeReleaseRequest({"workload", "mechanism", "handle"}),
+       [](std::span<const uint8_t> b) {
+         return net::DecodeReleaseRequest(b).status();
+       },
+       {}});
+  net::ReleaseInfo info;
+  info.handle_id = 3;
+  info.epsilon = 0.5;
+  cases.push_back({"release-info", net::EncodeReleaseInfo(info),
+                   [](std::span<const uint8_t> b) {
+                     return net::DecodeReleaseInfo(b).status();
+                   },
+                   {}});
+  std::vector<VertexPair> pairs = {{0, 1}, {2, 3}, {4, 5}};
+  cases.push_back({"query-request", net::EncodeQueryRequest(7, pairs),
+                   [](std::span<const uint8_t> b) {
+                     return net::DecodeQueryRequest(b).status();
+                   },
+                   {}});
+  std::vector<double> distances = {1.0, 2.5, -0.0};
+  cases.push_back({"query-response", net::EncodeQueryResponse(distances),
+                   [](std::span<const uint8_t> b) {
+                     return net::DecodeQueryResponse(b).status();
+                   },
+                   {}});
+  std::vector<EdgeWeightDelta> deltas = {{0, 0.25}, {5, 1.75}};
+  cases.push_back({"update-request", net::EncodeUpdateRequest(9, deltas),
+                   [](std::span<const uint8_t> b) {
+                     return net::DecodeUpdateRequest(b).status();
+                   },
+                   {}});
+  net::UpdateInfo update;
+  update.charged_epsilon = 0.125;
+  update.dirty_blocks = 17;
+  cases.push_back({"update-info", net::EncodeUpdateInfo(update),
+                   [](std::span<const uint8_t> b) {
+                     return net::DecodeUpdateInfo(b).status();
+                   },
+                   {}});
+  net::ServerStats stats;
+  stats.queries_served = 11;
+  stats.has_accounting = true;
+  std::vector<uint8_t> stats_v2 = net::EncodeServerStats(stats, 2);
+  std::vector<uint8_t> stats_v1 = net::EncodeServerStats(stats, 1);
+  cases.push_back({"server-stats", stats_v2,
+                   [](std::span<const uint8_t> b) {
+                     return net::DecodeServerStats(b).status();
+                   },
+                   // The v1 body is a legal prefix of the v2 body: a
+                   // truncation AT that boundary is a v1 peer, not junk.
+                   {stats_v1.size()}});
+  cases.push_back(
+      {"error", net::EncodeError(net::ErrorKind::kOverloaded,
+                                 Status::Unavailable("busy")),
+       [](std::span<const uint8_t> b) {
+         return net::DecodeError(b).status();
+       },
+       {}});
+  return cases;
+}
+
+TEST(NetProtocolFuzzTest, EveryTruncationOfEveryBodyIsATypedError) {
+  for (const DecoderCase& c : AllDecoderCases()) {
+    ASSERT_TRUE(c.decode(c.valid).ok()) << c.name;
+    for (size_t len = 0; len < c.valid.size(); ++len) {
+      bool legal = std::find(c.valid_prefixes.begin(),
+                             c.valid_prefixes.end(),
+                             len) != c.valid_prefixes.end();
+      Status status = c.decode({c.valid.data(), len});
+      if (legal) {
+        EXPECT_TRUE(status.ok()) << c.name << " prefix " << len;
+      } else {
+        EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+            << c.name << " prefix " << len << ": " << status.ToString();
+      }
+    }
+  }
+}
+
+TEST(NetProtocolFuzzTest, TrailingBytesAreRejectedEverywhere) {
+  for (const DecoderCase& c : AllDecoderCases()) {
+    std::vector<uint8_t> oversized = c.valid;
+    oversized.push_back(0x5a);
+    EXPECT_EQ(c.decode(oversized).code(), StatusCode::kInvalidArgument)
+        << c.name;
+  }
+}
+
+TEST(NetProtocolFuzzTest, CountFieldsLyingAboutTheBodyAreRejected) {
+  // A count prefix larger or smaller than the actual payload must fail
+  // before any allocation sized from it.
+  std::vector<VertexPair> pairs = {{0, 1}, {2, 3}};
+  std::vector<uint8_t> query = net::EncodeQueryRequest(1, pairs);
+  query[4] = 0xff;  // count: 2 -> huge
+  query[5] = 0xff;
+  EXPECT_EQ(net::DecodeQueryRequest(query).status().code(),
+            StatusCode::kInvalidArgument);
+  query[4] = 1;  // count: huge -> fewer than present
+  query[5] = 0;
+  EXPECT_EQ(net::DecodeQueryRequest(query).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<EdgeWeightDelta> deltas = {{0, 1.0}, {1, 2.0}};
+  std::vector<uint8_t> update = net::EncodeUpdateRequest(1, deltas);
+  update[4] = 0xee;
+  EXPECT_EQ(net::DecodeUpdateRequest(update).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A string length prefix pointing past the body.
+  std::vector<uint8_t> release =
+      net::EncodeReleaseRequest({"w", "m", "h"});
+  release[0] = 0xff;  // workload length: 1 -> 255
+  EXPECT_EQ(net::DecodeReleaseRequest(release).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------- live-server robustness --
+
+class FuzzServerFixture {
+ public:
+  FuzzServerFixture() : graph_(MakePathGraph(32).value()) {
+    Rng rng(kTestSeed);
+    weights_ = MakeUniformWeights(graph_, 0.1, 0.9, &rng);
+    ReleaseContext ctx =
+        ReleaseContext::Create(PrivacyParams{1.0, 0.0, 1.0}, kTestSeed)
+            .value();
+    server_ = std::make_unique<net::QueryServer>(net::QueryServerOptions{},
+                                                 std::move(ctx));
+    EXPECT_OK(server_->AddWorkload("path", graph_, weights_));
+    EXPECT_OK(server_->Start());
+  }
+
+  uint16_t port() const { return server_->port(); }
+
+  /// The liveness probe every scenario ends with: a fresh client can
+  /// still run a full stats round trip — the server neither hung nor
+  /// died.
+  void ExpectServerAlive() {
+    ASSERT_OK_AND_ASSIGN(net::Client client,
+                         net::Client::Connect("127.0.0.1", port()));
+    ASSERT_OK_AND_ASSIGN(net::ServerStats stats, client.Stats());
+    EXPECT_TRUE(stats.has_accounting);
+  }
+
+ private:
+  Graph graph_;
+  EdgeWeights weights_;
+  std::unique_ptr<net::QueryServer> server_;
+};
+
+/// Little-endian frame header bytes, with every field caller-controlled.
+std::vector<uint8_t> RawHeader(uint32_t magic, uint16_t version,
+                               uint16_t type, uint32_t body_size) {
+  std::vector<uint8_t> out;
+  for (int s = 0; s < 32; s += 8) out.push_back(magic >> s);
+  for (int s = 0; s < 16; s += 8) out.push_back(version >> s);
+  for (int s = 0; s < 16; s += 8) out.push_back(type >> s);
+  for (int s = 0; s < 32; s += 8) out.push_back(body_size >> s);
+  return out;
+}
+
+/// Sends raw bytes and expects a typed Error frame back.
+void ExpectTypedError(net::Socket& socket, std::span<const uint8_t> bytes,
+                      net::ErrorKind kind) {
+  ASSERT_OK(socket.WriteAll(bytes.data(), bytes.size()));
+  ASSERT_OK_AND_ASSIGN(net::Frame reply, net::ReadFrame(socket));
+  ASSERT_EQ(reply.type, net::MessageType::kError);
+  ASSERT_OK_AND_ASSIGN(net::WireError error, net::DecodeError(reply.body));
+  EXPECT_EQ(error.kind, kind);
+}
+
+TEST(NetServerFuzzTest, WrongVersionHeadersGetTypedErrorsAndServerSurvives) {
+  FuzzServerFixture fixture;
+  for (uint16_t version : {uint16_t{0}, uint16_t{99}}) {
+    ASSERT_OK_AND_ASSIGN(net::Socket raw,
+                         net::Connect("127.0.0.1", fixture.port()));
+    std::vector<uint8_t> header = RawHeader(
+        net::kFrameMagic, version,
+        static_cast<uint16_t>(net::MessageType::kStatsRequest), 0);
+    ExpectTypedError(raw, header, net::ErrorKind::kMalformed);
+  }
+  fixture.ExpectServerAlive();
+}
+
+TEST(NetServerFuzzTest, OversizedBodyDeclarationIsRefusedBeforeAllocation) {
+  FuzzServerFixture fixture;
+  ASSERT_OK_AND_ASSIGN(net::Socket raw,
+                       net::Connect("127.0.0.1", fixture.port()));
+  std::vector<uint8_t> header = RawHeader(
+      net::kFrameMagic, net::kProtocolVersion,
+      static_cast<uint16_t>(net::MessageType::kQueryRequest),
+      net::kMaxBodyBytes + 1);
+  ExpectTypedError(raw, header, net::ErrorKind::kMalformed);
+  fixture.ExpectServerAlive();
+}
+
+TEST(NetServerFuzzTest, TruncatedBodyThenHangupDoesNotWedgeTheServer) {
+  FuzzServerFixture fixture;
+  {
+    ASSERT_OK_AND_ASSIGN(net::Socket raw,
+                         net::Connect("127.0.0.1", fixture.port()));
+    std::vector<uint8_t> header = RawHeader(
+        net::kFrameMagic, net::kProtocolVersion,
+        static_cast<uint16_t>(net::MessageType::kQueryRequest), 100);
+    uint8_t partial[10] = {0};
+    ASSERT_OK(raw.WriteAll(header.data(), header.size()));
+    ASSERT_OK(raw.WriteAll(partial, sizeof(partial)));
+  }  // hang up mid-body
+  fixture.ExpectServerAlive();
+}
+
+TEST(NetServerFuzzTest, UpdateRequestFromOlderProtocolIsTypedMalformed) {
+  // A well-formed v3 body stamped v1/v2: the peer's own protocol does not
+  // define the exchange, so the server answers a typed error — and the
+  // connection stays usable (framing was intact).
+  FuzzServerFixture fixture;
+  std::vector<EdgeWeightDelta> deltas = {{0, 0.5}};
+  std::vector<uint8_t> body = net::EncodeUpdateRequest(0, deltas);
+  for (uint16_t version : {uint16_t{1}, uint16_t{2}}) {
+    ASSERT_OK_AND_ASSIGN(net::Socket raw,
+                         net::Connect("127.0.0.1", fixture.port()));
+    ASSERT_OK(net::WriteFrame(raw, net::MessageType::kUpdateRequest, body,
+                              version));
+    ASSERT_OK_AND_ASSIGN(net::Frame reply, net::ReadFrame(raw));
+    ASSERT_EQ(reply.type, net::MessageType::kError);
+    ASSERT_OK_AND_ASSIGN(net::WireError error,
+                         net::DecodeError(reply.body));
+    EXPECT_EQ(error.kind, net::ErrorKind::kMalformed);
+    // Same connection, correct version: still served.
+    ASSERT_OK(net::WriteFrame(raw, net::MessageType::kStatsRequest, {},
+                              version));
+    ASSERT_OK_AND_ASSIGN(net::Frame stats, net::ReadFrame(raw));
+    EXPECT_EQ(stats.type, net::MessageType::kStatsResponse);
+  }
+  fixture.ExpectServerAlive();
+}
+
+TEST(NetServerFuzzTest, TruncatedUpdateBodyIsTypedMalformed) {
+  FuzzServerFixture fixture;
+  ASSERT_OK_AND_ASSIGN(net::Socket raw,
+                       net::Connect("127.0.0.1", fixture.port()));
+  std::vector<EdgeWeightDelta> deltas = {{0, 0.5}, {1, 0.25}};
+  std::vector<uint8_t> body = net::EncodeUpdateRequest(0, deltas);
+  body.resize(body.size() - 5);  // tear the last delta
+  ASSERT_OK(net::WriteFrame(raw, net::MessageType::kUpdateRequest, body));
+  ASSERT_OK_AND_ASSIGN(net::Frame reply, net::ReadFrame(raw));
+  ASSERT_EQ(reply.type, net::MessageType::kError);
+  ASSERT_OK_AND_ASSIGN(net::WireError error, net::DecodeError(reply.body));
+  EXPECT_EQ(error.kind, net::ErrorKind::kMalformed);
+  fixture.ExpectServerAlive();
+}
+
+TEST(NetServerFuzzTest, UnknownMessageTypeGetsTypedErrorThenClose) {
+  FuzzServerFixture fixture;
+  ASSERT_OK_AND_ASSIGN(net::Socket raw,
+                       net::Connect("127.0.0.1", fixture.port()));
+  std::vector<uint8_t> header =
+      RawHeader(net::kFrameMagic, net::kProtocolVersion, /*type=*/77, 0);
+  ExpectTypedError(raw, header, net::ErrorKind::kMalformed);
+  // Unknown types cannot be skipped safely: the server hangs up.
+  EXPECT_FALSE(net::ReadFrame(raw).ok());
+  fixture.ExpectServerAlive();
+}
+
+}  // namespace
+}  // namespace dpsp

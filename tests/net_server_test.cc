@@ -511,5 +511,147 @@ TEST(NetServerTest, Survives8ConcurrentClientConnections) {
             static_cast<uint64_t>(kClients * kBatchesPerClient * 400));
 }
 
+// -------------------------------------------------- v3 UpdateWeights --
+
+TEST(NetServerTest, UpdateRoundTripMatchesLocalReplayBitForBit) {
+  ServerFixture fixture;
+  net::Client client = fixture.Connect();
+  ASSERT_OK_AND_ASSIGN(net::ReleaseInfo info,
+                       client.Release("path", "tree-hld", "live"));
+
+  std::vector<EdgeWeightDelta> deltas = {{3, 1.5}, {40, 0.05}, {17, 0.8}};
+  ASSERT_OK_AND_ASSIGN(net::UpdateInfo applied,
+                       client.UpdateWeights(info.handle_id, deltas));
+  EXPECT_GT(applied.charged_epsilon, 0.0);
+  EXPECT_LE(applied.charged_epsilon, fixture.params().epsilon);
+  EXPECT_GT(applied.dirty_blocks, 0u);
+
+  Rng rng(kTestSeed ^ 3);
+  std::vector<VertexPair> pairs = SampleTestPairs(kNumVertices, 1500, &rng);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> remote,
+                       client.Query(info.handle_id, pairs));
+
+  // Local replay: same seed, same build, same epoch through the same
+  // ledger => the served post-update structure must be bit-identical.
+  ReleaseContext ctx =
+      ReleaseContext::Create(fixture.params(), kServerSeed).value();
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<DistanceOracle> reference,
+      OracleRegistry::Global().Create("tree-hld", fixture.workload().graph,
+                                      fixture.workload().weights, ctx));
+  ASSERT_OK(reference->AsUpdatable()->ApplyWeightUpdates(deltas, ctx));
+  EXPECT_DOUBLE_EQ(applied.charged_epsilon,
+                   reference->AsUpdatable()->last_update().charged_epsilon);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> direct,
+                       DistanceBatchOf(*reference, pairs, 1));
+  ASSERT_EQ(remote.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(remote[i], direct[i]) << "pair " << i;
+  }
+}
+
+TEST(NetServerTest, UpdateAgainstBuildOnceReleaseIsTypedUnsupported) {
+  ServerFixture fixture;
+  net::Client client = fixture.Connect();
+  ASSERT_OK_AND_ASSIGN(net::ReleaseInfo info,
+                       client.Release("path", "tree-recursive", "static"));
+  std::vector<EdgeWeightDelta> deltas = {{0, 0.5}};
+  Result<net::UpdateInfo> refused =
+      client.UpdateWeights(info.handle_id, deltas);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(client.last_error().has_value());
+  EXPECT_EQ(client.last_error()->kind, net::ErrorKind::kUnsupported);
+  // The handle still serves queries.
+  ASSERT_OK(
+      client.Query(info.handle_id, std::vector<VertexPair>{{0, 1}})
+          .status());
+}
+
+TEST(NetServerTest, OverBudgetUpdateIsTypedBudgetExhaustedAndMutatesNothing) {
+  // Room for the build (1.0) but not a full-sensitivity epoch: the path
+  // workload is one heavy chain, so any update epoch charges the full
+  // per-release epsilon and must be refused.
+  ServerFixture fixture({}, PrivacyParams{1.2, 0.0, 1.0});
+  net::Client client = fixture.Connect();
+  ASSERT_OK_AND_ASSIGN(net::ReleaseInfo info,
+                       client.Release("path", "tree-hld", "capped"));
+
+  Rng rng(kTestSeed ^ 4);
+  std::vector<VertexPair> pairs = SampleTestPairs(kNumVertices, 400, &rng);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> before,
+                       client.Query(info.handle_id, pairs));
+
+  std::vector<EdgeWeightDelta> deltas = {{5, 2.0}};
+  Result<net::UpdateInfo> blocked =
+      client.UpdateWeights(info.handle_id, deltas);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(client.last_error()->kind, net::ErrorKind::kBudgetExhausted);
+  EXPECT_EQ(fixture.server().stats().budget_rejected, 1u);
+
+  // The refused epoch left the release untouched: answers bit-identical.
+  ASSERT_OK_AND_ASSIGN(std::vector<double> after,
+                       client.Query(info.handle_id, pairs));
+  EXPECT_EQ(before, after);
+}
+
+TEST(NetServerTest, UpdateOnUnknownHandleIsTypedNotFound) {
+  ServerFixture fixture;
+  net::Client client = fixture.Connect();
+  std::vector<EdgeWeightDelta> deltas = {{0, 1.0}};
+  Result<net::UpdateInfo> missing = client.UpdateWeights(321, deltas);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(client.last_error()->kind, net::ErrorKind::kNotFound);
+}
+
+TEST(NetServerTest, ConcurrentQueriesAndUpdatesStaySane) {
+  // 4 query threads hammer while 32 update epochs interleave under the
+  // handle's writer lock: every batch must be internally consistent (all
+  // answers from one epoch's structure) and every round trip must
+  // succeed — no torn reads, no deadlock, no protocol corruption.
+  ServerFixture fixture;
+  net::Client admin = fixture.Connect();
+  ASSERT_OK_AND_ASSIGN(net::ReleaseInfo info,
+                       admin.Release("path", "tree-hld", "mixed"));
+  const int kQueryThreads = 4, kBatches = 25;
+  std::vector<std::string> failures(kQueryThreads);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kQueryThreads; ++c) {
+    threads.emplace_back([&, c] {
+      Result<net::Client> client =
+          net::Client::Connect("127.0.0.1", fixture.server().port());
+      if (!client.ok()) {
+        failures[c] = client.status().ToString();
+        return;
+      }
+      Rng rng(kTestSeed + static_cast<uint64_t>(c));
+      for (int b = 0; b < kBatches; ++b) {
+        std::vector<VertexPair> pairs =
+            SampleTestPairs(kNumVertices, 200, &rng);
+        Result<std::vector<double>> remote =
+            client->Query(info.handle_id, pairs);
+        if (!remote.ok()) {
+          failures[c] = remote.status().ToString();
+          return;
+        }
+      }
+    });
+  }
+  Rng update_rng(kTestSeed ^ 5);
+  for (int epoch = 0; epoch < 32; ++epoch) {
+    std::vector<EdgeWeightDelta> deltas = {
+        {static_cast<EdgeId>(update_rng.UniformInt(0, kNumVertices - 2)),
+         update_rng.Uniform(0.1, 0.9)}};
+    ASSERT_OK(admin.UpdateWeights(info.handle_id, deltas).status());
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int c = 0; c < kQueryThreads; ++c) {
+    EXPECT_TRUE(failures[c].empty()) << "client " << c << ": "
+                                     << failures[c];
+  }
+}
+
 }  // namespace
 }  // namespace dpsp

@@ -48,6 +48,13 @@ def ops_series(doc):
             if row.get("sharded_ops_per_sec"):
                 yield ("sharded", row["name"],
                        float(row["sharded_ops_per_sec"]))
+        updates = doc.get("updates", {})
+        for row in updates.get("epochs", []):
+            if row.get("deltas_per_sec"):
+                name = (f"{updates.get('name', '?')}"
+                        f"@{row.get('drift', 'uniform')}"
+                        f"-{row.get('dirty_fraction', '?')}")
+                yield "update", name, float(row["deltas_per_sec"])
     elif bench == "bench_server_loadgen":
         for row in doc.get("mechanisms", []):
             if row.get("ops_per_sec"):
@@ -55,6 +62,9 @@ def ops_series(doc):
             if row.get("direct_ops_per_sec"):
                 yield ("direct", row["name"],
                        float(row["direct_ops_per_sec"]))
+        mixed = doc.get("mixed", {})
+        if mixed.get("ops_per_sec"):
+            yield "mixed", mixed.get("name", "?"), float(mixed["ops_per_sec"])
     else:
         print(f"::warning::unrecognized bench JSON ('{bench}'), skipping")
 
