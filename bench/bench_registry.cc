@@ -15,11 +15,16 @@
 //  R4  incremental update epochs vs full rebuild (tree-hld, random tree
 //      V=65536): wall clock and charged epsilon at 1% / 5% / 25% dirty
 //      fractions — the continual-release economics in one table.
+//  R5  hardware-limit hot path: forced-scalar vs AVX2 DistanceInto
+//      throughput (same release, same pairs — the dispatch is the only
+//      variable) and the NUMA-aware sharded executor on top, at V=16384
+//      and V=131072.
 //
 // Usage: bench_registry [out.csv] [out.json]
 //   out.csv   the R1 rows as CSV
-//   out.json  machine-readable R1 + R3 numbers (ops/sec per mechanism and
-//             the build-scaling runs) — the CI perf-smoke artifact.
+//   out.json  machine-readable R1 + R3 + R5 numbers (ops/sec per
+//             mechanism, the build-scaling runs, and the scalar/AVX2/NUMA
+//             series) — the CI perf-smoke artifact.
 
 #include <cstdio>
 #include <string>
@@ -27,6 +32,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/cpu.h"
+#include "common/numa.h"
 #include "core/baselines.h"
 #include "core/bounded_weight.h"
 #include "core/hld_oracle.h"
@@ -48,6 +55,18 @@ struct ThroughputRow {
 struct ScalingRun {
   int threads = 0;
   double build_ms = 0.0;
+};
+
+/// One R5 row: the same release served under forced-scalar dispatch, the
+/// ambient (AVX2 when available) dispatch, and the NUMA-aware sharded
+/// executor on top of the ambient dispatch.
+struct SimdRun {
+  std::string mechanism;
+  int v = 0;
+  BatchTiming scalar;  // ScopedForceScalar DistanceBatch
+  BatchTiming simd;    // ambient-dispatch DistanceBatch
+  BatchTiming numa;    // ambient dispatch + NUMA-aware BatchExecutor
+  int placed_buffers = 0;
 };
 
 /// One accounting policy's certified total for the R2b ledger.
@@ -131,7 +150,8 @@ void WriteJson(const char* path, int sweep_v, size_t sweep_queries,
                int scaling_v, int scaling_k,
                const std::vector<ScalingRun>& scaling,
                const std::vector<AccountingSweep>& accounting,
-               int update_v, const std::vector<UpdateEpochRun>& updates) {
+               int update_v, const std::vector<UpdateEpochRun>& updates,
+               size_t simd_queries, const std::vector<SimdRun>& simd) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "could not write JSON to %s\n", path);
@@ -232,6 +252,40 @@ void WriteJson(const char* path, int sweep_v, size_t sweep_queries,
                  u.update_ms > 0.0 ? u.rebuild_ms / u.update_ms : 0.0,
                  u.charged_eps, u.full_eps, u.deltas_per_sec,
                  i + 1 < updates.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]},\n");
+  // R5: the dispatch A/B (one release, forced-scalar vs ambient) and the
+  // NUMA-aware executor series the perf-trajectory tracker watches.
+  const NumaTopology& topo = NumaTopologyInfo();
+  std::fprintf(f,
+               "  \"simd\": {\"dispatch\": \"%s\", \"queries\": %zu, "
+               "\"runs\": [\n",
+               SimdDispatchDescription(), simd_queries);
+  for (size_t i = 0; i < simd.size(); ++i) {
+    const SimdRun& r = simd[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"V\": %d, "
+                 "\"scalar_ops_per_sec\": %.0f, \"avx2_ops_per_sec\": %.0f, "
+                 "\"speedup\": %.3f}%s\n",
+                 r.mechanism.c_str(), r.v, r.scalar.ops_per_sec,
+                 r.simd.ops_per_sec,
+                 r.scalar.ops_per_sec > 0.0
+                     ? r.simd.ops_per_sec / r.scalar.ops_per_sec
+                     : 0.0,
+                 i + 1 < simd.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]},\n");
+  std::fprintf(f,
+               "  \"numa\": {\"nodes\": %d, \"source\": \"%s\", "
+               "\"runs\": [\n",
+               topo.num_nodes, topo.source);
+  for (size_t i = 0; i < simd.size(); ++i) {
+    const SimdRun& r = simd[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"V\": %d, \"ops_per_sec\": %.0f, "
+                 "\"placed_buffers\": %d}%s\n",
+                 r.mechanism.c_str(), r.v, r.numa.ops_per_sec,
+                 r.placed_buffers, i + 1 < simd.size() ? "," : "");
   }
   std::fprintf(f, "  ]}\n}\n");
   std::fclose(f);
@@ -484,10 +538,67 @@ void Run(const char* csv_path, const char* json_path) {
              /*edge_hi=*/caterpillar.num_edges() - 7, leaf_fractions);
   update_table.Print();
 
+  // R5: hardware-limit hot path. One release per (mechanism, V); the
+  // scalar and AVX2 legs run the identical DistanceBatch on it (results
+  // are bit-identical — tests/simd_conformance_test.cc — so the dispatch
+  // is the only variable), then the NUMA-aware executor serves the same
+  // pairs with the released buffers interleaved across nodes. On this
+  // machine: dispatch and topology are printed with the table; on
+  // single-node boxes the numa column reduces to sharded execution.
+  const size_t simd_queries = 200000;
+  std::vector<SimdRun> simd_runs;
+  Table simd_table(
+      StrFormat("R5: scalar vs AVX2 vs AVX2+NUMA serving (path graph, "
+                "200k queries; dispatch=%s, numa nodes=%d)",
+                SimdDispatchDescription(), NumaTopologyInfo().num_nodes),
+      {"mechanism", "V", "scalar Mops/s", "avx2 Mops/s", "avx2/scalar",
+       "numa Mops/s", "numa/scalar", "placed"});
+  BatchExecutor numa_executor;  // numa_aware defaults on
+  for (int simd_v : {16384, 131072}) {
+    Graph simd_g = OrDie(MakePathGraph(simd_v));
+    EdgeWeights simd_w = MakeUniformWeights(simd_g, 0.1, 0.9, &rng);
+    std::vector<VertexPair> simd_pairs =
+        SamplePairs(simd_v, static_cast<int>(simd_queries), &rng);
+    for (const char* name :
+         {"tree-recursive", "tree-hld", "bounded-weight"}) {
+      ReleaseContext simd_ctx = OrDie(ReleaseContext::Create(
+          PrivacyParams{1.0, 0.0, 1.0}, rng.NextSeed()));
+      auto oracle = OrDie(
+          OracleRegistry::Global().Create(name, simd_g, simd_w, simd_ctx));
+      SimdRun& run = simd_runs.emplace_back();
+      run.mechanism = name;
+      run.v = simd_v;
+      {
+        ScopedForceScalar force(true);
+        run.scalar = TimeDistanceBatch(*oracle, simd_pairs);
+      }
+      run.simd = TimeDistanceBatch(*oracle, simd_pairs);
+      run.placed_buffers = numa_executor.PlaceReleasedBuffers(*oracle);
+      run.numa = TimeBatchRunner(simd_pairs.size(), 1, 3, [&] {
+        return OrDie(numa_executor.Execute(*oracle, simd_pairs)).front();
+      });
+      if (run.scalar.front != run.simd.front ||
+          run.simd.front != run.numa.front) {
+        std::abort();  // dispatch must never change results
+      }
+      simd_table.Row()
+          .Add(name)
+          .Add(simd_v)
+          .Add(run.scalar.ops_per_sec / 1e6, 2)
+          .Add(run.simd.ops_per_sec / 1e6, 2)
+          .Add(run.simd.ops_per_sec / run.scalar.ops_per_sec, 2)
+          .Add(run.numa.ops_per_sec / 1e6, 2)
+          .Add(run.numa.ops_per_sec / run.scalar.ops_per_sec, 2)
+          .Add(run.placed_buffers);
+    }
+  }
+  simd_table.Print();
+
   if (json_path != nullptr) {
     WriteJson(json_path, n, pairs.size(), sweep_stats, big_n,
               big_pairs.size(), rows, grid_side * grid_side, scaling_k,
-              scaling, accounting, update_v, updates);
+              scaling, accounting, update_v, updates, simd_queries,
+              simd_runs);
   }
 
   std::puts(

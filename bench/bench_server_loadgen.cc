@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/statistics.h"
 #include "graph/generators.h"
 #include "net/client.h"
 #include "net/server.h"
@@ -43,34 +44,60 @@ struct LoadgenRow {
   double build_ms = 0.0;
   double net_ops_per_sec = 0.0;
   double net_round_trip_ms = 0.0;  // mean per batch across the run
+  double net_p50_ms = 0.0;         // per-batch round-trip percentiles
+  double net_p99_ms = 0.0;
   double direct_ops_per_sec = 0.0;
 };
 
 /// One client thread's closed loop: connect, warm up, then fire `batches`
-/// query batches back to back. Returns false on any failure.
+/// query batches back to back. Non-warmup per-batch round-trip times (ms)
+/// are appended to `latencies_ms` when non-null — the tail-latency view
+/// closed-loop aggregate throughput hides. Returns false on any failure.
 bool RunClient(uint16_t port, uint32_t handle_id,
                const std::vector<VertexPair>& pairs, int batches,
-               std::string* error) {
+               std::string* error,
+               std::vector<double>* latencies_ms = nullptr) {
   Result<net::Client> client = net::Client::Connect("127.0.0.1", port);
   if (!client.ok()) {
     *error = client.status().ToString();
     return false;
   }
+  if (latencies_ms != nullptr) {
+    latencies_ms->reserve(static_cast<size_t>(batches));
+  }
   for (int b = 0; b < kWarmupBatchesPerClient + batches; ++b) {
+    WallTimer timer;
     Result<std::vector<double>> distances =
         client->Query(handle_id, pairs);
     if (!distances.ok()) {
       *error = distances.status().ToString();
       return false;
     }
+    if (latencies_ms != nullptr && b >= kWarmupBatchesPerClient) {
+      latencies_ms->push_back(timer.Ms());
+    }
   }
   return true;
+}
+
+/// Merges per-client latency samples and fills the row's percentiles.
+void FillLatencyPercentiles(const std::vector<std::vector<double>>& samples,
+                            double* p50_ms, double* p99_ms) {
+  std::vector<double> all;
+  for (const std::vector<double>& s : samples) {
+    all.insert(all.end(), s.begin(), s.end());
+  }
+  if (all.empty()) return;
+  *p50_ms = Quantile(all, 0.50);
+  *p99_ms = Quantile(all, 0.99);
 }
 
 /// The S2 mixed query/update phase's numbers.
 struct MixedRow {
   std::string mechanism;
   double query_ops_per_sec = 0.0;
+  double query_p50_ms = 0.0;  // per-batch round trip under live updates
+  double query_p99_ms = 0.0;
   uint64_t update_epochs = 0;
   double update_epochs_per_sec = 0.0;
   int deltas_per_epoch = 0;
@@ -95,17 +122,20 @@ void WriteJson(const char* path, const std::vector<LoadgenRow>& rows,
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"build_ms\": %.2f, "
                  "\"ops_per_sec\": %.0f, \"round_trip_ms\": %.3f, "
+                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
                  "\"direct_ops_per_sec\": %.0f}%s\n",
                  r.mechanism.c_str(), r.build_ms, r.net_ops_per_sec,
-                 r.net_round_trip_ms, r.direct_ops_per_sec,
-                 i + 1 < rows.size() ? "," : "");
+                 r.net_round_trip_ms, r.net_p50_ms, r.net_p99_ms,
+                 r.direct_ops_per_sec, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
                "  \"mixed\": {\"name\": \"%s\", \"ops_per_sec\": %.0f, "
+               "\"p50_ms\": %.3f, \"p99_ms\": %.3f, "
                "\"update_epochs\": %llu, \"update_epochs_per_sec\": %.2f, "
                "\"deltas_per_epoch\": %d, \"charged_eps_per_epoch\": %g}\n",
                mixed.mechanism.c_str(), mixed.query_ops_per_sec,
+               mixed.query_p50_ms, mixed.query_p99_ms,
                static_cast<unsigned long long>(mixed.update_epochs),
                mixed.update_epochs_per_sec, mixed.deltas_per_epoch,
                mixed.charged_eps_per_epoch);
@@ -148,7 +178,7 @@ void Run(const char* json_path) {
   Table table("S1: closed-loop server throughput (loopback TCP, " +
                   std::to_string(kClients) + " clients)",
               {"mechanism", "build_ms", "net Mops/s", "rtt ms/batch",
-               "direct Mops/s", "net/direct"});
+               "p50 ms", "p99 ms", "direct Mops/s", "net/direct"});
   std::vector<LoadgenRow> rows;
   net::Client admin = OrDie(net::Client::Connect("127.0.0.1",
                                                  server.port()));
@@ -161,13 +191,15 @@ void Run(const char* json_path) {
     row.build_ms = info.wall_ms;
 
     std::vector<std::string> errors(kClients);
+    std::vector<std::vector<double>> latencies(kClients);
     std::vector<std::thread> clients;
     clients.reserve(kClients);
     WallTimer timer;
     for (int c = 0; c < kClients; ++c) {
       clients.emplace_back([&, c] {
         RunClient(server.port(), info.handle_id, pairs, kBatchesPerClient,
-                  &errors[static_cast<size_t>(c)]);
+                  &errors[static_cast<size_t>(c)],
+                  &latencies[static_cast<size_t>(c)]);
       });
     }
     for (std::thread& t : clients) t.join();
@@ -186,6 +218,7 @@ void Run(const char* json_path) {
     double total_pairs = total_batches * kPairsPerBatch;
     row.net_ops_per_sec = total_pairs / wall_s;
     row.net_round_trip_ms = wall_s * 1e3 * kClients / total_batches;
+    FillLatencyPercentiles(latencies, &row.net_p50_ms, &row.net_p99_ms);
 
     // Direct baseline on the bit-identical local release.
     auto oracle = OrDie(OracleRegistry::Global().Create(name, g, w,
@@ -200,6 +233,8 @@ void Run(const char* json_path) {
         .Add(row.build_ms, 2)
         .Add(row.net_ops_per_sec / 1e6, 3)
         .Add(row.net_round_trip_ms, 3)
+        .Add(row.net_p50_ms, 3)
+        .Add(row.net_p99_ms, 3)
         .Add(row.direct_ops_per_sec / 1e6, 3)
         .Add(row.net_ops_per_sec / row.direct_ops_per_sec, 3);
   }
@@ -253,18 +288,22 @@ void Run(const char* json_path) {
       }
     });
     std::vector<std::string> errors(kClients);
+    std::vector<std::vector<double>> latencies(kClients);
     std::vector<std::thread> clients;
     clients.reserve(kClients);
     WallTimer timer;
     for (int c = 0; c < kClients; ++c) {
       clients.emplace_back([&, c] {
         RunClient(server.port(), info.handle_id, pairs, kBatchesPerClient,
-                  &errors[static_cast<size_t>(c)]);
+                  &errors[static_cast<size_t>(c)],
+                  &latencies[static_cast<size_t>(c)]);
       });
     }
     for (std::thread& t : clients) t.join();
     double wall_s = timer.Ms() * 1e-3;
     queries_done.store(true);
+    FillLatencyPercentiles(latencies, &mixed.query_p50_ms,
+                           &mixed.query_p99_ms);
     updater.join();
     for (const std::string& error : errors) {
       if (!error.empty()) {
@@ -286,10 +325,12 @@ void Run(const char* json_path) {
     mixed.update_epochs_per_sec =
         static_cast<double>(mixed.update_epochs) / wall_s;
     std::printf(
-        "\nS2: mixed workload (tree-hld): %.3f query Mops/s under "
+        "\nS2: mixed workload (tree-hld): %.3f query Mops/s "
+        "(p50=%.3f ms, p99=%.3f ms per batch) under "
         "%llu update epochs (%.1f epochs/s, %d deltas each, eps=%g per "
         "epoch)\n",
-        mixed.query_ops_per_sec / 1e6,
+        mixed.query_ops_per_sec / 1e6, mixed.query_p50_ms,
+        mixed.query_p99_ms,
         static_cast<unsigned long long>(mixed.update_epochs),
         mixed.update_epochs_per_sec, kDeltasPerEpoch,
         mixed.charged_eps_per_epoch);

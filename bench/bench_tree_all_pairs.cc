@@ -117,7 +117,7 @@ void Run() {
       for (int rep = 0; rep < 3; ++rep) {
         double rewalk_front = 0.0;
         if (recursion != nullptr) {
-          const std::vector<double>& est = recursion->release().estimates;
+          const auto& est = recursion->release().estimates;
           WallTimer lifting_timer;
           std::vector<double> rewalk(pairs.size());
           for (size_t i = 0; i < pairs.size(); ++i) {

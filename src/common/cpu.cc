@@ -1,0 +1,76 @@
+#include "common/cpu.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace dpsp {
+
+namespace {
+
+// -1 = no programmatic override (environment decides), 0 = off, 1 = on.
+std::atomic<int> g_force_scalar_override{-1};
+
+bool EnvForcesScalar() {
+  static const bool forced = [] {
+    const char* env = std::getenv("DPSP_FORCE_SCALAR");
+    return env != nullptr && std::strcmp(env, "0") != 0 &&
+           std::strcmp(env, "") != 0;
+  }();
+  return forced;
+}
+
+}  // namespace
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+#else
+  return false;
+#endif
+}
+
+bool SimdKernelsCompiled() {
+#if defined(DPSP_HAVE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool ForceScalarKernels() {
+  int override_state = g_force_scalar_override.load(std::memory_order_relaxed);
+  if (override_state >= 0) return override_state != 0;
+  return EnvForcesScalar();
+}
+
+void SetForceScalarKernels(bool force) {
+  g_force_scalar_override.store(force ? 1 : 0, std::memory_order_relaxed);
+}
+
+void ClearForceScalarKernels() {
+  g_force_scalar_override.store(-1, std::memory_order_relaxed);
+}
+
+bool SimdKernelsEnabled() {
+  return SimdKernelsCompiled() && CpuHasAvx2() && !ForceScalarKernels();
+}
+
+const char* SimdDispatchDescription() {
+  if (!SimdKernelsCompiled()) return "scalar (not compiled)";
+  if (!CpuHasAvx2()) return "scalar (cpu lacks avx2)";
+  if (ForceScalarKernels()) return "scalar (forced)";
+  return "avx2";
+}
+
+ScopedForceScalar::ScopedForceScalar(bool force)
+    : previous_(g_force_scalar_override.load(std::memory_order_relaxed)) {
+  SetForceScalarKernels(force);
+}
+
+ScopedForceScalar::~ScopedForceScalar() {
+  g_force_scalar_override.store(previous_, std::memory_order_relaxed);
+}
+
+}  // namespace dpsp

@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/random.h"
 #include "core/distance_oracle.h"
 #include "dp/privacy.h"
@@ -95,6 +96,9 @@ class BoundedWeightOracle final : public DistanceOracle {
   Status DistanceInto(std::span<const VertexPair> pairs,
                       double* out) const override;
   std::string Name() const override;
+  /// The flat buffers the lookup kernel streams: the covering assignment
+  /// and the Z x Z noisy table.
+  void AppendReleasedBuffers(std::vector<ReleasedBuffer>* out) const override;
 
   const Covering& covering() const { return covering_; }
   double noise_scale() const { return noise_scale_; }
@@ -116,9 +120,10 @@ class BoundedWeightOracle final : public DistanceOracle {
   double max_weight_ = 0.0;
   double noise_scale_ = 0.0;
   // Dense |Z| x |Z| noisy distance table (diagonal zero), flattened
-  // row-major: entry (i, j) lives at i * num_centers_ + j.
+  // row-major: entry (i, j) lives at i * num_centers_ + j. Cache-line
+  // aligned: the batch kernel gathers directly from it.
   int num_centers_ = 0;
-  std::vector<double> noisy_;
+  AlignedVector<double> noisy_;
 };
 
 }  // namespace dpsp

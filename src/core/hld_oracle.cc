@@ -5,7 +5,9 @@
 #include <map>
 #include <utility>
 
+#include "common/cpu.h"
 #include "common/table.h"
+#include "core/simd_kernels.h"
 #include "dp/laplace_mechanism.h"
 
 namespace dpsp {
@@ -129,12 +131,8 @@ Result<std::unique_ptr<HldTreeOracle>> HldTreeOracle::Build(
     oracle->head_parent_[c] = oracle->tree_->parent(oracle->chain_head_[c]);
   }
   oracle->ascent_cost_.assign(static_cast<size_t>(n), 0.0);
-  for (VertexId v = 0; v < n; ++v) {
-    int c = oracle->chain_of_[static_cast<size_t>(v)];
-    oracle->ascent_cost_[static_cast<size_t>(v)] =
-        oracle->chains_[static_cast<size_t>(c)].PrefixSumUnchecked(
-            oracle->pos_in_chain_[static_cast<size_t>(v)]) +
-        oracle->light_noisy_[static_cast<size_t>(c)];
+  for (size_t c = 0; c < members.size(); ++c) {
+    oracle->RecomputeAscentCosts(static_cast<int>(c));
   }
   return oracle;
 }
@@ -241,13 +239,23 @@ Status HldTreeOracle::ApplyWeightUpdates(
 }
 
 void HldTreeOracle::RecomputeAscentCosts(int c) {
-  for (uint32_t k = chain_member_offset_[static_cast<size_t>(c)];
-       k < chain_member_offset_[static_cast<size_t>(c) + 1]; ++k) {
-    VertexId v = chain_member_list_[k];
+  const uint32_t begin = chain_member_offset_[static_cast<size_t>(c)];
+  const uint32_t end = chain_member_offset_[static_cast<size_t>(c) + 1];
+  const int m = static_cast<int>(end - begin);
+  if (m == 0) return;
+  // Chain member p sits at position p, so the whole chain's ascent
+  // prefixes are the batched prefix sums over 0..m-1 — one call into the
+  // (SIMD-dispatched, bit-identical) vector walk instead of m scalar
+  // walks.
+  std::vector<int> prefixes(static_cast<size_t>(m));
+  for (int p = 0; p < m; ++p) prefixes[static_cast<size_t>(p)] = p;
+  std::vector<double> sums(static_cast<size_t>(m));
+  chains_[static_cast<size_t>(c)].PrefixSumsUnchecked(prefixes, sums.data());
+  const double light = light_noisy_[static_cast<size_t>(c)];
+  for (int p = 0; p < m; ++p) {
+    VertexId v = chain_member_list_[begin + static_cast<uint32_t>(p)];
     ascent_cost_[static_cast<size_t>(v)] =
-        chains_[static_cast<size_t>(c)].PrefixSumUnchecked(
-            pos_in_chain_[static_cast<size_t>(v)]) +
-        light_noisy_[static_cast<size_t>(c)];
+        sums[static_cast<size_t>(p)] + light;
   }
 }
 
@@ -258,6 +266,37 @@ Status HldTreeOracle::DistanceInto(std::span<const VertexPair> pairs,
   // Result or virtual dispatch.
   const unsigned n = static_cast<unsigned>(tree_->num_vertices());
   const EulerTourLca& lca = *lca_;
+#if defined(DPSP_HAVE_AVX2)
+  if (SimdKernelsEnabled() && pairs.size() >= 8 && lca.SimdCompatible()) {
+    static_assert(sizeof(VertexPair) == 2 * sizeof(int32_t),
+                  "kernels reinterpret VertexPair as two packed int32s");
+    // Blocked two-phase kernel: the LCA lookups of a block vectorize
+    // (gather over the packed sparse table), then the irregular chain
+    // ascents run scalar with the next pair's first touches prefetched.
+    constexpr size_t kBlock = 256;
+    int32_t z[kBlock];
+    for (size_t done = 0; done < pairs.size(); done += kBlock) {
+      const size_t chunk = std::min(kBlock, pairs.size() - done);
+      int bad = simd::LcaBatchAvx2(
+          lca.Flat(), reinterpret_cast<const int32_t*>(pairs.data() + done),
+          static_cast<int>(chunk), z);
+      if (bad >= 0) return Status::InvalidArgument("vertex out of range");
+      for (size_t j = 0; j < chunk; ++j) {
+        if (j + 1 < chunk) {
+          const auto& [pu, pv] = pairs[done + j + 1];
+          __builtin_prefetch(&chain_of_[static_cast<size_t>(pu)]);
+          __builtin_prefetch(&chain_of_[static_cast<size_t>(pv)]);
+          __builtin_prefetch(&ascent_cost_[static_cast<size_t>(pu)]);
+          __builtin_prefetch(&ascent_cost_[static_cast<size_t>(pv)]);
+        }
+        const auto& [u, v] = pairs[done + j];
+        out[done + j] =
+            DistanceToAncestor(u, z[j]) + DistanceToAncestor(v, z[j]);
+      }
+    }
+    return Status::Ok();
+  }
+#endif
   for (size_t i = 0; i < pairs.size(); ++i) {
     const auto& [u, v] = pairs[i];
     if (static_cast<unsigned>(u) >= n || static_cast<unsigned>(v) >= n) {
@@ -277,14 +316,45 @@ double HldTreeOracle::DistanceToAncestor(VertexId v, VertexId z) const {
   const int chain_z = chain_of_[static_cast<size_t>(z)];
   while (chain_of_[static_cast<size_t>(v)] != chain_z) {
     int c = chain_of_[static_cast<size_t>(v)];
+    VertexId next = head_parent_[static_cast<size_t>(c)];
+    DPSP_CHECK_MSG(next != -1, "climbed past the root during HLD ascent");
+    // The landing vertex's loads miss almost always on large trees; issue
+    // them now so they overlap the current crossing's add.
+    __builtin_prefetch(&chain_of_[static_cast<size_t>(next)]);
+    __builtin_prefetch(&ascent_cost_[static_cast<size_t>(next)]);
     sum += ascent_cost_[static_cast<size_t>(v)];
-    v = head_parent_[static_cast<size_t>(c)];
-    DPSP_CHECK_MSG(v != -1, "climbed past the root during HLD ascent");
+    v = next;
   }
   return sum +
          chains_[static_cast<size_t>(chain_z)]
              .RangeSumUnchecked(pos_in_chain_[static_cast<size_t>(z)],
                                 pos_in_chain_[static_cast<size_t>(v)]);
+}
+
+void HldTreeOracle::AppendReleasedBuffers(
+    std::vector<ReleasedBuffer>* out) const {
+  out->push_back({"chain-of", chain_of_.data(),
+                  chain_of_.size() * sizeof(int)});
+  out->push_back({"pos-in-chain", pos_in_chain_.data(),
+                  pos_in_chain_.size() * sizeof(int)});
+  out->push_back({"ascent-cost", ascent_cost_.data(),
+                  ascent_cost_.size() * sizeof(double)});
+  out->push_back({"head-parent", head_parent_.data(),
+                  head_parent_.size() * sizeof(VertexId)});
+  out->push_back({"light-noisy", light_noisy_.data(),
+                  light_noisy_.size() * sizeof(double)});
+  EulerTourLca::FlatView flat = lca_->Flat();
+  out->push_back({"lca-table", flat.table, lca_->table_bytes()});
+  out->push_back({"lca-first-visit", flat.first_visit,
+                  lca_->first_visit_bytes()});
+  for (const NoisyDyadicRangeSums& chain : chains_) {
+    NoisyDyadicRangeSums::FlatView view = chain.Flat();
+    if (view.num_levels == 0) continue;
+    out->push_back(
+        {"dyadic-blocks", view.blocks,
+         static_cast<size_t>(view.level_offset[view.num_levels]) *
+             sizeof(double)});
+  }
 }
 
 Result<double> HldTreeOracle::Distance(VertexId u, VertexId v) const {

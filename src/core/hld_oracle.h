@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/random.h"
 #include "core/distance_oracle.h"
 #include "core/range_sums.h"
@@ -73,6 +74,10 @@ class HldTreeOracle final : public UpdatableDistanceOracle {
   Status DistanceInto(std::span<const VertexPair> pairs,
                       double* out) const override;
   std::string Name() const override { return kName; }
+  /// The flat buffers the ascent kernel streams: per-vertex chain arrays,
+  /// ascent caches, the packed LCA structure, and every chain's dyadic
+  /// blocks.
+  void AppendReleasedBuffers(std::vector<ReleasedBuffer>* out) const override;
 
   /// One incremental update epoch: maps each dirty edge to its heavy-
   /// chain block stack (or light scalar), redraws fresh noise for only
@@ -114,9 +119,10 @@ class HldTreeOracle final : public UpdatableDistanceOracle {
   // The per-release epsilon the noise scale was calibrated to at build;
   // incremental epochs charge their dirty fraction of it.
   double release_epsilon_ = 0.0;
-  // Heavy-chain bookkeeping.
-  std::vector<int> chain_of_;      // vertex -> chain index
-  std::vector<int> pos_in_chain_;  // vertex -> position along its chain
+  // Heavy-chain bookkeeping. The per-vertex arrays are on the query hot
+  // path, hence cache-line aligned.
+  AlignedVector<int> chain_of_;      // vertex -> chain index
+  AlignedVector<int> pos_in_chain_;  // vertex -> position along its chain
   std::vector<VertexId> chain_head_;  // chain -> shallowest vertex
   // edge id -> the child endpoint whose parent edge it is; the update
   // path's dirty-edge -> (chain, position) map.
@@ -128,14 +134,14 @@ class HldTreeOracle final : public UpdatableDistanceOracle {
   std::vector<NoisyDyadicRangeSums> chains_;  // chain -> released structure
   // chain -> noisy weight of the light edge above its head (0 at the root
   // chain).
-  std::vector<double> light_noisy_;
+  AlignedVector<double> light_noisy_;
   // Ascent hot-path caches, pure post-processing of the release computed
   // once at build: ascent_cost_[v] is the noisy cost of climbing from v
   // off the top of its chain (the chain-prefix block sum plus the light
   // edge — the exact value the ascent loop previously recomputed per
   // query), and head_parent_[c] is the vertex the climb lands on.
-  std::vector<double> ascent_cost_;
-  std::vector<VertexId> head_parent_;
+  AlignedVector<double> ascent_cost_;
+  AlignedVector<VertexId> head_parent_;
 };
 
 }  // namespace dpsp

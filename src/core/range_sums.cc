@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/cpu.h"
 #include "common/table.h"
+#include "core/simd_kernels.h"
 
 namespace dpsp {
 
@@ -28,17 +30,26 @@ NoisyDyadicRangeSums::NoisyDyadicRangeSums(const std::vector<double>& values,
     prefix[i + 1] = prefix[i] + values[i];
   }
 
+  // One flat level-major buffer: level_offset_ first (block counts per
+  // level), then every block sum + Laplace draw in (level, block) order —
+  // the same Rng walk as a per-level layout, so fixed seeds reproduce.
   int num_levels = LevelsForSize(size_);
-  levels_.resize(static_cast<size_t>(num_levels));
+  level_offset_.assign(static_cast<size_t>(num_levels) + 1, 0);
   for (int l = 0; l < num_levels; ++l) {
     int width = 1 << l;
     int count = (size_ + width - 1) / width;
-    auto& row = levels_[static_cast<size_t>(l)];
-    row.resize(static_cast<size_t>(count));
+    level_offset_[static_cast<size_t>(l) + 1] =
+        level_offset_[static_cast<size_t>(l)] + static_cast<uint32_t>(count);
+  }
+  blocks_.resize(level_offset_.back());
+  for (int l = 0; l < num_levels; ++l) {
+    int width = 1 << l;
+    int count = static_cast<int>(level_offset_[static_cast<size_t>(l) + 1] -
+                                 level_offset_[static_cast<size_t>(l)]);
     for (int j = 0; j < count; ++j) {
       int lo = j * width;
       int hi = std::min(size_, lo + width);
-      row[static_cast<size_t>(j)] =
+      blocks_[BlockSlot(l, j)] =
           prefix[static_cast<size_t>(hi)] - prefix[static_cast<size_t>(lo)] +
           rng->Laplace(noise_scale);
     }
@@ -81,13 +92,12 @@ int NoisyDyadicRangeSums::ApplyPointUpdates(
   int redrawn = 0;
   for (int l = 0; l < num_levels(); ++l) {
     int width = 1 << l;
-    auto& row = levels_[static_cast<size_t>(l)];
     for (int j : DirtyBlocksAtLevel(indices, l)) {
       int lo = j * width;
       int hi = std::min(size_, lo + width);
       double sum = 0.0;
       for (int i = lo; i < hi; ++i) sum += values_[static_cast<size_t>(i)];
-      row[static_cast<size_t>(j)] = sum + rng->Laplace(noise_scale_);
+      blocks_[BlockSlot(l, j)] = sum + rng->Laplace(noise_scale_);
       ++redrawn;
     }
   }
@@ -109,9 +119,7 @@ int NoisyDyadicRangeSums::DirtyBlockCount(std::span<const int> indices) const {
 }
 
 int NoisyDyadicRangeSums::num_blocks() const {
-  int total = 0;
-  for (const auto& row : levels_) total += static_cast<int>(row.size());
-  return total;
+  return level_offset_.empty() ? 0 : static_cast<int>(level_offset_.back());
 }
 
 Result<double> NoisyDyadicRangeSums::RangeSum(int lo, int hi,
@@ -134,21 +142,35 @@ double NoisyDyadicRangeSums::PrefixSumUnchecked(int hi) const {
   double sum = 0.0;
   for (unsigned i = static_cast<unsigned>(hi); i != 0; i &= i - 1) {
     int l = std::countr_zero(i);
-    sum += levels_[static_cast<size_t>(l)][(i >> l) - 1];
+    sum += blocks_[BlockSlot(l, static_cast<int>((i >> l) - 1))];
   }
   return sum;
 }
 
+void NoisyDyadicRangeSums::PrefixSumsUnchecked(std::span<const int> his,
+                                               double* out) const {
+#if defined(DPSP_HAVE_AVX2)
+  if (SimdKernelsEnabled() && his.size() >= 4) {
+    simd::DyadicPrefixSumsAvx2(Flat(), his.data(),
+                               static_cast<int>(his.size()), out);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < his.size(); ++i) {
+    out[i] = PrefixSumUnchecked(his[i]);
+  }
+}
+
 double NoisyDyadicRangeSums::SumRange(int lo, int hi, int* segments) const {
   double sum = 0.0;
+  int levels = num_levels();
   while (lo < hi) {
     int level = 0;
-    while (level + 1 < static_cast<int>(levels_.size()) &&
-           lo % (1 << (level + 1)) == 0 && lo + (1 << (level + 1)) <= hi) {
+    while (level + 1 < levels && lo % (1 << (level + 1)) == 0 &&
+           lo + (1 << (level + 1)) <= hi) {
       ++level;
     }
-    sum += levels_[static_cast<size_t>(level)][static_cast<size_t>(
-        lo >> level)];
+    sum += blocks_[BlockSlot(level, lo >> level)];
     if (segments != nullptr) ++(*segments);
     lo += 1 << level;
   }

@@ -23,10 +23,12 @@
 #ifndef DPSP_CORE_RANGE_SUMS_H_
 #define DPSP_CORE_RANGE_SUMS_H_
 
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/random.h"
 #include "common/status.h"
 
@@ -42,7 +44,11 @@ class NoisyDyadicRangeSums {
 
   /// Number of levels (0 for an empty vector). The release's sensitivity
   /// multiplier.
-  int num_levels() const { return static_cast<int>(levels_.size()); }
+  int num_levels() const {
+    return level_offset_.empty()
+               ? 0
+               : static_cast<int>(level_offset_.size()) - 1;
+  }
 
   /// Number of stored (noisy) block sums.
   int num_blocks() const;
@@ -64,8 +70,27 @@ class NoisyDyadicRangeSums {
   /// guarantee 0 <= hi <= size.
   double PrefixSumUnchecked(int hi) const;
 
+  /// Batched PrefixSumUnchecked: out[i] = noisy sum over [0, his[i]) for
+  /// every i. Dispatches to the AVX2 lowest-set-bit walk when available;
+  /// the vector path adds blocks in the same per-query order as the scalar
+  /// walk, so results are bit-identical either way. Callers must guarantee
+  /// 0 <= his[i] <= size.
+  void PrefixSumsUnchecked(std::span<const int> his, double* out) const;
+
   /// Number of stored values.
   int size() const { return size_; }
+
+  /// Raw pointers into the flat released structure, for the batch SIMD
+  /// kernels: level l's noisy block sums occupy
+  /// blocks[level_offset[l] .. level_offset[l + 1]).
+  struct FlatView {
+    const double* blocks;
+    const uint32_t* level_offset;
+    int num_levels;
+  };
+  FlatView Flat() const {
+    return {blocks_.data(), level_offset_.data(), num_levels()};
+  }
 
   /// Point updates (index, new value): sets each value, then recomputes
   /// and redraws Lap(noise_scale) for every dyadic block containing a
@@ -90,13 +115,23 @@ class NoisyDyadicRangeSums {
   // The shared greedy dyadic decomposition behind both query paths.
   double SumRange(int lo, int hi, int* segments) const;
 
+  // blocks_ slot of dyadic block j at level l.
+  size_t BlockSlot(int level, int j) const {
+    return static_cast<size_t>(level_offset_[static_cast<size_t>(level)]) +
+           static_cast<size_t>(j);
+  }
+
   int size_ = 0;
   double noise_scale_ = 0.0;
   // The private value vector, retained to recompute dirty block sums on
   // updates. Not part of the released structure.
   std::vector<double> values_;
-  // levels_[l][j]: noisy sum of [j 2^l, min(size, (j+1) 2^l)).
-  std::vector<std::vector<double>> levels_;
+  // The released structure, flattened level-major into one cache-aligned
+  // buffer: the noisy sum of block j at level l — dyadic range
+  // [j 2^l, min(size, (j+1) 2^l)) — lives at BlockSlot(l, j).
+  AlignedVector<double> blocks_;
+  // num_levels + 1 offsets into blocks_ (empty for an empty vector).
+  AlignedVector<uint32_t> level_offset_;
 };
 
 }  // namespace dpsp

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "common/cpu.h"
 #include "common/table.h"
+#include "core/simd_kernels.h"
 #include "dp/laplace_mechanism.h"
 #include "graph/tree_partition.h"
 
@@ -31,7 +33,7 @@ struct Recursion {
   const std::vector<double>& root_dist;
   double scale;
   Rng* rng;
-  std::vector<double>& estimates;
+  AlignedVector<double>& estimates;
   int noisy_count = 0;
 
   void Run(const SubtreeView& view, double base) {
@@ -147,13 +149,23 @@ Result<std::unique_ptr<TreeAllPairsOracle>> TreeAllPairsOracle::Build(
       });
 }
 
+void TreeAllPairsOracle::AppendReleasedBuffers(
+    std::vector<ReleasedBuffer>* out) const {
+  out->push_back({"estimates", release_.estimates.data(),
+                  release_.estimates.size() * sizeof(double)});
+  EulerTourLca::FlatView flat = lca_.Flat();
+  out->push_back({"lca-table", flat.table, lca_.table_bytes()});
+  out->push_back({"lca-first-visit", flat.first_visit,
+                  lca_.first_visit_bytes()});
+}
+
 Result<double> TreeAllPairsOracle::Distance(VertexId u, VertexId v) const {
   if (u < 0 || u >= tree_.num_vertices() || v < 0 ||
       v >= tree_.num_vertices()) {
     return Status::InvalidArgument("vertex out of range");
   }
   VertexId z = lca_.Lca(u, v);
-  const std::vector<double>& est = release_.estimates;
+  const auto& est = release_.estimates;
   return est[static_cast<size_t>(u)] + est[static_cast<size_t>(v)] -
          2.0 * est[static_cast<size_t>(z)];
 }
@@ -165,6 +177,17 @@ Status TreeAllPairsOracle::DistanceInto(std::span<const VertexPair> pairs,
   // O(1) LCA lookup — no per-query Result or virtual dispatch.
   const unsigned n = static_cast<unsigned>(tree_.num_vertices());
   const double* est = release_.estimates.data();
+#if defined(DPSP_HAVE_AVX2)
+  if (SimdKernelsEnabled() && pairs.size() >= 8 && lca_.SimdCompatible()) {
+    static_assert(sizeof(VertexPair) == 2 * sizeof(int32_t),
+                  "kernels reinterpret VertexPair as two packed int32s");
+    int bad = simd::TreeCombineAvx2(
+        lca_.Flat(), est, reinterpret_cast<const int32_t*>(pairs.data()),
+        static_cast<int>(pairs.size()), out);
+    if (bad < 0) return Status::Ok();
+    return Status::InvalidArgument("vertex out of range");
+  }
+#endif
   for (size_t i = 0; i < pairs.size(); ++i) {
     const auto& [u, v] = pairs[i];
     if (static_cast<unsigned>(u) >= n || static_cast<unsigned>(v) >= n) {

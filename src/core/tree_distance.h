@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/random.h"
 #include "core/distance_oracle.h"
 #include "dp/privacy.h"
@@ -32,8 +33,9 @@ namespace dpsp {
 /// The released single-source estimates plus release metadata.
 struct TreeSingleSourceRelease {
   VertexId root = 0;
-  /// estimate[v] ~ dw(root, v); estimate[root] == 0 exactly.
-  std::vector<double> estimates;
+  /// estimate[v] ~ dw(root, v); estimate[root] == 0 exactly. Cache-line
+  /// aligned: this is the flat buffer the batch kernels gather from.
+  AlignedVector<double> estimates;
   /// Laplace scale used for each released value.
   double noise_scale = 0.0;
   /// Number of Laplace draws (<= 2V).
@@ -85,6 +87,9 @@ class TreeAllPairsOracle final : public DistanceOracle {
   Status DistanceInto(std::span<const VertexPair> pairs,
                       double* out) const override;
   std::string Name() const override { return kName; }
+  /// The flat buffers the batch kernel streams: the released estimates
+  /// plus the packed LCA structure.
+  void AppendReleasedBuffers(std::vector<ReleasedBuffer>* out) const override;
 
   const TreeSingleSourceRelease& release() const { return release_; }
 

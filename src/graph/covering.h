@@ -22,6 +22,7 @@
 
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/status.h"
 #include "graph/graph.h"
 
@@ -34,7 +35,8 @@ struct Covering {
   std::vector<VertexId> centers;
   /// For each vertex v, the index into `centers` of a covering vertex
   /// within k hops (the nearest in hops, ties to the smallest id).
-  std::vector<int> assignment;
+  /// Cache-aligned: the batch kernels gather from it per query.
+  AlignedVector<int> assignment;
   /// Hop distance from each vertex to its assigned center.
   std::vector<int> assignment_hops;
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/status.h"
 
 namespace dpsp {
@@ -144,9 +145,10 @@ class Graph {
   std::vector<EdgeEndpoints> edges_;
   // CSR adjacency, struct-of-arrays: entry i of vertex u lives at
   // adj_offset_[u] + i in the parallel adj_to_ / adj_edge_ arrays.
-  std::vector<uint32_t> adj_offset_;
-  std::vector<VertexId> adj_to_;
-  std::vector<EdgeId> adj_edge_;
+  // Cache-line aligned so traversal kernels start on a line boundary.
+  AlignedVector<uint32_t> adj_offset_;
+  AlignedVector<VertexId> adj_to_;
+  AlignedVector<EdgeId> adj_edge_;
 };
 
 /// Total weight of a set of edges.

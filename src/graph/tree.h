@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/status.h"
 #include "graph/graph.h"
 
@@ -67,8 +68,9 @@ class RootedTree {
   std::vector<EdgeId> parent_edge_;
   // Flat CSR child storage: children of v occupy child_list_[
   // child_offset_[v] .. child_offset_[v+1]) in adjacency order.
-  std::vector<uint32_t> child_offset_;
-  std::vector<VertexId> child_list_;
+  // Cache-line aligned like the graph CSR arrays.
+  AlignedVector<uint32_t> child_offset_;
+  AlignedVector<VertexId> child_list_;
   std::vector<int> depth_;
   std::vector<int> subtree_size_;
   std::vector<VertexId> bfs_order_;
@@ -131,16 +133,44 @@ class EulerTourLca {
   /// Length of the Euler tour (2V - 1).
   int tour_size() const { return tour_len_; }
 
+  /// Raw pointers into the packed structure, for the batch SIMD kernels:
+  /// everything LcaUnchecked touches, with no indirection through `this`.
+  struct FlatView {
+    const uint32_t* first_visit;
+    const uint8_t* log2_floor;
+    const uint64_t* table;
+    unsigned stride_shift;
+    int num_vertices;
+  };
+  FlatView Flat() const {
+    return {first_visit_.data(), log2_floor_.data(), table_.data(),
+            stride_shift_, n_};
+  }
+
+  /// Byte sizes of the packed buffers, for memory-placement callers.
+  size_t table_bytes() const { return table_.size() * sizeof(uint64_t); }
+  size_t first_visit_bytes() const {
+    return first_visit_.size() * sizeof(uint32_t);
+  }
+
+  /// True iff every table index fits an int32 — the precondition for the
+  /// AVX2 gather path (32-bit gather indices). Holds for every V the
+  /// oracles accept; false only past ~2^26 vertices.
+  bool SimdCompatible() const {
+    return table_.size() < (static_cast<size_t>(1) << 31);
+  }
+
  private:
   const RootedTree* tree_;
   int n_ = 0;         // cached vertex count (query hot path)
   int tour_len_ = 0;  // Euler tour length (2V - 1)
   unsigned stride_shift_ = 0;          // row stride = 1 << stride_shift_
-  std::vector<uint32_t> first_visit_;  // vertex -> first tour index
-  std::vector<uint8_t> log2_floor_;    // precomputed floor(log2(i))
+  AlignedVector<uint32_t> first_visit_;  // vertex -> first tour index
+  AlignedVector<uint8_t> log2_floor_;    // precomputed floor(log2(i))
   // Row-major sparse table: table_[(k << stride_shift_) + i] packs
   // (depth << 32) | vertex for the min-depth vertex in tour[i .. i + 2^k).
-  std::vector<uint64_t> table_;
+  // Cache-line aligned: the gather path reads 4 cells per lane-group.
+  AlignedVector<uint64_t> table_;
 };
 
 /// True iff the undirected graph is a tree (connected, V-1 edges).

@@ -3,11 +3,27 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/numa.h"
 #include "common/parallel.h"
 #include "common/table.h"
 #include "graph/connectivity.h"
 
 namespace dpsp {
+
+namespace {
+
+// Pins the calling shard worker to the CPUs of node (shard % nodes).
+// No-op (and no syscall) on single-node machines or when the option is
+// off. ParallelFor spawns fresh threads per call, so the affinity never
+// outlives the batch.
+void MaybePinShardWorker(bool numa_aware, int shard) {
+  if (!numa_aware) return;
+  const NumaTopology& topo = NumaTopologyInfo();
+  if (!topo.available) return;
+  PinCurrentThreadToNode(shard % topo.num_nodes);
+}
+
+}  // namespace
 
 void BatchExecutor::SetShardCells(std::vector<int> cells) {
   cells_ = std::move(cells);
@@ -69,6 +85,7 @@ Result<std::vector<double>> BatchExecutor::Execute(
           size_t lo = static_cast<size_t>(s) * chunk;
           size_t hi = std::min(pairs.size(), lo + chunk);
           if (lo >= hi) return Status::Ok();
+          MaybePinShardWorker(options_.numa_aware, s);
           return oracle.DistanceInto(pairs.subspan(lo, hi - lo),
                                      out.data() + lo);
         }));
@@ -132,6 +149,7 @@ Result<std::vector<double>> BatchExecutor::Execute(
   // back to input positions.
   DPSP_RETURN_IF_ERROR(RunShards(
       num_shards, options_.max_threads, [&](int s) {
+        MaybePinShardWorker(options_.numa_aware, s);
         const std::vector<int>& buckets =
             shard_buckets[static_cast<size_t>(s)];
         size_t local_size = shard_load[static_cast<size_t>(s)];
@@ -200,7 +218,23 @@ Result<BatchExecutor::UpdateReport> BatchExecutor::ApplyUpdates(
   report.dirty_blocks = stats.dirty_blocks;
   report.update_sensitivity = stats.sensitivity;
   report.charged_epsilon = stats.charged_epsilon;
+  // Re-place after the epoch: updates can touch pages first-written by
+  // the updating thread, pulling them onto its node.
+  PlaceReleasedBuffers(oracle);
   return report;
+}
+
+int BatchExecutor::PlaceReleasedBuffers(const DistanceOracle& oracle) const {
+  if (!options_.numa_aware) return 0;
+  const NumaTopology& topo = NumaTopologyInfo();
+  if (!topo.available) return 0;
+  std::vector<ReleasedBuffer> buffers;
+  oracle.AppendReleasedBuffers(&buffers);
+  int placed = 0;
+  for (const ReleasedBuffer& b : buffers) {
+    if (InterleaveMemory(b.data, b.bytes)) ++placed;
+  }
+  return placed;
 }
 
 std::vector<int> ComponentCells(const Graph& graph) {
@@ -208,7 +242,7 @@ std::vector<int> ComponentCells(const Graph& graph) {
 }
 
 std::vector<int> CoveringCells(const Covering& covering) {
-  return covering.assignment;
+  return {covering.assignment.begin(), covering.assignment.end()};
 }
 
 }  // namespace dpsp

@@ -55,6 +55,13 @@ struct BatchExecutorOptions {
   /// the latency path never pays fan-out overhead for a handful of
   /// queries.
   size_t min_shard_pairs = 2048;
+  /// NUMA-aware scheduling (common/numa.h): shard workers pin to the CPU
+  /// set of node (shard % nodes), and PlaceReleasedBuffers interleaves an
+  /// installed oracle's flat buffers across nodes so every worker streams
+  /// at uniform distance. A cheap no-op on single-node machines, non-Linux
+  /// builds, and under DPSP_NUMA=0; results are bit-identical regardless —
+  /// placement moves pages, never work.
+  bool numa_aware = true;
 };
 
 /// Partitions query batches into shards and runs them across workers.
@@ -102,6 +109,14 @@ class BatchExecutor {
                                     const Graph& graph,
                                     std::span<const EdgeWeightDelta> deltas,
                                     ReleaseContext& ctx) const;
+
+  /// Places an installed oracle's released flat buffers for NUMA-balanced
+  /// streaming: interleaves each buffer's pages across nodes (workers on
+  /// every node then pay the same average distance). Call once after
+  /// installing an oracle and again after an update epoch. Returns the
+  /// number of buffers actually moved — 0 on single-node machines, when
+  /// numa_aware is off, or for oracles that expose no buffers.
+  int PlaceReleasedBuffers(const DistanceOracle& oracle) const;
 
   /// Shards Execute would use for a batch of `num_pairs` (for reports).
   int PlannedShardCount(size_t num_pairs) const;

@@ -1,0 +1,131 @@
+// Layout checks for the cache-flat released structures: every hot array
+// the batch kernels stream (CSR adjacency, the Euler-tour LCA sparse
+// table, dyadic block sums, released estimate vectors) is allocated
+// through AlignedAllocator and must start on a 64-byte cache-line
+// boundary. The gather kernels don't require alignment for correctness —
+// this is a perf invariant (no split-line loads at buffer starts, clean
+// NUMA page placement), locked here so a refactor back to plain
+// std::vector shows up as a test failure instead of a silent regression.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/aligned.h"
+#include "core/bounded_weight.h"
+#include "core/hld_oracle.h"
+#include "core/oracle_registry.h"
+#include "core/range_sums.h"
+#include "core/tree_distance.h"
+#include "dp/release_context.h"
+#include "graph/generators.h"
+#include "graph/tree.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+// An odd, non-power-of-two size so alignment can't fall out of size
+// rounding by accident.
+constexpr int kNumVertices = 211;
+
+TEST(FlatLayoutAlignmentTest, AlignedVectorAllocatesCacheLines) {
+  for (int n : {1, 2, 63, 64, 65, 1000}) {
+    AlignedVector<double> v(static_cast<size_t>(n));
+    EXPECT_TRUE(IsCacheAligned(v.data())) << "n=" << n;
+    AlignedVector<uint32_t> u(static_cast<size_t>(n));
+    EXPECT_TRUE(IsCacheAligned(u.data())) << "n=" << n;
+  }
+}
+
+TEST(FlatLayoutAlignmentTest, GraphCsrArraysAreCacheAligned) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeRandomTree(kNumVertices, &rng));
+  EXPECT_TRUE(IsCacheAligned(g.AdjacencyOffsets().data()));
+  EXPECT_TRUE(IsCacheAligned(g.AdjacencyHeads().data()));
+  EXPECT_TRUE(IsCacheAligned(g.AdjacencyEdges().data()));
+}
+
+TEST(FlatLayoutAlignmentTest, EulerTourLcaTableIsCacheAligned) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeRandomTree(kNumVertices, &rng));
+  ASSERT_OK_AND_ASSIGN(RootedTree tree, RootedTree::FromGraph(g, 0));
+  EulerTourLca lca(tree);
+  EulerTourLca::FlatView flat = lca.Flat();
+  EXPECT_TRUE(IsCacheAligned(flat.first_visit));
+  EXPECT_TRUE(IsCacheAligned(flat.log2_floor));
+  EXPECT_TRUE(IsCacheAligned(flat.table));
+  EXPECT_TRUE(lca.SimdCompatible());
+}
+
+TEST(FlatLayoutAlignmentTest, DyadicBlocksAreCacheAligned) {
+  Rng rng(kTestSeed);
+  std::vector<double> values(777);
+  for (double& v : values) v = rng.Uniform(0.0, 1.0);
+  NoisyDyadicRangeSums sums(values, 0.5, &rng);
+  NoisyDyadicRangeSums::FlatView flat = sums.Flat();
+  EXPECT_TRUE(IsCacheAligned(flat.blocks));
+  EXPECT_TRUE(IsCacheAligned(flat.level_offset));
+}
+
+// Every buffer an oracle reports for NUMA placement is a real released
+// array: non-null, non-empty, labelled, and cache-aligned.
+void ExpectAlignedReleasedBuffers(const DistanceOracle& oracle,
+                                  size_t min_buffers) {
+  std::vector<ReleasedBuffer> buffers;
+  oracle.AppendReleasedBuffers(&buffers);
+  EXPECT_GE(buffers.size(), min_buffers) << oracle.Name();
+  for (const ReleasedBuffer& b : buffers) {
+    EXPECT_NE(b.data, nullptr) << oracle.Name() << " " << b.label;
+    EXPECT_GT(b.bytes, 0u) << oracle.Name() << " " << b.label;
+    EXPECT_STRNE(b.label, "") << oracle.Name();
+    EXPECT_TRUE(IsCacheAligned(b.data)) << oracle.Name() << " " << b.label;
+  }
+}
+
+TEST(FlatLayoutAlignmentTest, OracleReleasedBuffersAreCacheAligned) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeRandomTree(kNumVertices, &rng));
+  EdgeWeights w = MakeUniformWeights(g, 0.1, 0.9, &rng);
+  for (const char* name : {TreeAllPairsOracle::kName, HldTreeOracle::kName,
+                           BoundedWeightOracle::kName}) {
+    ASSERT_OK_AND_ASSIGN(
+        ReleaseContext ctx,
+        ReleaseContext::Create(PrivacyParams{1.0, 0.0, 1.0}, kTestSeed));
+    ASSERT_OK_AND_ASSIGN(auto oracle,
+                         OracleRegistry::Global().Create(name, g, w, ctx));
+    ExpectAlignedReleasedBuffers(*oracle, 2);
+  }
+}
+
+TEST(FlatLayoutAlignmentTest, BaseOracleReportsNoBuffersByDefault) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakePathGraph(8));
+  EdgeWeights w = MakeUniformWeights(g, 0.1, 0.9, &rng);
+  ASSERT_OK_AND_ASSIGN(
+      ReleaseContext ctx,
+      ReleaseContext::Create(PrivacyParams{1.0, 0.0, 1.0}, kTestSeed));
+  ASSERT_OK_AND_ASSIGN(auto oracle, OracleRegistry::Global().Create(
+                                        "per-pair-laplace", g, w, ctx));
+  std::vector<ReleasedBuffer> buffers;
+  oracle->AppendReleasedBuffers(&buffers);
+  EXPECT_TRUE(buffers.empty());
+}
+
+TEST(FlatLayoutAlignmentTest, ReleasedEstimatesAreCacheAligned) {
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph g, MakeRandomTree(kNumVertices, &rng));
+  EdgeWeights w = MakeUniformWeights(g, 0.1, 0.9, &rng);
+  ASSERT_OK_AND_ASSIGN(
+      ReleaseContext ctx,
+      ReleaseContext::Create(PrivacyParams{1.0, 0.0, 1.0}, kTestSeed));
+  ASSERT_OK_AND_ASSIGN(auto oracle,
+                       OracleRegistry::Global().Create(
+                           TreeAllPairsOracle::kName, g, w, ctx));
+  const auto* tree = dynamic_cast<const TreeAllPairsOracle*>(oracle.get());
+  ASSERT_NE(tree, nullptr);
+  EXPECT_TRUE(IsCacheAligned(tree->release().estimates.data()));
+}
+
+}  // namespace
+}  // namespace dpsp

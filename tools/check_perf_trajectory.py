@@ -5,9 +5,11 @@ CI downloads the artifact from the previous successful run on main and
 runs this against the ones the current run just produced. Every ops/sec
 series the benches emit is compared per mechanism and series:
 
-  BENCH_registry.json  (bench_registry)      R1 sweep batch throughput and
-                                             R3 serving throughput, both
-                                             plain-batch and sharded
+  BENCH_registry.json  (bench_registry)      R1 sweep batch throughput,
+                                             R3 serving throughput (plain-
+                                             batch and sharded), R4 update
+                                             epochs, and the R5 scalar/
+                                             AVX2/NUMA dispatch series
   BENCH_server.json    (bench_server_loadgen) end-to-end wire ops/sec and
                                              the in-process direct baseline
 
@@ -55,6 +57,20 @@ def ops_series(doc):
                         f"@{row.get('drift', 'uniform')}"
                         f"-{row.get('dirty_fraction', '?')}")
                 yield "update", name, float(row["deltas_per_sec"])
+        # R5: the scalar/AVX2 dispatch A/B and the NUMA-aware executor.
+        # Both legs are tracked independently — a scalar regression is a
+        # kernel-semantics change, an avx2-only regression is a dispatch
+        # or vectorization change.
+        for row in doc.get("simd", {}).get("runs", []):
+            tag = f"{row.get('name', '?')}@V{row.get('V', '?')}"
+            if row.get("scalar_ops_per_sec"):
+                yield "simd", f"{tag}-scalar", float(row["scalar_ops_per_sec"])
+            if row.get("avx2_ops_per_sec"):
+                yield "simd", f"{tag}-avx2", float(row["avx2_ops_per_sec"])
+        for row in doc.get("numa", {}).get("runs", []):
+            tag = f"{row.get('name', '?')}@V{row.get('V', '?')}"
+            if row.get("ops_per_sec"):
+                yield "numa", tag, float(row["ops_per_sec"])
     elif bench == "bench_server_loadgen":
         for row in doc.get("mechanisms", []):
             if row.get("ops_per_sec"):
