@@ -1,0 +1,58 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace dpsp {
+namespace {
+
+// Four slicing tables, generated once at compile time. table[0] is the
+// classic byte-at-a-time table; table[k][b] extends a byte processed k
+// positions earlier.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 4> t{};
+};
+
+constexpr Crc32cTables MakeTables() {
+  Crc32cTables tables{};
+  constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    tables.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tables.t[0][i];
+    for (std::size_t k = 1; k < 4; ++k) {
+      crc = tables.t[0][crc & 0xFFu] ^ (crc >> 8);
+      tables.t[k][i] = crc;
+    }
+  }
+  return tables;
+}
+
+constexpr Crc32cTables kTables = MakeTables();
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, std::size_t len, uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  while (len >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) |
+           (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = kTables.t[3][crc & 0xFFu] ^ kTables.t[2][(crc >> 8) & 0xFFu] ^
+          kTables.t[1][(crc >> 16) & 0xFFu] ^ kTables.t[0][crc >> 24];
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace dpsp

@@ -1,0 +1,109 @@
+#include "common/failpoint.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string_view>
+
+namespace dpsp {
+namespace {
+
+std::atomic<int> g_armed_count{0};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, FailpointAction> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+// DPSP_FAILPOINT=name:action[,name:action...]; unknown actions are
+// ignored rather than fatal (a typo in the env must not crash production).
+void ParseEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("DPSP_FAILPOINT");
+    if (env == nullptr || *env == '\0') return;
+    std::string_view rest(env);
+    while (!rest.empty()) {
+      size_t comma = rest.find(',');
+      std::string_view entry = rest.substr(0, comma);
+      rest = comma == std::string_view::npos ? std::string_view()
+                                             : rest.substr(comma + 1);
+      size_t colon = entry.rfind(':');
+      if (colon == std::string_view::npos) continue;
+      std::string_view action = entry.substr(colon + 1);
+      FailpointAction parsed = FailpointAction::kOff;
+      if (action == "error") parsed = FailpointAction::kError;
+      if (action == "crash") parsed = FailpointAction::kCrash;
+      if (parsed == FailpointAction::kOff) continue;
+      SetFailpoint(std::string(entry.substr(0, colon)), parsed);
+    }
+  });
+}
+
+}  // namespace
+
+void SetFailpoint(const std::string& name, FailpointAction action) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.points.find(name);
+  if (action == FailpointAction::kOff) {
+    if (it != registry.points.end()) {
+      registry.points.erase(it);
+      g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  if (it == registry.points.end()) {
+    registry.points.emplace(name, action);
+    g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    it->second = action;
+  }
+}
+
+void ClearFailpoint(const std::string& name) {
+  SetFailpoint(name, FailpointAction::kOff);
+}
+
+void ClearAllFailpoints() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  g_armed_count.fetch_sub(static_cast<int>(registry.points.size()),
+                          std::memory_order_relaxed);
+  registry.points.clear();
+}
+
+Status EvalFailpoint(const char* name) {
+  ParseEnvOnce();
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) {
+    return Status::Ok();
+  }
+  FailpointAction action = FailpointAction::kOff;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    auto it = registry.points.find(name);
+    if (it != registry.points.end()) action = it->second;
+  }
+  switch (action) {
+    case FailpointAction::kOff:
+      return Status::Ok();
+    case FailpointAction::kError:
+      return Status::Internal(std::string("failpoint ") + name);
+    case FailpointAction::kCrash:
+      kill(getpid(), SIGKILL);
+      _exit(137);  // unreachable unless SIGKILL delivery is deferred
+  }
+  return Status::Ok();
+}
+
+}  // namespace dpsp

@@ -1,0 +1,64 @@
+// Fault-injection points for the durability paths.
+//
+// A failpoint is a named site in the snapshot/WAL/commit code that can be
+// armed to fail: either returning an error Status (exercising the error
+// handling) or SIGKILLing the process on the spot (exercising crash
+// recovery — SIGKILL, not abort, so no destructor, flush, or atexit runs,
+// exactly like power loss). Disarmed failpoints cost one relaxed atomic
+// load, so the hooks stay in release builds and the recovery tests drive
+// the same binaries that ship.
+//
+// Activation is programmatic (SetFailpoint) or via the environment:
+//   DPSP_FAILPOINT=store.snapshot.after_temp_write:crash,store.wal.before_commit:error
+// The env form is parsed once, on first evaluation, and composes with later
+// programmatic arming (programmatic wins per name).
+
+#ifndef DPSP_COMMON_FAILPOINT_H_
+#define DPSP_COMMON_FAILPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace dpsp {
+
+enum class FailpointAction {
+  kOff = 0,
+  kError,  // EvalFailpoint returns Status::Internal("failpoint <name>")
+  kCrash,  // EvalFailpoint raises SIGKILL (no cleanup, like power loss)
+};
+
+/// Arms `name` with `action` (kOff disarms). Thread-safe.
+void SetFailpoint(const std::string& name, FailpointAction action);
+
+/// Disarms one failpoint / all failpoints (including env-armed ones).
+void ClearFailpoint(const std::string& name);
+void ClearAllFailpoints();
+
+/// The hook the durability paths call. Ok when disarmed (the common case:
+/// one relaxed atomic load, no lock).
+Status EvalFailpoint(const char* name);
+
+namespace failpoints {
+
+// Central registry of every injection site, so the crash-recovery harness
+// can enumerate them instead of chasing string literals.
+inline constexpr const char kSnapshotAfterTempWrite[] =
+    "store.snapshot.after_temp_write";
+inline constexpr const char kSnapshotBeforeRename[] =
+    "store.snapshot.before_rename";
+inline constexpr const char kWalBeforeIntent[] = "store.wal.before_intent";
+inline constexpr const char kWalAfterIntent[] = "store.wal.after_intent";
+inline constexpr const char kWalBeforeCommit[] = "store.wal.before_commit";
+inline constexpr const char kWalAfterCommit[] = "store.wal.after_commit";
+
+inline constexpr const char* kAll[] = {
+    kSnapshotAfterTempWrite, kSnapshotBeforeRename, kWalBeforeIntent,
+    kWalAfterIntent,         kWalBeforeCommit,      kWalAfterCommit,
+};
+
+}  // namespace failpoints
+
+}  // namespace dpsp
+
+#endif  // DPSP_COMMON_FAILPOINT_H_

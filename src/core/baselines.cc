@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/table.h"
+#include "core/released_state.h"
 #include "dp/composition.h"
 #include "dp/laplace_mechanism.h"
 #include "graph/shortest_path.h"
@@ -12,6 +13,36 @@
 namespace dpsp {
 
 namespace {
+
+// The three baseline oracles all release a dense matrix; they share one
+// persistence image: "matrix" (row-major doubles) + "meta" (n).
+Status SaveMatrixState(const DistanceMatrix& matrix,
+                       std::vector<ReleasedSection>* out) {
+  out->push_back(released_state::Pack<double>(
+      "matrix", std::span<const double>(matrix.data())));
+  out->push_back(released_state::PackScalars(
+      "meta", {static_cast<double>(matrix.size())}));
+  return Status::Ok();
+}
+
+Result<DistanceMatrix> RestoreMatrixState(
+    const Graph& graph, std::span<const ReleasedSectionView> sections) {
+  DPSP_ASSIGN_OR_RETURN(std::span<const double> meta,
+                        released_state::Require<double>(sections, "meta", 1));
+  DPSP_ASSIGN_OR_RETURN(int n,
+                        released_state::AsInt(meta[0], "matrix size"));
+  if (n != graph.num_vertices()) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot matrix is %d x %d but the workload has %d vertices", n, n,
+        graph.num_vertices()));
+  }
+  DPSP_ASSIGN_OR_RETURN(
+      std::span<const double> data,
+      released_state::Require<double>(
+          sections, "matrix", static_cast<long>(n) * static_cast<long>(n)));
+  return DistanceMatrix::FromData(
+      n, std::vector<double>(data.begin(), data.end()));
+}
 
 // Fused serial kernel over a dense distance matrix: one row-major load per
 // pair, bounds checks folded into the loop. Shared by the three baseline
@@ -47,6 +78,10 @@ class ExactOracle final : public DistanceOracle {
 
   std::string Name() const override { return kExactOracleName; }
 
+  Status SaveReleasedState(std::vector<ReleasedSection>* out) const override {
+    return SaveMatrixState(matrix_, out);
+  }
+
  private:
   DistanceMatrix matrix_;
 };
@@ -71,6 +106,17 @@ class PerPairLaplaceOracle final : public DistanceOracle {
 
   std::string Name() const override { return name_; }
 
+  Status SaveReleasedState(std::vector<ReleasedSection>* out) const override {
+    DPSP_RETURN_IF_ERROR(SaveMatrixState(noisy_, out));
+    // The display name encodes the composition mode chosen at build time
+    // (pure vs approx), which restore cannot re-derive without params.
+    ReleasedSection name;
+    name.label = "name";
+    name.bytes.assign(name_.begin(), name_.end());
+    out->push_back(std::move(name));
+    return Status::Ok();
+  }
+
  private:
   DistanceMatrix noisy_;
   std::string name_;
@@ -94,6 +140,10 @@ class SyntheticGraphOracle final : public DistanceOracle {
   }
 
   std::string Name() const override { return kSyntheticGraphOracleName; }
+
+  Status SaveReleasedState(std::vector<ReleasedSection>* out) const override {
+    return SaveMatrixState(distances_, out);
+  }
 
  private:
   DistanceMatrix distances_;
@@ -262,6 +312,39 @@ double Drv10ErrorFormula(double w1_norm, int num_vertices, double epsilon,
   double log_v = std::log(static_cast<double>(num_vertices));
   double log_d = std::log(1.0 / delta);
   return std::sqrt(w1_norm) * log_v * std::pow(log_d, 1.5) / epsilon;
+}
+
+Result<std::unique_ptr<DistanceOracle>> RestoreExactOracle(
+    const Graph& graph, const EdgeWeights& w,
+    std::span<const ReleasedSectionView> sections) {
+  (void)w;
+  DPSP_ASSIGN_OR_RETURN(DistanceMatrix matrix,
+                        RestoreMatrixState(graph, sections));
+  return std::unique_ptr<DistanceOracle>(new ExactOracle(std::move(matrix)));
+}
+
+Result<std::unique_ptr<DistanceOracle>> RestorePerPairLaplaceOracle(
+    const Graph& graph, const EdgeWeights& w,
+    std::span<const ReleasedSectionView> sections) {
+  (void)w;
+  DPSP_ASSIGN_OR_RETURN(DistanceMatrix matrix,
+                        RestoreMatrixState(graph, sections));
+  DPSP_ASSIGN_OR_RETURN(ReleasedSectionView name_section,
+                        released_state::Find(sections, "name"));
+  std::string name(reinterpret_cast<const char*>(name_section.bytes.data()),
+                   name_section.bytes.size());
+  return std::unique_ptr<DistanceOracle>(
+      new PerPairLaplaceOracle(std::move(matrix), std::move(name)));
+}
+
+Result<std::unique_ptr<DistanceOracle>> RestoreSyntheticGraphOracle(
+    const Graph& graph, const EdgeWeights& w,
+    std::span<const ReleasedSectionView> sections) {
+  (void)w;
+  DPSP_ASSIGN_OR_RETURN(DistanceMatrix matrix,
+                        RestoreMatrixState(graph, sections));
+  return std::unique_ptr<DistanceOracle>(
+      new SyntheticGraphOracle(std::move(matrix)));
 }
 
 }  // namespace dpsp

@@ -77,6 +77,18 @@ Result<std::unique_ptr<DistanceOracle>> MakeSyntheticGraphOracle(
 Result<std::unique_ptr<DistanceOracle>> MakeSyntheticGraphOracle(
     const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx);
 
+/// Snapshot-restore factories (OracleLoader signature): rebuild each
+/// baseline from its persisted released matrix. No budget is consumed.
+Result<std::unique_ptr<DistanceOracle>> RestoreExactOracle(
+    const Graph& graph, const EdgeWeights& w,
+    std::span<const ReleasedSectionView> sections);
+Result<std::unique_ptr<DistanceOracle>> RestorePerPairLaplaceOracle(
+    const Graph& graph, const EdgeWeights& w,
+    std::span<const ReleasedSectionView> sections);
+Result<std::unique_ptr<DistanceOracle>> RestoreSyntheticGraphOracle(
+    const Graph& graph, const EdgeWeights& w,
+    std::span<const ReleasedSectionView> sections);
+
 /// The per-query Laplace noise scale the all-pairs baseline uses, exposed
 /// for reporting. `num_pairs` = V(V-1)/2.
 Result<double> PerPairLaplaceNoiseScale(int num_pairs,

@@ -5,6 +5,7 @@
 
 #include "common/cpu.h"
 #include "common/table.h"
+#include "core/released_state.h"
 #include "core/simd_kernels.h"
 #include "dp/composition.h"
 #include "dp/gaussian_mechanism.h"
@@ -220,6 +221,85 @@ void BoundedWeightOracle::AppendReleasedBuffers(
 std::string BoundedWeightOracle::Name() const {
   if (gaussian_) return kGaussianName;
   return pure_ ? "bounded-weight(pure)" : "bounded-weight(approx)";
+}
+
+Status BoundedWeightOracle::SaveReleasedState(
+    std::vector<ReleasedSection>* out) const {
+  out->push_back(released_state::Pack<double>(
+      "zz-table",
+      std::span<const double>(noisy_.data(), noisy_.size())));
+  out->push_back(released_state::Pack<VertexId>(
+      "centers", std::span<const VertexId>(covering_.centers)));
+  out->push_back(released_state::Pack<int>(
+      "assignment", std::span<const int>(covering_.assignment.data(),
+                                         covering_.assignment.size())));
+  out->push_back(released_state::Pack<int>(
+      "assignment-hops", std::span<const int>(covering_.assignment_hops)));
+  out->push_back(released_state::PackScalars(
+      "meta", {static_cast<double>(covering_.k), pure_ ? 1.0 : 0.0,
+               gaussian_ ? 1.0 : 0.0, max_weight_, noise_scale_,
+               static_cast<double>(num_centers_)}));
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<DistanceOracle>>
+BoundedWeightOracle::FromReleasedState(
+    const Graph& graph, const EdgeWeights& w,
+    std::span<const ReleasedSectionView> sections) {
+  (void)w;
+  DPSP_ASSIGN_OR_RETURN(std::span<const double> meta,
+                        released_state::Require<double>(sections, "meta", 6));
+  int k;
+  DPSP_ASSIGN_OR_RETURN(k, released_state::AsInt(meta[0], "covering radius"));
+  int pure;
+  DPSP_ASSIGN_OR_RETURN(pure, released_state::AsInt(meta[1], "pure flag"));
+  int gaussian;
+  DPSP_ASSIGN_OR_RETURN(gaussian,
+                        released_state::AsInt(meta[2], "gaussian flag"));
+  int num_centers;
+  DPSP_ASSIGN_OR_RETURN(num_centers,
+                        released_state::AsInt(meta[5], "center count"));
+  if ((pure != 0 && pure != 1) || (gaussian != 0 && gaussian != 1)) {
+    return Status::InvalidArgument("snapshot noise flags must be 0 or 1");
+  }
+  if (k < 0 || num_centers <= 0 ||
+      num_centers > graph.num_vertices()) {
+    return Status::InvalidArgument(
+        "snapshot covering shape is inconsistent with the graph");
+  }
+  const size_t z = static_cast<size_t>(num_centers);
+  DPSP_ASSIGN_OR_RETURN(
+      std::span<const double> table,
+      released_state::Require<double>(sections, "zz-table",
+                                      static_cast<long>(z * z)));
+  DPSP_ASSIGN_OR_RETURN(
+      std::span<const VertexId> centers,
+      released_state::Require<VertexId>(sections, "centers",
+                                        static_cast<long>(z)));
+  DPSP_ASSIGN_OR_RETURN(
+      std::span<const int> assignment,
+      released_state::Require<int>(sections, "assignment",
+                                   graph.num_vertices()));
+  DPSP_ASSIGN_OR_RETURN(
+      std::span<const int> hops,
+      released_state::Require<int>(sections, "assignment-hops",
+                                   graph.num_vertices()));
+
+  auto oracle = std::unique_ptr<BoundedWeightOracle>(new BoundedWeightOracle());
+  oracle->covering_.k = k;
+  oracle->covering_.centers.assign(centers.begin(), centers.end());
+  oracle->covering_.assignment.assign(assignment.begin(), assignment.end());
+  oracle->covering_.assignment_hops.assign(hops.begin(), hops.end());
+  // The covering property and assignment consistency are re-proved against
+  // the public graph — a snapshot from a different graph is rejected here.
+  DPSP_RETURN_IF_ERROR(ValidateCovering(graph, oracle->covering_));
+  oracle->pure_ = pure == 1;
+  oracle->gaussian_ = gaussian == 1;
+  oracle->max_weight_ = meta[3];
+  oracle->noise_scale_ = meta[4];
+  oracle->num_centers_ = num_centers;
+  oracle->noisy_.assign(table.begin(), table.end());
+  return std::unique_ptr<DistanceOracle>(std::move(oracle));
 }
 
 double BoundedWeightOracle::ErrorBound(double gamma) const {

@@ -111,6 +111,19 @@ class BoundedWeightOracle final : public DistanceOracle {
   /// Laplace tail over the Z^2 released values.
   double ErrorBound(double gamma) const;
 
+  /// Persists the released Z x Z noisy table plus the covering (centers,
+  /// assignment, hop distances) and calibration. The covering is part of
+  /// the released object — Algorithm 2 publishes it with the table — so
+  /// persisting it verbatim is exact and costs no budget.
+  Status SaveReleasedState(std::vector<ReleasedSection>* out) const override;
+
+  /// OracleLoader counterpart (shared by the Laplace and Gaussian registry
+  /// entries — the `gaussian` flag travels in the metadata): revalidates
+  /// the covering against the public graph and installs the table.
+  static Result<std::unique_ptr<DistanceOracle>> FromReleasedState(
+      const Graph& graph, const EdgeWeights& w,
+      std::span<const ReleasedSectionView> sections);
+
  private:
   BoundedWeightOracle() = default;
 

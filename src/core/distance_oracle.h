@@ -8,9 +8,11 @@
 #ifndef DPSP_CORE_DISTANCE_ORACLE_H_
 #define DPSP_CORE_DISTANCE_ORACLE_H_
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -44,6 +46,23 @@ struct ReleasedBuffer {
 struct EdgeWeightDelta {
   EdgeId edge = 0;
   double new_weight = 0.0;
+};
+
+/// One owning labeled byte section of an oracle's released state — the
+/// unit the src/store snapshot format persists. Released state is post-DP
+/// output: it may be copied and stored in plaintext. Raw private values
+/// (e.g. the retained value vectors the incremental-update machinery
+/// keeps) must NEVER appear in a section.
+struct ReleasedSection {
+  std::string label;
+  std::vector<uint8_t> bytes;
+};
+
+/// A non-owning view of a section, as handed to restore factories by the
+/// snapshot reader (zero-copy views into the mapped file).
+struct ReleasedSectionView {
+  std::string_view label;
+  std::span<const uint8_t> bytes;
 };
 
 /// A released all-pairs distance estimator. Queries are post-processing of
@@ -87,6 +106,17 @@ class DistanceOracle {
   /// re-query after updates.
   virtual void AppendReleasedBuffers(std::vector<ReleasedBuffer>* out) const {
     (void)out;
+  }
+
+  /// Appends this oracle's complete released state as owning labeled
+  /// sections — everything a same-mechanism restore factory needs, given
+  /// the public topology and the workload weights, to reconstruct an
+  /// oracle whose queries are bit-identical to this one. Mechanisms that
+  /// have not opted into persistence return Unimplemented and the caller
+  /// skips them (never an error path for serving).
+  virtual Status SaveReleasedState(std::vector<ReleasedSection>* out) const {
+    (void)out;
+    return Status::Unimplemented(Name() + " does not persist released state");
   }
 
   /// The incremental-update capability, or nullptr for build-once

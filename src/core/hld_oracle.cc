@@ -7,6 +7,7 @@
 
 #include "common/cpu.h"
 #include "common/table.h"
+#include "core/released_state.h"
 #include "core/simd_kernels.h"
 #include "dp/laplace_mechanism.h"
 
@@ -355,6 +356,124 @@ void HldTreeOracle::AppendReleasedBuffers(
          static_cast<size_t>(view.level_offset[view.num_levels]) *
              sizeof(double)});
   }
+}
+
+Status HldTreeOracle::SaveReleasedState(
+    std::vector<ReleasedSection>* out) const {
+  // Every noisy value of the release: the per-chain dyadic blocks
+  // (concatenated in chain order, with per-chain counts so restore can
+  // slice them back), and the light-edge scalars. Everything else —
+  // chains, LCA, membership, ascent caches — is deterministic
+  // post-processing of the public topology and the blocks.
+  std::vector<double> blocks;
+  std::vector<double> counts;
+  counts.reserve(chains_.size());
+  for (const NoisyDyadicRangeSums& chain : chains_) {
+    NoisyDyadicRangeSums::FlatView view = chain.Flat();
+    const size_t count =
+        view.num_levels == 0
+            ? 0
+            : static_cast<size_t>(view.level_offset[view.num_levels]);
+    counts.push_back(static_cast<double>(count));
+    blocks.insert(blocks.end(), view.blocks, view.blocks + count);
+  }
+  out->push_back(released_state::Pack<double>(
+      "chain-blocks", std::span<const double>(blocks)));
+  out->push_back(released_state::Pack<double>(
+      "chain-block-counts", std::span<const double>(counts)));
+  out->push_back(released_state::Pack<double>(
+      "light-noisy",
+      std::span<const double>(light_noisy_.data(), light_noisy_.size())));
+  out->push_back(released_state::PackScalars(
+      "meta", {static_cast<double>(chain_head_[0]), noise_scale_,
+               static_cast<double>(sensitivity_),
+               static_cast<double>(num_noisy_values_), release_epsilon_}));
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<DistanceOracle>> HldTreeOracle::FromReleasedState(
+    const Graph& graph, const EdgeWeights& w,
+    std::span<const ReleasedSectionView> sections) {
+  DPSP_ASSIGN_OR_RETURN(std::span<const double> meta,
+                        released_state::Require<double>(sections, "meta", 5));
+  VertexId root;
+  DPSP_ASSIGN_OR_RETURN(root, released_state::AsInt(meta[0], "hld root"));
+  if (root < 0 || root >= graph.num_vertices()) {
+    return Status::InvalidArgument("snapshot hld root is out of range");
+  }
+  const double noise_scale = meta[1];
+  int sensitivity;
+  DPSP_ASSIGN_OR_RETURN(sensitivity,
+                        released_state::AsInt(meta[2], "hld sensitivity"));
+  int num_noisy_values;
+  DPSP_ASSIGN_OR_RETURN(num_noisy_values,
+                        released_state::AsInt(meta[3], "hld noise draws"));
+  const double release_epsilon = meta[4];
+  if (!(release_epsilon > 0.0)) {
+    return Status::InvalidArgument("snapshot hld release epsilon must be > 0");
+  }
+
+  // Rebuild the deterministic skeleton (chains, LCA, membership) with a
+  // throwaway noise stream, then overwrite every noisy value with the
+  // persisted image. The decomposition depends only on the public
+  // topology, never on the noise, so this is exact.
+  Rng scratch_rng(0);
+  PrivacyParams scratch_params;
+  scratch_params.epsilon = release_epsilon;
+  DPSP_ASSIGN_OR_RETURN(
+      std::unique_ptr<HldTreeOracle> oracle,
+      Build(graph, w, scratch_params, &scratch_rng, root));
+
+  const size_t num_chains = oracle->chains_.size();
+  DPSP_ASSIGN_OR_RETURN(
+      std::span<const double> counts,
+      released_state::Require<double>(sections, "chain-block-counts",
+                                      static_cast<long>(num_chains)));
+  DPSP_ASSIGN_OR_RETURN(
+      std::span<const double> light,
+      released_state::Require<double>(sections, "light-noisy",
+                                      static_cast<long>(num_chains)));
+  DPSP_ASSIGN_OR_RETURN(std::span<const double> blocks,
+                        released_state::Require<double>(sections,
+                                                        "chain-blocks"));
+
+  size_t offset = 0;
+  for (size_t c = 0; c < num_chains; ++c) {
+    int count;
+    DPSP_ASSIGN_OR_RETURN(
+        count, released_state::AsInt(counts[c], "chain block count"));
+    NoisyDyadicRangeSums& chain = oracle->chains_[c];
+    NoisyDyadicRangeSums::FlatView view = chain.Flat();
+    const size_t expected =
+        view.num_levels == 0
+            ? 0
+            : static_cast<size_t>(view.level_offset[view.num_levels]);
+    if (count < 0 || static_cast<size_t>(count) != expected) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot chain %zu has %d blocks, the graph implies %zu", c,
+          count, expected));
+    }
+    if (offset + expected > blocks.size()) {
+      return Status::InvalidArgument(
+          "snapshot chain-blocks section is shorter than its counts imply");
+    }
+    DPSP_RETURN_IF_ERROR(
+        chain.RestoreBlocks(blocks.subspan(offset, expected)));
+    offset += expected;
+  }
+  if (offset != blocks.size()) {
+    return Status::InvalidArgument(
+        "snapshot chain-blocks section is longer than its counts imply");
+  }
+  std::copy(light.begin(), light.end(), oracle->light_noisy_.begin());
+  oracle->noise_scale_ = noise_scale;
+  oracle->sensitivity_ = sensitivity;
+  oracle->num_noisy_values_ = num_noisy_values;
+  oracle->release_epsilon_ = release_epsilon;
+  for (size_t c = 0; c < num_chains; ++c) {
+    oracle->RecomputeAscentCosts(static_cast<int>(c));
+  }
+  return std::unique_ptr<DistanceOracle>(std::move(oracle));
 }
 
 Result<double> HldTreeOracle::Distance(VertexId u, VertexId v) const {

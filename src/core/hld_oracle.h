@@ -100,6 +100,25 @@ class HldTreeOracle final : public UpdatableDistanceOracle {
   static double ErrorBound(int num_vertices, const PrivacyParams& params,
                            double gamma);
 
+  /// Persists the released noisy state: every chain's dyadic blocks
+  /// (concatenated, with per-chain counts), the light-edge scalars, and
+  /// the release calibration. The decomposition itself (chains, LCA,
+  /// membership) is deterministic post-processing of the public topology
+  /// and is rebuilt at restore.
+  Status SaveReleasedState(std::vector<ReleasedSection>* out) const override;
+
+  /// OracleLoader counterpart: rebuilds the deterministic skeleton from
+  /// the public tree, then overwrites every noisy value with the
+  /// persisted image and recomputes the ascent caches. Queries are
+  /// bit-identical to the saved instance. Post-restart update epochs
+  /// recompute dirty block sums from the CURRENT workload weights — if
+  /// updates had drifted the weights before the snapshot, the first
+  /// post-restart epoch re-bases those sums (documented warm-restart
+  /// semantic; privacy is unaffected).
+  static Result<std::unique_ptr<DistanceOracle>> FromReleasedState(
+      const Graph& graph, const EdgeWeights& w,
+      std::span<const ReleasedSectionView> sections);
+
  private:
   HldTreeOracle() = default;
 

@@ -37,7 +37,8 @@ void RegisterBuiltins(OracleRegistry& registry) {
         LossKind::kPure, /*updatable=*/false,
         [](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
           return MakeExactOracle(g, w, ctx);
-        }});
+        },
+        RestoreExactOracle});
   must({kPerPairLaplaceOracleName,
         "Section 4 baseline: Laplace noise per pair, basic/advanced "
         "composition",
@@ -45,54 +46,62 @@ void RegisterBuiltins(OracleRegistry& registry) {
         /*updatable=*/false,
         [](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
           return MakePerPairLaplaceOracle(g, w, ctx);
-        }});
+        },
+        RestorePerPairLaplaceOracle});
   must({kSyntheticGraphOracleName,
         "Section 4 baseline: release noisy weights, answer by Dijkstra",
         OracleInput::kAnyConnected, true, LossKind::kPure,
         /*updatable=*/false,
         [](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
           return MakeSyntheticGraphOracle(g, w, ctx);
-        }});
+        },
+        RestoreSyntheticGraphOracle});
   must({TreeAllPairsOracle::kName,
         "Theorem 4.2: balanced-separator recursion + LCA combination",
         OracleInput::kTree, true, LossKind::kPure, /*updatable=*/false,
         Erase([](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
           return TreeAllPairsOracle::Build(g, w, ctx);
-        })});
+        }),
+        TreeAllPairsOracle::FromReleasedState});
   must({HldTreeOracle::kName,
         "heavy-light chains over the Appendix-A dyadic structure; "
         "supports incremental weight-update epochs",
         OracleInput::kTree, true, LossKind::kPure, /*updatable=*/true,
         Erase([](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
           return HldTreeOracle::Build(g, w, ctx);
-        })});
+        }),
+        HldTreeOracle::FromReleasedState});
   must({PathGraphOracle::kName,
         "Theorem A.1: binary hub hierarchy on the path graph",
         OracleInput::kPath, true, LossKind::kPure, /*updatable=*/false,
         Erase([](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
           return PathGraphOracle::Build(g, w, ctx);
-        })});
+        }),
+        PathGraphOracle::FromReleasedState});
   must({BoundedWeightOracle::kName,
         "Algorithm 2: noisy distances between covering centers",
         OracleInput::kAnyConnected, true, LossKind::kPure,
         /*updatable=*/false,
         Erase([](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
           return BoundedWeightOracle::Build(g, w, ctx);
-        })});
+        }),
+        BoundedWeightOracle::FromReleasedState});
   must({MstDistanceOracle::kName,
         "Theorem B.3 release: distances within the released spanning tree",
         OracleInput::kAnyConnected, true, LossKind::kPure,
         /*updatable=*/false,
         Erase([](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
           return MstDistanceOracle::Build(g, w, ctx);
-        })});
+        }),
+        MstDistanceOracle::FromReleasedState});
   must({MatchingDistanceOracle::kName,
         "Theorem B.6 release: matching + distances on the noisy graph",
         OracleInput::kPerfectMatching, true, LossKind::kPure,
         /*updatable=*/false,
         Erase([](const Graph& g, const EdgeWeights& w, ReleaseContext& ctx) {
           return MatchingDistanceOracle::Build(g, w, ctx);
-        })});
+        }),
+        MatchingDistanceOracle::FromReleasedState});
   must({BoundedWeightOracle::kGaussianName,
         "Algorithm 2 ablation: Gaussian noise between covering centers, "
         "metered at its natural zCDP rate",
@@ -102,7 +111,10 @@ void RegisterBuiltins(OracleRegistry& registry) {
           BoundedWeightOptions options;
           options.noise = BoundedWeightOptions::NoiseKind::kGaussian;
           return BoundedWeightOracle::Build(g, w, ctx, options);
-        })});
+        }),
+        // Shared with the Laplace entry: the gaussian flag travels in the
+        // snapshot metadata and reconstructs the right Name().
+        BoundedWeightOracle::FromReleasedState});
 }
 
 }  // namespace
@@ -153,6 +165,20 @@ Result<std::unique_ptr<DistanceOracle>> OracleRegistry::Create(
     return Status::NotFound("no oracle registered under '" + name + "'");
   }
   return spec->factory(graph, w, ctx);
+}
+
+Result<std::unique_ptr<DistanceOracle>> OracleRegistry::Restore(
+    const std::string& name, const Graph& graph, const EdgeWeights& w,
+    std::span<const ReleasedSectionView> sections) const {
+  const OracleSpec* spec = Find(name);
+  if (spec == nullptr) {
+    return Status::NotFound("no oracle registered under '" + name + "'");
+  }
+  if (spec->loader == nullptr) {
+    return Status::Unimplemented("oracle '" + name +
+                                 "' has no snapshot loader");
+  }
+  return spec->loader(graph, w, sections);
 }
 
 const OracleSpec* OracleRegistry::Find(const std::string& name) const {

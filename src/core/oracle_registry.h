@@ -44,6 +44,16 @@ const char* OracleInputName(OracleInput input);
 using OracleFactory = std::function<Result<std::unique_ptr<DistanceOracle>>(
     const Graph& graph, const EdgeWeights& w, ReleaseContext& ctx)>;
 
+/// Rebuilds a released oracle from persisted released-state sections (the
+/// output of DistanceOracle::SaveReleasedState, round-tripped through the
+/// src/store snapshot format). Restoring is pure post-processing of
+/// already-released data: it takes no ReleaseContext, draws no noise, and
+/// consumes no budget. The restored oracle answers queries bit-identically
+/// to the saved instance.
+using OracleLoader = std::function<Result<std::unique_ptr<DistanceOracle>>(
+    const Graph& graph, const EdgeWeights& w,
+    std::span<const ReleasedSectionView> sections)>;
+
 /// One registered mechanism.
 struct OracleSpec {
   /// Unique registry key; also the oracle's Name() prefix.
@@ -66,6 +76,9 @@ struct OracleSpec {
   /// for a release of this mechanism.
   bool updatable = false;
   OracleFactory factory;
+  /// Snapshot-restore factory, or null for mechanisms that have not opted
+  /// into persistence. All builtins register one.
+  OracleLoader loader;
 };
 
 /// Name -> factory map over every distance-release mechanism.
@@ -86,6 +99,13 @@ class OracleRegistry {
                                                  const Graph& graph,
                                                  const EdgeWeights& w,
                                                  ReleaseContext& ctx) const;
+
+  /// Restores the named oracle from persisted released-state sections
+  /// (no budget consumed; see OracleLoader). Fails with NotFound for an
+  /// unknown name and Unimplemented for a mechanism without a loader.
+  Result<std::unique_ptr<DistanceOracle>> Restore(
+      const std::string& name, const Graph& graph, const EdgeWeights& w,
+      std::span<const ReleasedSectionView> sections) const;
 
   /// The spec registered under `name`, or nullptr.
   const OracleSpec* Find(const std::string& name) const;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/table.h"
+#include "core/released_state.h"
 #include "dp/laplace_mechanism.h"
 
 namespace dpsp {
@@ -99,6 +100,103 @@ Result<std::unique_ptr<PathGraphOracle>> PathGraphOracle::Build(
         t.noise_scale = oracle.noise_scale();
         t.noise_draws = oracle.num_noisy_values();
       });
+}
+
+Status PathGraphOracle::SaveReleasedState(
+    std::vector<ReleasedSection>* out) const {
+  std::vector<double> flat;
+  std::vector<double> counts;
+  counts.reserve(levels_.size());
+  for (const std::vector<double>& row : levels_) {
+    counts.push_back(static_cast<double>(row.size()));
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  out->push_back(released_state::Pack<double>(
+      "levels", std::span<const double>(flat)));
+  out->push_back(released_state::Pack<double>(
+      "level-counts", std::span<const double>(counts)));
+  out->push_back(released_state::PackScalars(
+      "meta", {static_cast<double>(branching_),
+               static_cast<double>(num_vertices_),
+               static_cast<double>(num_edges_), noise_scale_}));
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<DistanceOracle>> PathGraphOracle::FromReleasedState(
+    const Graph& graph, const EdgeWeights& w,
+    std::span<const ReleasedSectionView> sections) {
+  (void)w;
+  DPSP_RETURN_IF_ERROR(ValidatePathShape(graph));
+  DPSP_ASSIGN_OR_RETURN(std::span<const double> meta,
+                        released_state::Require<double>(sections, "meta", 4));
+  int branching;
+  DPSP_ASSIGN_OR_RETURN(branching,
+                        released_state::AsInt(meta[0], "branching factor"));
+  int num_vertices;
+  DPSP_ASSIGN_OR_RETURN(num_vertices,
+                        released_state::AsInt(meta[1], "vertex count"));
+  int num_edges;
+  DPSP_ASSIGN_OR_RETURN(num_edges,
+                        released_state::AsInt(meta[2], "edge count"));
+  if (branching < 2) {
+    return Status::InvalidArgument("snapshot branching factor must be >= 2");
+  }
+  if (num_vertices != graph.num_vertices() ||
+      num_edges != graph.num_edges()) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot path has %d vertices / %d edges, the graph has %d / %d",
+        num_vertices, num_edges, graph.num_vertices(), graph.num_edges()));
+  }
+
+  auto oracle = std::unique_ptr<PathGraphOracle>(new PathGraphOracle());
+  oracle->branching_ = branching;
+  oracle->num_vertices_ = num_vertices;
+  oracle->num_edges_ = num_edges;
+  oracle->noise_scale_ = meta[3];
+  const int m = num_edges;
+  if (m == 0) return std::unique_ptr<DistanceOracle>(std::move(oracle));
+
+  // Rebuild the deterministic width table, then slice the persisted rows
+  // against the block counts it implies.
+  oracle->widths_.push_back(1);
+  while (oracle->widths_.back() < m) {
+    oracle->widths_.push_back(oracle->widths_.back() * branching);
+  }
+  const size_t num_levels = oracle->widths_.size();
+  DPSP_ASSIGN_OR_RETURN(
+      std::span<const double> counts,
+      released_state::Require<double>(sections, "level-counts",
+                                      static_cast<long>(num_levels)));
+  DPSP_ASSIGN_OR_RETURN(
+      std::span<const double> flat,
+      released_state::Require<double>(sections, "levels"));
+  size_t offset = 0;
+  oracle->levels_.resize(num_levels);
+  for (size_t l = 0; l < num_levels; ++l) {
+    int64_t width = oracle->widths_[l];
+    size_t expected = static_cast<size_t>((m + width - 1) / width);
+    int count;
+    DPSP_ASSIGN_OR_RETURN(count,
+                          released_state::AsInt(counts[l], "level count"));
+    if (count < 0 || static_cast<size_t>(count) != expected) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot level %zu has %d blocks, the path implies %zu", l, count,
+          expected));
+    }
+    if (offset + expected > flat.size()) {
+      return Status::InvalidArgument(
+          "snapshot levels section is shorter than its counts imply");
+    }
+    oracle->levels_[l].assign(flat.begin() + static_cast<long>(offset),
+                              flat.begin() + static_cast<long>(offset) +
+                                  static_cast<long>(expected));
+    offset += expected;
+  }
+  if (offset != flat.size()) {
+    return Status::InvalidArgument(
+        "snapshot levels section is longer than its counts imply");
+  }
+  return std::unique_ptr<DistanceOracle>(std::move(oracle));
 }
 
 int PathGraphOracle::num_noisy_values() const {

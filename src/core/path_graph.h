@@ -72,6 +72,18 @@ class PathGraphOracle final : public DistanceOracle {
 
   int branching() const { return branching_; }
 
+  /// Persists the released hierarchy: every level's noisy block sums
+  /// (flattened, with per-level counts) plus the build parameters. The
+  /// level widths are branching^l, rebuilt at restore.
+  Status SaveReleasedState(std::vector<ReleasedSection>* out) const override;
+
+  /// OracleLoader counterpart: validates the path shape, rebuilds the
+  /// width table, and installs the persisted noisy levels. Bit-identical
+  /// queries, no budget consumed.
+  static Result<std::unique_ptr<DistanceOracle>> FromReleasedState(
+      const Graph& graph, const EdgeWeights& w,
+      std::span<const ReleasedSectionView> sections);
+
  private:
   PathGraphOracle() = default;
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/table.h"
+#include "core/released_state.h"
 #include "dp/laplace_mechanism.h"
 #include "graph/all_pairs.h"
 
@@ -52,6 +53,43 @@ Result<std::unique_ptr<MatchingDistanceOracle>> MatchingDistanceOracle::Build(
         t.noise_scale = oracle.released().noise_scale;
         t.noise_draws = graph.num_edges();
       });
+}
+
+Status MatchingDistanceOracle::SaveReleasedState(
+    std::vector<ReleasedSection>* out) const {
+  out->push_back(released_state::Pack<double>(
+      "noisy-weights", std::span<const double>(released_.noisy_weights)));
+  out->push_back(
+      released_state::PackScalars("meta", {released_.noise_scale}));
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<DistanceOracle>>
+MatchingDistanceOracle::FromReleasedState(
+    const Graph& graph, const EdgeWeights& w,
+    std::span<const ReleasedSectionView> sections) {
+  (void)w;
+  DPSP_ASSIGN_OR_RETURN(std::span<const double> meta,
+                        released_state::Require<double>(sections, "meta", 1));
+  DPSP_ASSIGN_OR_RETURN(
+      std::span<const double> noisy,
+      released_state::Require<double>(sections, "noisy-weights",
+                                      graph.num_edges()));
+  PrivateMatchingResult released;
+  released.noisy_weights.assign(noisy.begin(), noisy.end());
+  released.noise_scale = meta[0];
+  // The matching and the distance matrix are deterministic post-processing
+  // of the released noisy weights — replaying them reproduces the saved
+  // instance exactly (same solver, same weights, same tie-breaks).
+  DPSP_ASSIGN_OR_RETURN(
+      released.matching,
+      MinWeightPerfectMatching(graph, released.noisy_weights));
+  EdgeWeights clamped = released.noisy_weights;
+  for (double& x : clamped) x = std::max(0.0, x);
+  DPSP_ASSIGN_OR_RETURN(DistanceMatrix distances,
+                        AllPairsDijkstra(graph, clamped));
+  return std::unique_ptr<DistanceOracle>(new MatchingDistanceOracle(
+      std::move(released), std::move(distances)));
 }
 
 Result<double> MatchingDistanceOracle::Distance(VertexId u, VertexId v) const {

@@ -74,6 +74,18 @@ class MatchingDistanceOracle final : public DistanceOracle {
   /// The underlying release (matching + noisy weights).
   const PrivateMatchingResult& released() const { return released_; }
 
+  /// Persists the release: the noisy weight function and its scale. The
+  /// matching and the distance matrix are deterministic post-processing of
+  /// the noisy weights and are recomputed at restore.
+  Status SaveReleasedState(std::vector<ReleasedSection>* out) const override;
+
+  /// OracleLoader counterpart: replays the deterministic post-processing
+  /// (matching solver + clamped all-pairs Dijkstra) over the persisted
+  /// noisy weights. Bit-identical queries, no budget consumed.
+  static Result<std::unique_ptr<DistanceOracle>> FromReleasedState(
+      const Graph& graph, const EdgeWeights& w,
+      std::span<const ReleasedSectionView> sections);
+
  private:
   MatchingDistanceOracle(PrivateMatchingResult released,
                          DistanceMatrix distances);

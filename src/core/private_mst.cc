@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/table.h"
+#include "core/released_state.h"
 #include "dp/laplace_mechanism.h"
 #include "graph/spanning_tree.h"
 
@@ -62,6 +63,63 @@ Result<std::unique_ptr<MstDistanceOracle>> MstDistanceOracle::Build(
         t.noise_scale = oracle.released().noise_scale;
         t.noise_draws = graph.num_edges();
       });
+}
+
+Status MstDistanceOracle::SaveReleasedState(
+    std::vector<ReleasedSection>* out) const {
+  out->push_back(released_state::Pack<EdgeId>(
+      "tree-edges", std::span<const EdgeId>(released_.tree_edges)));
+  out->push_back(released_state::Pack<double>(
+      "noisy-weights", std::span<const double>(released_.noisy_weights)));
+  out->push_back(
+      released_state::PackScalars("meta", {released_.noise_scale}));
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<DistanceOracle>> MstDistanceOracle::FromReleasedState(
+    const Graph& graph, const EdgeWeights& w,
+    std::span<const ReleasedSectionView> sections) {
+  (void)w;
+  DPSP_ASSIGN_OR_RETURN(std::span<const double> meta,
+                        released_state::Require<double>(sections, "meta", 1));
+  DPSP_ASSIGN_OR_RETURN(
+      std::span<const EdgeId> tree_edges,
+      released_state::Require<EdgeId>(sections, "tree-edges",
+                                      graph.num_vertices() - 1));
+  DPSP_ASSIGN_OR_RETURN(
+      std::span<const double> noisy,
+      released_state::Require<double>(sections, "noisy-weights",
+                                      graph.num_edges()));
+  PrivateMstResult released;
+  released.tree_edges.assign(tree_edges.begin(), tree_edges.end());
+  released.noisy_weights.assign(noisy.begin(), noisy.end());
+  released.noise_scale = meta[0];
+
+  // Replay the deterministic post-processing of Build: re-index the
+  // released tree as its own graph and compute root distances under the
+  // released noisy weights. Graph::Create + RootedTree::FromGraph reject
+  // edge ids or edge sets that do not form a spanning tree of the public
+  // graph.
+  std::vector<EdgeEndpoints> endpoints;
+  EdgeWeights tree_weights;
+  endpoints.reserve(released.tree_edges.size());
+  tree_weights.reserve(released.tree_edges.size());
+  for (EdgeId e : released.tree_edges) {
+    if (e < 0 || e >= graph.num_edges()) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot tree edge %d is out of range", e));
+    }
+    endpoints.push_back(graph.edge(e));
+    tree_weights.push_back(released.noisy_weights[static_cast<size_t>(e)]);
+  }
+  DPSP_ASSIGN_OR_RETURN(
+      Graph tree_graph,
+      Graph::Create(graph.num_vertices(), std::move(endpoints)));
+  DPSP_ASSIGN_OR_RETURN(RootedTree tree,
+                        RootedTree::FromGraph(tree_graph, 0));
+  std::vector<double> root_dist = tree.RootDistances(tree_weights);
+  return std::unique_ptr<DistanceOracle>(new MstDistanceOracle(
+      std::move(released), std::move(tree), std::move(root_dist)));
 }
 
 Result<double> MstDistanceOracle::Distance(VertexId u, VertexId v) const {

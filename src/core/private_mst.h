@@ -82,6 +82,18 @@ class MstDistanceOracle final : public DistanceOracle {
   /// The underlying release (tree edges + noisy weights).
   const PrivateMstResult& released() const { return released_; }
 
+  /// Persists the release verbatim: the tree edge ids, the full noisy
+  /// weight function (itself eps-DP and publishable), and the noise
+  /// scale. The rooted tree and root distances are deterministic
+  /// post-processing, rebuilt at restore.
+  Status SaveReleasedState(std::vector<ReleasedSection>* out) const override;
+
+  /// OracleLoader counterpart: revalidates the released tree against the
+  /// public graph and replays the deterministic post-processing.
+  static Result<std::unique_ptr<DistanceOracle>> FromReleasedState(
+      const Graph& graph, const EdgeWeights& w,
+      std::span<const ReleasedSectionView> sections);
+
  private:
   MstDistanceOracle(PrivateMstResult released, RootedTree tree,
                     std::vector<double> root_dist);

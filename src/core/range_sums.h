@@ -23,6 +23,7 @@
 #ifndef DPSP_CORE_RANGE_SUMS_H_
 #define DPSP_CORE_RANGE_SUMS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <utility>
@@ -107,6 +108,21 @@ class NoisyDyadicRangeSums {
   /// the per-block privacy planning pass, with no mutation. Duplicates
   /// are deduplicated; indices must lie in [0, size()).
   int DirtyBlockCount(std::span<const int> indices) const;
+
+  /// Overwrites the released noisy block sums with a persisted image (a
+  /// snapshot of another same-shape structure's Flat() blocks). The
+  /// private value vector is untouched: a later update epoch recomputes
+  /// dirty block sums from the holder's current values, which is the
+  /// documented warm-restart semantic. Fails unless the image holds
+  /// exactly num_blocks() values.
+  Status RestoreBlocks(std::span<const double> blocks) {
+    if (blocks.size() != blocks_.size()) {
+      return Status::InvalidArgument(
+          "dyadic block image does not match the structure's block count");
+    }
+    std::copy(blocks.begin(), blocks.end(), blocks_.begin());
+    return Status::Ok();
+  }
 
   /// How many dyadic levels a vector of `size` values needs.
   static int LevelsForSize(int size);

@@ -4,6 +4,7 @@
 
 #include "common/cpu.h"
 #include "common/table.h"
+#include "core/released_state.h"
 #include "core/simd_kernels.h"
 #include "dp/laplace_mechanism.h"
 #include "graph/tree_partition.h"
@@ -157,6 +158,45 @@ void TreeAllPairsOracle::AppendReleasedBuffers(
   out->push_back({"lca-table", flat.table, lca_.table_bytes()});
   out->push_back({"lca-first-visit", flat.first_visit,
                   lca_.first_visit_bytes()});
+}
+
+Status TreeAllPairsOracle::SaveReleasedState(
+    std::vector<ReleasedSection>* out) const {
+  out->push_back(released_state::Pack<double>(
+      "estimates", std::span<const double>(release_.estimates.data(),
+                                           release_.estimates.size())));
+  out->push_back(released_state::PackScalars(
+      "meta", {static_cast<double>(release_.root), release_.noise_scale,
+               static_cast<double>(release_.num_noisy_values),
+               static_cast<double>(release_.sensitivity)}));
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<DistanceOracle>> TreeAllPairsOracle::FromReleasedState(
+    const Graph& graph, const EdgeWeights& w,
+    std::span<const ReleasedSectionView> sections) {
+  (void)w;
+  DPSP_ASSIGN_OR_RETURN(std::span<const double> meta,
+                        released_state::Require<double>(sections, "meta", 4));
+  TreeSingleSourceRelease release;
+  DPSP_ASSIGN_OR_RETURN(release.root,
+                        released_state::AsInt(meta[0], "tree root"));
+  release.noise_scale = meta[1];
+  DPSP_ASSIGN_OR_RETURN(release.num_noisy_values,
+                        released_state::AsInt(meta[2], "noise draw count"));
+  DPSP_ASSIGN_OR_RETURN(release.sensitivity,
+                        released_state::AsInt(meta[3], "sensitivity"));
+  if (release.root < 0 || release.root >= graph.num_vertices()) {
+    return Status::InvalidArgument("snapshot tree root is out of range");
+  }
+  DPSP_ASSIGN_OR_RETURN(std::span<const double> estimates,
+                        released_state::Require<double>(
+                            sections, "estimates", graph.num_vertices()));
+  release.estimates.assign(estimates.begin(), estimates.end());
+  DPSP_ASSIGN_OR_RETURN(RootedTree tree,
+                        RootedTree::FromGraph(graph, release.root));
+  return std::unique_ptr<DistanceOracle>(
+      new TreeAllPairsOracle(std::move(tree), std::move(release)));
 }
 
 Result<double> TreeAllPairsOracle::Distance(VertexId u, VertexId v) const {

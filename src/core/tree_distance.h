@@ -91,6 +91,18 @@ class TreeAllPairsOracle final : public DistanceOracle {
   /// plus the packed LCA structure.
   void AppendReleasedBuffers(std::vector<ReleasedBuffer>* out) const override;
 
+  /// Persists the released single-source estimates + release metadata.
+  /// The tree orientation and LCA structure are deterministic
+  /// post-processing of the public topology and are rebuilt at restore.
+  Status SaveReleasedState(std::vector<ReleasedSection>* out) const override;
+
+  /// OracleLoader counterpart of SaveReleasedState: re-orients the public
+  /// tree at the persisted root and installs the released estimates.
+  /// Bit-identical queries, no budget consumed.
+  static Result<std::unique_ptr<DistanceOracle>> FromReleasedState(
+      const Graph& graph, const EdgeWeights& w,
+      std::span<const ReleasedSectionView> sections);
+
   const TreeSingleSourceRelease& release() const { return release_; }
 
  private:

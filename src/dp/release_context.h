@@ -77,6 +77,31 @@ class ReleaseContext {
   const Accountant& accountant() const { return *accountant_; }
   AccountingPolicy policy() const { return accountant_->policy(); }
 
+  /// Write-ahead persistence for the ledger. When a hook is installed,
+  /// every charge brackets the in-memory mutation with an intent record
+  /// (before the mechanism runs — a crash mid-build replays as spent,
+  /// never resurrected) and a commit record (after the accountant
+  /// records). The dp layer stays storage-free: the hook interface is
+  /// implemented over the src/store budget WAL by the serving layer.
+  class DurabilityHook {
+   public:
+    virtual ~DurabilityHook() = default;
+    /// Durably logs that `loss` is about to be charged under `label`;
+    /// returns an opaque intent id (LSN). Failure refuses the charge
+    /// before the ledger moves.
+    virtual Result<uint64_t> LogIntent(const std::string& label,
+                                       const PrivacyLoss& loss) = 0;
+    /// Durably logs that the intent's charge landed in the ledger.
+    virtual Status LogCommit(uint64_t intent_lsn) = 0;
+  };
+
+  /// Installs (or, with nullptr, removes) the durability hook. Non-owning;
+  /// the hook must outlive every charge. Fork() children do NOT inherit
+  /// the hook — shard ledgers are logged once, at AbsorbShard time, by
+  /// the parent.
+  void SetDurabilityHook(DurabilityHook* hook) { durability_hook_ = hook; }
+  DurabilityHook* durability_hook() const { return durability_hook_; }
+
   /// The loss one release of params() costs under the Laplace-family
   /// calibration: Pure(eps) when delta == 0, Approximate otherwise.
   /// Gaussian-calibrated factories charge PrivacyLoss::GaussianFromParams
@@ -132,6 +157,11 @@ class ReleaseContext {
   /// failed builds never consume budget.
   Status CommitRelease(ReleaseTelemetry t);
 
+  /// CommitRelease against an intent already logged by the durability
+  /// hook (the MeteredBuild/MeteredUpdate path; `intent_lsn` == 0 means
+  /// "no intent yet" and a hooked context logs one here).
+  Status CommitRelease(ReleaseTelemetry t, uint64_t intent_lsn);
+
   /// The one metering protocol every factory runs: check the budget BEFORE
   /// building (an exhausted context refuses without paying construction
   /// cost or drawing noise), time the build, then atomically commit the
@@ -150,6 +180,11 @@ class ReleaseContext {
                     Builder&& build, Annotate&& annotate) -> decltype(build()) {
     WallTimer timer;
     DPSP_RETURN_IF_ERROR(CheckBudgetFor(mechanism, loss));
+    // With a durability hook: log the intent BEFORE the mechanism draws
+    // noise, so a crash mid-build recovers as spent (the build may have
+    // released output we can no longer see).
+    uint64_t intent_lsn = 0;
+    DPSP_RETURN_IF_ERROR(LogIntentIfHooked(mechanism, loss, &intent_lsn));
     auto built = build();
     if (!built.ok()) return built.status();
     ReleaseTelemetry t;
@@ -157,7 +192,7 @@ class ReleaseContext {
     t.loss = loss;
     annotate(*built.value(), t);
     t.wall_ms = timer.Ms();
-    DPSP_RETURN_IF_ERROR(CommitRelease(std::move(t)));
+    DPSP_RETURN_IF_ERROR(CommitRelease(std::move(t), intent_lsn));
     return built;
   }
 
@@ -185,13 +220,17 @@ class ReleaseContext {
                        Apply&& apply, Annotate&& annotate) {
     WallTimer timer;
     DPSP_RETURN_IF_ERROR(CheckBudgetFor(mechanism, loss));
+    // Intent goes down before apply() mutates the released structure:
+    // a crash mid-epoch recovers as spent.
+    uint64_t intent_lsn = 0;
+    DPSP_RETURN_IF_ERROR(LogIntentIfHooked(mechanism, loss, &intent_lsn));
     DPSP_RETURN_IF_ERROR(apply());
     ReleaseTelemetry t;
     t.mechanism = mechanism;
     t.loss = loss;
     annotate(t);
     t.wall_ms = timer.Ms();
-    return CommitRelease(std::move(t));
+    return CommitRelease(std::move(t), intent_lsn);
   }
 
   /// A shard-local child context for sharded build/serve pipelines: the
@@ -229,6 +268,15 @@ class ReleaseContext {
   Status CheckProspective(const std::string& label,
                           const PrivacyLoss& loss) const;
 
+  // The single charge choke point: prospective check, optional WAL
+  // intent (when none was logged yet), accountant record, WAL commit.
+  Status ChargeReleaseLogged(std::string label, PrivacyLoss loss,
+                             uint64_t intent_lsn);
+
+  // LogIntent through the hook when one is installed; no-op otherwise.
+  Status LogIntentIfHooked(const std::string& label, const PrivacyLoss& loss,
+                           uint64_t* intent_lsn);
+
   PrivacyParams params_;
   std::unique_ptr<Rng> rng_;
   std::unique_ptr<Accountant> accountant_;
@@ -236,6 +284,8 @@ class ReleaseContext {
   bool has_total_budget_ = false;
   PrivacyParams total_budget_;
   double delta_slack_ = 1e-9;
+  // Non-owning; see SetDurabilityHook.
+  DurabilityHook* durability_hook_ = nullptr;
 };
 
 }  // namespace dpsp

@@ -26,6 +26,23 @@ class DistanceMatrix {
   }
   void set(VertexId u, VertexId v, double d) { data_[Index(u, v)] = d; }
 
+  /// The flat row-major n*n storage — the serialization image the store
+  /// layer persists.
+  const std::vector<double>& data() const { return data_; }
+
+  /// Rebuilds a matrix from its flat row-major image (the persistence
+  /// inverse of data()). Fails unless data holds exactly n*n values.
+  static Result<DistanceMatrix> FromData(int n, std::vector<double> data) {
+    if (n < 0 ||
+        data.size() != static_cast<size_t>(n) * static_cast<size_t>(n)) {
+      return Status::InvalidArgument(
+          "distance matrix image does not hold n*n values");
+    }
+    DistanceMatrix matrix(n);
+    matrix.data_ = std::move(data);
+    return matrix;
+  }
+
  private:
   size_t Index(VertexId u, VertexId v) const {
     return static_cast<size_t>(u) * static_cast<size_t>(n_) +

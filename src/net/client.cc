@@ -1,5 +1,8 @@
 #include "net/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/table.h"
@@ -7,30 +10,67 @@
 namespace dpsp {
 namespace net {
 
-Result<Client> Client::Connect(const std::string& address, uint16_t port) {
+Result<Client> Client::Connect(const std::string& address, uint16_t port,
+                               ClientOptions options) {
   DPSP_ASSIGN_OR_RETURN(Socket socket, net::Connect(address, port));
-  return Client(std::move(socket));
+  return Client(std::move(socket), options);
+}
+
+Result<Frame> Client::Attempt(MessageType request_type,
+                              std::span<const uint8_t> body) {
+  DPSP_RETURN_IF_ERROR(WriteFrame(socket_, request_type, body));
+  if (options_.request_timeout_ms > 0) {
+    Status readable = socket_.WaitReadable(options_.request_timeout_ms);
+    if (!readable.ok()) {
+      // A response may still arrive later and desynchronize the framing;
+      // the connection is done. Shut it down so the server's handler
+      // unblocks too.
+      broken_ = true;
+      socket_.ShutdownBoth();
+      return readable;
+    }
+  }
+  return ReadFrame(socket_);
 }
 
 Result<Frame> Client::RoundTrip(MessageType request_type,
                                 std::span<const uint8_t> body,
                                 MessageType expected_response) {
-  DPSP_RETURN_IF_ERROR(WriteFrame(socket_, request_type, body));
-  DPSP_ASSIGN_OR_RETURN(Frame response, ReadFrame(socket_));
-  if (response.type == MessageType::kError) {
-    DPSP_ASSIGN_OR_RETURN(WireError error, DecodeError(response.body));
-    Status status = error.ToStatus();
-    last_error_ = std::move(error);
-    return status;
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "connection broken by an earlier request timeout; reconnect");
   }
-  if (response.type != expected_response) {
-    return Status::Internal(
-        StrFormat("unexpected response type %u (wanted %u)",
-                  static_cast<unsigned>(response.type),
-                  static_cast<unsigned>(expected_response)));
+  for (int attempt = 0;; ++attempt) {
+    Result<Frame> attempted = Attempt(request_type, body);
+    if (!attempted.ok()) return attempted.status();
+    Frame response = std::move(attempted).value();
+    if (response.type == MessageType::kError) {
+      DPSP_ASSIGN_OR_RETURN(WireError error, DecodeError(response.body));
+      Status status = error.ToStatus();
+      bool retryable = error.kind == ErrorKind::kOverloaded;
+      last_error_ = std::move(error);
+      // Only kOverloaded is safe to repeat: the server refused before
+      // doing any work. In particular kBudgetExhausted is terminal — a
+      // retry can never succeed and must surface immediately.
+      if (!retryable || attempt >= options_.max_retries) return status;
+      int backoff = options_.initial_backoff_ms;
+      for (int i = 0; i < attempt && backoff < options_.max_backoff_ms; ++i) {
+        backoff *= 2;
+      }
+      backoff = std::clamp(backoff, 0, options_.max_backoff_ms);
+      ++retries_performed_;
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      continue;
+    }
+    if (response.type != expected_response) {
+      return Status::Internal(
+          StrFormat("unexpected response type %u (wanted %u)",
+                    static_cast<unsigned>(response.type),
+                    static_cast<unsigned>(expected_response)));
+    }
+    last_error_.reset();
+    return response;
   }
-  last_error_.reset();
-  return response;
 }
 
 Result<ReleaseInfo> Client::Release(const std::string& workload,

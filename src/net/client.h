@@ -25,10 +25,34 @@
 namespace dpsp {
 namespace net {
 
+/// Per-connection reliability knobs.
+struct ClientOptions {
+  /// Per-request deadline on waiting for the response, in milliseconds;
+  /// <= 0 waits forever (the pre-deadline behavior). A timed-out request
+  /// fails with kUnavailable and BREAKS the connection — a late response
+  /// would desynchronize the framing, so the socket is shut down and
+  /// every later call fails fast with FailedPrecondition.
+  int request_timeout_ms = 0;
+
+  /// Retries for requests the server refused with ErrorKind::kOverloaded
+  /// (transient backpressure, explicitly safe to repeat). 0 disables.
+  /// Nothing else is ever retried: kBudgetExhausted can never succeed,
+  /// and a timeout/transport error leaves the request's fate unknown —
+  /// blindly re-sending a Release or UpdateWeights could double-spend
+  /// budget.
+  int max_retries = 0;
+
+  /// Capped exponential backoff between kOverloaded retries:
+  /// initial * 2^attempt, clamped to max.
+  int initial_backoff_ms = 10;
+  int max_backoff_ms = 1000;
+};
+
 class Client {
  public:
   /// Connects to a running QueryServer.
-  static Result<Client> Connect(const std::string& address, uint16_t port);
+  static Result<Client> Connect(const std::string& address, uint16_t port,
+                                ClientOptions options = {});
 
   Client(Client&&) = default;
   Client& operator=(Client&&) = default;
@@ -64,17 +88,34 @@ class Client {
   /// by the next successful round trip.
   const std::optional<WireError>& last_error() const { return last_error_; }
 
- private:
-  explicit Client(Socket socket) : socket_(std::move(socket)) {}
+  /// kOverloaded retries performed over the connection's lifetime.
+  uint64_t retries_performed() const { return retries_performed_; }
 
-  /// Sends one request frame and reads the response; an Error frame is
-  /// decoded, stashed in last_error_, and returned as its Status.
+  /// True once a request deadline expired: the stream may hold a stale
+  /// response, so the connection is unusable (reconnect to recover).
+  bool broken() const { return broken_; }
+
+ private:
+  Client(Socket socket, ClientOptions options)
+      : socket_(std::move(socket)), options_(options) {}
+
+  /// Sends one request frame and reads the response, honoring the
+  /// per-request deadline and the kOverloaded retry policy; an Error
+  /// frame is decoded, stashed in last_error_, and returned as its
+  /// Status.
   Result<Frame> RoundTrip(MessageType request_type,
                           std::span<const uint8_t> body,
                           MessageType expected_response);
 
+  /// One send + deadline-bounded receive.
+  Result<Frame> Attempt(MessageType request_type,
+                        std::span<const uint8_t> body);
+
   Socket socket_;
+  ClientOptions options_;
   std::optional<WireError> last_error_;
+  uint64_t retries_performed_ = 0;
+  bool broken_ = false;
 };
 
 }  // namespace net

@@ -365,6 +365,12 @@ std::vector<uint8_t> EncodeServerStats(const ServerStats& stats,
     w.F64(stats.remaining_epsilon);
     w.F64(stats.remaining_delta);
   }
+  // v4 recovery extension.
+  if (version >= kRecoveryProtocolVersion) {
+    w.U32(stats.warm_restart ? 1 : 0);
+    w.U32(stats.recovered_handles);
+    w.U64(stats.recovered_charges);
+  }
   return w.Take();
 }
 
@@ -386,8 +392,16 @@ Result<ServerStats> DecodeServerStats(std::span<const uint8_t> body) {
   DPSP_RETURN_IF_ERROR(r.F64(&stats.spent_delta));
   DPSP_RETURN_IF_ERROR(r.F64(&stats.remaining_epsilon));
   DPSP_RETURN_IF_ERROR(r.F64(&stats.remaining_delta));
-  DPSP_RETURN_IF_ERROR(r.ExpectEnd());
   stats.has_accounting = true;
+  // A body that ends here is a v2/v3 peer: no recovery extension.
+  if (r.remaining() == 0) return stats;
+  uint32_t warm = 0;
+  DPSP_RETURN_IF_ERROR(r.U32(&warm));
+  DPSP_RETURN_IF_ERROR(r.U32(&stats.recovered_handles));
+  DPSP_RETURN_IF_ERROR(r.U64(&stats.recovered_charges));
+  DPSP_RETURN_IF_ERROR(r.ExpectEnd());
+  stats.warm_restart = warm != 0;
+  stats.has_recovery = true;
   return stats;
 }
 

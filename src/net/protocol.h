@@ -20,7 +20,10 @@
 //                    since v2, followed by the accounting extension:
 //                    u16 policy (AccountingPolicy), f64 spent_epsilon,
 //                    f64 spent_delta, f64 remaining_epsilon,
-//                    f64 remaining_delta (+inf when no total budget)
+//                    f64 remaining_delta (+inf when no total budget);
+//                    since v4, followed by the recovery extension:
+//                    u32 warm_restart (0/1), u32 recovered_handles,
+//                    u64 recovered_charges
 //   UpdateRequest    u32 handle_id, u32 num_deltas,
 //                    num_deltas x (i32 edge, f64 new_weight)   [since v3]
 //   UpdateResponse   f64 charged_epsilon, f64 charged_delta,
@@ -31,7 +34,9 @@
 //
 // Versioning: v2 added the StatsResponse accounting extension; v3 added
 // the UpdateWeights exchange (incremental weight-update epochs against an
-// updatable release) and the kUnsupported error kind. Each bump is
+// updatable release) and the kUnsupported error kind; v4 added the
+// StatsResponse recovery extension (whether the server warm-restarted
+// from a persistence directory and what it recovered). Each bump is
 // backward compatible in both directions of a rolling upgrade where
 // servers are upgraded first:
 //   * decode: ReadFrame accepts any version in [kMinProtocolVersion,
@@ -71,11 +76,14 @@ namespace dpsp {
 namespace net {
 
 inline constexpr uint32_t kFrameMagic = 0x44505350u;  // "DPSP"
-inline constexpr uint16_t kProtocolVersion = 3;
+inline constexpr uint16_t kProtocolVersion = 4;
 /// Oldest peer version this build still decodes (v1 lacked the
-/// StatsResponse accounting extension, v2 the UpdateWeights exchange;
-/// everything else is identical).
+/// StatsResponse accounting extension, v2 the UpdateWeights exchange,
+/// v3 the StatsResponse recovery extension; everything else is
+/// identical).
 inline constexpr uint16_t kMinProtocolVersion = 1;
+/// First version whose StatsResponse carries the recovery extension.
+inline constexpr uint16_t kRecoveryProtocolVersion = 4;
 /// First version that defines the UpdateWeights exchange.
 inline constexpr uint16_t kUpdateProtocolVersion = 3;
 /// Frames above this body size are rejected before allocation: 1M pairs.
@@ -206,6 +214,20 @@ struct ServerStats {
   /// reported total is looser than what admission certifies.
   double remaining_epsilon = 0.0;
   double remaining_delta = 0.0;
+
+  /// False when decoded from a pre-v4 peer (the fields below are
+  /// defaults). Not on the wire; set by the decoder.
+  bool has_recovery = false;
+  /// True when the server recovered state from a persistence directory at
+  /// Start (ledger replayed from the WAL and/or snapshots reloaded),
+  /// false for a fresh boot — a monitoring client's recovered-vs-fresh
+  /// signal.
+  bool warm_restart = false;
+  /// Handles reloaded from snapshots at Start.
+  uint32_t recovered_handles = 0;
+  /// Budget charges replayed from the WAL at Start (intents; uncommitted
+  /// ones count — intent-without-commit is spent).
+  uint64_t recovered_charges = 0;
 };
 
 /// A decoded Error frame.

@@ -1,7 +1,16 @@
 #include "net/server.h"
 
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <utility>
+
+#include "common/table.h"
 
 namespace dpsp {
 namespace net {
@@ -100,11 +109,114 @@ Status QueryServer::Start() {
   if (running_.load()) {
     return Status::FailedPrecondition("server is already running");
   }
+  // Recover BEFORE the listener binds, so a client can never observe the
+  // pre-recovery ledger; the wal_ guard makes a Stop/Start cycle skip the
+  // replay (the ledger already holds the recovered charges).
+  if (!options_.persistence_dir.empty() && wal_ == nullptr) {
+    DPSP_RETURN_IF_ERROR(RecoverPersistentState());
+  }
   DPSP_ASSIGN_OR_RETURN(
       listener_, Listener::Bind(options_.bind_address, options_.port));
   stopping_.store(false);
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+Status QueryServer::RecoverPersistentState() {
+  const std::string& dir = options_.persistence_dir;
+  if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal(StrFormat("mkdir %s failed: %s", dir.c_str(),
+                                      strerror(errno)));
+  }
+  const std::string wal_path = dir + "/budget.wal";
+  DPSP_ASSIGN_OR_RETURN(store::WalRecovery recovery,
+                        store::ReplayBudgetWal(wal_path));
+  // Every recovered intent is spent — committed or not — so a crash
+  // mid-build can only over-count the ledger, never resurrect budget.
+  DPSP_RETURN_IF_ERROR(store::ApplyWalRecovery(recovery, context_));
+  recovered_charges_ = recovery.charges.size();
+  if (recovery.discarded_tail_bytes > 0) {
+    // Drop the torn tail before appending again: new records written
+    // after garbage bytes would read as mid-file corruption (a hard
+    // error) on the NEXT replay, not a discardable tail.
+    if (truncate(wal_path.c_str(),
+                 static_cast<off_t>(recovery.valid_bytes)) != 0) {
+      return Status::Internal(StrFormat("truncating torn WAL tail: %s",
+                                        strerror(errno)));
+    }
+  }
+
+  // Scan for handle snapshots. Stray .tmp files are dead partial writes
+  // (the atomic-rename protocol never publishes them); remove them so
+  // they cannot accumulate.
+  std::vector<std::string> snapshot_files;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::Internal(StrFormat("opendir %s failed: %s", dir.c_str(),
+                                      strerror(errno)));
+  }
+  while (dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      unlink((dir + "/" + name).c_str());
+      continue;
+    }
+    unsigned index = 0;
+    if (std::sscanf(name.c_str(), "handle-%u.snap", &index) == 1) {
+      snapshot_files.push_back(name);
+      next_snapshot_file_ = std::max(next_snapshot_file_, index + 1);
+    }
+  }
+  closedir(d);
+  // Sorted order restores handles with the ids they held before the
+  // crash (snapshot files are written densely in release order).
+  std::sort(snapshot_files.begin(), snapshot_files.end());
+
+  for (const std::string& file : snapshot_files) {
+    const std::string path = dir + "/" + file;
+    // A corrupt snapshot fails Start loudly: silently skipping it would
+    // shift every later handle id and serve smaller state than the
+    // operator believes is durable.
+    DPSP_ASSIGN_OR_RETURN(store::SnapshotReader reader,
+                          store::SnapshotReader::Open(path));
+    DPSP_ASSIGN_OR_RETURN(store::OracleSnapshotMeta meta,
+                          store::ReadOracleSnapshotMeta(reader));
+    const Workload* workload = nullptr;
+    for (const Workload& candidate : workloads_) {
+      if (candidate.name == meta.workload) workload = &candidate;
+    }
+    if (workload == nullptr) {
+      return Status::FailedPrecondition(StrFormat(
+          "snapshot %s was released over workload '%s', which is not "
+          "loaded; AddWorkload it before Start",
+          path.c_str(), meta.workload.c_str()));
+    }
+    for (const HandleEntry& handle : handles_) {
+      if (handle.name == meta.handle) {
+        return Status::FailedPrecondition(StrFormat(
+            "snapshot %s duplicates recovered handle '%s'", path.c_str(),
+            meta.handle.c_str()));
+      }
+    }
+    DPSP_ASSIGN_OR_RETURN(
+        std::unique_ptr<DistanceOracle> oracle,
+        store::LoadOracleSnapshot(reader, workload->graph,
+                                  workload->weights));
+    handles_.push_back({meta.handle, meta.mechanism, workload->name,
+                        std::shared_ptr<DistanceOracle>(std::move(oracle)),
+                        std::make_shared<std::shared_mutex>(), path});
+  }
+  recovered_handles_ = static_cast<uint32_t>(snapshot_files.size());
+  warm_restart_ = recovery.records > 0 || recovered_handles_ > 0;
+
+  // From here on, every metered charge is intent/commit-logged before the
+  // in-memory ledger moves.
+  DPSP_ASSIGN_OR_RETURN(wal_, store::BudgetWal::Open(wal_path,
+                                                     recovery.next_lsn));
+  wal_hook_ = std::make_unique<store::WalDurabilityHook>(wal_.get());
+  context_.SetDurabilityHook(wal_hook_.get());
+  RefreshBudgetSnapshot();
   return Status::Ok();
 }
 
@@ -137,6 +249,10 @@ ServerStats QueryServer::stats() const {
     std::lock_guard<std::mutex> lock(handles_mutex_);
     stats.open_handles = static_cast<uint32_t>(handles_.size());
   }
+  stats.has_recovery = true;
+  stats.warm_restart = warm_restart_;
+  stats.recovered_handles = recovered_handles_;
+  stats.recovered_charges = recovered_charges_;
   return stats;
 }
 
@@ -201,6 +317,13 @@ void QueryServer::ServeConnection(Connection* connection) {
   // equality check.
   uint16_t peer_version = kMinProtocolVersion;
   while (!stopping_.load()) {
+    if (options_.idle_timeout_ms > 0) {
+      // Idle-connection timeout: a peer that sends nothing for the
+      // window is hung up on without an error frame (it is not waiting
+      // for one), freeing the connection slot. Stop() still unblocks
+      // this wait — its shutdown makes the socket readable (EOF).
+      if (!socket.WaitReadable(options_.idle_timeout_ms).ok()) break;
+    }
     Result<Frame> frame = ReadFrame(socket);
     if (!frame.ok()) {
       // kNotFound is the peer hanging up cleanly; anything else is a
@@ -313,13 +436,43 @@ void QueryServer::HandleRelease(Socket& socket,
       info.delta = t->delta;
       info.wall_ms = t->wall_ms;
     }
+    std::shared_ptr<DistanceOracle> oracle(std::move(built).value());
+    std::string snapshot_path;
+    if (wal_ != nullptr) {
+      snapshot_path = StrFormat("%s/handle-%06u.snap",
+                                options_.persistence_dir.c_str(),
+                                next_snapshot_file_++);
+    }
     {
       std::lock_guard<std::mutex> lock(handles_mutex_);
       info.handle_id = static_cast<uint32_t>(handles_.size());
       handles_.push_back({request->handle_name, request->mechanism,
-                          std::shared_ptr<DistanceOracle>(
-                              std::move(built).value()),
-                          std::make_shared<std::shared_mutex>()});
+                          workload->name, oracle,
+                          std::make_shared<std::shared_mutex>(),
+                          snapshot_path});
+    }
+    if (!snapshot_path.empty()) {
+      store::OracleSnapshotMeta meta{request->mechanism, workload->name,
+                                     request->handle_name};
+      Status saved = store::SaveOracleSnapshot(snapshot_path, *oracle, meta);
+      if (saved.code() == StatusCode::kUnimplemented) {
+        // The mechanism has no released-state serialization: serve it,
+        // but it will not survive a restart (its budget charge, already
+        // in the WAL, will — conservative).
+        std::lock_guard<std::mutex> lock(handles_mutex_);
+        handles_.back().snapshot_path.clear();
+      } else if (!saved.ok()) {
+        // Durability was promised and could not be delivered: withdraw
+        // the handle. The budget stays spent (the intent is logged; the
+        // noise was drawn) — over-charging is safe, resurrecting is not.
+        {
+          std::lock_guard<std::mutex> lock(handles_mutex_);
+          handles_.pop_back();
+        }
+        RefreshBudgetSnapshot();
+        SendError(socket, ErrorKind::kInternal, saved, version);
+        return;
+      }
     }
     RefreshBudgetSnapshot();  // still under the ledger lock
   }
@@ -459,6 +612,23 @@ void QueryServer::HandleUpdate(Socket& socket, std::span<const uint8_t> body,
     info.remaining_epsilon = remaining.epsilon;
     info.remaining_delta = remaining.delta;
     RefreshBudgetSnapshot();  // still under the ledger lock
+    std::string snapshot_path;
+    store::OracleSnapshotMeta meta;
+    {
+      std::lock_guard<std::mutex> lock(handles_mutex_);
+      const HandleEntry& entry = handles_[request->handle_id];
+      snapshot_path = entry.snapshot_path;
+      meta = {entry.mechanism, entry.workload, entry.name};
+    }
+    if (!snapshot_path.empty()) {
+      // Rewrite under the write lock so the snapshot is a consistent
+      // post-epoch image. Failure is a durability DEGRADATION, not an
+      // update failure: the atomic-write protocol leaves the previous
+      // epoch's complete file, so a crash now recovers the pre-update
+      // oracle while the WAL still charges the epoch — conservative, and
+      // the client's update already took effect in memory.
+      (void)store::SaveOracleSnapshot(snapshot_path, *oracle, meta);
+    }
   }
   std::vector<uint8_t> response = EncodeUpdateInfo(info);
   WriteFrame(socket, MessageType::kUpdateResponse, response, version);

@@ -43,6 +43,7 @@
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "serve/batch_executor.h"
+#include "store/oracle_store.h"
 
 namespace dpsp {
 namespace net {
@@ -65,6 +66,17 @@ struct QueryServerOptions {
   uint32_t max_pairs_per_query = 1u << 20;
   /// Sharding configuration for the per-request BatchExecutor fan-out.
   BatchExecutorOptions executor;
+  /// Directory for crash-safe state (created if absent). When set, Start
+  /// replays the budget WAL into the ledger (intent-without-commit counts
+  /// as spent), reloads every oracle snapshot against its workload, and
+  /// installs the WAL hook so each further charge is durably logged
+  /// before the ledger moves; each granted release (and each applied
+  /// update epoch) is snapshotted atomically. Empty disables persistence.
+  std::string persistence_dir;
+  /// A connection that sends no frame for this long is closed, so
+  /// abandoned peers cannot pin connection slots forever. 0 disables
+  /// (the pre-timeout behavior: wait on the peer indefinitely).
+  int idle_timeout_ms = 60000;
 };
 
 /// The serving front end over one ReleaseContext ledger.
@@ -121,8 +133,13 @@ class QueryServer {
   struct HandleEntry {
     std::string name;
     std::string mechanism;
+    /// Name of the workload the oracle was released over (snapshot meta).
+    std::string workload;
     std::shared_ptr<DistanceOracle> oracle;
     std::shared_ptr<std::shared_mutex> guard;
+    /// Where this handle's snapshot lives; empty when persistence is off
+    /// (or the mechanism does not implement SaveReleasedState).
+    std::string snapshot_path;
   };
   struct Connection {
     Socket socket;
@@ -132,6 +149,13 @@ class QueryServer {
 
   void AcceptLoop();
   void ReapFinishedConnections();
+  /// Warm-restart recovery against options_.persistence_dir: replays the
+  /// budget WAL through the accountant, reloads every handle snapshot
+  /// against its named workload, removes stray .tmp files, and opens the
+  /// WAL for appending with the durability hook installed. Runs once,
+  /// before the listener binds; a corrupt snapshot or mid-file WAL damage
+  /// fails Start loudly rather than serving silently smaller state.
+  Status RecoverPersistentState();
   /// Resolves a handle id to its oracle + guard (both null when the id
   /// is unknown) — the one lookup the query and update paths share.
   void LookupHandle(uint32_t handle_id,
@@ -179,6 +203,20 @@ class QueryServer {
 
   mutable std::mutex handles_mutex_;
   std::vector<HandleEntry> handles_;
+
+  // Durability state (null / zero when persistence is off). The WAL and
+  // hook are created once by RecoverPersistentState and live until the
+  // server is destroyed — the ledger's hook pointer is non-owning, so
+  // order matters: wal_hook_ must outlive the last charge.
+  std::unique_ptr<store::BudgetWal> wal_;
+  std::unique_ptr<store::WalDurabilityHook> wal_hook_;
+  /// Next handle-%06u.snap file index: past the largest recovered index,
+  /// so a recovery with gaps never reuses a live handle's file.
+  uint32_t next_snapshot_file_ = 0;
+  // Set once during Start, read-only after (no lock needed).
+  bool warm_restart_ = false;
+  uint32_t recovered_handles_ = 0;
+  uint64_t recovered_charges_ = 0;
 
   BatchExecutor executor_;
   std::atomic<int> inflight_queries_{0};

@@ -9,6 +9,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <ctime>
 #include <utility>
 
 #include "common/table.h"
@@ -26,6 +27,32 @@ void SetNoDelay(int fd) {
   int one = 1;
   // Best-effort: a socket without TCP_NODELAY is slower, not broken.
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// poll() restarted across EINTR against a monotonic deadline: a signal
+// (SIGCHLD from a forked worker, a profiler tick) must neither fail the
+// wait nor stretch it. Returns poll()'s result with errno preserved on a
+// real failure. `timeout_ms` < 0 waits forever.
+int PollRetryEintr(pollfd* pfd, int timeout_ms) {
+  if (timeout_ms < 0) {
+    for (;;) {
+      int ready = poll(pfd, 1, -1);
+      if (ready >= 0 || errno != EINTR) return ready;
+    }
+  }
+  timespec start;
+  clock_gettime(CLOCK_MONOTONIC, &start);
+  int remaining_ms = timeout_ms;
+  for (;;) {
+    int ready = poll(pfd, 1, remaining_ms);
+    if (ready >= 0 || errno != EINTR) return ready;
+    timespec now;
+    clock_gettime(CLOCK_MONOTONIC, &now);
+    long elapsed_ms = (now.tv_sec - start.tv_sec) * 1000 +
+                      (now.tv_nsec - start.tv_nsec) / 1000000;
+    remaining_ms = timeout_ms - static_cast<int>(elapsed_ms);
+    if (remaining_ms <= 0) return 0;  // deadline passed during the signal
+  }
 }
 
 Result<sockaddr_in> ParseAddress(const std::string& address, uint16_t port) {
@@ -86,6 +113,18 @@ Status Socket::ReadAll(void* data, size_t n) {
   return Status::Ok();
 }
 
+Status Socket::WaitReadable(int timeout_ms) {
+  if (!valid()) return Status::FailedPrecondition("wait on closed socket");
+  pollfd pfd{fd_, POLLIN, 0};
+  int ready = PollRetryEintr(&pfd, timeout_ms);
+  if (ready < 0) return ErrnoStatus("poll");
+  if (ready == 0) {
+    return Status::Unavailable(
+        StrFormat("read timed out after %d ms", timeout_ms));
+  }
+  return Status::Ok();
+}
+
 void Socket::ShutdownBoth() {
   if (valid()) shutdown(fd_, SHUT_RDWR);
 }
@@ -137,11 +176,11 @@ Result<Listener> Listener::Bind(const std::string& address, uint16_t port,
 Result<Socket> Listener::Accept(int timeout_ms) {
   if (!valid()) return Status::FailedPrecondition("accept on closed listener");
   pollfd pfd{fd_, POLLIN, 0};
-  int ready = poll(&pfd, 1, timeout_ms);
-  if (ready < 0) {
-    if (errno == EINTR) return Status::Unavailable("accept interrupted");
-    return ErrnoStatus("poll");
-  }
+  // EINTR restarts the poll against the deadline instead of surfacing as
+  // a spurious kUnavailable: a server that forks workers (and so takes
+  // SIGCHLD) was previously seeing phantom "accept timed out" results.
+  int ready = PollRetryEintr(&pfd, timeout_ms);
+  if (ready < 0) return ErrnoStatus("poll");
   if (ready == 0) return Status::Unavailable("accept timed out");
   int fd = accept(fd_, nullptr, nullptr);
   if (fd < 0) return ErrnoStatus("accept");

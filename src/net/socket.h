@@ -47,6 +47,12 @@ class Socket {
   /// returns kInternal (truncated stream).
   Status ReadAll(void* data, size_t n);
 
+  /// Waits until the socket is readable (data or EOF pending, so the next
+  /// ReadAll will not block). kUnavailable on timeout. `timeout_ms` < 0
+  /// waits forever; signal interruptions restart the wait against a
+  /// monotonic deadline, they never shorten or fail it.
+  Status WaitReadable(int timeout_ms);
+
   /// Shuts down both directions without closing the fd: unblocks a peer
   /// (or another thread of this process) blocked in ReadAll.
   void ShutdownBoth();

@@ -1,0 +1,288 @@
+#include "store/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <set>
+#include <utility>
+
+#include "common/crc32c.h"
+#include "common/failpoint.h"
+#include "common/table.h"
+#include "dp/release_context.h"
+
+namespace dpsp {
+namespace store {
+namespace {
+
+constexpr uint8_t kIntentRecord = 1;
+constexpr uint8_t kCommitRecord = 2;
+// crc(4) + payload_len(4) + lsn(8) + type(1).
+constexpr size_t kRecordHeaderBytes = 17;
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(uint8_t(v >> (8 * i)));
+}
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(uint8_t(v >> (8 * i)));
+}
+void PutF64(std::vector<uint8_t>* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutU64(out, bits);
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+double GetF64(const uint8_t* p) {
+  uint64_t bits = GetU64(p);
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+Status ErrnoStatus(const char* op, const std::string& path) {
+  return Status::Internal(
+      StrFormat("%s(%s): %s", op, path.c_str(), std::strerror(errno)));
+}
+
+Status Corrupt(const std::string& path, uint64_t offset,
+               const std::string& what) {
+  return Status::InvalidArgument(StrFormat(
+      "budget WAL %s at byte %llu: %s", path.c_str(),
+      static_cast<unsigned long long>(offset), what.c_str()));
+}
+
+// Parses the payload of one checksum-verified record into `recovery`.
+Status ApplyRecord(const std::string& path, uint64_t offset, uint64_t lsn,
+                   uint8_t type, const uint8_t* payload, size_t len,
+                   WalRecovery* recovery,
+                   std::vector<size_t>* intent_index_by_order) {
+  if (type == kIntentRecord) {
+    if (len < 4) return Corrupt(path, offset, "intent payload truncated");
+    uint32_t label_len = GetU32(payload);
+    if (len != 4 + static_cast<size_t>(label_len) + 1 + 24) {
+      return Corrupt(path, offset, "intent payload length mismatch");
+    }
+    const uint8_t* rest = payload + 4 + label_len;
+    uint8_t kind = rest[0];
+    if (kind > static_cast<uint8_t>(LossKind::kZcdp)) {
+      return Corrupt(path, offset,
+                     StrFormat("unknown loss kind %u", unsigned(kind)));
+    }
+    WalCharge charge;
+    charge.label.assign(reinterpret_cast<const char*>(payload + 4), label_len);
+    charge.loss.kind = static_cast<LossKind>(kind);
+    charge.loss.epsilon = GetF64(rest + 1);
+    charge.loss.delta = GetF64(rest + 9);
+    charge.loss.rho = GetF64(rest + 17);
+    charge.committed = false;
+    charge.lsn = lsn;
+    intent_index_by_order->push_back(recovery->charges.size());
+    recovery->charges.push_back(std::move(charge));
+    return Status::Ok();
+  }
+  if (type == kCommitRecord) {
+    if (len != 8) return Corrupt(path, offset, "commit payload length mismatch");
+    uint64_t intent_lsn = GetU64(payload);
+    for (size_t i : *intent_index_by_order) {
+      WalCharge& charge = recovery->charges[i];
+      if (charge.lsn == intent_lsn) {
+        if (charge.committed) {
+          return Corrupt(path, offset,
+                         StrFormat("duplicate commit for intent LSN %llu",
+                                   static_cast<unsigned long long>(intent_lsn)));
+        }
+        charge.committed = true;
+        return Status::Ok();
+      }
+    }
+    return Corrupt(path, offset,
+                   StrFormat("commit for unknown intent LSN %llu",
+                             static_cast<unsigned long long>(intent_lsn)));
+  }
+  return Corrupt(path, offset, StrFormat("unknown record type %u",
+                                         unsigned(type)));
+}
+
+}  // namespace
+
+Result<WalRecovery> ReplayBudgetWal(const std::string& path) {
+  WalRecovery recovery;
+  int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return recovery;  // first boot
+    return ErrnoStatus("open", path);
+  }
+  std::vector<uint8_t> log;
+  {
+    struct stat st{};
+    if (fstat(fd, &st) != 0) {
+      Status status = ErrnoStatus("fstat", path);
+      close(fd);
+      return status;
+    }
+    log.resize(static_cast<size_t>(st.st_size));
+    size_t done = 0;
+    while (done < log.size()) {
+      ssize_t n = read(fd, log.data() + done, log.size() - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status status = ErrnoStatus("read", path);
+        close(fd);
+        return status;
+      }
+      if (n == 0) break;  // concurrent truncation; treat the rest as torn
+      done += static_cast<size_t>(n);
+    }
+    log.resize(done);
+  }
+  close(fd);
+
+  std::vector<size_t> intents;
+  uint64_t last_lsn = 0;
+  size_t offset = 0;
+  while (offset < log.size()) {
+    const size_t remaining = log.size() - offset;
+    // An incomplete record can only be the torn tail of a crashed append.
+    if (remaining < kRecordHeaderBytes) break;
+    const uint8_t* rec = log.data() + offset;
+    const uint32_t crc = GetU32(rec);
+    const uint32_t payload_len = GetU32(rec + 4);
+    if (remaining - kRecordHeaderBytes < payload_len) break;  // torn tail
+    const size_t body_bytes = 9 + static_cast<size_t>(payload_len);
+    if (crc != Crc32c(rec + 8, body_bytes)) {
+      // A checksum-failed FINAL record is a torn tail (the crash landed
+      // mid-payload after the length made it down). The same damage with
+      // valid records after it is corruption, not a crash artifact.
+      if (remaining == kRecordHeaderBytes + payload_len) break;
+      return Corrupt(path, offset, "record checksum mismatch mid-log");
+    }
+    const uint64_t lsn = GetU64(rec + 8);
+    const uint8_t type = rec[16];
+    if (type == kIntentRecord) {
+      if (lsn != last_lsn + 1) {
+        return Corrupt(path, offset,
+                       StrFormat("intent LSN %llu breaks the sequence "
+                                 "(expected %llu)",
+                                 static_cast<unsigned long long>(lsn),
+                                 static_cast<unsigned long long>(last_lsn + 1)));
+      }
+      last_lsn = lsn;
+    } else if (lsn <= last_lsn && type == kCommitRecord) {
+      // Commits reuse their intent's LSN; they must not run ahead.
+    } else if (type == kCommitRecord) {
+      return Corrupt(path, offset, "commit LSN runs ahead of intents");
+    }
+    DPSP_RETURN_IF_ERROR(ApplyRecord(path, offset, lsn, type, rec + 17,
+                                     payload_len, &recovery, &intents));
+    ++recovery.records;
+    offset += kRecordHeaderBytes + payload_len;
+  }
+  recovery.discarded_tail_bytes = log.size() - offset;
+  recovery.valid_bytes = offset;
+  recovery.next_lsn = last_lsn + 1;
+  return recovery;
+}
+
+Status ApplyWalRecovery(const WalRecovery& recovery, ReleaseContext& ctx) {
+  for (const WalCharge& charge : recovery.charges) {
+    // Committed or not: an unresolved intent may have released output
+    // before the crash, so it is charged (never resurrected).
+    DPSP_RETURN_IF_ERROR(ctx.accountant().Record(charge.label, charge.loss));
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<BudgetWal>> BudgetWal::Open(const std::string& path,
+                                                   uint64_t next_lsn) {
+  if (next_lsn == 0) {
+    return Status::InvalidArgument("WAL LSNs start at 1");
+  }
+  int fd = open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) return ErrnoStatus("open", path);
+  return std::unique_ptr<BudgetWal>(new BudgetWal(fd, next_lsn));
+}
+
+BudgetWal::~BudgetWal() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status BudgetWal::AppendRecord(uint8_t type,
+                               const std::vector<uint8_t>& payload,
+                               uint64_t* lsn_out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint64_t lsn = type == kIntentRecord ? next_lsn_ : *lsn_out;
+  std::vector<uint8_t> record;
+  record.reserve(kRecordHeaderBytes + payload.size());
+  PutU32(&record, 0);  // crc placeholder
+  PutU32(&record, static_cast<uint32_t>(payload.size()));
+  PutU64(&record, lsn);
+  record.push_back(type);
+  record.insert(record.end(), payload.begin(), payload.end());
+  const uint32_t crc = Crc32c(record.data() + 8, record.size() - 8);
+  record[0] = uint8_t(crc);
+  record[1] = uint8_t(crc >> 8);
+  record[2] = uint8_t(crc >> 16);
+  record[3] = uint8_t(crc >> 24);
+
+  size_t done = 0;
+  while (done < record.size()) {
+    ssize_t n = write(fd_, record.data() + done, record.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(
+          StrFormat("budget WAL append: %s", std::strerror(errno)));
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (fdatasync(fd_) != 0) {
+    return Status::Internal(
+        StrFormat("budget WAL fdatasync: %s", std::strerror(errno)));
+  }
+  if (type == kIntentRecord) {
+    *lsn_out = lsn;
+    ++next_lsn_;
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> BudgetWal::AppendIntent(std::string_view label,
+                                         const PrivacyLoss& loss) {
+  DPSP_RETURN_IF_ERROR(EvalFailpoint(failpoints::kWalBeforeIntent));
+  std::vector<uint8_t> payload;
+  payload.reserve(4 + label.size() + 25);
+  PutU32(&payload, static_cast<uint32_t>(label.size()));
+  payload.insert(payload.end(), label.begin(), label.end());
+  payload.push_back(static_cast<uint8_t>(loss.kind));
+  PutF64(&payload, loss.epsilon);
+  PutF64(&payload, loss.delta);
+  PutF64(&payload, loss.rho);
+  uint64_t lsn = 0;
+  DPSP_RETURN_IF_ERROR(AppendRecord(kIntentRecord, payload, &lsn));
+  DPSP_RETURN_IF_ERROR(EvalFailpoint(failpoints::kWalAfterIntent));
+  return lsn;
+}
+
+Status BudgetWal::AppendCommit(uint64_t intent_lsn) {
+  DPSP_RETURN_IF_ERROR(EvalFailpoint(failpoints::kWalBeforeCommit));
+  std::vector<uint8_t> payload;
+  PutU64(&payload, intent_lsn);
+  uint64_t lsn = intent_lsn;
+  DPSP_RETURN_IF_ERROR(AppendRecord(kCommitRecord, payload, &lsn));
+  return EvalFailpoint(failpoints::kWalAfterCommit);
+}
+
+}  // namespace store
+}  // namespace dpsp

@@ -1,0 +1,127 @@
+// Append-only write-ahead log for the privacy-budget ledger.
+//
+// The ledger is the one piece of state that must survive a crash exactly:
+// losing it would let spent epsilon be re-spent. Every MeteredBuild /
+// MeteredUpdate charge writes two records around the in-memory ledger
+// mutation:
+//
+//   intent (before the mechanism runs): the label and the full PrivacyLoss
+//     in its natural currency (pure / approximate / zCDP);
+//   commit (after the accountant records): the intent's LSN.
+//
+// Record layout (little-endian), one per append, fdatasync'd before the
+// append returns:
+//
+//   u32 crc32c   — over everything after this field
+//   u32 payload_len
+//   u64 lsn      — strictly increasing from 1
+//   u8  type     — 1 = intent, 2 = commit
+//   payload:
+//     intent: u32 label_len, label, u8 loss_kind, f64 eps, f64 delta, f64 rho
+//     commit: u64 intent_lsn
+//
+// Recovery semantics (ReplayBudgetWal): a torn tail — an incomplete final
+// record, or a final record whose checksum fails — is discarded and
+// reported, because a crash mid-append legitimately leaves one; the same
+// damage anywhere before the tail is a typed error (bytes after it parsed,
+// so this is corruption, not a torn write). An intent without a commit is
+// treated as SPENT: the mechanism may have run and released output before
+// the crash, and double-charging is safe where resurrecting budget is not.
+// Duplicate commits, commits for unknown intents, and LSN regressions are
+// typed errors — a silently smaller ledger must be impossible.
+
+#ifndef DPSP_STORE_WAL_H_
+#define DPSP_STORE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "dp/privacy_loss.h"
+
+namespace dpsp {
+
+class ReleaseContext;
+
+namespace store {
+
+/// One recovered charge: an intent, and whether its commit made it down.
+struct WalCharge {
+  std::string label;
+  PrivacyLoss loss;
+  bool committed = false;
+  uint64_t lsn = 0;
+};
+
+/// The result of replaying a WAL file.
+struct WalRecovery {
+  std::vector<WalCharge> charges;
+  /// The LSN the next append should use (1 for an empty/missing log).
+  uint64_t next_lsn = 1;
+  /// Bytes of torn tail discarded (0 for a clean log).
+  uint64_t discarded_tail_bytes = 0;
+  /// Length of the valid record prefix. When discarded_tail_bytes > 0 the
+  /// file MUST be truncated to this length before appending again —
+  /// appending after torn bytes would turn a legitimate crash artifact
+  /// into mid-file corruption on the next replay.
+  uint64_t valid_bytes = 0;
+  /// Complete records accepted.
+  uint64_t records = 0;
+
+  uint64_t committed_count() const {
+    uint64_t n = 0;
+    for (const WalCharge& c : charges) n += c.committed ? 1 : 0;
+    return n;
+  }
+};
+
+/// Replays the WAL at `path`. A missing file is an empty recovery, not an
+/// error (first boot). See the header comment for the tail semantics.
+Result<WalRecovery> ReplayBudgetWal(const std::string& path);
+
+/// Records every recovered charge — committed or not, per the
+/// intent-is-spent rule — into the context's accountant. Bypasses budget
+/// admission deliberately: recovery must reconstruct the ledger even when
+/// it already exceeds the configured budget (future charges will then be
+/// refused, which is the conservative outcome).
+Status ApplyWalRecovery(const WalRecovery& recovery, ReleaseContext& ctx);
+
+/// The append handle. Thread-safe; every append is fdatasync'd before it
+/// returns so a reported LSN is durable.
+class BudgetWal {
+ public:
+  /// Opens (creating if absent) the log for appending, continuing at
+  /// `next_lsn` (pass WalRecovery::next_lsn after a replay).
+  static Result<std::unique_ptr<BudgetWal>> Open(const std::string& path,
+                                                 uint64_t next_lsn);
+
+  ~BudgetWal();
+  BudgetWal(const BudgetWal&) = delete;
+  BudgetWal& operator=(const BudgetWal&) = delete;
+
+  /// Appends an intent record; returns its LSN.
+  Result<uint64_t> AppendIntent(std::string_view label,
+                                const PrivacyLoss& loss);
+
+  /// Appends a commit record for a previously returned intent LSN.
+  Status AppendCommit(uint64_t intent_lsn);
+
+ private:
+  BudgetWal(int fd, uint64_t next_lsn) : fd_(fd), next_lsn_(next_lsn) {}
+
+  Status AppendRecord(uint8_t type, const std::vector<uint8_t>& payload,
+                      uint64_t* lsn_out);
+
+  std::mutex mutex_;
+  int fd_ = -1;
+  uint64_t next_lsn_ = 1;
+};
+
+}  // namespace store
+}  // namespace dpsp
+
+#endif  // DPSP_STORE_WAL_H_

@@ -1,0 +1,182 @@
+// Client reliability knobs: per-request deadlines against a stalled
+// server (timeout breaks the connection — a late response would
+// desynchronize the framing), and the kOverloaded-only retry policy
+// (backpressure is explicitly safe to repeat; budget exhaustion and
+// unknown-fate transport errors never are).
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+TEST(ClientRetryTest, StalledServerTimesOutAndBreaksTheConnection) {
+  ASSERT_OK_AND_ASSIGN(net::Listener listener,
+                       net::Listener::Bind("127.0.0.1", 0));
+  std::atomic<bool> release_server{false};
+  std::thread stalled([&listener, &release_server] {
+    Result<net::Socket> accepted = listener.Accept(/*timeout_ms=*/5000);
+    if (!accepted.ok()) return;
+    // Hold the connection open, read nothing, answer nothing.
+    while (!release_server.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  net::ClientOptions options;
+  options.request_timeout_ms = 100;
+  ASSERT_OK_AND_ASSIGN(net::Client client,
+                       net::Client::Connect("127.0.0.1", listener.port(),
+                                            options));
+  Result<net::ServerStats> stats = client.Stats();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(client.broken());
+
+  // Every later call fails fast: the stream may hold a stale response.
+  Result<net::ServerStats> after = client.Stats();
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(client.retries_performed(), 0u);  // timeouts are never retried
+
+  release_server.store(true);
+  stalled.join();
+}
+
+TEST(ClientRetryTest, OverloadedIsRetriedUntilTheServerRecovers) {
+  // A hand-rolled server: the first request is refused kOverloaded, the
+  // retry gets a real answer — the exact transient the policy exists for.
+  ASSERT_OK_AND_ASSIGN(net::Listener listener,
+                       net::Listener::Bind("127.0.0.1", 0));
+  std::thread flaky([&listener] {
+    Result<net::Socket> accepted = listener.Accept(/*timeout_ms=*/5000);
+    if (!accepted.ok()) return;
+    net::Socket socket = std::move(accepted).value();
+    Result<net::Frame> first = net::ReadFrame(socket);
+    if (!first.ok()) return;
+    std::vector<uint8_t> error = net::EncodeError(
+        net::ErrorKind::kOverloaded,
+        Status::Unavailable("queue full, retry later"));
+    (void)net::WriteFrame(socket, net::MessageType::kError, error,
+                          first->version);
+    Result<net::Frame> retry = net::ReadFrame(socket);
+    if (!retry.ok()) return;
+    net::ServerStats stats;
+    stats.queries_served = 7;
+    (void)net::WriteFrame(socket, net::MessageType::kStatsResponse,
+                          net::EncodeServerStats(stats, retry->version),
+                          retry->version);
+  });
+
+  net::ClientOptions options;
+  options.max_retries = 3;
+  options.initial_backoff_ms = 1;
+  options.max_backoff_ms = 4;
+  ASSERT_OK_AND_ASSIGN(net::Client client,
+                       net::Client::Connect("127.0.0.1", listener.port(),
+                                            options));
+  ASSERT_OK_AND_ASSIGN(net::ServerStats stats, client.Stats());
+  EXPECT_EQ(stats.queries_served, 7u);
+  EXPECT_EQ(client.retries_performed(), 1u);
+  EXPECT_FALSE(client.last_error().has_value());  // success resets it
+  flaky.join();
+}
+
+TEST(ClientRetryTest, RetriesAreCappedAndSurfaceTheOverload) {
+  // Drain mode sheds every query: the client must exhaust its retries
+  // and surface the server's kUnavailable, counting each attempt.
+  net::QueryServerOptions options;
+  options.max_inflight_queries = -1;  // lame duck: shed all queries
+  ReleaseContext ctx =
+      ReleaseContext::Create({1.0, 0.0, 1.0}, kTestSeed).value();
+  net::QueryServer server(options, std::move(ctx));
+  Rng rng(kTestSeed);
+  Graph graph = MakePathGraph(16).value();
+  EdgeWeights weights = MakeUniformWeights(graph, 0.1, 0.9, &rng);
+  ASSERT_OK(server.AddWorkload("path", graph, weights));
+  ASSERT_OK(server.Start());
+
+  net::ClientOptions client_options;
+  client_options.max_retries = 2;
+  client_options.initial_backoff_ms = 1;
+  client_options.max_backoff_ms = 2;
+  ASSERT_OK_AND_ASSIGN(net::Client client,
+                       net::Client::Connect("127.0.0.1", server.port(),
+                                            client_options));
+  ASSERT_OK_AND_ASSIGN(net::ReleaseInfo info,
+                       client.Release("path", "tree-hld", "h0"));
+  std::vector<VertexPair> pairs = {{0, 5}};
+  Result<std::vector<double>> shed = client.Query(info.handle_id, pairs);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(client.retries_performed(), 2u);
+  ASSERT_TRUE(client.last_error().has_value());
+  EXPECT_EQ(client.last_error()->kind, net::ErrorKind::kOverloaded);
+}
+
+TEST(ClientRetryTest, BudgetExhaustionIsNeverRetried) {
+  net::QueryServerOptions options;
+  ReleaseContext ctx =
+      ReleaseContext::Create({1.0, 0.0, 1.0}, kTestSeed).value();
+  ctx.SetTotalBudget({1.5, 0.0, 1.0});  // room for exactly one release
+  net::QueryServer server(options, std::move(ctx));
+  Rng rng(kTestSeed);
+  Graph graph = MakePathGraph(16).value();
+  EdgeWeights weights = MakeUniformWeights(graph, 0.1, 0.9, &rng);
+  ASSERT_OK(server.AddWorkload("path", graph, weights));
+  ASSERT_OK(server.Start());
+
+  net::ClientOptions client_options;
+  client_options.max_retries = 5;  // must not matter
+  client_options.initial_backoff_ms = 1;
+  ASSERT_OK_AND_ASSIGN(net::Client client,
+                       net::Client::Connect("127.0.0.1", server.port(),
+                                            client_options));
+  ASSERT_OK(client.Release("path", "tree-hld", "h0").status());
+  Result<net::ReleaseInfo> refused =
+      client.Release("path", "tree-hld", "h1");
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+  // Terminal: no retry can ever succeed, so none may have been burned.
+  EXPECT_EQ(client.retries_performed(), 0u);
+  ASSERT_TRUE(client.last_error().has_value());
+  EXPECT_EQ(client.last_error()->kind, net::ErrorKind::kBudgetExhausted);
+}
+
+TEST(ClientRetryTest, IdleConnectionsAreClosedByTheServer) {
+  net::QueryServerOptions options;
+  options.idle_timeout_ms = 100;
+  ReleaseContext ctx =
+      ReleaseContext::Create({1.0, 0.0, 1.0}, kTestSeed).value();
+  net::QueryServer server(options, std::move(ctx));
+  Rng rng(kTestSeed);
+  Graph graph = MakePathGraph(16).value();
+  EdgeWeights weights = MakeUniformWeights(graph, 0.1, 0.9, &rng);
+  ASSERT_OK(server.AddWorkload("path", graph, weights));
+  ASSERT_OK(server.Start());
+
+  ASSERT_OK_AND_ASSIGN(net::Client client,
+                       net::Client::Connect("127.0.0.1", server.port()));
+  ASSERT_OK(client.Stats().status());  // active: well within the window
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  // The server hung up during the idle window; the next request hits a
+  // dead stream instead of waiting forever on an abandoned slot.
+  Result<net::ServerStats> after_idle = client.Stats();
+  EXPECT_FALSE(after_idle.ok());
+}
+
+}  // namespace
+}  // namespace dpsp

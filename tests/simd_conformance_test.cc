@@ -11,6 +11,7 @@
 // is still the contract: dispatch must never change results.
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "core/range_sums.h"
 #include "dp/release_context.h"
 #include "graph/generators.h"
+#include "store/oracle_store.h"
 #include "test_util.h"
 
 namespace dpsp {
@@ -164,6 +166,43 @@ TEST_P(SimdConformanceTest, ErrorPathsMatchAcrossDispatch) {
   ASSERT_FALSE(scalar.ok()) << name;
   EXPECT_EQ(ambient.status().code(), scalar.status().code()) << name;
   EXPECT_EQ(ambient.status().message(), scalar.status().message()) << name;
+}
+
+TEST_P(SimdConformanceTest, SnapshotReloadBitIdenticalAcrossDispatch) {
+  // The durability analogue of the dispatch contract: released state
+  // saved under one dispatch mode and reloaded under the other must
+  // answer bit-identically — a snapshot that froze dispatch-dependent
+  // bytes, or a loader that redrew anything, would diverge here.
+  const std::string& name = GetParam();
+  const OracleSpec* spec = OracleRegistry::Global().Find(name);
+  ASSERT_NE(spec, nullptr);
+  ASSERT_OK_AND_ASSIGN(ReleaseContext ctx,
+                       ReleaseContext::Create(ParamsFor(*spec), kTestSeed));
+  ASSERT_OK_AND_ASSIGN(
+      auto oracle,
+      OracleRegistry::Global().Create(name, *graph_, weights_, ctx));
+  std::vector<VertexPair> pairs = AllPairs(kNumVertices);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> ambient,
+                       oracle->DistanceBatch(pairs));
+
+  std::string path = ::testing::TempDir() + "dpsp_simd_XXXXXX";
+  ASSERT_NE(mkdtemp(path.data()), nullptr);
+  path += "/oracle.snap";
+  ASSERT_OK(store::SaveOracleSnapshot(path, *oracle,
+                                      {name, "path-16", "conformance"}));
+
+  ScopedForceScalar force(true);
+  ASSERT_OK_AND_ASSIGN(store::SnapshotReader reader,
+                       store::SnapshotReader::Open(path));
+  ASSERT_OK_AND_ASSIGN(auto reloaded, store::LoadOracleSnapshot(
+                                          reader, *graph_, weights_));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> scalar,
+                       reloaded->DistanceBatch(pairs));
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(ambient[i], scalar[i])
+        << name << " snapshot-reload mismatch at (" << pairs[i].first
+        << "," << pairs[i].second << ")";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

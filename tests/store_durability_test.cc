@@ -1,0 +1,334 @@
+// Durability round trips for the src/store subsystem: the snapshot
+// container (atomic write, eager validation, zero-copy sections), the
+// oracle-level glue (EVERY registered mechanism reloads bit-identically
+// from its released state — the persistence analogue of the SIMD
+// conformance contract), and the budget WAL (intent/commit replay,
+// intent-without-commit is spent, torn tails discarded and truncated).
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/oracle_registry.h"
+#include "dp/release_context.h"
+#include "graph/generators.h"
+#include "store/oracle_store.h"
+#include "store/snapshot.h"
+#include "store/wal.h"
+#include "test_util.h"
+
+namespace dpsp {
+namespace {
+
+std::string MakeTempDir() {
+  std::string path = ::testing::TempDir() + "dpsp_store_XXXXXX";
+  EXPECT_NE(mkdtemp(path.data()), nullptr);
+  return path;
+}
+
+PrivacyParams ParamsFor(const OracleSpec& spec) {
+  return spec.loss == LossKind::kZcdp ? PrivacyParams{0.5, 1e-6, 1.0}
+                                      : PrivacyParams{1.0, 0.0, 1.0};
+}
+
+std::vector<VertexPair> AllPairs(int n) {
+  std::vector<VertexPair> pairs;
+  pairs.reserve(static_cast<size_t>(n) * static_cast<size_t>(n));
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) pairs.emplace_back(u, v);
+  }
+  return pairs;
+}
+
+// ------------------------------------------------------------ snapshot --
+
+TEST(SnapshotTest, RoundTripsLabeledSections) {
+  const std::string dir = MakeTempDir();
+  const std::string path = dir + "/test.snap";
+  std::vector<double> values = {0.0, -1.5, 1e300, 0.1 + 0.2};
+  std::vector<ReleasedSection> sections;
+  ReleasedSection doubles;
+  doubles.label = "doubles";
+  doubles.bytes.assign(
+      reinterpret_cast<const uint8_t*>(values.data()),
+      reinterpret_cast<const uint8_t*>(values.data() + values.size()));
+  sections.push_back(doubles);
+  sections.push_back({"raw", {1, 2, 3}});
+  sections.push_back({"empty", {}});
+
+  ASSERT_OK(store::WriteSnapshot(path, sections));
+  ASSERT_OK_AND_ASSIGN(store::SnapshotReader reader,
+                       store::SnapshotReader::Open(path));
+  ASSERT_EQ(reader.sections().size(), 3u);
+  const ReleasedSectionView* found = reader.Find("doubles");
+  ASSERT_NE(found, nullptr);
+  ASSERT_EQ(found->bytes.size(), values.size() * sizeof(double));
+  // 64-byte payload alignment: mapped doubles are directly usable.
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(found->bytes.data()) % 64, 0u);
+  const double* mapped = reinterpret_cast<const double*>(found->bytes.data());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(mapped[i], values[i]);  // bit-exact through the file
+  }
+  ASSERT_NE(reader.Find("raw"), nullptr);
+  EXPECT_EQ(reader.Find("raw")->bytes.size(), 3u);
+  ASSERT_NE(reader.Find("empty"), nullptr);
+  EXPECT_EQ(reader.Find("empty")->bytes.size(), 0u);
+  EXPECT_EQ(reader.Find("missing"), nullptr);
+}
+
+TEST(SnapshotTest, MissingFileIsNotFound) {
+  Result<store::SnapshotReader> opened =
+      store::SnapshotReader::Open(MakeTempDir() + "/absent.snap");
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, RejectsBadSectionLabels) {
+  const std::string dir = MakeTempDir();
+  std::vector<ReleasedSection> duplicate = {{"a", {1}}, {"a", {2}}};
+  EXPECT_FALSE(store::WriteSnapshot(dir + "/d.snap", duplicate).ok());
+  std::vector<ReleasedSection> empty_label = {{"", {1}}};
+  EXPECT_FALSE(store::WriteSnapshot(dir + "/e.snap", empty_label).ok());
+}
+
+TEST(SnapshotTest, AtomicOverwriteKeepsOldUntilNewIsComplete) {
+  const std::string dir = MakeTempDir();
+  const std::string path = dir + "/test.snap";
+  std::vector<ReleasedSection> first = {{"v", {1}}};
+  std::vector<ReleasedSection> second = {{"v", {2}}};
+  ASSERT_OK(store::WriteSnapshot(path, first));
+  ASSERT_OK(store::WriteSnapshot(path, second));  // rename over the old
+  ASSERT_OK_AND_ASSIGN(store::SnapshotReader reader,
+                       store::SnapshotReader::Open(path));
+  ASSERT_NE(reader.Find("v"), nullptr);
+  EXPECT_EQ(reader.Find("v")->bytes[0], 2);
+  // No stray temp file survives a successful write.
+  EXPECT_NE(access((path + ".tmp").c_str(), F_OK), 0);
+}
+
+// -------------------------------------------------------- oracle store --
+
+/// Every registered mechanism: save the released state, reload through
+/// the registry loader, and require bit-identical all-pairs answers. The
+/// loader never sees a ReleaseContext, so a reload that changed any
+/// answer would mean the snapshot leaked or re-randomized released state.
+class OracleStoreTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static constexpr int kNumVertices = 16;
+
+  void SetUp() override {
+    Rng rng(kTestSeed);
+    ASSERT_OK_AND_ASSIGN(graph_, MakePathGraph(kNumVertices));
+    weights_ = MakeUniformWeights(*graph_, 0.1, 0.9, &rng);
+  }
+
+  Result<Graph> graph_ = Status::Internal("unset");
+  EdgeWeights weights_;
+};
+
+TEST_P(OracleStoreTest, SnapshotReloadsBitIdentical) {
+  const std::string& name = GetParam();
+  const OracleSpec* spec = OracleRegistry::Global().Find(name);
+  ASSERT_NE(spec, nullptr);
+  ASSERT_OK_AND_ASSIGN(ReleaseContext ctx,
+                       ReleaseContext::Create(ParamsFor(*spec), kTestSeed));
+  ASSERT_OK_AND_ASSIGN(
+      auto oracle,
+      OracleRegistry::Global().Create(name, *graph_, weights_, ctx));
+
+  const std::string path = MakeTempDir() + "/oracle.snap";
+  store::OracleSnapshotMeta meta{name, "path-16", "main"};
+  ASSERT_OK(store::SaveOracleSnapshot(path, *oracle, meta));
+
+  ASSERT_OK_AND_ASSIGN(store::SnapshotReader reader,
+                       store::SnapshotReader::Open(path));
+  ASSERT_OK_AND_ASSIGN(store::OracleSnapshotMeta decoded,
+                       store::ReadOracleSnapshotMeta(reader));
+  EXPECT_EQ(decoded.mechanism, name);
+  EXPECT_EQ(decoded.workload, "path-16");
+  EXPECT_EQ(decoded.handle, "main");
+
+  ASSERT_OK_AND_ASSIGN(auto reloaded, store::LoadOracleSnapshot(
+                                          reader, *graph_, weights_));
+  std::vector<VertexPair> pairs = AllPairs(kNumVertices);
+  ASSERT_OK_AND_ASSIGN(std::vector<double> before,
+                       oracle->DistanceBatch(pairs));
+  ASSERT_OK_AND_ASSIGN(std::vector<double> after,
+                       reloaded->DistanceBatch(pairs));
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(before[i], after[i])
+        << name << " reload mismatch at (" << pairs[i].first << ","
+        << pairs[i].second << ")";
+  }
+}
+
+TEST_P(OracleStoreTest, LoadAgainstWrongGraphIsTypedError) {
+  const std::string& name = GetParam();
+  const OracleSpec* spec = OracleRegistry::Global().Find(name);
+  ASSERT_NE(spec, nullptr);
+  ASSERT_OK_AND_ASSIGN(ReleaseContext ctx,
+                       ReleaseContext::Create(ParamsFor(*spec), kTestSeed));
+  ASSERT_OK_AND_ASSIGN(
+      auto oracle,
+      OracleRegistry::Global().Create(name, *graph_, weights_, ctx));
+  const std::string path = MakeTempDir() + "/oracle.snap";
+  ASSERT_OK(store::SaveOracleSnapshot(path, *oracle,
+                                      {name, "path-16", "main"}));
+  ASSERT_OK_AND_ASSIGN(store::SnapshotReader reader,
+                       store::SnapshotReader::Open(path));
+  // A different topology: the loader must refuse, not mis-bind sections.
+  Rng rng(kTestSeed + 1);
+  ASSERT_OK_AND_ASSIGN(Graph other, MakePathGraph(kNumVertices / 2));
+  EdgeWeights other_w = MakeUniformWeights(other, 0.1, 0.9, &rng);
+  EXPECT_FALSE(store::LoadOracleSnapshot(reader, other, other_w).ok())
+      << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRegisteredOracles, OracleStoreTest,
+    ::testing::ValuesIn(OracleRegistry::Global().Names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string sanitized = info.param;
+      for (char& c : sanitized) {
+        if (c == '-') c = '_';
+      }
+      return sanitized;
+    });
+
+// ------------------------------------------------------------- the WAL --
+
+TEST(BudgetWalTest, MissingFileIsEmptyRecovery) {
+  ASSERT_OK_AND_ASSIGN(store::WalRecovery recovery,
+                       store::ReplayBudgetWal(MakeTempDir() + "/absent.wal"));
+  EXPECT_TRUE(recovery.charges.empty());
+  EXPECT_EQ(recovery.next_lsn, 1u);
+  EXPECT_EQ(recovery.records, 0u);
+  EXPECT_EQ(recovery.discarded_tail_bytes, 0u);
+}
+
+TEST(BudgetWalTest, IntentCommitPairsReplay) {
+  const std::string path = MakeTempDir() + "/budget.wal";
+  {
+    ASSERT_OK_AND_ASSIGN(auto wal, store::BudgetWal::Open(path, 1));
+    ASSERT_OK_AND_ASSIGN(uint64_t first,
+                         wal->AppendIntent("tree-hld", PrivacyLoss::Pure(1.0)));
+    EXPECT_EQ(first, 1u);
+    ASSERT_OK(wal->AppendCommit(first));
+    ASSERT_OK_AND_ASSIGN(
+        uint64_t second,
+        wal->AppendIntent("bounded-weight-gaussian",
+                          PrivacyLoss::Zcdp(0.125).value()));
+    EXPECT_EQ(second, 2u);
+    // No commit for `second`: simulates a crash mid-build.
+  }
+  ASSERT_OK_AND_ASSIGN(store::WalRecovery recovery,
+                       store::ReplayBudgetWal(path));
+  ASSERT_EQ(recovery.charges.size(), 2u);
+  EXPECT_EQ(recovery.records, 3u);
+  EXPECT_EQ(recovery.next_lsn, 3u);
+  EXPECT_EQ(recovery.discarded_tail_bytes, 0u);
+  EXPECT_EQ(recovery.charges[0].label, "tree-hld");
+  EXPECT_EQ(recovery.charges[0].loss.kind, LossKind::kPure);
+  EXPECT_EQ(recovery.charges[0].loss.epsilon, 1.0);
+  EXPECT_TRUE(recovery.charges[0].committed);
+  EXPECT_EQ(recovery.charges[1].label, "bounded-weight-gaussian");
+  EXPECT_EQ(recovery.charges[1].loss.kind, LossKind::kZcdp);
+  EXPECT_FALSE(recovery.charges[1].committed);
+  EXPECT_EQ(recovery.committed_count(), 1u);
+
+  // Intent-without-commit is SPENT: recovery charges both.
+  ASSERT_OK_AND_ASSIGN(ReleaseContext ctx,
+                       ReleaseContext::Create({1.0, 0.0, 1.0}, kTestSeed));
+  ASSERT_OK(store::ApplyWalRecovery(recovery, ctx));
+  EXPECT_EQ(ctx.telemetry().size(), 0u);  // recovery is not a new release
+  EXPECT_GE(ctx.SpentTotal().epsilon, 1.0);
+}
+
+TEST(BudgetWalTest, TornTailIsDiscardedNotFatal) {
+  const std::string path = MakeTempDir() + "/budget.wal";
+  {
+    ASSERT_OK_AND_ASSIGN(auto wal, store::BudgetWal::Open(path, 1));
+    ASSERT_OK_AND_ASSIGN(uint64_t lsn,
+                         wal->AppendIntent("a", PrivacyLoss::Pure(0.5)));
+    ASSERT_OK(wal->AppendCommit(lsn));
+    ASSERT_OK(wal->AppendIntent("b", PrivacyLoss::Pure(0.5)).status());
+  }
+  ASSERT_OK_AND_ASSIGN(store::WalRecovery clean,
+                       store::ReplayBudgetWal(path));
+  ASSERT_EQ(clean.records, 3u);
+  // Tear the final record mid-payload, as a crash mid-append would.
+  ASSERT_EQ(truncate(path.c_str(),
+                     static_cast<off_t>(clean.valid_bytes - 5)), 0);
+  ASSERT_OK_AND_ASSIGN(store::WalRecovery torn,
+                       store::ReplayBudgetWal(path));
+  EXPECT_EQ(torn.records, 2u);
+  EXPECT_GT(torn.discarded_tail_bytes, 0u);
+  ASSERT_EQ(torn.charges.size(), 1u);
+  EXPECT_EQ(torn.charges[0].label, "a");
+  EXPECT_EQ(torn.next_lsn, 2u);
+
+  // The documented append-after-tear protocol: truncate to valid_bytes,
+  // reopen at next_lsn, append — the log must replay cleanly again.
+  ASSERT_EQ(truncate(path.c_str(),
+                     static_cast<off_t>(torn.valid_bytes)), 0);
+  {
+    ASSERT_OK_AND_ASSIGN(auto wal,
+                         store::BudgetWal::Open(path, torn.next_lsn));
+    ASSERT_OK_AND_ASSIGN(uint64_t lsn,
+                         wal->AppendIntent("c", PrivacyLoss::Pure(0.25)));
+    EXPECT_EQ(lsn, 2u);
+    ASSERT_OK(wal->AppendCommit(lsn));
+  }
+  ASSERT_OK_AND_ASSIGN(store::WalRecovery healed,
+                       store::ReplayBudgetWal(path));
+  EXPECT_EQ(healed.records, 4u);
+  EXPECT_EQ(healed.discarded_tail_bytes, 0u);
+  ASSERT_EQ(healed.charges.size(), 2u);
+  EXPECT_EQ(healed.charges[1].label, "c");
+  EXPECT_TRUE(healed.charges[1].committed);
+}
+
+TEST(BudgetWalTest, MeteredChargesFlowThroughTheHook) {
+  const std::string dir = MakeTempDir();
+  const std::string path = dir + "/budget.wal";
+  Rng rng(kTestSeed);
+  ASSERT_OK_AND_ASSIGN(Graph graph, MakePathGraph(16));
+  EdgeWeights weights = MakeUniformWeights(graph, 0.1, 0.9, &rng);
+
+  PrivacyParams spent_before_crash{};
+  {
+    ASSERT_OK_AND_ASSIGN(auto wal, store::BudgetWal::Open(path, 1));
+    store::WalDurabilityHook hook(wal.get());
+    ASSERT_OK_AND_ASSIGN(ReleaseContext ctx,
+                         ReleaseContext::Create({1.0, 0.0, 1.0}, kTestSeed));
+    ctx.SetDurabilityHook(&hook);
+    ASSERT_OK(OracleRegistry::Global()
+                  .Create("tree-hld", graph, weights, ctx)
+                  .status());
+    ASSERT_OK(OracleRegistry::Global()
+                  .Create("per-pair-laplace", graph, weights, ctx)
+                  .status());
+    spent_before_crash = ctx.SpentTotal();
+  }
+
+  // A fresh ledger rebuilt purely from the log must certify the same
+  // spend — the WAL is the ledger's whole durability story.
+  ASSERT_OK_AND_ASSIGN(store::WalRecovery recovery,
+                       store::ReplayBudgetWal(path));
+  EXPECT_EQ(recovery.charges.size(), 2u);
+  EXPECT_EQ(recovery.committed_count(), 2u);
+  ASSERT_OK_AND_ASSIGN(ReleaseContext recovered,
+                       ReleaseContext::Create({1.0, 0.0, 1.0}, kTestSeed));
+  ASSERT_OK(store::ApplyWalRecovery(recovery, recovered));
+  EXPECT_EQ(recovered.SpentTotal().epsilon, spent_before_crash.epsilon);
+  EXPECT_EQ(recovered.SpentTotal().delta, spent_before_crash.delta);
+}
+
+}  // namespace
+}  // namespace dpsp
