@@ -52,9 +52,28 @@ inline constexpr const char kWalAfterIntent[] = "store.wal.after_intent";
 inline constexpr const char kWalBeforeCommit[] = "store.wal.before_commit";
 inline constexpr const char kWalAfterCommit[] = "store.wal.after_commit";
 
+// kAll enumerates the durability sites the crash-recovery harness drives
+// through its single-process WAL/snapshot workload.
 inline constexpr const char* kAll[] = {
     kSnapshotAfterTempWrite, kSnapshotBeforeRename, kWalBeforeIntent,
     kWalAfterIntent,         kWalBeforeCommit,      kWalAfterCommit,
+};
+
+// Replication sites: every ship (coordinator) and install (replica) step,
+// so cluster tests can fail or SIGKILL a node mid-transfer. Enumerated
+// separately from kAll because they only fire inside a live
+// coordinator/replica pair, which the cluster harness provides.
+inline constexpr const char kClusterShipSnapshot[] = "cluster.ship.snapshot";
+inline constexpr const char kClusterShipDelta[] = "cluster.ship.delta";
+inline constexpr const char kClusterInstallSnapshot[] =
+    "cluster.install.snapshot";
+inline constexpr const char kClusterInstallDelta[] = "cluster.install.delta";
+
+inline constexpr const char* kClusterAll[] = {
+    kClusterShipSnapshot,
+    kClusterShipDelta,
+    kClusterInstallSnapshot,
+    kClusterInstallDelta,
 };
 
 }  // namespace failpoints

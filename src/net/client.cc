@@ -13,7 +13,27 @@ namespace net {
 Result<Client> Client::Connect(const std::string& address, uint16_t port,
                                ClientOptions options) {
   DPSP_ASSIGN_OR_RETURN(Socket socket, net::Connect(address, port));
-  return Client(std::move(socket), options);
+  Client client(std::move(socket), std::move(options));
+  client.endpoints_.push_back(Endpoint{address, port});
+  client.endpoints_.insert(client.endpoints_.end(),
+                           client.options_.failover_endpoints.begin(),
+                           client.options_.failover_endpoints.end());
+  return client;
+}
+
+Status Client::FailOver() {
+  for (size_t i = 1; i < endpoints_.size(); ++i) {
+    size_t next = (current_endpoint_ + i) % endpoints_.size();
+    Result<Socket> socket =
+        net::Connect(endpoints_[next].address, endpoints_[next].port);
+    if (!socket.ok()) continue;
+    socket_ = std::move(socket).value();
+    current_endpoint_ = next;
+    broken_ = false;
+    ++failovers_performed_;
+    return Status::Ok();
+  }
+  return Status::Unavailable("no failover endpoint reachable");
 }
 
 Result<Frame> Client::Attempt(MessageType request_type,
@@ -36,13 +56,36 @@ Result<Frame> Client::Attempt(MessageType request_type,
 Result<Frame> Client::RoundTrip(MessageType request_type,
                                 std::span<const uint8_t> body,
                                 MessageType expected_response) {
+  // Re-issuing after a transport failure is only safe when the request
+  // cannot change server state: a replayed Query or Stats at worst does
+  // redundant reads, a replayed Release or UpdateWeights could spend
+  // budget twice.
+  const bool idempotent = request_type == MessageType::kQueryRequest ||
+                          request_type == MessageType::kStatsRequest;
+  // Each request gets one sweep over the other endpoints at most, so a
+  // fully-down cluster fails instead of spinning.
+  size_t failovers_left =
+      endpoints_.size() > 1 ? endpoints_.size() - 1 : 0;
   if (broken_) {
-    return Status::FailedPrecondition(
-        "connection broken by an earlier request timeout; reconnect");
+    if (!idempotent || failovers_left == 0 || !FailOver().ok()) {
+      return Status::FailedPrecondition(
+          "connection broken by an earlier request timeout; reconnect");
+    }
+    --failovers_left;
   }
   for (int attempt = 0;; ++attempt) {
     Result<Frame> attempted = Attempt(request_type, body);
-    if (!attempted.ok()) return attempted.status();
+    if (!attempted.ok()) {
+      // Transport failure or deadline: the request's fate on this node is
+      // unknown. Idempotent requests move to the next endpoint; anything
+      // else surfaces the error untouched.
+      if (idempotent && failovers_left > 0 && FailOver().ok()) {
+        --failovers_left;
+        attempt = -1;  // fresh retry budget on the new node
+        continue;
+      }
+      return attempted.status();
+    }
     Frame response = std::move(attempted).value();
     if (response.type == MessageType::kError) {
       DPSP_ASSIGN_OR_RETURN(WireError error, DecodeError(response.body));
@@ -51,8 +94,20 @@ Result<Frame> Client::RoundTrip(MessageType request_type,
       last_error_ = std::move(error);
       // Only kOverloaded is safe to repeat: the server refused before
       // doing any work. In particular kBudgetExhausted is terminal — a
-      // retry can never succeed and must surface immediately.
-      if (!retryable || attempt >= options_.max_retries) return status;
+      // retry can never succeed and must surface immediately (every node
+      // answers for the same coordinator ledger, so no failover either).
+      if (!retryable) return status;
+      if (attempt >= options_.max_retries) {
+        // This node stayed overloaded through the retry budget; since
+        // the refusal happened before any work, moving ANY request to a
+        // sibling is safe.
+        if (failovers_left > 0 && FailOver().ok()) {
+          --failovers_left;
+          attempt = -1;
+          continue;
+        }
+        return status;
+      }
       int backoff = options_.initial_backoff_ms;
       for (int i = 0; i < attempt && backoff < options_.max_backoff_ms; ++i) {
         backoff *= 2;

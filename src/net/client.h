@@ -13,9 +13,11 @@
 #ifndef DPSP_NET_CLIENT_H_
 #define DPSP_NET_CLIENT_H_
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/distance_oracle.h"
@@ -24,6 +26,12 @@
 
 namespace dpsp {
 namespace net {
+
+/// One server address a client can talk to.
+struct Endpoint {
+  std::string address;
+  uint16_t port = 0;
+};
 
 /// Per-connection reliability knobs.
 struct ClientOptions {
@@ -46,6 +54,20 @@ struct ClientOptions {
   /// initial * 2^attempt, clamped to max.
   int initial_backoff_ms = 10;
   int max_backoff_ms = 1000;
+
+  /// Additional endpoints (read replicas) to fail over to when the
+  /// current node is unusable. Failover reconnects round-robin and
+  /// re-issues the request, so it only happens when re-issuing is safe:
+  ///  - a typed kOverloaded rejection (after max_retries on the current
+  ///    node) fails over for ANY request — the server refused before
+  ///    doing work;
+  ///  - a transport error or request timeout fails over only for
+  ///    idempotent requests (Query, Stats) — a Release or UpdateWeights
+  ///    whose fate is unknown is never re-sent (double-spend risk).
+  /// Other typed errors (kBudgetExhausted above all) never fail over:
+  /// every node shares one coordinator ledger, so the answer is the same
+  /// everywhere.
+  std::vector<Endpoint> failover_endpoints;
 };
 
 class Client {
@@ -91,13 +113,18 @@ class Client {
   /// kOverloaded retries performed over the connection's lifetime.
   uint64_t retries_performed() const { return retries_performed_; }
 
+  /// Reconnects to another endpoint performed over the client's lifetime.
+  uint64_t failovers_performed() const { return failovers_performed_; }
+
   /// True once a request deadline expired: the stream may hold a stale
-  /// response, so the connection is unusable (reconnect to recover).
+  /// response, so the connection is unusable. An idempotent request with
+  /// failover endpoints configured recovers by reconnecting; anything
+  /// else fails fast with FailedPrecondition.
   bool broken() const { return broken_; }
 
  private:
   Client(Socket socket, ClientOptions options)
-      : socket_(std::move(socket)), options_(options) {}
+      : socket_(std::move(socket)), options_(std::move(options)) {}
 
   /// Sends one request frame and reads the response, honoring the
   /// per-request deadline and the kOverloaded retry policy; an Error
@@ -111,10 +138,20 @@ class Client {
   Result<Frame> Attempt(MessageType request_type,
                         std::span<const uint8_t> body);
 
+  /// Reconnects round-robin to the next reachable endpoint (skipping the
+  /// current one), replacing the socket and clearing broken_. Fails with
+  /// kUnavailable when no other endpoint answers.
+  Status FailOver();
+
   Socket socket_;
   ClientOptions options_;
+  /// The endpoint list: the address Connect() dialed first, then every
+  /// options_.failover_endpoints entry. current_endpoint_ indexes it.
+  std::vector<Endpoint> endpoints_;
+  size_t current_endpoint_ = 0;
   std::optional<WireError> last_error_;
   uint64_t retries_performed_ = 0;
+  uint64_t failovers_performed_ = 0;
   bool broken_ = false;
 };
 

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstring>
 
+#include "common/crc32c.h"
 #include "common/table.h"
 
 namespace dpsp {
@@ -37,6 +38,12 @@ class WireWriter {
     // names, and GCC 12 mis-diagnoses the inlined range insert.
     U32(static_cast<uint32_t>(s.size()));
     for (char c : s) out_.push_back(static_cast<uint8_t>(c));
+  }
+  /// Raw payload bytes with a u64 length prefix (replication sections can
+  /// exceed the u32 string limit's comfort zone).
+  void Bytes(std::span<const uint8_t> bytes) {
+    U64(bytes.size());
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
   }
   void Reserve(size_t n) { out_.reserve(out_.size() + n); }
 
@@ -96,6 +103,21 @@ class WireReader {
     pos_ += len;
     return Status::Ok();
   }
+  /// u64-length-prefixed raw bytes. The length is validated against the
+  /// remaining body BEFORE the vector allocates, so a lying prefix is a
+  /// typed error rather than a multi-gigabyte resize.
+  Status Bytes(std::vector<uint8_t>* bytes) {
+    uint64_t len = 0;
+    DPSP_RETURN_IF_ERROR(U64(&len));
+    if (len > remaining()) {
+      return Status::InvalidArgument(
+          "byte-payload length exceeds remaining body");
+    }
+    bytes->assign(data_.begin() + static_cast<ptrdiff_t>(pos_),
+                  data_.begin() + static_cast<ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return Status::Ok();
+  }
   size_t remaining() const { return data_.size() - pos_; }
 
   /// Decoders call this last: trailing bytes mean the peer and we disagree
@@ -139,6 +161,18 @@ const char* ErrorKindName(ErrorKind kind) {
       return "internal";
     case ErrorKind::kUnsupported:
       return "unsupported";
+  }
+  return "unknown";
+}
+
+const char* NodeRoleName(NodeRole role) {
+  switch (role) {
+    case NodeRole::kStandalone:
+      return "standalone";
+    case NodeRole::kCoordinator:
+      return "coordinator";
+    case NodeRole::kReplica:
+      return "replica";
   }
   return "unknown";
 }
@@ -371,6 +405,15 @@ std::vector<uint8_t> EncodeServerStats(const ServerStats& stats,
     w.U32(stats.recovered_handles);
     w.U64(stats.recovered_charges);
   }
+  // v5 cluster extension.
+  if (version >= kReplicationProtocolVersion) {
+    w.U16(stats.role);
+    w.U64(stats.last_epoch_lsn);
+    w.U32(stats.num_replicas);
+    w.U64(stats.replica_lag);
+    w.U64(stats.replica_queries_served);
+    w.U64(stats.replica_pairs_served);
+  }
   return w.Take();
 }
 
@@ -399,9 +442,18 @@ Result<ServerStats> DecodeServerStats(std::span<const uint8_t> body) {
   DPSP_RETURN_IF_ERROR(r.U32(&warm));
   DPSP_RETURN_IF_ERROR(r.U32(&stats.recovered_handles));
   DPSP_RETURN_IF_ERROR(r.U64(&stats.recovered_charges));
-  DPSP_RETURN_IF_ERROR(r.ExpectEnd());
   stats.warm_restart = warm != 0;
   stats.has_recovery = true;
+  // A body that ends here is a v4 peer: no cluster extension.
+  if (r.remaining() == 0) return stats;
+  DPSP_RETURN_IF_ERROR(r.U16(&stats.role));
+  DPSP_RETURN_IF_ERROR(r.U64(&stats.last_epoch_lsn));
+  DPSP_RETURN_IF_ERROR(r.U32(&stats.num_replicas));
+  DPSP_RETURN_IF_ERROR(r.U64(&stats.replica_lag));
+  DPSP_RETURN_IF_ERROR(r.U64(&stats.replica_queries_served));
+  DPSP_RETURN_IF_ERROR(r.U64(&stats.replica_pairs_served));
+  DPSP_RETURN_IF_ERROR(r.ExpectEnd());
+  stats.has_cluster = true;
   return stats;
 }
 
@@ -435,6 +487,143 @@ Result<WireError> DecodeError(std::span<const uint8_t> body) {
 
 Status WireError::ToStatus() const {
   return Status(code, message);
+}
+
+// ---------------------------------------------------- replication frames --
+
+std::vector<uint8_t> EncodeReplicaSubscribe(const ReplicaSubscribe& sub) {
+  WireWriter w;
+  w.U64(sub.last_epoch_lsn);
+  w.Str(sub.replica_name);
+  return w.Take();
+}
+
+Result<ReplicaSubscribe> DecodeReplicaSubscribe(
+    std::span<const uint8_t> body) {
+  WireReader r(body);
+  ReplicaSubscribe sub;
+  DPSP_RETURN_IF_ERROR(r.U64(&sub.last_epoch_lsn));
+  DPSP_RETURN_IF_ERROR(r.Str(&sub.replica_name));
+  DPSP_RETURN_IF_ERROR(r.ExpectEnd());
+  return sub;
+}
+
+std::vector<uint8_t> EncodeSnapshotChunk(const SnapshotChunk& chunk) {
+  WireWriter w;
+  size_t payload = 0;
+  for (const ReleasedSection& s : chunk.sections) payload += s.bytes.size();
+  w.Reserve(64 + payload);
+  w.U32(chunk.handle_id);
+  w.U64(chunk.epoch_lsn);
+  w.Str(chunk.handle_name);
+  w.Str(chunk.mechanism);
+  w.Str(chunk.workload);
+  w.U32(static_cast<uint32_t>(chunk.sections.size()));
+  for (const ReleasedSection& s : chunk.sections) {
+    w.Str(s.label);
+    w.Bytes(s.bytes);
+    w.U32(Crc32c(s.bytes.data(), s.bytes.size()));
+  }
+  return w.Take();
+}
+
+Result<SnapshotChunk> DecodeSnapshotChunk(std::span<const uint8_t> body) {
+  WireReader r(body);
+  SnapshotChunk chunk;
+  uint32_t count = 0;
+  DPSP_RETURN_IF_ERROR(r.U32(&chunk.handle_id));
+  DPSP_RETURN_IF_ERROR(r.U64(&chunk.epoch_lsn));
+  DPSP_RETURN_IF_ERROR(r.Str(&chunk.handle_name));
+  DPSP_RETURN_IF_ERROR(r.Str(&chunk.mechanism));
+  DPSP_RETURN_IF_ERROR(r.Str(&chunk.workload));
+  DPSP_RETURN_IF_ERROR(r.U32(&count));
+  // Each section costs at least label-len + bytes-len + crc on the wire,
+  // so a lying count is refused before any per-section allocation.
+  if (static_cast<size_t>(count) * 16 > r.remaining()) {
+    return Status::InvalidArgument(
+        "snapshot-chunk section count disagrees with body size");
+  }
+  chunk.sections.resize(count);
+  chunk.section_crcs.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DPSP_RETURN_IF_ERROR(r.Str(&chunk.sections[i].label));
+    DPSP_RETURN_IF_ERROR(r.Bytes(&chunk.sections[i].bytes));
+    DPSP_RETURN_IF_ERROR(r.U32(&chunk.section_crcs[i]));
+  }
+  DPSP_RETURN_IF_ERROR(r.ExpectEnd());
+  return chunk;
+}
+
+std::vector<uint8_t> EncodeDeltaFrame(const DeltaFrame& frame) {
+  WireWriter w;
+  w.Reserve(32 + store::SectionDeltaBytes(frame.patches));
+  w.U32(frame.handle_id);
+  w.U64(frame.epoch_lsn);
+  w.U32(static_cast<uint32_t>(frame.patches.size()));
+  for (const store::SectionPatch& patch : frame.patches) {
+    w.Str(patch.label);
+    w.U64(patch.section_bytes);
+    w.U32(patch.post_crc32c);
+    w.U32(static_cast<uint32_t>(patch.ranges.size()));
+    for (const store::SectionRange& range : patch.ranges) {
+      w.U64(range.offset);
+      w.Bytes(range.bytes);
+    }
+  }
+  return w.Take();
+}
+
+Result<DeltaFrame> DecodeDeltaFrame(std::span<const uint8_t> body) {
+  WireReader r(body);
+  DeltaFrame frame;
+  uint32_t num_patches = 0;
+  DPSP_RETURN_IF_ERROR(r.U32(&frame.handle_id));
+  DPSP_RETURN_IF_ERROR(r.U64(&frame.epoch_lsn));
+  DPSP_RETURN_IF_ERROR(r.U32(&num_patches));
+  if (static_cast<size_t>(num_patches) * 20 > r.remaining()) {
+    return Status::InvalidArgument(
+        "delta-frame patch count disagrees with body size");
+  }
+  frame.patches.resize(num_patches);
+  for (store::SectionPatch& patch : frame.patches) {
+    uint32_t num_ranges = 0;
+    DPSP_RETURN_IF_ERROR(r.Str(&patch.label));
+    DPSP_RETURN_IF_ERROR(r.U64(&patch.section_bytes));
+    DPSP_RETURN_IF_ERROR(r.U32(&patch.post_crc32c));
+    DPSP_RETURN_IF_ERROR(r.U32(&num_ranges));
+    if (static_cast<size_t>(num_ranges) * 16 > r.remaining()) {
+      return Status::InvalidArgument(
+          "delta-frame range count disagrees with body size");
+    }
+    patch.ranges.resize(num_ranges);
+    for (store::SectionRange& range : patch.ranges) {
+      DPSP_RETURN_IF_ERROR(r.U64(&range.offset));
+      DPSP_RETURN_IF_ERROR(r.Bytes(&range.bytes));
+    }
+  }
+  DPSP_RETURN_IF_ERROR(r.ExpectEnd());
+  return frame;
+}
+
+std::vector<uint8_t> EncodeReplicaStatsFrame(const ReplicaStatsFrame& stats) {
+  WireWriter w;
+  w.U16(stats.role);
+  w.U64(stats.last_epoch_lsn);
+  w.U64(stats.queries_served);
+  w.U64(stats.pairs_served);
+  return w.Take();
+}
+
+Result<ReplicaStatsFrame> DecodeReplicaStatsFrame(
+    std::span<const uint8_t> body) {
+  WireReader r(body);
+  ReplicaStatsFrame stats;
+  DPSP_RETURN_IF_ERROR(r.U16(&stats.role));
+  DPSP_RETURN_IF_ERROR(r.U64(&stats.last_epoch_lsn));
+  DPSP_RETURN_IF_ERROR(r.U64(&stats.queries_served));
+  DPSP_RETURN_IF_ERROR(r.U64(&stats.pairs_served));
+  DPSP_RETURN_IF_ERROR(r.ExpectEnd());
+  return stats;
 }
 
 }  // namespace net

@@ -29,6 +29,18 @@
 //   UpdateResponse   f64 charged_epsilon, f64 charged_delta,
 //                    f64 remaining_epsilon, f64 remaining_delta,
 //                    u32 dirty_blocks, f64 wall_ms             [since v3]
+//   ReplicaSubscribe u64 last_epoch_lsn, str replica_name      [since v5]
+//   SnapshotChunk    u32 handle_id, u64 epoch_lsn, str handle_name,
+//                    str mechanism, str workload, u32 num_sections,
+//                    num_sections x (str label, u64 bytes_len, raw bytes,
+//                    u32 crc32c)                               [since v5]
+//   DeltaFrame       u32 handle_id, u64 epoch_lsn, u32 num_patches,
+//                    num_patches x (str label, u64 section_bytes,
+//                    u32 post_crc32c, u32 num_ranges,
+//                    num_ranges x (u64 offset, u64 len, raw bytes))
+//                                                              [since v5]
+//   ReplicaStats     u16 role (NodeRole), u64 last_epoch_lsn,
+//                    u64 queries_served, u64 pairs_served      [since v5]
 //   Error            u16 kind (ErrorKind), u16 status code (StatusCode),
 //                    str message
 //
@@ -36,9 +48,12 @@
 // the UpdateWeights exchange (incremental weight-update epochs against an
 // updatable release) and the kUnsupported error kind; v4 added the
 // StatsResponse recovery extension (whether the server warm-restarted
-// from a persistence directory and what it recovered). Each bump is
-// backward compatible in both directions of a rolling upgrade where
-// servers are upgraded first:
+// from a persistence directory and what it recovered); v5 added the
+// replication exchange (ReplicaSubscribe / SnapshotChunk / DeltaFrame /
+// ReplicaStats, spoken on a coordinator's replication listener) and the
+// StatsResponse cluster extension (node role, last applied epoch LSN,
+// replica fan-out and lag). Each bump is backward compatible in both
+// directions of a rolling upgrade where servers are upgraded first:
 //   * decode: ReadFrame accepts any version in [kMinProtocolVersion,
 //     kProtocolVersion] and reports the peer's version on the Frame;
 //     DecodeServerStats treats a body that ends after the v1 fields as a
@@ -71,23 +86,32 @@
 #include "common/status.h"
 #include "core/distance_oracle.h"
 #include "net/socket.h"
+#include "store/snapshot_delta.h"
 
 namespace dpsp {
 namespace net {
 
 inline constexpr uint32_t kFrameMagic = 0x44505350u;  // "DPSP"
-inline constexpr uint16_t kProtocolVersion = 4;
+inline constexpr uint16_t kProtocolVersion = 5;
 /// Oldest peer version this build still decodes (v1 lacked the
 /// StatsResponse accounting extension, v2 the UpdateWeights exchange,
-/// v3 the StatsResponse recovery extension; everything else is
+/// v3 the StatsResponse recovery extension, v4 the replication exchange
+/// and the StatsResponse cluster extension; everything else is
 /// identical).
 inline constexpr uint16_t kMinProtocolVersion = 1;
 /// First version whose StatsResponse carries the recovery extension.
 inline constexpr uint16_t kRecoveryProtocolVersion = 4;
 /// First version that defines the UpdateWeights exchange.
 inline constexpr uint16_t kUpdateProtocolVersion = 3;
+/// First version that defines the replication exchange and the
+/// StatsResponse cluster extension.
+inline constexpr uint16_t kReplicationProtocolVersion = 5;
 /// Frames above this body size are rejected before allocation: 1M pairs.
 inline constexpr uint32_t kMaxBodyBytes = 16u << 20;
+/// Body-size ceiling on a replication stream, where one SnapshotChunk
+/// carries a whole released image (ReadFrame callers on that stream pass
+/// this instead of kMaxBodyBytes).
+inline constexpr uint32_t kMaxReplicationBodyBytes = 256u << 20;
 
 enum class MessageType : uint16_t {
   kReleaseRequest = 1,
@@ -97,9 +121,27 @@ enum class MessageType : uint16_t {
   kStatsRequest = 5,
   kStatsResponse = 6,
   kError = 7,
-  kUpdateRequest = 8,   // since v3
-  kUpdateResponse = 9,  // since v3
+  kUpdateRequest = 8,       // since v3
+  kUpdateResponse = 9,      // since v3
+  kReplicaSubscribe = 10,   // since v5
+  kSnapshotChunk = 11,      // since v5
+  kDeltaFrame = 12,         // since v5
+  kReplicaStats = 13,       // since v5
 };
+
+/// Where a node sits in the replicated read tier (Stats v5 / the
+/// ReplicaStats role field).
+enum class NodeRole : uint16_t {
+  /// A single node doing both releases and queries (no cluster).
+  kStandalone = 0,
+  /// The budget holder: the only node that executes releases/updates.
+  kCoordinator = 1,
+  /// A read replica: serves queries from replicated images, holds no
+  /// budget, refuses releases/updates with kUnsupported.
+  kReplica = 2,
+};
+
+const char* NodeRoleName(NodeRole role);
 
 /// Machine-readable reason an Error frame was sent. The admission
 /// controller's two rejection paths get distinct kinds so clients can
@@ -228,6 +270,72 @@ struct ServerStats {
   /// Budget charges replayed from the WAL at Start (intents; uncommitted
   /// ones count — intent-without-commit is spent).
   uint64_t recovered_charges = 0;
+
+  /// False when decoded from a pre-v5 peer (the fields below are
+  /// defaults). Not on the wire; set by the decoder.
+  bool has_cluster = false;
+  /// The node's NodeRole, as its wire value.
+  uint16_t role = 0;
+  /// Highest replication epoch this node has applied (a coordinator: the
+  /// epoch it last assigned; a replica: the epoch it last installed).
+  uint64_t last_epoch_lsn = 0;
+  /// Coordinator only: replicas currently subscribed.
+  uint32_t num_replicas = 0;
+  /// Epochs behind: a coordinator reports its lag to the slowest
+  /// subscribed replica; a replica reports how far it trails the
+  /// coordinator epoch it last heard of.
+  uint64_t replica_lag = 0;
+  /// Coordinator only: queries/pairs served across subscribed replicas,
+  /// summed from their ReplicaStats acks (the read tier's aggregate
+  /// throughput next to the coordinator's own counters).
+  uint64_t replica_queries_served = 0;
+  uint64_t replica_pairs_served = 0;
+};
+
+// --------------------------------------------------- replication frames --
+
+/// A replica's opening frame on the coordinator's replication listener.
+struct ReplicaSubscribe {
+  /// Highest epoch the replica has already applied; 0 subscribes from
+  /// scratch. The coordinator replies with whatever closes the gap: base
+  /// snapshot chunks + delta replay, or just the missed deltas.
+  uint64_t last_epoch_lsn = 0;
+  /// Operator-visible name for logs and lag reports.
+  std::string replica_name;
+};
+
+/// One handle's complete released image: the PR 7 snapshot sections with
+/// a per-section CRC32C the installer must verify before materializing.
+struct SnapshotChunk {
+  uint32_t handle_id = 0;
+  uint64_t epoch_lsn = 0;
+  std::string handle_name;
+  std::string mechanism;
+  std::string workload;
+  std::vector<ReleasedSection> sections;
+  /// Parallel to `sections`. The encoder recomputes these from the bytes;
+  /// the decoder returns what the wire carried, so an installer comparing
+  /// them against freshly computed CRCs catches in-flight corruption.
+  std::vector<uint32_t> section_crcs;
+};
+
+/// One update epoch as byte-range patches against the previous image
+/// (store/snapshot_delta.h) — only the dirty dyadic blocks travel.
+struct DeltaFrame {
+  uint32_t handle_id = 0;
+  uint64_t epoch_lsn = 0;
+  std::vector<store::SectionPatch> patches;
+};
+
+/// Bidirectional progress frame: a replica acks every applied epoch with
+/// its role + serve counters (the coordinator's lag tracking and stats
+/// aggregation input); the coordinator sends one after catch-up with its
+/// own LSN so the replica knows the target it is converging to.
+struct ReplicaStatsFrame {
+  uint16_t role = 0;  // NodeRole wire value
+  uint64_t last_epoch_lsn = 0;
+  uint64_t queries_served = 0;
+  uint64_t pairs_served = 0;
 };
 
 /// A decoded Error frame.
@@ -268,6 +376,21 @@ Result<ServerStats> DecodeServerStats(std::span<const uint8_t> body);
 
 std::vector<uint8_t> EncodeError(ErrorKind kind, const Status& status);
 Result<WireError> DecodeError(std::span<const uint8_t> body);
+
+std::vector<uint8_t> EncodeReplicaSubscribe(const ReplicaSubscribe& sub);
+Result<ReplicaSubscribe> DecodeReplicaSubscribe(std::span<const uint8_t> body);
+
+/// Encodes the chunk, recomputing each section's CRC32C from its bytes
+/// (the `section_crcs` field on the argument is ignored).
+std::vector<uint8_t> EncodeSnapshotChunk(const SnapshotChunk& chunk);
+Result<SnapshotChunk> DecodeSnapshotChunk(std::span<const uint8_t> body);
+
+std::vector<uint8_t> EncodeDeltaFrame(const DeltaFrame& frame);
+Result<DeltaFrame> DecodeDeltaFrame(std::span<const uint8_t> body);
+
+std::vector<uint8_t> EncodeReplicaStatsFrame(const ReplicaStatsFrame& stats);
+Result<ReplicaStatsFrame> DecodeReplicaStatsFrame(
+    std::span<const uint8_t> body);
 
 }  // namespace net
 }  // namespace dpsp

@@ -6,8 +6,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/table.h"
@@ -71,9 +73,17 @@ QueryServer::QueryServer(QueryServerOptions options, ReleaseContext context)
   RefreshBudgetSnapshot();
 }
 
+QueryServer::QueryServer(QueryServerOptions options)
+    : options_(std::move(options)),
+      inflight_limit_(DeriveInflightLimit(options_.max_inflight_queries)),
+      executor_(options_.executor) {
+  role_.store(NodeRole::kReplica);
+}
+
 void QueryServer::RefreshBudgetSnapshot() {
-  PrivacyParams spent = context_.SpentTotal();
-  PrivacyParams remaining = context_.RemainingBudget();
+  if (!context_.has_value()) return;  // replica: no ledger to snapshot
+  PrivacyParams spent = context_->SpentTotal();
+  PrivacyParams remaining = context_->RemainingBudget();
   std::lock_guard<std::mutex> lock(budget_mutex_);
   spent_snapshot_ = spent;
   remaining_snapshot_ = remaining;
@@ -109,6 +119,11 @@ Status QueryServer::Start() {
   if (running_.load()) {
     return Status::FailedPrecondition("server is already running");
   }
+  if (replica_mode() && !options_.persistence_dir.empty()) {
+    return Status::FailedPrecondition(
+        "replicas do not persist (they resync from the coordinator); "
+        "unset persistence_dir");
+  }
   // Recover BEFORE the listener binds, so a client can never observe the
   // pre-recovery ledger; the wal_ guard makes a Stop/Start cycle skip the
   // replay (the ledger already holds the recovered charges).
@@ -134,7 +149,7 @@ Status QueryServer::RecoverPersistentState() {
                         store::ReplayBudgetWal(wal_path));
   // Every recovered intent is spent — committed or not — so a crash
   // mid-build can only over-count the ledger, never resurrect budget.
-  DPSP_RETURN_IF_ERROR(store::ApplyWalRecovery(recovery, context_));
+  DPSP_RETURN_IF_ERROR(store::ApplyWalRecovery(recovery, *context_));
   recovered_charges_ = recovery.charges.size();
   if (recovery.discarded_tail_bytes > 0) {
     // Drop the torn tail before appending again: new records written
@@ -206,6 +221,9 @@ Status QueryServer::RecoverPersistentState() {
     handles_.push_back({meta.handle, meta.mechanism, workload->name,
                         std::shared_ptr<DistanceOracle>(std::move(oracle)),
                         std::make_shared<std::shared_mutex>(), path});
+    // The epoch clock resumes past everything recovered, so post-restart
+    // releases stamp fresh LSNs.
+    BumpEpochLsn(reader.epoch_lsn());
   }
   recovered_handles_ = static_cast<uint32_t>(snapshot_files.size());
   warm_restart_ = recovery.records > 0 || recovered_handles_ > 0;
@@ -215,7 +233,7 @@ Status QueryServer::RecoverPersistentState() {
   DPSP_ASSIGN_OR_RETURN(wal_, store::BudgetWal::Open(wal_path,
                                                      recovery.next_lsn));
   wal_hook_ = std::make_unique<store::WalDurabilityHook>(wal_.get());
-  context_.SetDurabilityHook(wal_hook_.get());
+  context_->SetDurabilityHook(wal_hook_.get());
   RefreshBudgetSnapshot();
   return Status::Ok();
 }
@@ -247,13 +265,105 @@ ServerStats QueryServer::stats() const {
   stats.overload_rejected = counters_.overload_rejected.load();
   {
     std::lock_guard<std::mutex> lock(handles_mutex_);
-    stats.open_handles = static_cast<uint32_t>(handles_.size());
+    // Count live handles: a replica's table may hold empty gap entries
+    // for ids it has not received yet.
+    uint32_t open = 0;
+    for (const HandleEntry& handle : handles_) {
+      if (handle.oracle != nullptr) ++open;
+    }
+    stats.open_handles = open;
   }
   stats.has_recovery = true;
   stats.warm_restart = warm_restart_;
   stats.recovered_handles = recovered_handles_;
   stats.recovered_charges = recovered_charges_;
+  stats.has_cluster = true;
+  stats.role = static_cast<uint16_t>(role_.load());
+  stats.last_epoch_lsn = epoch_lsn_.load();
+  {
+    std::lock_guard<std::mutex> lock(cluster_stats_mutex_);
+    if (cluster_stats_fn_) cluster_stats_fn_(stats);
+  }
   return stats;
+}
+
+void QueryServer::BumpEpochLsn(uint64_t lsn) {
+  uint64_t current = epoch_lsn_.load();
+  while (lsn > current &&
+         !epoch_lsn_.compare_exchange_weak(current, lsn)) {
+  }
+}
+
+void QueryServer::SetReplicationObserver(ReplicationObserver* observer) {
+  std::lock_guard<std::mutex> lock(ledger_mutex_);
+  replication_observer_ = observer;
+}
+
+void QueryServer::SetClusterStatsProvider(ClusterStatsFn fn) {
+  std::lock_guard<std::mutex> lock(cluster_stats_mutex_);
+  cluster_stats_fn_ = std::move(fn);
+}
+
+void QueryServer::NotifyReplication(uint32_t handle_id, uint64_t epoch_lsn,
+                                    bool is_update, const std::string& name,
+                                    const std::string& mechanism,
+                                    const std::string& workload,
+                                    const DistanceOracle& oracle) {
+  if (replication_observer_ == nullptr) return;
+  std::vector<ReleasedSection> sections;
+  // Unimplemented: the mechanism has no released-state serialization, so
+  // it cannot be replicated (exactly the handles that also cannot be
+  // snapshotted — replicas answer kNotFound for them).
+  if (!oracle.SaveReleasedState(&sections).ok()) return;
+  replication_observer_->OnHandleImage(handle_id, epoch_lsn, is_update,
+                                       name, mechanism, workload,
+                                       std::move(sections));
+}
+
+Status QueryServer::InstallReplicaHandle(
+    uint32_t handle_id, const std::string& name,
+    const std::string& mechanism, const std::string& workload,
+    std::shared_ptr<DistanceOracle> oracle) {
+  if (oracle == nullptr) {
+    return Status::InvalidArgument("replica install needs an oracle");
+  }
+  // A coordinator assigns handle ids densely; a wildly sparse id is a
+  // corrupt or hostile stream, not a gap to pad.
+  constexpr uint32_t kMaxHandleId = 1u << 20;
+  if (handle_id > kMaxHandleId) {
+    return Status::OutOfRange(
+        StrFormat("replicated handle id %u exceeds the sanity ceiling",
+                  handle_id));
+  }
+  std::lock_guard<std::mutex> lock(handles_mutex_);
+  while (handles_.size() <= handle_id) {
+    handles_.push_back({"", "", "", nullptr,
+                        std::make_shared<std::shared_mutex>(), ""});
+  }
+  HandleEntry& entry = handles_[handle_id];
+  entry.name = name;
+  entry.mechanism = mechanism;
+  entry.workload = workload;
+  // Swap, don't mutate: in-flight batches hold the old oracle via their
+  // shared_ptr and finish against a consistent image; new batches pick up
+  // the new one on their next LookupHandle.
+  entry.oracle = std::move(oracle);
+  return Status::Ok();
+}
+
+const Graph* QueryServer::WorkloadGraph(const std::string& name) const {
+  for (const Workload& workload : workloads_) {
+    if (workload.name == name) return &workload.graph;
+  }
+  return nullptr;
+}
+
+const EdgeWeights* QueryServer::WorkloadWeights(
+    const std::string& name) const {
+  for (const Workload& workload : workloads_) {
+    if (workload.name == name) return &workload.weights;
+  }
+  return nullptr;
 }
 
 void QueryServer::AcceptLoop() {
@@ -368,6 +478,16 @@ bool QueryServer::DispatchFrame(Socket& socket, const Frame& frame) {
 void QueryServer::HandleRelease(Socket& socket,
                                 std::span<const uint8_t> body,
                                 uint16_t version) {
+  if (replica_mode()) {
+    // Not a budget rejection (budget_rejected stays untouched): this node
+    // simply has no ledger. The failover-aware client routes releases to
+    // the coordinator.
+    SendError(socket, ErrorKind::kUnsupported,
+              Status::FailedPrecondition(
+                  "this node is a read replica; releases run on the "
+                  "coordinator"), version);
+    return;
+  }
   Result<ReleaseRequest> request = DecodeReleaseRequest(body);
   if (!request.ok()) {
     SendError(socket, ErrorKind::kMalformed, request.status(), version);
@@ -422,7 +542,7 @@ void QueryServer::HandleRelease(Socket& socket,
     // construction cost — that check is the release half of admission
     // control.
     Result<std::unique_ptr<DistanceOracle>> built = registry.Create(
-        request->mechanism, workload->graph, workload->weights, context_);
+        request->mechanism, workload->graph, workload->weights, *context_);
     if (!built.ok()) {
       if (built.status().code() == StatusCode::kFailedPrecondition) {
         counters_.budget_rejected.fetch_add(1);
@@ -431,12 +551,15 @@ void QueryServer::HandleRelease(Socket& socket,
                 version);
       return;
     }
-    if (const ReleaseTelemetry* t = context_.last_telemetry()) {
+    if (const ReleaseTelemetry* t = context_->last_telemetry()) {
       info.epsilon = t->epsilon;
       info.delta = t->delta;
       info.wall_ms = t->wall_ms;
     }
     std::shared_ptr<DistanceOracle> oracle(std::move(built).value());
+    // Each granted release is one replication epoch (bumped under the
+    // ledger lock, so LSNs assign in the same order observers see them).
+    const uint64_t epoch_lsn = epoch_lsn_.fetch_add(1) + 1;
     std::string snapshot_path;
     if (wal_ != nullptr) {
       snapshot_path = StrFormat("%s/handle-%06u.snap",
@@ -454,7 +577,8 @@ void QueryServer::HandleRelease(Socket& socket,
     if (!snapshot_path.empty()) {
       store::OracleSnapshotMeta meta{request->mechanism, workload->name,
                                      request->handle_name};
-      Status saved = store::SaveOracleSnapshot(snapshot_path, *oracle, meta);
+      Status saved = store::SaveOracleSnapshot(snapshot_path, *oracle, meta,
+                                               epoch_lsn);
       if (saved.code() == StatusCode::kUnimplemented) {
         // The mechanism has no released-state serialization: serve it,
         // but it will not survive a restart (its budget charge, already
@@ -474,6 +598,11 @@ void QueryServer::HandleRelease(Socket& socket,
         return;
       }
     }
+    // Durability first, then replication: the observer ships an image the
+    // coordinator has already made crash-safe.
+    NotifyReplication(info.handle_id, epoch_lsn, /*is_update=*/false,
+                      request->handle_name, request->mechanism,
+                      workload->name, *oracle);
     RefreshBudgetSnapshot();  // still under the ledger lock
   }
   counters_.releases_granted.fetch_add(1);
@@ -516,6 +645,10 @@ void QueryServer::HandleQuery(Socket& socket, std::span<const uint8_t> body,
                   request->pairs.size(), options_.max_pairs_per_query)), version);
     return;
   }
+  // Per-node capacity ceiling: the batch waits for its admission slot
+  // (delayed, never shed), so sustained throughput tops out at the
+  // configured pairs/sec no matter how hard the closed loop pushes.
+  PaceQueryAdmission(request->pairs.size());
   std::shared_ptr<DistanceOracle> oracle;
   std::shared_ptr<std::shared_mutex> guard;
   LookupHandle(request->handle_id, &oracle, &guard);
@@ -541,8 +674,36 @@ void QueryServer::HandleQuery(Socket& socket, std::span<const uint8_t> body,
   WriteFrame(socket, MessageType::kQueryResponse, response, version);
 }
 
+void QueryServer::PaceQueryAdmission(size_t pairs) {
+  if (options_.max_query_pairs_per_sec <= 0) return;
+  // Virtual-clock pacer: each batch reserves pairs/rate seconds behind
+  // the previous admission and sleeps until its slot arrives. Admitted
+  // starts are therefore spaced at exactly the configured rate; the
+  // connection thread blocks, so no retry storm and no shed work.
+  std::chrono::steady_clock::time_point slot;
+  {
+    std::lock_guard<std::mutex> lock(pace_mutex_);
+    const auto now = std::chrono::steady_clock::now();
+    if (pace_next_ < now) pace_next_ = now;
+    slot = pace_next_;
+    pace_next_ +=
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(
+                static_cast<double>(pairs) /
+                options_.max_query_pairs_per_sec));
+  }
+  std::this_thread::sleep_until(slot);
+}
+
 void QueryServer::HandleUpdate(Socket& socket, std::span<const uint8_t> body,
                                uint16_t version) {
+  if (replica_mode()) {
+    SendError(socket, ErrorKind::kUnsupported,
+              Status::FailedPrecondition(
+                  "this node is a read replica; update epochs run on the "
+                  "coordinator"), version);
+    return;
+  }
   if (version < kUpdateProtocolVersion) {
     // The peer's own protocol does not define this exchange; acting on it
     // would be guessing at semantics the peer never agreed to.
@@ -591,7 +752,8 @@ void QueryServer::HandleUpdate(Socket& socket, std::span<const uint8_t> body,
     // matching HandleRelease's ledger-then-handles discipline.
     std::lock_guard<std::mutex> ledger_lock(ledger_mutex_);
     std::unique_lock<std::shared_mutex> write_lock(*guard);
-    Status applied = updatable->ApplyWeightUpdates(request->deltas, context_);
+    Status applied = updatable->ApplyWeightUpdates(request->deltas,
+                                                   *context_);
     if (!applied.ok()) {
       if (applied.code() == StatusCode::kFailedPrecondition) {
         counters_.budget_rejected.fetch_add(1);
@@ -604,14 +766,15 @@ void QueryServer::HandleUpdate(Socket& socket, std::span<const uint8_t> body,
     info.charged_epsilon = stats.charged_epsilon;
     info.charged_delta = 0.0;  // partial releases charge in pure currency
     info.dirty_blocks = static_cast<uint32_t>(stats.dirty_blocks);
-    if (const ReleaseTelemetry* t = context_.last_telemetry();
+    if (const ReleaseTelemetry* t = context_->last_telemetry();
         t != nullptr && stats.dirty_edges > 0) {
       info.wall_ms = t->wall_ms;
     }
-    PrivacyParams remaining = context_.RemainingBudget();
+    PrivacyParams remaining = context_->RemainingBudget();
     info.remaining_epsilon = remaining.epsilon;
     info.remaining_delta = remaining.delta;
     RefreshBudgetSnapshot();  // still under the ledger lock
+    const uint64_t epoch_lsn = epoch_lsn_.fetch_add(1) + 1;
     std::string snapshot_path;
     store::OracleSnapshotMeta meta;
     {
@@ -627,8 +790,14 @@ void QueryServer::HandleUpdate(Socket& socket, std::span<const uint8_t> body,
       // epoch's complete file, so a crash now recovers the pre-update
       // oracle while the WAL still charges the epoch — conservative, and
       // the client's update already took effect in memory.
-      (void)store::SaveOracleSnapshot(snapshot_path, *oracle, meta);
+      (void)store::SaveOracleSnapshot(snapshot_path, *oracle, meta,
+                                      epoch_lsn);
     }
+    // Ship the post-epoch image while the writer lock still excludes
+    // queries: the observer diffs it against the previous epoch to build
+    // the dirty-block delta replicas apply.
+    NotifyReplication(request->handle_id, epoch_lsn, /*is_update=*/true,
+                      meta.handle, meta.mechanism, meta.workload, *oracle);
   }
   std::vector<uint8_t> response = EncodeUpdateInfo(info);
   WriteFrame(socket, MessageType::kUpdateResponse, response, version);
@@ -637,17 +806,19 @@ void QueryServer::HandleUpdate(Socket& socket, std::span<const uint8_t> body,
 void QueryServer::HandleStats(Socket& socket, uint16_t version) {
   ServerStats snapshot = stats();
   snapshot.has_accounting = true;
-  // The policy never changes after construction; the budget position is
-  // served from the post-commit snapshot so a stats poll is O(1) even
-  // while a release build holds the ledger lock for seconds.
-  snapshot.accounting_policy = static_cast<uint16_t>(context_.policy());
-  {
+  if (context_.has_value()) {
+    // The policy never changes after construction; the budget position is
+    // served from the post-commit snapshot so a stats poll is O(1) even
+    // while a release build holds the ledger lock for seconds.
+    snapshot.accounting_policy = static_cast<uint16_t>(context_->policy());
     std::lock_guard<std::mutex> lock(budget_mutex_);
     snapshot.spent_epsilon = spent_snapshot_.epsilon;
     snapshot.spent_delta = spent_snapshot_.delta;
     snapshot.remaining_epsilon = remaining_snapshot_.epsilon;
     snapshot.remaining_delta = remaining_snapshot_.delta;
   }
+  // Replica: the accounting fields stay zero — the budget lives on the
+  // coordinator, and role (v5) tells the client which node it asked.
   std::vector<uint8_t> response = EncodeServerStats(snapshot, version);
   WriteFrame(socket, MessageType::kStatsResponse, response, version);
 }

@@ -26,12 +26,23 @@
 // table hands out shared_ptrs so a handle stays alive for the duration of
 // any in-flight batch.
 
+// Replica mode (protocol v5): a QueryServer constructed WITHOUT a
+// ReleaseContext is a read replica. It holds no ledger, no accountant,
+// and no noise stream — it cannot release or update even by accident;
+// both paths answer kUnsupported. Its handle table is fed by
+// cluster::Replica installing images the coordinator shipped, and its
+// query path is byte-for-byte the standalone one, so replicated answers
+// are bit-identical to the coordinator's.
+
 #ifndef DPSP_NET_SERVER_H_
 #define DPSP_NET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <thread>
@@ -64,6 +75,12 @@ struct QueryServerOptions {
   /// Largest pair count in one QueryRequest; larger is a kTooLarge error
   /// (clients split batches instead of the server buffering hugely).
   uint32_t max_pairs_per_query = 1u << 20;
+  /// Admission pacing: sustained pairs-per-second ceiling on the query
+  /// path (0 = unpaced). Batches over the rate are DELAYED, never shed —
+  /// this is the per-node capacity model for a replicated read tier,
+  /// where aggregate admitted throughput is endpoint count x this rate.
+  /// Orthogonal to max_inflight_queries, which sheds bursts.
+  double max_query_pairs_per_sec = 0.0;
   /// Sharding configuration for the per-request BatchExecutor fan-out.
   BatchExecutorOptions executor;
   /// Directory for crash-safe state (created if absent). When set, Start
@@ -82,10 +99,32 @@ struct QueryServerOptions {
 /// The serving front end over one ReleaseContext ledger.
 class QueryServer {
  public:
+  /// Ordered feed of every granted release and applied update epoch, as
+  /// the released image it produced. Called under the ledger lock, so
+  /// invocations arrive in epoch-LSN order — exactly the stream replicas
+  /// must apply to stay bit-identical. Oracles that do not implement
+  /// SaveReleasedState produce no call (they cannot be replicated).
+  class ReplicationObserver {
+   public:
+    virtual ~ReplicationObserver() = default;
+    virtual void OnHandleImage(uint32_t handle_id, uint64_t epoch_lsn,
+                               bool is_update, const std::string& name,
+                               const std::string& mechanism,
+                               const std::string& workload,
+                               std::vector<ReleasedSection> sections) = 0;
+  };
+
   /// The context is the server's single budget ledger: install a total
   /// budget (ReleaseContext::SetTotalBudget) before handing it over to
   /// make the admission controller enforce a hard release ceiling.
   QueryServer(QueryServerOptions options, ReleaseContext context);
+
+  /// Replica mode: no ledger, no accountant, no releases. Handles arrive
+  /// through InstallReplicaHandle (driven by cluster::Replica); release
+  /// and update requests answer kUnsupported. Replicas never persist —
+  /// they resync from the coordinator — so persistence_dir must be empty.
+  explicit QueryServer(QueryServerOptions options);
+
   ~QueryServer();
 
   QueryServer(const QueryServer&) = delete;
@@ -118,7 +157,57 @@ class QueryServer {
   /// The ledger after whatever the remote clients did — telemetry rows,
   /// composed totals. Not synchronized with in-flight releases; read it
   /// when the server is quiesced (tests) or treat it as a snapshot.
-  const ReleaseContext& context() const { return context_; }
+  /// Budget-holding servers only; a replica has no ledger to return.
+  const ReleaseContext& context() const { return *context_; }
+
+  /// True when constructed without a ledger (the replica-mode ctor).
+  bool replica_mode() const { return !context_.has_value(); }
+
+  /// This node's place in the read tier, for Stats v5. Defaults to
+  /// kStandalone (kReplica for the replica ctor); cluster::Coordinator
+  /// promotes its server to kCoordinator.
+  void set_role(NodeRole role) { role_.store(role); }
+  NodeRole role() const { return role_.load(); }
+
+  /// Highest replication epoch this node has assigned (coordinator) or
+  /// applied (replica). Monotone; 0 before any release.
+  uint64_t last_epoch_lsn() const { return epoch_lsn_.load(); }
+
+  /// Raises last_epoch_lsn to `lsn` (monotone max — replay of an older
+  /// frame never moves it backwards). The replica install path.
+  void BumpEpochLsn(uint64_t lsn);
+
+  /// Subscribes `observer` to the release/update image stream (nullptr
+  /// unsubscribes). The pointer is non-owning and must outlive the
+  /// server or be cleared first.
+  void SetReplicationObserver(ReplicationObserver* observer);
+
+  /// Installs `fn` to fill the Stats v5 cluster aggregation fields
+  /// (num_replicas, replica_lag, replica serve counters) on every stats
+  /// snapshot — the coordinator/replica objects own that state.
+  using ClusterStatsFn = std::function<void(ServerStats&)>;
+  void SetClusterStatsProvider(ClusterStatsFn fn);
+
+  /// Publishes (or atomically replaces) a replicated handle at
+  /// `handle_id`, mirroring the coordinator's dense id assignment. Gaps
+  /// up to the id are padded with empty entries that answer kNotFound.
+  /// The swap happens under the handle-table lock only: in-flight query
+  /// batches keep the old oracle alive through their shared_ptr, and the
+  /// new oracle is never mutated in place, so no writer lock is needed.
+  Status InstallReplicaHandle(uint32_t handle_id, const std::string& name,
+                              const std::string& mechanism,
+                              const std::string& workload,
+                              std::shared_ptr<DistanceOracle> oracle);
+
+  /// The named workload's topology/weights, or nullptr. Workloads are
+  /// fixed after Start, so the returned pointers stay valid while the
+  /// server lives (the replica materialization path reads them).
+  const Graph* WorkloadGraph(const std::string& name) const;
+  const EdgeWeights* WorkloadWeights(const std::string& name) const;
+
+  /// The executor handles are placed/queried through (NUMA placement for
+  /// freshly installed replica images).
+  const BatchExecutor& executor() const { return executor_; }
 
  private:
   struct Workload {
@@ -175,6 +264,9 @@ class QueryServer {
                      uint16_t version);
   void HandleQuery(Socket& socket, std::span<const uint8_t> body,
                    uint16_t version);
+  /// Sleeps the connection thread until the batch's admission slot under
+  /// options_.max_query_pairs_per_sec (no-op when unpaced).
+  void PaceQueryAdmission(size_t pairs);
   /// One incremental update epoch (v3): validated, budget-checked at its
   /// dirty-fraction price, applied under the handle's writer lock and the
   /// ledger lock (one noise stream), answered with the charged loss and
@@ -184,13 +276,22 @@ class QueryServer {
   void HandleStats(Socket& socket, uint16_t version);
   void SendError(Socket& socket, ErrorKind kind, const Status& status,
                  uint16_t version = kProtocolVersion);
+  /// Extracts the oracle's released image and hands it to the observer
+  /// (no-op without an observer or for non-persisting oracles). Call
+  /// under ledger_mutex_ so the stream arrives in LSN order.
+  void NotifyReplication(uint32_t handle_id, uint64_t epoch_lsn,
+                         bool is_update, const std::string& name,
+                         const std::string& mechanism,
+                         const std::string& workload,
+                         const DistanceOracle& oracle);
 
   const QueryServerOptions options_;
   const int inflight_limit_;
 
   // Releases serialize on this mutex: one ledger, one noise stream.
   std::mutex ledger_mutex_;
-  ReleaseContext context_;
+  // Absent in replica mode: a replica holds no budget, draws no noise.
+  std::optional<ReleaseContext> context_;
 
   // The ledger's budget position, snapshotted after every committed
   // release. ledger_mutex_ is held across whole oracle builds, so stats
@@ -218,8 +319,25 @@ class QueryServer {
   uint32_t recovered_handles_ = 0;
   uint64_t recovered_charges_ = 0;
 
+  // Replication epoch clock: bumped under the ledger lock for every
+  // granted release and applied update epoch; replicas set it from the
+  // frames they install. Atomic so stats polls read it lock-free.
+  std::atomic<uint64_t> epoch_lsn_{0};
+  std::atomic<NodeRole> role_{NodeRole::kStandalone};
+  // Set under ledger_mutex_, read under it (the notify path).
+  ReplicationObserver* replication_observer_ = nullptr;
+  // Fills the Stats v5 aggregation fields; guarded by its own mutex (the
+  // provider is installed after Start, when stats may already be polled).
+  mutable std::mutex cluster_stats_mutex_;
+  ClusterStatsFn cluster_stats_fn_;
+
   BatchExecutor executor_;
   std::atomic<int> inflight_queries_{0};
+
+  // Admission pacer: virtual start time of the next admitted batch.
+  // Meaningful only when options_.max_query_pairs_per_sec > 0.
+  std::mutex pace_mutex_;
+  std::chrono::steady_clock::time_point pace_next_{};
 
   Listener listener_;
   std::thread accept_thread_;

@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -102,6 +103,10 @@ Status Socket::ReadAll(void* data, size_t n) {
     ssize_t r = recv(fd_, p + got, n - got, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired (see SetRecvTimeout).
+        return Status::Unavailable("recv timed out mid-message");
+      }
       return ErrnoStatus("recv");
     }
     if (r == 0) {
@@ -109,6 +114,21 @@ Status Socket::ReadAll(void* data, size_t n) {
       return Status::Internal("connection closed mid-message");
     }
     got += static_cast<size_t>(r);
+  }
+  return Status::Ok();
+}
+
+Status Socket::SetRecvTimeout(int timeout_ms) {
+  if (!valid()) {
+    return Status::FailedPrecondition("set timeout on closed socket");
+  }
+  timeval tv{};
+  if (timeout_ms > 0) {
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+  }
+  if (setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoStatus("setsockopt(SO_RCVTIMEO)");
   }
   return Status::Ok();
 }

@@ -53,6 +53,14 @@ class Socket {
   /// monotonic deadline, they never shorten or fail it.
   Status WaitReadable(int timeout_ms);
 
+  /// Arms a kernel receive timeout (SO_RCVTIMEO): a ReadAll that stalls
+  /// mid-buffer for longer than `timeout_ms` fails with kUnavailable
+  /// instead of blocking forever. WaitReadable only guards the *first*
+  /// byte of a frame; this guards every byte after it, so a peer that
+  /// sends a frame header and then wedges (a torn replication frame)
+  /// cannot hang the reader. `timeout_ms` <= 0 disables the timeout.
+  Status SetRecvTimeout(int timeout_ms);
+
   /// Shuts down both directions without closing the fd: unblocks a peer
   /// (or another thread of this process) blocked in ReadAll.
   void ShutdownBoth();

@@ -39,7 +39,8 @@ Status ReadString(std::span<const uint8_t> bytes, size_t* pos,
 
 Status SaveOracleSnapshot(const std::string& path,
                           const DistanceOracle& oracle,
-                          const OracleSnapshotMeta& meta) {
+                          const OracleSnapshotMeta& meta,
+                          uint64_t epoch_lsn) {
   if (meta.mechanism.empty()) {
     return Status::InvalidArgument("snapshot meta needs a mechanism name");
   }
@@ -58,7 +59,7 @@ Status SaveOracleSnapshot(const std::string& path,
                     meta.mechanism.c_str(), kOracleMetaLabel));
     }
   }
-  return WriteSnapshot(path, sections);
+  return WriteSnapshot(path, sections, epoch_lsn);
 }
 
 Result<OracleSnapshotMeta> ReadOracleSnapshotMeta(

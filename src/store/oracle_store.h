@@ -42,12 +42,14 @@ struct OracleSnapshotMeta {
 /// not emit a section with this label from SaveReleasedState.
 inline constexpr const char* kOracleMetaLabel = "__meta__";
 
-/// Saves `oracle`'s released state plus `meta` atomically at `path`.
-/// Fails with Unimplemented for oracles that do not persist released
-/// state, without touching the destination file.
+/// Saves `oracle`'s released state plus `meta` atomically at `path`,
+/// stamping `epoch_lsn` (the curator's release/update epoch) on the
+/// container header. Fails with Unimplemented for oracles that do not
+/// persist released state, without touching the destination file.
 Status SaveOracleSnapshot(const std::string& path,
                           const DistanceOracle& oracle,
-                          const OracleSnapshotMeta& meta);
+                          const OracleSnapshotMeta& meta,
+                          uint64_t epoch_lsn = 0);
 
 /// Decodes the "__meta__" section of an open snapshot.
 Result<OracleSnapshotMeta> ReadOracleSnapshotMeta(const SnapshotReader& reader);

@@ -106,7 +106,8 @@ Status FsyncDirOf(const std::string& path) {
 }  // namespace
 
 Status WriteSnapshot(const std::string& path,
-                     std::span<const ReleasedSection> sections) {
+                     std::span<const ReleasedSection> sections,
+                     uint64_t epoch_lsn) {
   std::set<std::string_view> labels;
   for (const ReleasedSection& section : sections) {
     if (section.label.empty()) {
@@ -148,7 +149,8 @@ Status WriteSnapshot(const std::string& path,
   PutU64(&header, table_offset);
   PutU64(&header, table.size());
   PutU32(&header, Crc32c(table.data(), table.size()));
-  PutU32(&header, Crc32c(header.data(), header.size()));  // first 36 bytes
+  PutU64(&header, epoch_lsn);
+  PutU32(&header, Crc32c(header.data(), header.size()));  // first 44 bytes
   header.resize(kHeaderBytes, 0);
   std::memcpy(file.data(), header.data(), kHeaderBytes);
   for (size_t i = 0; i < sections.size(); ++i) {
@@ -186,6 +188,7 @@ SnapshotReader& SnapshotReader::operator=(SnapshotReader&& other) noexcept {
     if (map_ != nullptr) munmap(map_, map_bytes_);
     map_ = std::exchange(other.map_, nullptr);
     map_bytes_ = std::exchange(other.map_bytes_, 0);
+    epoch_lsn_ = std::exchange(other.epoch_lsn_, 0);
     sections_ = std::move(other.sections_);
     other.sections_.clear();
   }
@@ -234,7 +237,7 @@ Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
   const uint8_t* data = static_cast<const uint8_t*>(map);
 
   Cursor header(data, kHeaderBytes);
-  uint64_t magic = 0, table_offset = 0, table_bytes = 0;
+  uint64_t magic = 0, table_offset = 0, table_bytes = 0, epoch_lsn = 0;
   uint32_t version = 0, num_sections = 0, table_crc = 0, header_crc = 0;
   header.ReadU64(&magic);
   header.ReadU32(&version);
@@ -242,15 +245,21 @@ Result<SnapshotReader> SnapshotReader::Open(const std::string& path) {
   header.ReadU64(&table_offset);
   header.ReadU64(&table_bytes);
   header.ReadU32(&table_crc);
+  if (magic != kSnapshotMagic) return Corrupt(path, "bad magic");
+  // The version picks the header shape (v2 inserted the epoch LSN before
+  // the header CRC), so it gates parsing; its own bytes are still under
+  // the CRC checked right after.
+  if (version < kMinSnapshotFormatVersion ||
+      version > kSnapshotFormatVersion) {
+    return Corrupt(path, StrFormat("unsupported format version %u", version));
+  }
+  if (version >= 2) header.ReadU64(&epoch_lsn);
   const size_t crc_covered = header.pos();
   header.ReadU32(&header_crc);
-  if (magic != kSnapshotMagic) return Corrupt(path, "bad magic");
   if (header_crc != Crc32c(data, crc_covered)) {
     return Corrupt(path, "header checksum mismatch");
   }
-  if (version != kSnapshotFormatVersion) {
-    return Corrupt(path, StrFormat("unsupported format version %u", version));
-  }
+  reader.epoch_lsn_ = epoch_lsn;
   if (table_offset < kHeaderBytes || table_offset > file_bytes ||
       table_bytes > file_bytes - table_offset) {
     return Corrupt(path, "section table lies outside the file");

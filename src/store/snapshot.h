@@ -6,10 +6,13 @@
 //   [ 64-byte header | section payloads, each 64-byte aligned | table ]
 //
 //   header  (64 bytes, little-endian):
-//     u64 magic "DPSPSNP1"   u32 format_version (=1)   u32 num_sections
+//     u64 magic "DPSPSNP1"   u32 format_version (=2)   u32 num_sections
 //     u64 table_offset       u64 table_bytes
-//     u32 table_crc32c       u32 header_crc32c (over the first 36 bytes)
-//     24 zero pad bytes
+//     u32 table_crc32c       u64 epoch_lsn (v2)
+//     u32 header_crc32c (over the first 44 bytes)
+//     16 zero pad bytes
+//   (format v1 had no epoch_lsn: header_crc32c sat at offset 36 over the
+//   first 36 bytes. Readers accept both; v1 snapshots read as epoch 0.)
 //   table entry (variable, little-endian), num_sections times:
 //     u32 label_len   label bytes
 //     u64 payload_offset   u64 payload_bytes   u32 payload_crc32c
@@ -43,13 +46,17 @@ namespace dpsp {
 namespace store {
 
 inline constexpr uint64_t kSnapshotMagic = 0x31504E5350535044ULL;  // DPSPSNP1
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
+/// Oldest format this build still reads (v1 lacked the epoch LSN).
+inline constexpr uint32_t kMinSnapshotFormatVersion = 1;
 
 /// Atomically writes `sections` as a snapshot at `path` (temp file +
 /// fsync + rename + directory fsync). Section labels must be non-empty
-/// and unique.
+/// and unique. `epoch_lsn` stamps the replication epoch the image
+/// corresponds to (0 for a standalone curator's releases).
 Status WriteSnapshot(const std::string& path,
-                     std::span<const ReleasedSection> sections);
+                     std::span<const ReleasedSection> sections,
+                     uint64_t epoch_lsn = 0);
 
 /// Maps a snapshot file read-only and validates every checksum eagerly.
 /// sections() are zero-copy views into the mapping, valid while the
@@ -70,6 +77,10 @@ class SnapshotReader {
 
   std::span<const ReleasedSectionView> sections() const { return sections_; }
 
+  /// The replication epoch stamped on the file (0 for format-v1 files and
+  /// standalone curators).
+  uint64_t epoch_lsn() const { return epoch_lsn_; }
+
   /// The section labeled `label`, or nullptr.
   const ReleasedSectionView* Find(std::string_view label) const;
 
@@ -78,6 +89,7 @@ class SnapshotReader {
 
   void* map_ = nullptr;
   size_t map_bytes_ = 0;
+  uint64_t epoch_lsn_ = 0;
   std::vector<ReleasedSectionView> sections_;
 };
 

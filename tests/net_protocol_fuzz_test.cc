@@ -1,9 +1,10 @@
-// Malformed / truncated / wrong-version frame handling, protocol v1-v3:
+// Malformed / truncated / wrong-version frame handling, protocol v1-v5:
 // a fuzz-ish table of short, oversized, and mis-stamped bodies against
-// every wire decoder, plus raw-socket abuse of a live server — which must
-// answer a typed Error (or hang up cleanly) and keep serving, never hang
-// or crash. The wire decoders parse untrusted bytes; this file is their
-// adversarial suite.
+// every wire decoder — the v5 replication frames included — plus
+// raw-socket abuse of a live server, a live coordinator listener, and a
+// live replica sync loop. All of them must answer a typed Error (or hang
+// up cleanly) and keep serving, never hang or crash. The wire decoders
+// parse untrusted bytes; this file is their adversarial suite.
 
 #include <algorithm>
 #include <cstdint>
@@ -14,9 +15,12 @@
 
 #include <gtest/gtest.h>
 
+#include "cluster/coordinator.h"
+#include "cluster/replica.h"
 #include "graph/generators.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "store/snapshot_delta.h"
 #include "test_util.h"
 
 namespace dpsp {
@@ -80,15 +84,17 @@ std::vector<DecoderCase> AllDecoderCases() {
   net::ServerStats stats;
   stats.queries_served = 11;
   stats.has_accounting = true;
-  std::vector<uint8_t> stats_v2 = net::EncodeServerStats(stats, 2);
-  std::vector<uint8_t> stats_v1 = net::EncodeServerStats(stats, 1);
-  cases.push_back({"server-stats", stats_v2,
+  std::vector<uint8_t> stats_v5 = net::EncodeServerStats(stats, 5);
+  cases.push_back({"server-stats", stats_v5,
                    [](std::span<const uint8_t> b) {
                      return net::DecodeServerStats(b).status();
                    },
-                   // The v1 body is a legal prefix of the v2 body: a
-                   // truncation AT that boundary is a v1 peer, not junk.
-                   {stats_v1.size()}});
+                   // Older stats bodies are legal prefixes of the v5 one:
+                   // a truncation AT a version boundary is an old peer,
+                   // not junk. Every other cut is.
+                   {net::EncodeServerStats(stats, 1).size(),
+                    net::EncodeServerStats(stats, 3).size(),
+                    net::EncodeServerStats(stats, 4).size()}});
   cases.push_back(
       {"error", net::EncodeError(net::ErrorKind::kOverloaded,
                                  Status::Unavailable("busy")),
@@ -96,6 +102,54 @@ std::vector<DecoderCase> AllDecoderCases() {
          return net::DecodeError(b).status();
        },
        {}});
+  // -- the v5 replication frames --
+  net::ReplicaSubscribe subscribe;
+  subscribe.last_epoch_lsn = 41;
+  subscribe.replica_name = "replica-a";
+  cases.push_back({"replica-subscribe",
+                   net::EncodeReplicaSubscribe(subscribe),
+                   [](std::span<const uint8_t> b) {
+                     return net::DecodeReplicaSubscribe(b).status();
+                   },
+                   {}});
+  net::SnapshotChunk chunk;
+  chunk.handle_id = 2;
+  chunk.epoch_lsn = 7;
+  chunk.handle_name = "live";
+  chunk.mechanism = "tree-hld";
+  chunk.workload = "path";
+  ReleasedSection section;
+  section.label = "blocks";
+  section.bytes = {1, 2, 3, 4, 5, 6, 7, 8};
+  chunk.sections = {section};
+  cases.push_back({"snapshot-chunk", net::EncodeSnapshotChunk(chunk),
+                   [](std::span<const uint8_t> b) {
+                     return net::DecodeSnapshotChunk(b).status();
+                   },
+                   {}});
+  net::DeltaFrame delta;
+  delta.handle_id = 2;
+  delta.epoch_lsn = 8;
+  store::SectionPatch patch;
+  patch.label = "blocks";
+  patch.section_bytes = 8;
+  patch.ranges.push_back(store::SectionRange{4, {9, 9}});
+  delta.patches = {patch};
+  cases.push_back({"delta-frame", net::EncodeDeltaFrame(delta),
+                   [](std::span<const uint8_t> b) {
+                     return net::DecodeDeltaFrame(b).status();
+                   },
+                   {}});
+  net::ReplicaStatsFrame ack;
+  ack.role = 2;
+  ack.last_epoch_lsn = 8;
+  ack.queries_served = 100;
+  ack.pairs_served = 4000;
+  cases.push_back({"replica-stats", net::EncodeReplicaStatsFrame(ack),
+                   [](std::span<const uint8_t> b) {
+                     return net::DecodeReplicaStatsFrame(b).status();
+                   },
+                   {}});
   return cases;
 }
 
@@ -300,6 +354,159 @@ TEST(NetServerFuzzTest, UnknownMessageTypeGetsTypedErrorThenClose) {
   // Unknown types cannot be skipped safely: the server hangs up.
   EXPECT_FALSE(net::ReadFrame(raw).ok());
   fixture.ExpectServerAlive();
+}
+
+// ------------------------------------------- replication-tier robustness --
+
+TEST(NetServerFuzzTest, ReplicationFrameOnTheQueryPortIsTypedMalformed) {
+  // A subscribe frame aimed at the QUERY port — even a well-formed one —
+  // is not a request the query plane defines.
+  FuzzServerFixture fixture;
+  ASSERT_OK_AND_ASSIGN(net::Socket raw,
+                       net::Connect("127.0.0.1", fixture.port()));
+  net::ReplicaSubscribe subscribe;
+  subscribe.replica_name = "lost";
+  std::vector<uint8_t> body = net::EncodeReplicaSubscribe(subscribe);
+  ASSERT_OK(net::WriteFrame(raw, net::MessageType::kReplicaSubscribe, body,
+                            /*version=*/4));
+  ASSERT_OK_AND_ASSIGN(net::Frame reply, net::ReadFrame(raw));
+  ASSERT_EQ(reply.type, net::MessageType::kError);
+  ASSERT_OK_AND_ASSIGN(net::WireError error, net::DecodeError(reply.body));
+  EXPECT_EQ(error.kind, net::ErrorKind::kMalformed);
+  fixture.ExpectServerAlive();
+}
+
+/// A budget-holding server plus its coordinator, for abusing the
+/// replication listener directly.
+class FuzzCoordinatorFixture {
+ public:
+  FuzzCoordinatorFixture() : graph_(MakePathGraph(32).value()) {
+    Rng rng(kTestSeed);
+    weights_ = MakeUniformWeights(graph_, 0.1, 0.9, &rng);
+    ReleaseContext ctx =
+        ReleaseContext::Create(PrivacyParams{1.0, 0.0, 1.0}, kTestSeed)
+            .value();
+    server_ = std::make_unique<net::QueryServer>(net::QueryServerOptions{},
+                                                 std::move(ctx));
+    EXPECT_OK(server_->AddWorkload("path", graph_, weights_));
+    EXPECT_OK(server_->Start());
+    coordinator_ = std::make_unique<cluster::Coordinator>(
+        cluster::CoordinatorOptions{}, server_.get());
+    EXPECT_OK(coordinator_->Start());
+  }
+
+  ~FuzzCoordinatorFixture() {
+    coordinator_->Stop();
+    server_->Stop();
+  }
+
+  uint16_t replication_port() const {
+    return coordinator_->replication_port();
+  }
+
+  void ExpectCoordinatorAlive() {
+    // A well-formed v5 subscribe still gets a session (the catch-up
+    // marker proves the stream is live).
+    ASSERT_OK_AND_ASSIGN(net::Socket good,
+                         net::Connect("127.0.0.1", replication_port()));
+    net::ReplicaSubscribe subscribe;
+    subscribe.replica_name = "probe";
+    std::vector<uint8_t> body = net::EncodeReplicaSubscribe(subscribe);
+    ASSERT_OK(net::WriteFrame(good, net::MessageType::kReplicaSubscribe,
+                              body));
+    ASSERT_OK_AND_ASSIGN(net::Frame reply, net::ReadFrame(good));
+    EXPECT_EQ(reply.type, net::MessageType::kReplicaStats);
+  }
+
+ private:
+  Graph graph_;
+  EdgeWeights weights_;
+  std::unique_ptr<net::QueryServer> server_;
+  std::unique_ptr<cluster::Coordinator> coordinator_;
+};
+
+TEST(NetServerFuzzTest, OldVersionSubscribeToCoordinatorIsTypedMalformed) {
+  // A v5-shaped subscribe body stamped with an older protocol version:
+  // that peer's protocol has no replication frames, so acting on it
+  // would be interpreting bytes the peer never defined. Typed refusal.
+  FuzzCoordinatorFixture fixture;
+  for (uint16_t version : {uint16_t{1}, uint16_t{4}}) {
+    ASSERT_OK_AND_ASSIGN(net::Socket raw,
+                         net::Connect("127.0.0.1",
+                                      fixture.replication_port()));
+    net::ReplicaSubscribe subscribe;
+    subscribe.replica_name = "old-peer";
+    std::vector<uint8_t> body = net::EncodeReplicaSubscribe(subscribe);
+    ASSERT_OK(net::WriteFrame(raw, net::MessageType::kReplicaSubscribe,
+                              body, version));
+    ASSERT_OK_AND_ASSIGN(net::Frame reply, net::ReadFrame(raw));
+    ASSERT_EQ(reply.type, net::MessageType::kError);
+    ASSERT_OK_AND_ASSIGN(net::WireError error,
+                         net::DecodeError(reply.body));
+    EXPECT_EQ(error.kind, net::ErrorKind::kMalformed);
+  }
+  fixture.ExpectCoordinatorAlive();
+}
+
+TEST(NetServerFuzzTest, NonSubscribeFirstFrameToCoordinatorIsRefused) {
+  FuzzCoordinatorFixture fixture;
+  ASSERT_OK_AND_ASSIGN(net::Socket raw,
+                       net::Connect("127.0.0.1",
+                                    fixture.replication_port()));
+  ASSERT_OK(net::WriteFrame(raw, net::MessageType::kStatsRequest, {}));
+  ASSERT_OK_AND_ASSIGN(net::Frame reply, net::ReadFrame(raw));
+  ASSERT_EQ(reply.type, net::MessageType::kError);
+  ASSERT_OK_AND_ASSIGN(net::WireError error, net::DecodeError(reply.body));
+  EXPECT_EQ(error.kind, net::ErrorKind::kMalformed);
+  fixture.ExpectCoordinatorAlive();
+}
+
+TEST(NetServerFuzzTest, TornDeltaFrameNeverHangsALiveReplica) {
+  // A fake coordinator that sends a delta-frame header claiming 100 body
+  // bytes, delivers 10, and stalls. The replica's mid-frame receive
+  // timeout must fail the read and resubscribe — the sync loop never
+  // wedges, and the replica's query plane keeps answering throughout.
+  ASSERT_OK_AND_ASSIGN(net::Listener fake,
+                       net::Listener::Bind("127.0.0.1", 0));
+
+  Graph graph = MakePathGraph(32).value();
+  Rng rng(kTestSeed);
+  EdgeWeights weights = MakeUniformWeights(graph, 0.1, 0.9, &rng);
+  net::QueryServer replica_server{net::QueryServerOptions{}};
+  ASSERT_OK(replica_server.AddWorkload("path", graph, weights));
+  ASSERT_OK(replica_server.Start());
+  cluster::ReplicaOptions options;
+  options.coordinator_port = fake.port();
+  options.read_timeout_ms = 200;  // fail the torn frame fast
+  options.reconnect_backoff_ms = 10;
+  cluster::Replica replica(options, &replica_server);
+  ASSERT_OK(replica.Start());
+
+  // Session 1: take the subscribe, then feed the torn frame and stall.
+  ASSERT_OK_AND_ASSIGN(net::Socket session1, fake.Accept(5000));
+  ASSERT_OK_AND_ASSIGN(net::Frame sub1, net::ReadFrame(session1));
+  ASSERT_EQ(sub1.type, net::MessageType::kReplicaSubscribe);
+  std::vector<uint8_t> torn_header = RawHeader(
+      net::kFrameMagic, net::kProtocolVersion,
+      static_cast<uint16_t>(net::MessageType::kDeltaFrame), 100);
+  uint8_t partial[10] = {0};
+  ASSERT_OK(session1.WriteAll(torn_header.data(), torn_header.size()));
+  ASSERT_OK(session1.WriteAll(partial, sizeof(partial)));
+  // Stall (no close): only the replica's own timeout can free it.
+
+  // The replica must give up on the torn stream and dial again.
+  ASSERT_OK_AND_ASSIGN(net::Socket session2, fake.Accept(5000));
+  ASSERT_OK_AND_ASSIGN(net::Frame sub2, net::ReadFrame(session2));
+  EXPECT_EQ(sub2.type, net::MessageType::kReplicaSubscribe);
+
+  // The query plane never noticed.
+  ASSERT_OK_AND_ASSIGN(net::Client client,
+                       net::Client::Connect("127.0.0.1",
+                                            replica_server.port()));
+  ASSERT_OK_AND_ASSIGN(net::ServerStats stats, client.Stats());
+  EXPECT_EQ(stats.role, static_cast<uint16_t>(net::NodeRole::kReplica));
+  replica.Stop();
+  replica_server.Stop();
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <string>
 #include <thread>
@@ -281,6 +282,34 @@ TEST(NetServerTest, DrainModeShedsQueriesWithTypedOverload) {
   EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
   EXPECT_EQ(client.last_error()->kind, net::ErrorKind::kOverloaded);
   EXPECT_EQ(fixture.server().stats().overload_rejected, 1u);
+}
+
+TEST(NetServerTest, AdmissionPacerCapsSustainedQueryThroughput) {
+  // 100k pairs/s ceiling, 1000-pair batches: admitted starts are spaced
+  // 10ms apart, so after the first (unpaced) batch, five more must take
+  // at least 50ms of wall clock. The lower bound is exact (sleep_until
+  // never wakes early), so this cannot flake on a slow machine.
+  net::QueryServerOptions options;
+  options.max_query_pairs_per_sec = 100e3;
+  ServerFixture fixture(options);
+  net::Client client = fixture.Connect();
+  ASSERT_OK_AND_ASSIGN(net::ReleaseInfo info,
+                       client.Release("path", "tree-hld", "paced"));
+  Rng rng(kServerSeed);
+  std::vector<VertexPair> pairs =
+      SampleTestPairs(kNumVertices, 1000, &rng);
+  ASSERT_OK(client.Query(info.handle_id, pairs).status());  // seeds pacer
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(client.Query(info.handle_id, pairs).status());
+  }
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed_ms, 50.0);
+  // Paced batches are delayed, never shed: no overload rejections.
+  EXPECT_EQ(fixture.server().stats().overload_rejected, 0u);
 }
 
 TEST(NetServerTest, ConnectionLimitRejectsWithTypedOverload) {

@@ -130,8 +130,9 @@ TEST(SnapshotFuzzTest, LyingHeaderLengthsAreRejected) {
 
   // Patch a header field to a lie and RE-SIGN the header checksum, so
   // only the bounds checks stand between the lie and an out-of-range
-  // read. Header layout: magic(8) version(4) num_sections(4)
-  // table_offset(8) table_bytes(8) table_crc(4) header_crc(4).
+  // read. Header layout (v2): magic(8) version(4) num_sections(4)
+  // table_offset(8) table_bytes(8) table_crc(4) epoch_lsn(8)
+  // header_crc(4 at offset 44, over the first 44 bytes).
   auto resign_and_expect_reject =
       [&](size_t field_offset, uint64_t value, int field_bytes,
           const char* what) {
@@ -140,9 +141,9 @@ TEST(SnapshotFuzzTest, LyingHeaderLengthsAreRejected) {
           lied[field_offset + static_cast<size_t>(i)] =
               static_cast<uint8_t>(value >> (8 * i));
         }
-        const uint32_t crc = Crc32c(lied.data(), 36);
+        const uint32_t crc = Crc32c(lied.data(), 44);
         for (int i = 0; i < 4; ++i) {
-          lied[36 + static_cast<size_t>(i)] =
+          lied[44 + static_cast<size_t>(i)] =
               static_cast<uint8_t>(crc >> (8 * i));
         }
         WriteFileBytes(mangled, lied);

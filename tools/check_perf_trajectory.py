@@ -81,6 +81,13 @@ def ops_series(doc):
         mixed = doc.get("mixed", {})
         if mixed.get("ops_per_sec"):
             yield "mixed", mixed.get("name", "?"), float(mixed["ops_per_sec"])
+        # S3: read-tier scale-out — one series point per replica count, so
+        # a lost scaling win (x4 regressing to x1 throughput) is flagged
+        # even when the single-node numbers hold steady.
+        for row in doc.get("replica", []):
+            if row.get("ops_per_sec"):
+                yield ("replica", f"x{row.get('replicas', '?')}",
+                       float(row["ops_per_sec"]))
     else:
         print(f"::warning::unrecognized bench JSON ('{bench}'), skipping")
 
